@@ -1,0 +1,251 @@
+//! Letters and alphabets.
+//!
+//! Following the paper, a letter is a single symbol (rendered as a lowercase
+//! character such as `a`, `b`, `x`), and an alphabet `Σ` is a finite set of
+//! letters. Graph-database facts are labeled by letters, and regular path
+//! queries are defined by regular languages over the alphabet.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A single letter of an alphabet.
+///
+/// Letters wrap a [`char`] so that they are `Copy`, ordered, hashable and cheap
+/// to display. The paper only ever uses single-character letters; fresh letters
+/// created by internal constructions (e.g. the letter `z` of Proposition 7.9)
+/// are drawn from unused characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Letter(pub char);
+
+impl Letter {
+    /// Creates a letter from a character.
+    pub const fn new(c: char) -> Self {
+        Letter(c)
+    }
+
+    /// Returns the underlying character.
+    pub const fn as_char(&self) -> char {
+        self.0
+    }
+}
+
+impl From<char> for Letter {
+    fn from(c: char) -> Self {
+        Letter(c)
+    }
+}
+
+impl fmt::Display for Letter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A finite, ordered set of letters.
+///
+/// The order is the natural order on the underlying characters; letter indices
+/// (used by the complete transition tables of [`crate::dfa::Dfa`]) are positions
+/// in this order.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Hash, PartialOrd, Ord)]
+pub struct Alphabet {
+    letters: Vec<Letter>,
+}
+
+impl Alphabet {
+    /// Creates an empty alphabet.
+    pub fn new() -> Self {
+        Alphabet { letters: Vec::new() }
+    }
+
+    /// Creates an alphabet from an iterator of letters (duplicates are ignored).
+    pub fn from_letters<I: IntoIterator<Item = Letter>>(iter: I) -> Self {
+        let set: BTreeSet<Letter> = iter.into_iter().collect();
+        Alphabet { letters: set.into_iter().collect() }
+    }
+
+    /// Creates an alphabet from the characters of a string, e.g. `"abx"`.
+    pub fn from_chars(s: &str) -> Self {
+        Self::from_letters(s.chars().map(Letter))
+    }
+
+    /// Number of letters.
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// Whether the alphabet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// Whether the alphabet contains `letter`.
+    pub fn contains(&self, letter: Letter) -> bool {
+        self.letters.binary_search(&letter).is_ok()
+    }
+
+    /// Index of a letter in the alphabet order, if present.
+    pub fn index_of(&self, letter: Letter) -> Option<usize> {
+        self.letters.binary_search(&letter).ok()
+    }
+
+    /// Letter at a given index (panics if out of range).
+    pub fn letter_at(&self, index: usize) -> Letter {
+        self.letters[index]
+    }
+
+    /// Iterator over the letters in order.
+    pub fn iter(&self) -> impl Iterator<Item = Letter> + '_ {
+        self.letters.iter().copied()
+    }
+
+    /// Returns the letters as a slice.
+    pub fn letters(&self) -> &[Letter] {
+        &self.letters
+    }
+
+    /// Adds a letter, returning a new alphabet (alphabets are small; copying is fine).
+    pub fn with(&self, letter: Letter) -> Self {
+        let mut set: BTreeSet<Letter> = self.letters.iter().copied().collect();
+        set.insert(letter);
+        Alphabet { letters: set.into_iter().collect() }
+    }
+
+    /// Removes a letter, returning a new alphabet.
+    pub fn without(&self, letter: Letter) -> Self {
+        Alphabet { letters: self.letters.iter().copied().filter(|&l| l != letter).collect() }
+    }
+
+    /// Union of two alphabets.
+    pub fn union(&self, other: &Alphabet) -> Self {
+        Self::from_letters(self.iter().chain(other.iter()))
+    }
+
+    /// Whether `self` is a subset of `other`.
+    pub fn is_subset_of(&self, other: &Alphabet) -> bool {
+        self.iter().all(|l| other.contains(l))
+    }
+
+    /// Returns a letter not present in the alphabet.
+    ///
+    /// Tries the lowercase Latin letters first (so the result stays readable),
+    /// then falls back to other Unicode characters. Used e.g. by the
+    /// one-dangling rewriting of Proposition 7.9 which needs a fresh letter `z`.
+    pub fn fresh_letter(&self) -> Letter {
+        for c in 'a'..='z' {
+            if !self.contains(Letter(c)) {
+                return Letter(c);
+            }
+        }
+        for c in 'A'..='Z' {
+            if !self.contains(Letter(c)) {
+                return Letter(c);
+            }
+        }
+        let mut code = 0x1000u32;
+        loop {
+            if let Some(c) = char::from_u32(code) {
+                if !self.contains(Letter(c)) {
+                    return Letter(c);
+                }
+            }
+            code += 1;
+        }
+    }
+}
+
+impl fmt::Display for Alphabet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, l) in self.letters.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<Letter> for Alphabet {
+    fn from_iter<I: IntoIterator<Item = Letter>>(iter: I) -> Self {
+        Self::from_letters(iter)
+    }
+}
+
+impl FromIterator<char> for Alphabet {
+    fn from_iter<I: IntoIterator<Item = char>>(iter: I) -> Self {
+        Self::from_letters(iter.into_iter().map(Letter))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_chars_deduplicates_and_sorts() {
+        let a = Alphabet::from_chars("bbaacc");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.letters(), &[Letter('a'), Letter('b'), Letter('c')]);
+    }
+
+    #[test]
+    fn indexing_round_trips() {
+        let a = Alphabet::from_chars("xyz");
+        for (i, l) in a.iter().enumerate() {
+            assert_eq!(a.index_of(l), Some(i));
+            assert_eq!(a.letter_at(i), l);
+        }
+        assert_eq!(a.index_of(Letter('a')), None);
+    }
+
+    #[test]
+    fn with_and_without() {
+        let a = Alphabet::from_chars("ab");
+        let b = a.with(Letter('c'));
+        assert!(b.contains(Letter('c')));
+        assert_eq!(b.len(), 3);
+        let c = b.without(Letter('a'));
+        assert!(!c.contains(Letter('a')));
+        assert_eq!(c.len(), 2);
+        // original untouched
+        assert!(a.contains(Letter('a')));
+    }
+
+    #[test]
+    fn union_and_subset() {
+        let a = Alphabet::from_chars("ab");
+        let b = Alphabet::from_chars("bc");
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        assert!(a.is_subset_of(&u));
+        assert!(b.is_subset_of(&u));
+        assert!(!u.is_subset_of(&a));
+    }
+
+    #[test]
+    fn fresh_letter_avoids_existing() {
+        let a = Alphabet::from_chars("abcdefghijklmnopqrstuvwxy");
+        let f = a.fresh_letter();
+        assert!(!a.contains(f));
+        assert_eq!(f, Letter('z'));
+        let b = Alphabet::from_chars("abcdefghijklmnopqrstuvwxyz");
+        let f = b.fresh_letter();
+        assert!(!b.contains(f));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = Alphabet::from_chars("ab");
+        assert_eq!(a.to_string(), "{a, b}");
+        assert_eq!(Letter('x').to_string(), "x");
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        let a = Alphabet::new();
+        assert!(a.is_empty());
+        assert_eq!(a.len(), 0);
+        assert!(!a.contains(Letter('a')));
+    }
+}

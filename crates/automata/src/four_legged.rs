@@ -1,0 +1,350 @@
+//! Four-legged languages (Section 5 of the paper).
+//!
+//! A language `L` is **four-legged** (Definition 5.1) when it is infix-free
+//! and there exist a body letter `x` and four *non-empty* legs
+//! `α, β, γ, δ ∈ Σ⁺` with `αxβ ∈ L`, `γxδ ∈ L` but `αxδ ∉ L`. Four-legged
+//! languages are exactly the non-letter-Cartesian languages whose
+//! counterexample can be chosen with non-empty legs; Theorem 5.3 shows that
+//! resilience is NP-hard for every four-legged language.
+//!
+//! This module provides:
+//!
+//! * [`cartesian_violation`] — find a counterexample to the letter-Cartesian
+//!   property (legs may be empty), which doubles as an alternative locality test;
+//! * [`four_legged_witness`] / [`is_four_legged`] — the four-legged test with
+//!   non-empty legs, for arbitrary regular languages (not only finite ones);
+//! * [`stabilize_legs`] — Lemma 5.5: turn any four-legged witness into a
+//!   witness with *stable* legs (no infix of `αxδ` is in `L`), as required by
+//!   the hardness gadgets of Theorem 5.3.
+
+use crate::alphabet::Letter;
+use crate::dfa::Dfa;
+use crate::language::Language;
+use crate::local::CartesianViolation;
+use crate::word::Word;
+
+/// The language `{ α : ∃β, αxβ ∈ L }` of left contexts of the letter `x`,
+/// where `β` is required to be non-empty when `nonempty_rest` is set.
+fn left_context_dfa(language: &Language, x: Letter, nonempty_rest: bool) -> Dfa {
+    let dfa = language.dfa();
+    let coaccessible = dfa.coaccessible_states();
+    let n = dfa.num_states();
+    let mut finals = vec![false; n];
+    for (p, f) in finals.iter_mut().enumerate() {
+        if let Some(q) = dfa.successor(p, x) {
+            let ok = if nonempty_rest {
+                // ∃ letter b: succ(q, b) is co-accessible, i.e. some non-empty
+                // word leads from q to acceptance.
+                dfa.alphabet()
+                    .iter()
+                    .any(|b| dfa.successor(q, b).is_some_and(|r| coaccessible.contains(&r)))
+            } else {
+                coaccessible.contains(&q)
+            };
+            *f = ok;
+        }
+    }
+    let transitions: Vec<Vec<usize>> = (0..n)
+        .map(|s| dfa.alphabet().iter().map(|l| dfa.successor(s, l).unwrap()).collect())
+        .collect();
+    Dfa::from_parts(dfa.alphabet().clone(), dfa.initial_state(), finals, transitions)
+}
+
+/// The language `{ δ : ∃γ, γxδ ∈ L }` of right contexts of the letter `x`,
+/// where `γ` is required non-empty when `nonempty_rest` is set.
+fn right_context_dfa(language: &Language, x: Letter, nonempty_rest: bool) -> Dfa {
+    let mirrored = language.mirror();
+    left_context_dfa(&mirrored, x, nonempty_rest).mirror()
+}
+
+/// Shortest word of `dfa`'s language restricted to non-empty words if
+/// `nonempty` is set. Returns `None` if that restriction is empty.
+fn shortest_word(dfa: &Dfa, nonempty: bool) -> Option<Word> {
+    if !nonempty {
+        return dfa.shortest_accepted_word();
+    }
+    // Remove ε by intersecting with Σ⁺.
+    let eps = Language::from_words([Word::epsilon()].iter()).with_alphabet(dfa.alphabet());
+    let restricted = dfa.difference(eps.dfa());
+    restricted.shortest_accepted_word()
+}
+
+/// Searches for a counterexample to the letter-Cartesian property
+/// (Definition 3.3): a body `x` and legs `α, β, γ, δ` (possibly empty unless
+/// `require_nonempty_legs`) such that `αxβ ∈ L`, `γxδ ∈ L` and `αxδ ∉ L`.
+///
+/// By Proposition 3.5, `cartesian_violation(L, false)` returns `None` exactly
+/// when `L` is local. With `require_nonempty_legs = true` this is the
+/// four-legged search of Definition 5.1 (for an infix-free language).
+pub fn cartesian_violation(
+    language: &Language,
+    require_nonempty_legs: bool,
+) -> Option<CartesianViolation> {
+    let alphabet = language.alphabet().clone();
+    let sigma_plus = {
+        let eps = Language::from_words([Word::epsilon()].iter()).with_alphabet(&alphabet);
+        Language::universal(alphabet.clone()).difference(&eps)
+    };
+
+    for x in alphabet.iter() {
+        let left = Language::from_dfa(left_context_dfa(language, x, require_nonempty_legs));
+        let right = Language::from_dfa(right_context_dfa(language, x, require_nonempty_legs));
+        let (left, right) = if require_nonempty_legs {
+            (left.intersection(&sigma_plus), right.intersection(&sigma_plus))
+        } else {
+            (left, right)
+        };
+        if left.is_empty() || right.is_empty() {
+            continue;
+        }
+        // Candidate cross-product words α·x·δ.
+        let x_lang = Language::from_words([Word::single(x)].iter()).with_alphabet(&alphabet);
+        let candidates = left.concatenation(&x_lang).concatenation(&right);
+        let outside = candidates.difference(language);
+        let Some(witness) = outside.shortest_word() else {
+            continue;
+        };
+        // Decompose the witness as α x δ with α in the left-context language
+        // and δ in the right-context language.
+        for i in 0..witness.len() {
+            if witness.letter_at(i) != x {
+                continue;
+            }
+            let alpha = witness.slice(0, i);
+            let delta = witness.slice(i + 1, witness.len());
+            if require_nonempty_legs && (alpha.is_empty() || delta.is_empty()) {
+                continue;
+            }
+            if !left.contains(&alpha) || !right.contains(&delta) {
+                continue;
+            }
+            // Find β with αxβ ∈ L (non-empty if required): it is a word of the
+            // left quotient of L by αx.
+            let dfa = language.dfa();
+            let after_alpha_x =
+                dfa.run_from(dfa.initial_state(), &alpha.concat(&Word::single(x)));
+            let beta = after_alpha_x
+                .and_then(|q| shortest_word(&dfa.with_initial_state(q), require_nonempty_legs));
+            // Find γ with γxδ ∈ L: mirror reasoning, γ^R is in the left
+            // quotient of L^R by δ^R x.
+            let mirrored = language.mirror();
+            let mdfa = mirrored.dfa();
+            let after_delta_x = mdfa
+                .run_from(mdfa.initial_state(), &delta.mirror().concat(&Word::single(x)));
+            let gamma = after_delta_x
+                .and_then(|q| shortest_word(&mdfa.with_initial_state(q), require_nonempty_legs))
+                .map(|g| g.mirror());
+            if let (Some(beta), Some(gamma)) = (beta, gamma) {
+                let violation = CartesianViolation { body: x, alpha, beta, gamma, delta };
+                debug_assert!(violation.verify(language), "constructed violation must verify");
+                return Some(violation);
+            }
+        }
+    }
+    None
+}
+
+/// Finds a four-legged witness: a letter-Cartesian violation with all four
+/// legs non-empty (Definition 5.1). The language is **not** required to be
+/// infix-free by this function; combine with
+/// [`Language::is_infix_free`](crate::language::Language::is_infix_free) or use
+/// [`is_four_legged`] for the full definition.
+pub fn four_legged_witness(language: &Language) -> Option<CartesianViolation> {
+    cartesian_violation(language, true)
+}
+
+/// Whether the language is four-legged (Definition 5.1): infix-free and
+/// admitting a letter-Cartesian violation with non-empty legs.
+pub fn is_four_legged(language: &Language) -> bool {
+    language.is_infix_free() && four_legged_witness(language).is_some()
+}
+
+/// Lemma 5.5: given a four-legged witness for an infix-free language, produce
+/// a witness with **stable** legs, i.e. such that no infix of the cross word
+/// `αxδ` belongs to `L`.
+///
+/// Panics in debug builds if the input violation does not verify or has empty
+/// legs; in release builds the behaviour is then unspecified (garbage in,
+/// garbage out), matching the lemma's preconditions.
+pub fn stabilize_legs(language: &Language, violation: &CartesianViolation) -> CartesianViolation {
+    debug_assert!(violation.verify(language));
+    debug_assert!(violation.has_nonempty_legs());
+    let x = violation.body;
+    let cross = violation.cross_word();
+
+    // Is some strict infix of αxδ in L? (αxδ itself is not, by assumption.)
+    let infix_in_l = cross.strict_infixes().into_iter().find(|w| language.contains(w));
+    let Some(eta) = infix_in_l else {
+        return violation.clone();
+    };
+
+    // η must span the middle x: write α' = α₂α₁ and δ' = δ₁δ₂ with α₁, δ₁
+    // non-empty such that η = α₁ x δ₁. Locate η as a contiguous factor of
+    // αxδ that covers position |α| (the body).
+    let alpha = &violation.alpha;
+    let delta = &violation.delta;
+    let body_pos = alpha.len();
+    let mut decomposition = None;
+    for start in 0..cross.len() {
+        let end = start + eta.len();
+        if end > cross.len() {
+            break;
+        }
+        if cross.slice(start, end) == eta && start < body_pos + 1 && end > body_pos {
+            // α₁ is the suffix of α starting at `start`, δ₁ the prefix of δ
+            // ending at `end`.
+            if start <= body_pos && end >= body_pos + 1 {
+                let alpha1 = alpha.slice(start, alpha.len());
+                let delta1 = delta.slice(0, end - body_pos - 1);
+                if !alpha1.is_empty() && !delta1.is_empty() {
+                    decomposition = Some((start, end, alpha1, delta1));
+                    break;
+                }
+            }
+        }
+    }
+    let Some((start, end, alpha1, delta1)) = decomposition else {
+        // By the proof of Lemma 5.5 this cannot happen for infix-free L;
+        // fall back to returning the original witness.
+        debug_assert!(false, "strict infix of the cross word did not span the body letter");
+        return violation.clone();
+    };
+    let alpha2_nonempty = start > 0;
+    let delta2_nonempty = end < cross.len();
+
+    let stable = if delta2_nonempty {
+        // α := γ', β := δ', γ := α₁, δ := δ₁.
+        CartesianViolation {
+            body: x,
+            alpha: violation.gamma.clone(),
+            beta: violation.delta.clone(),
+            gamma: alpha1,
+            delta: delta1,
+        }
+    } else {
+        debug_assert!(alpha2_nonempty, "α₂ and δ₂ cannot both be empty (η is a strict infix)");
+        // α := α₁, β := δ₁, γ := α', δ := β'.
+        CartesianViolation {
+            body: x,
+            alpha: alpha1,
+            beta: delta1,
+            gamma: violation.alpha.clone(),
+            delta: violation.beta.clone(),
+        }
+    };
+    debug_assert!(stable.verify(language));
+    debug_assert!(stable.has_nonempty_legs());
+    debug_assert!(legs_are_stable(language, &stable));
+    stable
+}
+
+/// Whether a witness has *stable* legs (Definition 5.4): no infix of the
+/// cross word `αxδ` is in the language.
+pub fn legs_are_stable(language: &Language, violation: &CartesianViolation) -> bool {
+    violation.cross_word().infixes().iter().all(|w| !language.contains(w))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lang(pattern: &str) -> Language {
+        Language::parse(pattern).unwrap()
+    }
+
+    #[test]
+    fn cartesian_violation_agrees_with_locality() {
+        use crate::local::is_local;
+        for pattern in
+            ["ax*b", "ab|ad|cd", "aa", "ab|bc", "axb|cxd", "abc|bcd", "b(aa)*d", "a*", "abc|be"]
+        {
+            let l = lang(pattern);
+            let violation = cartesian_violation(&l, false);
+            assert_eq!(
+                violation.is_none(),
+                is_local(&l),
+                "letter-Cartesian violation iff non-local, for {pattern}"
+            );
+            if let Some(v) = violation {
+                assert!(v.verify(&l), "violation must verify for {pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn example_5_2_four_legged_languages() {
+        // axb|cxd and axb|cxd|cxb are four-legged.
+        assert!(is_four_legged(&lang("axb|cxd")));
+        assert!(is_four_legged(&lang("axb|cxd|cxb")));
+        // aa and ab|bc are non-local but NOT four-legged.
+        assert!(!is_four_legged(&lang("aa")));
+        assert!(!is_four_legged(&lang("ab|bc")));
+        // Local languages are never four-legged.
+        assert!(!is_four_legged(&lang("ax*b")));
+        assert!(!is_four_legged(&lang("ab|ad|cd")));
+    }
+
+    #[test]
+    fn four_legged_witness_has_nonempty_legs() {
+        let l = lang("axb|cxd");
+        let w = four_legged_witness(&l).unwrap();
+        assert!(w.verify(&l));
+        assert!(w.has_nonempty_legs());
+    }
+
+    #[test]
+    fn figure_1_four_legged_examples() {
+        // Languages listed under "Four-legged languages (Thm 5.3)" in Figure 1.
+        for pattern in ["axb|cxd", "ax*b|cxd", "b(aa)*d", "axb|cxd|cxb"] {
+            let l = lang(pattern).infix_free();
+            assert!(
+                four_legged_witness(&l).is_some(),
+                "{pattern} should have a four-legged witness"
+            );
+        }
+        // ab|ad|cd and abc|abd are local hence not four-legged.
+        assert!(four_legged_witness(&lang("ab|ad|cd")).is_none());
+        assert!(four_legged_witness(&lang("abc|abd")).is_none());
+    }
+
+    #[test]
+    fn non_star_free_example_is_four_legged() {
+        // Lemma 5.6: b(aa)*d is not star-free, hence four-legged.
+        let l = lang("b(aa)*d");
+        assert!(l.is_infix_free());
+        assert!(is_four_legged(&l));
+    }
+
+    #[test]
+    fn stabilization_produces_stable_legs() {
+        for pattern in ["axb|cxd", "b(aa)*d", "ax*b|cxd", "axb|cxd|cxb", "axyb|cxyd"] {
+            let l = lang(pattern).infix_free();
+            if let Some(w) = four_legged_witness(&l) {
+                let stable = stabilize_legs(&l, &w);
+                assert!(stable.verify(&l), "{pattern}: stabilized witness verifies");
+                assert!(stable.has_nonempty_legs(), "{pattern}: stabilized legs non-empty");
+                assert!(legs_are_stable(&l, &stable), "{pattern}: legs are stable");
+            } else {
+                panic!("{pattern} expected to be four-legged");
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_four_legged_language() {
+        // ax*b|cxd (infinite) is four-legged: α=a, β=b (via axb), γ=c, δ=d.
+        let l = lang("ax*b|cxd");
+        assert!(l.is_infix_free());
+        let w = four_legged_witness(&l).unwrap();
+        assert!(w.verify(&l));
+        assert!(w.has_nonempty_legs());
+    }
+
+    #[test]
+    fn local_languages_have_no_violation_at_all() {
+        for pattern in ["ax*b", "ab|ad|cd", "a|b", "a*", "abc|abd"] {
+            assert!(cartesian_violation(&lang(pattern), false).is_none(), "{pattern}");
+            assert!(cartesian_violation(&lang(pattern), true).is_none(), "{pattern}");
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! Local languages (Section 3.1 of the paper).
+//!
+//! A language is *local* when membership is determined by which letters may
+//! start a word, which letters may end a word, and which pairs of letters may
+//! occur consecutively (Definition 3.1 via local DFAs, and the equivalent
+//! *letter-Cartesian* characterization of Definition 3.3 / Proposition 3.5).
+//!
+//! This module computes the **local profile** `(Σ_start, Σ_end, Π)` of a
+//! language, builds its **local overapproximation** (Definition 3.8) and tests
+//! locality (Claim 3.11 / Proposition 3.12).
+
+use crate::alphabet::{Alphabet, Letter};
+use crate::dfa::Dfa;
+use crate::language::Language;
+use std::collections::BTreeSet;
+
+/// The local profile of a language: starting letters, ending letters, allowed
+/// digrams, and whether ε belongs to the language (Definition 3.8).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocalProfile {
+    /// Letters that can start a word of the language (`Σ_start`).
+    pub start_letters: Alphabet,
+    /// Letters that can end a word of the language (`Σ_end`).
+    pub end_letters: Alphabet,
+    /// Pairs of letters that can occur consecutively in a word (`Π ⊆ Σ²`).
+    pub digrams: BTreeSet<(Letter, Letter)>,
+    /// Whether ε is a word of the language.
+    pub contains_epsilon: bool,
+    /// The alphabet over which the profile was computed.
+    pub alphabet: Alphabet,
+}
+
+impl LocalProfile {
+    /// Computes the local profile of a language from its minimal DFA.
+    pub fn of(language: &Language) -> LocalProfile {
+        let dfa = language.dfa();
+        let alphabet = language.alphabet().clone();
+        let reachable = dfa.reachable_states();
+        let coaccessible = dfa.coaccessible_states();
+
+        let mut start_letters = Vec::new();
+        let mut end_letters = Vec::new();
+        let mut digrams = BTreeSet::new();
+
+        // Σ_start: letters a with a word aα ∈ L, i.e. the initial state has an
+        // a-successor from which a final state is reachable.
+        for a in alphabet.iter() {
+            if let Some(q) = dfa.successor(dfa.initial_state(), a) {
+                if coaccessible.contains(&q) {
+                    start_letters.push(a);
+                }
+            }
+        }
+
+        // Σ_end: letters a with a word αa ∈ L, i.e. some reachable state has an
+        // a-transition into a final state.
+        for &p in &reachable {
+            for a in alphabet.iter() {
+                if let Some(q) = dfa.successor(p, a) {
+                    if dfa.is_final(q) {
+                        end_letters.push(a);
+                    }
+                }
+            }
+        }
+
+        // Π: pairs (a, b) with a word αabβ ∈ L, i.e. a reachable state p has an
+        // a-successor q whose b-successor r is co-accessible.
+        for &p in &reachable {
+            for a in alphabet.iter() {
+                if let Some(q) = dfa.successor(p, a) {
+                    for b in alphabet.iter() {
+                        if let Some(r) = dfa.successor(q, b) {
+                            if coaccessible.contains(&r) {
+                                digrams.insert((a, b));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        LocalProfile {
+            start_letters: Alphabet::from_letters(start_letters),
+            end_letters: Alphabet::from_letters(end_letters),
+            digrams,
+            contains_epsilon: language.contains_epsilon(),
+            alphabet,
+        }
+    }
+
+    /// Builds the **local overapproximation** DFA of Definition 3.8: the local
+    /// DFA with a state `q_a` per letter, accepting every word whose first
+    /// letter is in `Σ_start`, whose last letter is in `Σ_end`, and whose
+    /// consecutive letter pairs are all in `Π`.
+    ///
+    /// By Claim 3.9 its language always contains the original language, and by
+    /// Claim 3.10 it *equals* the original language exactly when the language
+    /// is local (letter-Cartesian).
+    pub fn local_overapproximation(&self) -> Dfa {
+        let width = self.alphabet.len();
+        // State layout: 0 = q0 (initial), 1 + i = q_{letter i}, last = sink.
+        let num_states = 2 + width;
+        let sink = num_states - 1;
+        let mut transitions = vec![vec![sink; width]; num_states];
+        let mut finals = vec![false; num_states];
+
+        finals[0] = self.contains_epsilon;
+        for (i, a) in self.alphabet.iter().enumerate() {
+            finals[1 + i] = self.end_letters.contains(a);
+            if self.start_letters.contains(a) {
+                transitions[0][i] = 1 + i;
+            }
+        }
+        for &(a, b) in &self.digrams {
+            let (ia, ib) = (
+                self.alphabet.index_of(a).expect("digram letter in alphabet"),
+                self.alphabet.index_of(b).expect("digram letter in alphabet"),
+            );
+            transitions[1 + ia][ib] = 1 + ib;
+        }
+        Dfa::from_parts(self.alphabet.clone(), 0, finals, transitions)
+    }
+}
+
+/// Whether the language is **local** (Definition 3.1): some local DFA
+/// recognizes it, equivalently it is letter-Cartesian (Proposition 3.5),
+/// equivalently its local overapproximation has the same language (Claim 3.11).
+///
+/// ```
+/// use rpq_automata::{local, Language};
+/// assert!(local::is_local(&Language::parse("a x* b").unwrap()));
+/// assert!(local::is_local(&Language::parse("ab|ad|cd").unwrap()));
+/// assert!(!local::is_local(&Language::parse("aa").unwrap()));
+/// assert!(!local::is_local(&Language::parse("ab|bc").unwrap()));
+/// ```
+pub fn is_local(language: &Language) -> bool {
+    let profile = LocalProfile::of(language);
+    let overapprox = profile.local_overapproximation();
+    overapprox.equivalent(language.dfa())
+}
+
+/// Builds a **local DFA** for a local language (the local overapproximation,
+/// which coincides with the language). Returns `None` if the language is not
+/// local.
+pub fn local_dfa(language: &Language) -> Option<Dfa> {
+    let profile = LocalProfile::of(language);
+    let overapprox = profile.local_overapproximation();
+    if overapprox.equivalent(language.dfa()) {
+        Some(overapprox)
+    } else {
+        None
+    }
+}
+
+/// A counterexample to the letter-Cartesian property (Definition 3.3): a body
+/// letter `x` and words `α, β, γ, δ` such that `αxβ ∈ L`, `γxδ ∈ L` but
+/// `αxδ ∉ L`. The legs may be empty; the four-legged test of Section 5
+/// additionally requires them non-empty (see [`crate::four_legged`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CartesianViolation {
+    /// The body letter `x`.
+    pub body: Letter,
+    /// `α` (what precedes `x` in the first word).
+    pub alpha: crate::word::Word,
+    /// `β` (what follows `x` in the first word).
+    pub beta: crate::word::Word,
+    /// `γ` (what precedes `x` in the second word).
+    pub gamma: crate::word::Word,
+    /// `δ` (what follows `x` in the second word).
+    pub delta: crate::word::Word,
+}
+
+impl CartesianViolation {
+    /// The word `αxβ` (must be in the language).
+    pub fn first_word(&self) -> crate::word::Word {
+        let x = crate::word::Word::single(self.body);
+        crate::word::Word::concat_all([&self.alpha, &x, &self.beta])
+    }
+
+    /// The word `γxδ` (must be in the language).
+    pub fn second_word(&self) -> crate::word::Word {
+        let x = crate::word::Word::single(self.body);
+        crate::word::Word::concat_all([&self.gamma, &x, &self.delta])
+    }
+
+    /// The cross-product word `αxδ` (must *not* be in the language).
+    pub fn cross_word(&self) -> crate::word::Word {
+        let x = crate::word::Word::single(self.body);
+        crate::word::Word::concat_all([&self.alpha, &x, &self.delta])
+    }
+
+    /// Checks that the violation is genuine for `language`.
+    pub fn verify(&self, language: &Language) -> bool {
+        language.contains(&self.first_word())
+            && language.contains(&self.second_word())
+            && !language.contains(&self.cross_word())
+    }
+
+    /// Whether all four legs are non-empty (the four-legged condition).
+    pub fn has_nonempty_legs(&self) -> bool {
+        !self.alpha.is_empty()
+            && !self.beta.is_empty()
+            && !self.gamma.is_empty()
+            && !self.delta.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::Word;
+
+    fn lang(pattern: &str) -> Language {
+        Language::parse(pattern).unwrap()
+    }
+
+    #[test]
+    fn figure_2_languages_are_local() {
+        assert!(is_local(&lang("ax*b")));
+        assert!(is_local(&lang("ab|ad|cd")));
+    }
+
+    #[test]
+    fn example_3_4_aa_is_not_local() {
+        assert!(!is_local(&lang("aa")));
+    }
+
+    #[test]
+    fn more_locality_examples_from_figure_1() {
+        // Local examples
+        assert!(is_local(&lang("axb|axc")));
+        assert!(is_local(&lang("a|b")));
+        // Non-local examples
+        assert!(!is_local(&lang("ax*b|cxd")));
+        assert!(!is_local(&lang("ab|bc")));
+        assert!(!is_local(&lang("abc|bcd")));
+        assert!(!is_local(&lang("aaaa")));
+        assert!(!is_local(&lang("axb|cxd")));
+        assert!(!is_local(&lang("b(aa)*d")));
+        assert!(!is_local(&lang("abc|be")));
+    }
+
+    #[test]
+    fn profile_of_ab_ad_cd() {
+        let profile = LocalProfile::of(&lang("ab|ad|cd"));
+        assert!(profile.start_letters.contains(Letter('a')));
+        assert!(profile.start_letters.contains(Letter('c')));
+        assert!(!profile.start_letters.contains(Letter('b')));
+        assert!(profile.end_letters.contains(Letter('b')));
+        assert!(profile.end_letters.contains(Letter('d')));
+        assert!(!profile.end_letters.contains(Letter('a')));
+        assert!(profile.digrams.contains(&(Letter('a'), Letter('b'))));
+        assert!(profile.digrams.contains(&(Letter('a'), Letter('d'))));
+        assert!(profile.digrams.contains(&(Letter('c'), Letter('d'))));
+        assert_eq!(profile.digrams.len(), 3);
+        assert!(!profile.contains_epsilon);
+    }
+
+    #[test]
+    fn profile_of_infinite_language() {
+        let profile = LocalProfile::of(&lang("ax*b"));
+        assert_eq!(profile.start_letters.letters(), &[Letter('a')]);
+        assert_eq!(profile.end_letters.letters(), &[Letter('b')]);
+        assert!(profile.digrams.contains(&(Letter('a'), Letter('x'))));
+        assert!(profile.digrams.contains(&(Letter('x'), Letter('x'))));
+        assert!(profile.digrams.contains(&(Letter('x'), Letter('b'))));
+        assert!(profile.digrams.contains(&(Letter('a'), Letter('b'))));
+        assert_eq!(profile.digrams.len(), 4);
+    }
+
+    #[test]
+    fn overapproximation_contains_language() {
+        for pattern in ["aa", "ab|bc", "axb|cxd", "ax*b", "abc|bcd", "b(aa)*d"] {
+            let l = lang(pattern);
+            let over = LocalProfile::of(&l).local_overapproximation();
+            assert!(l.dfa().is_subset_of(&over), "L ⊆ overapprox fails for {pattern}");
+        }
+    }
+
+    #[test]
+    fn overapproximation_of_aa_accepts_longer_words() {
+        // The local overapproximation of {aa} is a⁺ (Σ_start = Σ_end = {a},
+        // Π = {(a,a)}), which strictly contains {aa}: this is why aa is not local.
+        let over = LocalProfile::of(&lang("aa")).local_overapproximation();
+        assert!(over.accepts(&Word::from_str_word("a")));
+        assert!(over.accepts(&Word::from_str_word("aa")));
+        assert!(over.accepts(&Word::from_str_word("aaa")));
+        assert!(!over.accepts(&Word::epsilon()));
+    }
+
+    #[test]
+    fn local_dfa_returned_only_for_local_languages() {
+        assert!(local_dfa(&lang("ax*b")).is_some());
+        assert!(local_dfa(&lang("aa")).is_none());
+        let d = local_dfa(&lang("ab|ad|cd")).unwrap();
+        assert!(d.accepts(&Word::from_str_word("ad")));
+        assert!(!d.accepts(&Word::from_str_word("cb")));
+    }
+
+    #[test]
+    fn epsilon_language_is_local() {
+        assert!(is_local(&lang("ε")));
+        assert!(is_local(&lang("∅")));
+        assert!(is_local(&lang("a*")));
+        assert!(is_local(&lang("a")));
+    }
+
+    #[test]
+    fn infix_free_preserves_locality_lemma_3_14() {
+        // Lemma 3.14: if L is local then IF(L) is local.
+        for pattern in ["ax*b", "ab|ad|cd", "a*", "a(b|c)*d", "x*ax*"] {
+            let l = lang(pattern);
+            if is_local(&l) {
+                assert!(is_local(&l.infix_free()), "IF({pattern}) should be local");
+            }
+        }
+    }
+
+    #[test]
+    fn cartesian_violation_structure() {
+        // Hand-built violation for aa (Example 3.4): x=a, α=a, β=ε, γ=ε, δ=a.
+        let v = CartesianViolation {
+            body: Letter('a'),
+            alpha: Word::from_str_word("a"),
+            beta: Word::epsilon(),
+            gamma: Word::epsilon(),
+            delta: Word::from_str_word("a"),
+        };
+        assert!(v.verify(&lang("aa")));
+        assert!(!v.has_nonempty_legs());
+        assert_eq!(v.first_word(), Word::from_str_word("aa"));
+        assert_eq!(v.second_word(), Word::from_str_word("aa"));
+        assert_eq!(v.cross_word(), Word::from_str_word("aaa"));
+    }
+}

@@ -1,0 +1,267 @@
+//! Transition monoids of regular languages.
+//!
+//! The **transition monoid** of a (complete, minimal) DFA is the set of state
+//! transformations induced by words, under composition. It is a finite
+//! algebraic invariant of the language that underlies two notions used by the
+//! paper:
+//!
+//! * **star-freeness / aperiodicity** (Lemma 5.6): a language is star-free iff
+//!   its syntactic monoid — here, the transition monoid of the minimal DFA —
+//!   is aperiodic, i.e. every element `m` satisfies `m^k = m^{k+1}` for some
+//!   `k` (Schützenberger's theorem). [`TransitionMonoid::is_aperiodic`] is an
+//!   independent implementation of the test in [`crate::star_free`], and the
+//!   two are cross-checked in the tests.
+//! * general language analysis: the monoid exposes its elements with shortest
+//!   witness words, its idempotents, and evaluation of arbitrary words, which
+//!   are convenient building blocks for further classification experiments.
+//!
+//! The monoid can be exponentially larger than the DFA; construction takes an
+//! explicit element budget and fails gracefully when it is exceeded.
+
+use crate::alphabet::Letter;
+use crate::error::{AutomataError, Result};
+use crate::language::Language;
+use crate::word::Word;
+use std::collections::BTreeMap;
+
+/// Default maximum number of monoid elements explored.
+pub const DEFAULT_ELEMENT_BUDGET: usize = 100_000;
+
+/// A state transformation: the image of each state of the (completed) DFA.
+pub type Transformation = Vec<usize>;
+
+/// The transition monoid of the minimal DFA of a language.
+#[derive(Debug, Clone)]
+pub struct TransitionMonoid {
+    /// The distinct transformations, indexed by discovery order; element 0 is
+    /// the identity (induced by ε).
+    elements: Vec<Transformation>,
+    /// A shortest word inducing each element.
+    witnesses: Vec<Word>,
+    /// Lookup table from transformation to its index.
+    index: BTreeMap<Transformation, usize>,
+    /// The transformation induced by each letter of the alphabet.
+    generators: BTreeMap<Letter, Transformation>,
+    /// Number of DFA states the transformations act on.
+    degree: usize,
+}
+
+impl TransitionMonoid {
+    /// Computes the transition monoid of the minimal DFA of `language`, using
+    /// the default element budget.
+    pub fn of(language: &Language) -> Result<TransitionMonoid> {
+        TransitionMonoid::with_budget(language, DEFAULT_ELEMENT_BUDGET)
+    }
+
+    /// Computes the transition monoid with an explicit element budget.
+    pub fn with_budget(language: &Language, budget: usize) -> Result<TransitionMonoid> {
+        let dfa = language.dfa().minimize();
+        let n = dfa.num_states();
+        let generators: BTreeMap<Letter, Transformation> = dfa
+            .alphabet()
+            .iter()
+            .map(|a| {
+                let transformation: Transformation = (0..n)
+                    .map(|s| dfa.successor(s, a).expect("minimized DFAs are complete"))
+                    .collect();
+                (a, transformation)
+            })
+            .collect();
+
+        let identity: Transformation = (0..n).collect();
+        let mut elements = vec![identity.clone()];
+        let mut witnesses = vec![Word::epsilon()];
+        let mut index: BTreeMap<Transformation, usize> = BTreeMap::new();
+        index.insert(identity, 0);
+
+        let mut frontier = 0;
+        while frontier < elements.len() {
+            let current = elements[frontier].clone();
+            let current_witness = witnesses[frontier].clone();
+            frontier += 1;
+            for (letter, generator) in &generators {
+                let next: Transformation = current.iter().map(|&s| generator[s]).collect();
+                if !index.contains_key(&next) {
+                    if elements.len() >= budget {
+                        return Err(AutomataError::BudgetExceeded {
+                            analysis: "transition monoid construction",
+                            limit: budget,
+                        });
+                    }
+                    index.insert(next.clone(), elements.len());
+                    elements.push(next);
+                    witnesses.push(current_witness.concat(&Word::single(*letter)));
+                }
+            }
+        }
+        Ok(TransitionMonoid { elements, witnesses, index, generators, degree: n })
+    }
+
+    /// Number of elements of the monoid (including the identity).
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the monoid is trivial (identity only — the language is `∅`, `Σ*`
+    /// or otherwise letter-insensitive on the minimal DFA).
+    pub fn is_empty(&self) -> bool {
+        self.elements.len() <= 1
+    }
+
+    /// The number of DFA states the transformations act on.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// The transformations, in discovery order (index 0 is the identity).
+    pub fn elements(&self) -> &[Transformation] {
+        &self.elements
+    }
+
+    /// A shortest word inducing the element at `index`.
+    pub fn witness(&self, index: usize) -> &Word {
+        &self.witnesses[index]
+    }
+
+    /// Evaluates a word to the index of the transformation it induces.
+    /// Panics if the word uses a letter outside the language's alphabet.
+    pub fn evaluate(&self, word: &Word) -> usize {
+        let mut current: Transformation = (0..self.degree).collect();
+        for letter in word.iter() {
+            let generator = self
+                .generators
+                .get(&letter)
+                .unwrap_or_else(|| panic!("letter {letter} is not in the alphabet"));
+            current = current.iter().map(|&s| generator[s]).collect();
+        }
+        self.index[&current]
+    }
+
+    /// Composition of two elements given by index: `first ⋅ then` (apply
+    /// `first`, then `then`).
+    pub fn compose(&self, first: usize, then: usize) -> usize {
+        let composed: Transformation =
+            self.elements[first].iter().map(|&s| self.elements[then][s]).collect();
+        self.index[&composed]
+    }
+
+    /// The indices of the idempotent elements (`e ⋅ e = e`).
+    pub fn idempotents(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.compose(i, i) == i).collect()
+    }
+
+    /// Whether the monoid is aperiodic: every element `m` satisfies
+    /// `m^k = m^{k+1}` for some `k`. By Schützenberger's theorem this holds
+    /// iff the language is star-free, which is the hypothesis manipulated by
+    /// Lemma 5.6 of the paper.
+    pub fn is_aperiodic(&self) -> bool {
+        (0..self.len()).all(|m| {
+            // Iterate powers of m until they stabilize or cycle.
+            let mut seen = vec![m];
+            let mut current = m;
+            loop {
+                let next = self.compose(current, m);
+                if next == current {
+                    return true;
+                }
+                if seen.contains(&next) {
+                    return false;
+                }
+                seen.push(next);
+                current = next;
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::star_free::is_star_free;
+
+    fn lang(pattern: &str) -> Language {
+        Language::parse(pattern).unwrap()
+    }
+
+    #[test]
+    fn aperiodicity_agrees_with_the_star_free_test() {
+        for pattern in [
+            "ax*b",
+            "ab|ad|cd",
+            "aa",
+            "axb|cxd",
+            "b(aa)*d",
+            "abc|be",
+            "a(b|d)*x",
+            "(aa)*",
+            "a*",
+            "abca|cab",
+            "e*(a|c)e*(a|d)e*",
+        ] {
+            let language = lang(pattern);
+            let monoid = TransitionMonoid::of(&language).unwrap();
+            assert_eq!(
+                monoid.is_aperiodic(),
+                is_star_free(&language).unwrap(),
+                "{pattern}: monoid aperiodicity must match the star-freeness test"
+            );
+        }
+    }
+
+    #[test]
+    fn finite_languages_are_always_aperiodic() {
+        for pattern in ["aa", "abca", "ab|bc|ca", "abcd|be|ef"] {
+            let monoid = TransitionMonoid::of(&lang(pattern)).unwrap();
+            assert!(monoid.is_aperiodic(), "{pattern}");
+        }
+    }
+
+    #[test]
+    fn witnesses_induce_their_elements() {
+        let language = lang("ax*b");
+        let monoid = TransitionMonoid::of(&language).unwrap();
+        assert!(monoid.len() > 1);
+        assert!(!monoid.is_empty());
+        assert_eq!(monoid.witness(0), &Word::epsilon());
+        // Every element is induced by its own witness word.
+        for i in 0..monoid.len() {
+            assert_eq!(monoid.evaluate(monoid.witness(i)), i);
+        }
+        // Word evaluation is a morphism: eval(uv) = eval(u) ⋅ eval(v).
+        let u = Word::from_str_word("ax");
+        let v = Word::from_str_word("xb");
+        assert_eq!(
+            monoid.evaluate(&u.concat(&v)),
+            monoid.compose(monoid.evaluate(&u), monoid.evaluate(&v))
+        );
+        // Idempotents exist (at least the absorbing sink transformation).
+        assert!(!monoid.idempotents().is_empty());
+        // Composition is associative on a few sampled triples.
+        let k = monoid.len();
+        for a in 0..k.min(5) {
+            for b in 0..k.min(5) {
+                for c in 0..k.min(5) {
+                    assert_eq!(
+                        monoid.compose(monoid.compose(a, b), c),
+                        monoid.compose(a, monoid.compose(b, c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn periodic_language_has_a_non_aperiodic_element() {
+        let monoid = TransitionMonoid::of(&lang("(aa)*")).unwrap();
+        assert!(!monoid.is_aperiodic());
+        // The a-generator cycles with period 2: its powers never stabilize.
+        let degree = monoid.degree();
+        assert!(degree >= 2);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let err = TransitionMonoid::with_budget(&lang("ab|ad|cd"), 1).unwrap_err();
+        assert!(matches!(err, AutomataError::BudgetExceeded { .. }));
+    }
+}

@@ -1,0 +1,151 @@
+//! Neutral letters (Section 5.2 of the paper).
+//!
+//! A letter `e` is *neutral* for a language `L` when inserting or deleting `e`
+//! anywhere in a word does not change membership: for every `α, β ∈ Σ*`,
+//! `αβ ∈ L ⟺ αeβ ∈ L`. Proposition 5.7 gives a full dichotomy for languages
+//! with a neutral letter: resilience is PTIME when `IF(L)` is local, and
+//! NP-hard otherwise.
+//!
+//! The test used here: `e` is neutral for `L` iff membership of a word only
+//! depends on the word with all `e`s erased, i.e.
+//! `L = erase_e⁻¹(L ∩ (Σ\{e})*)`.
+
+use crate::alphabet::{Alphabet, Letter};
+use crate::dfa::Dfa;
+use crate::language::Language;
+
+/// Whether `e` is a neutral letter for `language`.
+///
+/// ```
+/// use rpq_automata::{neutral, Language, alphabet::Letter};
+/// let l = Language::parse("e*be*ce*|e*de*fe*").unwrap();
+/// assert!(neutral::is_neutral_letter(&l, Letter('e')));
+/// assert!(!neutral::is_neutral_letter(&l, Letter('b')));
+/// ```
+pub fn is_neutral_letter(language: &Language, e: Letter) -> bool {
+    let alphabet = language.alphabet();
+    if !alphabet.contains(e) {
+        // A letter outside the alphabet is vacuously neutral only if no word
+        // uses it, which is automatic; but inserting it must keep membership,
+        // and the language over the extended alphabet would not contain such
+        // words. So a letter outside the alphabet is neutral iff L is empty.
+        return language.is_empty();
+    }
+    let dfa = language.dfa();
+    // M = L ∩ (Σ \ {e})*  (same DFA with every e-transition redirected to a sink).
+    let restricted = restrict_letter_to_sink(dfa, e);
+    // N = erase_e⁻¹(M): same DFA as M but e becomes a self-loop on every state.
+    let lifted = self_loop_letter(&restricted, e);
+    lifted.equivalent(dfa)
+}
+
+/// All neutral letters of the language.
+pub fn neutral_letters(language: &Language) -> Vec<Letter> {
+    language.alphabet().iter().filter(|&e| is_neutral_letter(language, e)).collect()
+}
+
+/// Same automaton, with every `e`-transition redirected to a fresh rejecting sink.
+fn restrict_letter_to_sink(dfa: &Dfa, e: Letter) -> Dfa {
+    let n = dfa.num_states();
+    let sink = n;
+    let alphabet: Alphabet = dfa.alphabet().clone();
+    let mut transitions = Vec::with_capacity(n + 1);
+    for s in 0..n {
+        let row: Vec<usize> = alphabet
+            .iter()
+            .map(|l| if l == e { sink } else { dfa.successor(s, l).expect("complete DFA") })
+            .collect();
+        transitions.push(row);
+    }
+    transitions.push(vec![sink; alphabet.len()]);
+    let mut finals: Vec<bool> = (0..n).map(|s| dfa.is_final(s)).collect();
+    finals.push(false);
+    Dfa::from_parts(alphabet, dfa.initial_state(), finals, transitions)
+}
+
+/// Same automaton, with the `e`-transition of every state turned into a self-loop.
+fn self_loop_letter(dfa: &Dfa, e: Letter) -> Dfa {
+    let n = dfa.num_states();
+    let alphabet: Alphabet = dfa.alphabet().clone();
+    let mut transitions = Vec::with_capacity(n);
+    for s in 0..n {
+        let row: Vec<usize> = alphabet
+            .iter()
+            .map(|l| if l == e { s } else { dfa.successor(s, l).expect("complete DFA") })
+            .collect();
+        transitions.push(row);
+    }
+    let finals: Vec<bool> = (0..n).map(|s| dfa.is_final(s)).collect();
+    Dfa::from_parts(alphabet, dfa.initial_state(), finals, transitions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::word::Word;
+
+    fn lang(pattern: &str) -> Language {
+        Language::parse(pattern).unwrap()
+    }
+
+    #[test]
+    fn paper_examples_l1_and_l2() {
+        // L1 = e*be*ce*|e*de*fe* and L2 = e*(a|c)e*(a|d)e* both have e neutral.
+        let l1 = lang("e*be*ce*|e*de*fe*");
+        assert!(is_neutral_letter(&l1, Letter('e')));
+        assert_eq!(neutral_letters(&l1), vec![Letter('e')]);
+
+        let l2 = lang("e*(a|c)e*(a|d)e*");
+        assert!(is_neutral_letter(&l2, Letter('e')));
+        assert!(!is_neutral_letter(&l2, Letter('a')));
+    }
+
+    #[test]
+    fn non_neutral_letters() {
+        let l = lang("ax*b");
+        assert!(!is_neutral_letter(&l, Letter('a')));
+        assert!(!is_neutral_letter(&l, Letter('x')));
+        assert!(!is_neutral_letter(&l, Letter('b')));
+        assert!(neutral_letters(&l).is_empty());
+    }
+
+    #[test]
+    fn star_letter_is_not_automatically_neutral() {
+        // In a x* b, the letter x is NOT neutral: ab ∈ L but axb ∈ L too,
+        // however for α=a x, β=b: a x b ∈ L and a x x b ∈ L... the failing pair
+        // is α=ε, β=ab: ab ∈ L but xab ∉ L.
+        let l = lang("ax*b");
+        assert!(l.contains(&Word::from_str_word("ab")));
+        assert!(!l.contains(&Word::from_str_word("xab")));
+        assert!(!is_neutral_letter(&l, Letter('x')));
+    }
+
+    #[test]
+    fn fully_padded_language_has_neutral_letter() {
+        // e* (a) e* : e is neutral.
+        let l = lang("e*ae*");
+        assert!(is_neutral_letter(&l, Letter('e')));
+        // And the infix-free sublanguage is {a}, which is local.
+        let if_l = l.infix_free();
+        assert!(if_l.equals(&Language::from_strs(["a"])));
+    }
+
+    #[test]
+    fn letter_outside_alphabet() {
+        let l = lang("ab");
+        assert!(!is_neutral_letter(&l, Letter('z')));
+        let empty = Language::empty(Alphabet::from_chars("ab"));
+        assert!(is_neutral_letter(&empty, Letter('z')));
+    }
+
+    #[test]
+    fn neutrality_definition_spot_check() {
+        // Directly check the defining property on samples for L1.
+        let l1 = lang("e*be*ce*|e*de*fe*");
+        for (alpha, beta) in [("b", "c"), ("be", "c"), ("", "bc"), ("d", "f"), ("bc", ""), ("b", "d")] {
+            let without = Word::from_str_word(&format!("{alpha}{beta}"));
+            let with = Word::from_str_word(&format!("{alpha}e{beta}"));
+            assert_eq!(l1.contains(&without), l1.contains(&with), "α={alpha} β={beta}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Nondeterministic finite automata without ε-transitions.
+//!
+//! NFAs mainly serve as the intermediate step between [`crate::enfa::Enfa`]
+//! (produced by the Thompson construction) and [`crate::dfa::Dfa`] (produced by
+//! the subset construction), on which most language analyses run.
+
+use crate::alphabet::{Alphabet, Letter};
+use crate::dfa::Dfa;
+use crate::word::Word;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A nondeterministic finite automaton (no ε-transitions).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Nfa {
+    num_states: usize,
+    initial: BTreeSet<usize>,
+    finals: BTreeSet<usize>,
+    /// transitions[state] maps a letter to the set of successor states.
+    transitions: Vec<BTreeMap<Letter, BTreeSet<usize>>>,
+}
+
+impl Nfa {
+    /// Creates an NFA with `n` states and no transitions.
+    pub fn with_states(n: usize) -> Self {
+        Nfa {
+            num_states: n,
+            initial: BTreeSet::new(),
+            finals: BTreeSet::new(),
+            transitions: vec![BTreeMap::new(); n],
+        }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.num_states
+    }
+
+    /// Marks a state as initial.
+    pub fn set_initial(&mut self, state: usize) {
+        assert!(state < self.num_states);
+        self.initial.insert(state);
+    }
+
+    /// Marks a state as final.
+    pub fn set_final(&mut self, state: usize) {
+        assert!(state < self.num_states);
+        self.finals.insert(state);
+    }
+
+    /// Adds a transition.
+    pub fn add_transition(&mut self, from: usize, letter: Letter, to: usize) {
+        assert!(from < self.num_states && to < self.num_states);
+        self.transitions[from].entry(letter).or_default().insert(to);
+    }
+
+    /// Initial states.
+    pub fn initial_states(&self) -> &BTreeSet<usize> {
+        &self.initial
+    }
+
+    /// Final states.
+    pub fn final_states(&self) -> &BTreeSet<usize> {
+        &self.finals
+    }
+
+    /// Successors of a state by a letter.
+    pub fn successors(&self, state: usize, letter: Letter) -> impl Iterator<Item = usize> + '_ {
+        self.transitions[state].get(&letter).into_iter().flat_map(|s| s.iter().copied())
+    }
+
+    /// The set of letters appearing on transitions.
+    pub fn letters(&self) -> Alphabet {
+        Alphabet::from_letters(self.transitions.iter().flat_map(|m| m.keys().copied()))
+    }
+
+    /// Whether the automaton accepts `word`.
+    pub fn accepts(&self, word: &Word) -> bool {
+        let mut current = self.initial.clone();
+        for letter in word.iter() {
+            let mut next = BTreeSet::new();
+            for &s in &current {
+                if let Some(succ) = self.transitions[s].get(&letter) {
+                    next.extend(succ.iter().copied());
+                }
+            }
+            current = next;
+            if current.is_empty() {
+                return false;
+            }
+        }
+        current.iter().any(|s| self.finals.contains(s))
+    }
+
+    /// Subset construction: builds a complete DFA over `alphabet` recognizing
+    /// the same language restricted to words over `alphabet`.
+    ///
+    /// The provided alphabet must contain every letter used by the NFA
+    /// (letters outside it would be silently dropped), which the caller
+    /// typically guarantees by passing `self.letters()` or a superset.
+    pub fn determinize(&self, alphabet: &Alphabet) -> Dfa {
+        let mut subset_index: BTreeMap<BTreeSet<usize>, usize> = BTreeMap::new();
+        let mut subsets: Vec<BTreeSet<usize>> = Vec::new();
+        let mut transitions: Vec<Vec<usize>> = Vec::new();
+        let mut queue: VecDeque<usize> = VecDeque::new();
+
+        let start_set = self.initial.clone();
+        subset_index.insert(start_set.clone(), 0);
+        subsets.push(start_set);
+        transitions.push(vec![usize::MAX; alphabet.len()]);
+        queue.push_back(0);
+
+        while let Some(idx) = queue.pop_front() {
+            let current = subsets[idx].clone();
+            for (li, letter) in alphabet.iter().enumerate() {
+                let mut next = BTreeSet::new();
+                for &s in &current {
+                    if let Some(succ) = self.transitions[s].get(&letter) {
+                        next.extend(succ.iter().copied());
+                    }
+                }
+                let next_idx = match subset_index.get(&next) {
+                    Some(&i) => i,
+                    None => {
+                        let i = subsets.len();
+                        subset_index.insert(next.clone(), i);
+                        subsets.push(next);
+                        transitions.push(vec![usize::MAX; alphabet.len()]);
+                        queue.push_back(i);
+                        i
+                    }
+                };
+                transitions[idx][li] = next_idx;
+            }
+        }
+
+        let finals: Vec<bool> = subsets
+            .iter()
+            .map(|set| set.iter().any(|s| self.finals.contains(s)))
+            .collect();
+
+        Dfa::from_parts(alphabet.clone(), 0, finals, transitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::Regex;
+
+    fn w(s: &str) -> Word {
+        Word::from_str_word(s)
+    }
+
+    #[test]
+    fn accepts_matches_enfa() {
+        for pattern in ["ax*b", "ab|ad|cd", "b(aa)*d", "(a|b)*c"] {
+            let enfa = Regex::parse(pattern).unwrap().to_enfa();
+            let nfa = enfa.to_nfa();
+            for word in ["", "a", "ab", "ad", "cd", "axb", "axxb", "bd", "baad", "c", "abc", "aabbc"] {
+                assert_eq!(enfa.accepts(&w(word)), nfa.accepts(&w(word)), "{pattern} on {word}");
+            }
+        }
+    }
+
+    #[test]
+    fn determinization_preserves_language() {
+        for pattern in ["ax*b", "ab|ad|cd", "(a|b)*abb", "a(b|c)*d"] {
+            let enfa = Regex::parse(pattern).unwrap().to_enfa();
+            let nfa = enfa.to_nfa();
+            let alphabet = nfa.letters();
+            let dfa = nfa.determinize(&alphabet);
+            for word in
+                ["", "a", "ab", "ad", "cd", "axb", "axxb", "abb", "babb", "aabb", "ad", "abcd", "acbd", "abd"]
+            {
+                let word = w(word);
+                // Only compare on words over the DFA's alphabet.
+                if word.iter().all(|l| alphabet.contains(l)) {
+                    assert_eq!(nfa.accepts(&word), dfa.accepts(&word), "{pattern} on {word}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn manual_nfa() {
+        // Language: words over {a,b} ending in "ab".
+        let mut nfa = Nfa::with_states(3);
+        nfa.set_initial(0);
+        nfa.set_final(2);
+        nfa.add_transition(0, Letter('a'), 0);
+        nfa.add_transition(0, Letter('b'), 0);
+        nfa.add_transition(0, Letter('a'), 1);
+        nfa.add_transition(1, Letter('b'), 2);
+        assert!(nfa.accepts(&w("ab")));
+        assert!(nfa.accepts(&w("aab")));
+        assert!(nfa.accepts(&w("bbab")));
+        assert!(!nfa.accepts(&w("ba")));
+        assert!(!nfa.accepts(&w("")));
+        let dfa = nfa.determinize(&nfa.letters());
+        assert!(dfa.accepts(&w("bbab")));
+        assert!(!dfa.accepts(&w("aba")));
+    }
+
+    #[test]
+    fn successors_iteration() {
+        let mut nfa = Nfa::with_states(2);
+        nfa.add_transition(0, Letter('a'), 1);
+        nfa.add_transition(0, Letter('a'), 0);
+        let succ: Vec<usize> = nfa.successors(0, Letter('a')).collect();
+        assert_eq!(succ, vec![0, 1]);
+        assert_eq!(nfa.successors(1, Letter('a')).count(), 0);
+    }
+}

@@ -1,0 +1,291 @@
+//! Read-once ε-NFAs (Definition 3.15 of the paper).
+//!
+//! An RO-εNFA is an ε-NFA with **at most one transition per letter**. By
+//! Lemma 3.17 these automata recognize exactly the local languages, and their
+//! read-once property is what makes the product construction of Theorem 3.13
+//! correct: each database fact corresponds to exactly one finite-capacity edge
+//! of the flow network.
+
+use crate::alphabet::Letter;
+use crate::enfa::Enfa;
+use crate::error::{AutomataError, Result};
+use crate::language::Language;
+use crate::local::{is_local, LocalProfile};
+use crate::word::Word;
+use std::collections::BTreeMap;
+
+/// A read-once ε-NFA: an ε-NFA with at most one letter transition per letter.
+#[derive(Debug, Clone)]
+pub struct RoEnfa {
+    enfa: Enfa,
+    /// For every letter, its unique transition `(source, target)`.
+    letter_transitions: BTreeMap<Letter, (usize, usize)>,
+}
+
+impl RoEnfa {
+    /// Wraps an ε-NFA, checking the read-once property.
+    pub fn from_enfa_checked(enfa: Enfa) -> Result<RoEnfa> {
+        let mut letter_transitions = BTreeMap::new();
+        for t in enfa.transitions() {
+            if let Some(letter) = t.label {
+                if letter_transitions.insert(letter, (t.from, t.to)).is_some() {
+                    return Err(AutomataError::Precondition(format!(
+                        "automaton has two transitions labeled by letter {letter}"
+                    )));
+                }
+            }
+        }
+        Ok(RoEnfa { enfa, letter_transitions })
+    }
+
+    /// Builds an RO-εNFA for a **local** language (Lemma 3.17), directly from
+    /// its local profile `(Σ_start, Σ_end, Π)`:
+    ///
+    /// * a state `q₀` (initial; final iff ε ∈ L),
+    /// * for each letter `a`, two states `s'_a` (the entry of the unique
+    ///   `a`-transition) and `q_a` (its exit; final iff `a ∈ Σ_end`),
+    /// * ε-transitions `q₀ → s'_a` for `a ∈ Σ_start` and `q_a → s'_b` for
+    ///   `(a, b) ∈ Π`.
+    ///
+    /// Errors with [`AutomataError::Precondition`] if the language is not local.
+    pub fn for_local_language(language: &Language) -> Result<RoEnfa> {
+        if !is_local(language) {
+            return Err(AutomataError::Precondition(format!(
+                "language {language} is not local, no RO-εNFA recognizes it"
+            )));
+        }
+        let profile = LocalProfile::of(language);
+        let mut enfa = Enfa::new();
+        let q0 = enfa.add_state();
+        enfa.set_initial(q0);
+        if profile.contains_epsilon {
+            enfa.set_final(q0);
+        }
+        let mut entry = BTreeMap::new(); // letter -> s'_a
+        let mut exit = BTreeMap::new(); // letter -> q_a
+        for a in profile.alphabet.iter() {
+            let s_prime = enfa.add_state();
+            let q_a = enfa.add_state();
+            enfa.add_transition(s_prime, a, q_a);
+            if profile.end_letters.contains(a) {
+                enfa.set_final(q_a);
+            }
+            entry.insert(a, s_prime);
+            exit.insert(a, q_a);
+        }
+        for a in profile.start_letters.iter() {
+            enfa.add_epsilon_transition(q0, entry[&a]);
+        }
+        for &(a, b) in &profile.digrams {
+            enfa.add_epsilon_transition(exit[&a], entry[&b]);
+        }
+        RoEnfa::from_enfa_checked(enfa)
+    }
+
+    /// Builds an RO-εNFA from an arbitrary ε-NFA that recognizes a local
+    /// language (the combined-complexity entry point of Lemma 3.17).
+    pub fn from_enfa_of_local_language(enfa: &Enfa) -> Result<RoEnfa> {
+        let language = Language::from_enfa(enfa, None);
+        Self::for_local_language(&language)
+    }
+
+    /// The underlying ε-NFA.
+    pub fn enfa(&self) -> &Enfa {
+        &self.enfa
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.enfa.num_states()
+    }
+
+    /// The size `|A|` (states + transitions).
+    pub fn size(&self) -> usize {
+        self.enfa.size()
+    }
+
+    /// The unique transition for `letter`, if any, as `(source, target)`.
+    pub fn letter_transition(&self, letter: Letter) -> Option<(usize, usize)> {
+        self.letter_transitions.get(&letter).copied()
+    }
+
+    /// Iterator over all letter transitions as `(letter, source, target)`.
+    pub fn letter_transitions(&self) -> impl Iterator<Item = (Letter, usize, usize)> + '_ {
+        self.letter_transitions.iter().map(|(&l, &(s, t))| (l, s, t))
+    }
+
+    /// Iterator over ε-transitions as `(source, target)`.
+    pub fn epsilon_transitions(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.enfa.transitions().filter(|t| t.label.is_none()).map(|t| (t.from, t.to))
+    }
+
+    /// Initial states.
+    pub fn initial_states(&self) -> impl Iterator<Item = usize> + '_ {
+        self.enfa.initial_states().iter().copied()
+    }
+
+    /// Final states.
+    pub fn final_states(&self) -> impl Iterator<Item = usize> + '_ {
+        self.enfa.final_states().iter().copied()
+    }
+
+    /// Whether the automaton accepts `word`.
+    pub fn accepts(&self, word: &Word) -> bool {
+        self.enfa.accepts(word)
+    }
+
+    /// The recognized language (always local, by Lemma 3.17).
+    pub fn language(&self) -> Language {
+        Language::from_enfa(&self.enfa, None)
+    }
+
+    /// Splits the unique transition of letter `x` into an `x`-transition
+    /// followed by a `z`-transition through a fresh, non-final state.
+    ///
+    /// This is the automaton `A'` used by the one-dangling rewriting of
+    /// Proposition 7.9: every occurrence of `x` in the recognized language is
+    /// replaced by the two-letter word `xz`. Errors if `x` has no transition or
+    /// if `z` already has one.
+    pub fn split_letter_transition(&self, x: Letter, z: Letter) -> Result<RoEnfa> {
+        let (src, dst) = self.letter_transition(x).ok_or_else(|| {
+            AutomataError::Precondition(format!("letter {x} has no transition to split"))
+        })?;
+        if self.letter_transition(z).is_some() {
+            return Err(AutomataError::Precondition(format!(
+                "letter {z} already has a transition; pick a fresh letter"
+            )));
+        }
+        let mut enfa = Enfa::new();
+        enfa.add_states(self.enfa.num_states());
+        for &s in self.enfa.initial_states() {
+            enfa.set_initial(s);
+        }
+        for &s in self.enfa.final_states() {
+            enfa.set_final(s);
+        }
+        let fresh = enfa.add_state();
+        for t in self.enfa.transitions() {
+            match t.label {
+                Some(l) if l == x => {
+                    enfa.add_transition(src, x, fresh);
+                    enfa.add_transition(fresh, z, dst);
+                }
+                Some(l) => enfa.add_transition(t.from, l, t.to),
+                None => enfa.add_epsilon_transition(t.from, t.to),
+            }
+        }
+        RoEnfa::from_enfa_checked(enfa)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::Alphabet;
+
+    fn lang(pattern: &str) -> Language {
+        Language::parse(pattern).unwrap()
+    }
+
+    fn w(s: &str) -> Word {
+        Word::from_str_word(s)
+    }
+
+    #[test]
+    fn ro_enfa_for_figure_2_languages() {
+        for pattern in ["ax*b", "ab|ad|cd", "a|b", "a*", "axb|axc"] {
+            let l = lang(pattern);
+            let ro = RoEnfa::for_local_language(&l).unwrap();
+            assert!(ro.language().equals(&l), "RO-εNFA for {pattern} must recognize the language");
+            // Read-once property: each letter has at most one transition.
+            let n_letter_trans = ro.letter_transitions().count();
+            assert!(n_letter_trans <= l.alphabet().len());
+        }
+    }
+
+    #[test]
+    fn non_local_language_is_rejected() {
+        let err = RoEnfa::for_local_language(&lang("aa")).unwrap_err();
+        assert!(matches!(err, AutomataError::Precondition(_)));
+        assert!(RoEnfa::for_local_language(&lang("axb|cxd")).is_err());
+    }
+
+    #[test]
+    fn from_enfa_checked_detects_duplicate_letters() {
+        let mut e = Enfa::new();
+        let s0 = e.add_state();
+        let s1 = e.add_state();
+        let s2 = e.add_state();
+        e.set_initial(s0);
+        e.set_final(s2);
+        e.add_transition(s0, Letter('a'), s1);
+        e.add_transition(s1, Letter('a'), s2);
+        assert!(RoEnfa::from_enfa_checked(e).is_err());
+    }
+
+    #[test]
+    fn from_enfa_of_local_language() {
+        // Start from the Thompson εNFA of a local language: it is generally
+        // not read-once, but Lemma 3.17 lets us convert it.
+        let enfa = crate::regex::Regex::parse("ab|ad|cd").unwrap().to_enfa();
+        let ro = RoEnfa::from_enfa_of_local_language(&enfa).unwrap();
+        assert!(ro.accepts(&w("ab")));
+        assert!(ro.accepts(&w("ad")));
+        assert!(ro.accepts(&w("cd")));
+        assert!(!ro.accepts(&w("cb")));
+    }
+
+    #[test]
+    fn accessors_expose_structure() {
+        let ro = RoEnfa::for_local_language(&lang("ax*b")).unwrap();
+        let (src_a, dst_a) = ro.letter_transition(Letter('a')).unwrap();
+        let (src_x, dst_x) = ro.letter_transition(Letter('x')).unwrap();
+        assert_ne!(src_a, dst_a);
+        assert_ne!(src_x, dst_x);
+        assert!(ro.letter_transition(Letter('q')).is_none());
+        assert!(ro.initial_states().count() >= 1);
+        assert!(ro.final_states().count() >= 1);
+        assert!(ro.epsilon_transitions().count() >= 2);
+        assert!(ro.size() > ro.num_states());
+    }
+
+    #[test]
+    fn epsilon_language_handling() {
+        let l = lang("a*");
+        let ro = RoEnfa::for_local_language(&l).unwrap();
+        assert!(ro.accepts(&Word::epsilon()));
+        assert!(ro.accepts(&w("aaa")));
+        let empty = Language::empty(Alphabet::from_chars("ab"));
+        let ro = RoEnfa::for_local_language(&empty).unwrap();
+        assert!(!ro.accepts(&Word::epsilon()));
+        assert!(!ro.accepts(&w("a")));
+    }
+
+    #[test]
+    fn split_letter_transition_replaces_x_by_xz() {
+        // L = ax*b; splitting x by z yields a(xz)*b.
+        let ro = RoEnfa::for_local_language(&lang("ax*b")).unwrap();
+        let split = ro.split_letter_transition(Letter('x'), Letter('z')).unwrap();
+        assert!(split.accepts(&w("ab")));
+        assert!(split.accepts(&w("axzb")));
+        assert!(split.accepts(&w("axzxzb")));
+        assert!(!split.accepts(&w("axb")));
+        assert!(!split.accepts(&w("axzxb")));
+        // Splitting errors on missing or duplicate letters.
+        assert!(ro.split_letter_transition(Letter('q'), Letter('z')).is_err());
+        assert!(ro.split_letter_transition(Letter('x'), Letter('a')).is_err());
+        // No word of the split language ends with x (the fresh state is not final).
+        assert!(!split.accepts(&w("ax")));
+    }
+
+    #[test]
+    fn lemma_3_17_round_trip_preserves_locality() {
+        // RO-εNFA → language → RO-εNFA again: language unchanged and local.
+        let l = lang("ab|ad|cd");
+        let ro = RoEnfa::for_local_language(&l).unwrap();
+        let l2 = ro.language();
+        assert!(is_local(&l2));
+        let ro2 = RoEnfa::for_local_language(&l2).unwrap();
+        assert!(ro2.language().equals(&l));
+    }
+}

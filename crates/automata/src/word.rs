@@ -1,0 +1,382 @@
+//! Words over an alphabet.
+//!
+//! A word is a finite sequence of letters. This module provides the
+//! word-combinatorics notions used throughout the paper: infix / prefix /
+//! suffix relations (and their *strict* variants), mirrors, repeated letters,
+//! and the letter-gap machinery used by the maximal-gap words of Section 6.
+
+use crate::alphabet::{Alphabet, Letter};
+use std::fmt;
+
+/// A word over an alphabet: a finite (possibly empty) sequence of letters.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Word {
+    letters: Vec<Letter>,
+}
+
+impl Word {
+    /// The empty word ε.
+    pub fn epsilon() -> Self {
+        Word { letters: Vec::new() }
+    }
+
+    /// Creates a word from a sequence of letters.
+    pub fn from_letters<I: IntoIterator<Item = Letter>>(iter: I) -> Self {
+        Word { letters: iter.into_iter().collect() }
+    }
+
+    /// Creates a word from a string, one letter per character (e.g. `"axb"`).
+    pub fn from_str_word(s: &str) -> Self {
+        Word { letters: s.chars().map(Letter).collect() }
+    }
+
+    /// Creates a single-letter word.
+    pub fn single(letter: Letter) -> Self {
+        Word { letters: vec![letter] }
+    }
+
+    /// Length of the word.
+    pub fn len(&self) -> usize {
+        self.letters.len()
+    }
+
+    /// Whether the word is the empty word ε.
+    pub fn is_empty(&self) -> bool {
+        self.letters.is_empty()
+    }
+
+    /// The letters of the word.
+    pub fn letters(&self) -> &[Letter] {
+        &self.letters
+    }
+
+    /// Iterator over letters.
+    pub fn iter(&self) -> impl Iterator<Item = Letter> + '_ {
+        self.letters.iter().copied()
+    }
+
+    /// The letter at position `i` (panics if out of range).
+    pub fn letter_at(&self, i: usize) -> Letter {
+        self.letters[i]
+    }
+
+    /// First letter, if the word is non-empty.
+    pub fn first(&self) -> Option<Letter> {
+        self.letters.first().copied()
+    }
+
+    /// Last letter, if the word is non-empty.
+    pub fn last(&self) -> Option<Letter> {
+        self.letters.last().copied()
+    }
+
+    /// Concatenation `self · other`.
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut letters = Vec::with_capacity(self.len() + other.len());
+        letters.extend_from_slice(&self.letters);
+        letters.extend_from_slice(&other.letters);
+        Word { letters }
+    }
+
+    /// Concatenation of several words.
+    pub fn concat_all<'a, I: IntoIterator<Item = &'a Word>>(words: I) -> Word {
+        let mut letters = Vec::new();
+        for w in words {
+            letters.extend_from_slice(&w.letters);
+        }
+        Word { letters }
+    }
+
+    /// The word repeated `n` times.
+    pub fn repeat(&self, n: usize) -> Word {
+        let mut letters = Vec::with_capacity(self.len() * n);
+        for _ in 0..n {
+            letters.extend_from_slice(&self.letters);
+        }
+        Word { letters }
+    }
+
+    /// The mirror (reversal) of the word (Section 6, "mirror operation").
+    pub fn mirror(&self) -> Word {
+        Word { letters: self.letters.iter().rev().copied().collect() }
+    }
+
+    /// The sub-word on positions `[start, end)`.
+    pub fn slice(&self, start: usize, end: usize) -> Word {
+        Word { letters: self.letters[start..end].to_vec() }
+    }
+
+    /// Whether `self` is a prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Word) -> bool {
+        other.letters.len() >= self.letters.len() && other.letters[..self.letters.len()] == self.letters[..]
+    }
+
+    /// Whether `self` is a *strict* prefix of `other` (prefix and shorter).
+    pub fn is_strict_prefix_of(&self, other: &Word) -> bool {
+        self.len() < other.len() && self.is_prefix_of(other)
+    }
+
+    /// Whether `self` is a suffix of `other`.
+    pub fn is_suffix_of(&self, other: &Word) -> bool {
+        other.letters.len() >= self.letters.len()
+            && other.letters[other.letters.len() - self.letters.len()..] == self.letters[..]
+    }
+
+    /// Whether `self` is a *strict* suffix of `other` (suffix and shorter).
+    pub fn is_strict_suffix_of(&self, other: &Word) -> bool {
+        self.len() < other.len() && self.is_suffix_of(other)
+    }
+
+    /// Whether `self` is an infix (factor) of `other`.
+    pub fn is_infix_of(&self, other: &Word) -> bool {
+        if self.is_empty() {
+            return true;
+        }
+        if self.len() > other.len() {
+            return false;
+        }
+        other.letters.windows(self.len()).any(|w| w == self.letters.as_slice())
+    }
+
+    /// Whether `self` is a *strict* infix of `other`.
+    ///
+    /// Following the paper, `α` is a strict infix of `β` when `β = δαγ` with
+    /// `δγ ≠ ε`, i.e. `α` is an infix of `β` and `|α| < |β|`.
+    pub fn is_strict_infix_of(&self, other: &Word) -> bool {
+        self.len() < other.len() && self.is_infix_of(other)
+    }
+
+    /// All infixes of the word (including ε and the word itself), deduplicated.
+    pub fn infixes(&self) -> Vec<Word> {
+        let mut out = std::collections::BTreeSet::new();
+        out.insert(Word::epsilon());
+        for i in 0..self.len() {
+            for j in i + 1..=self.len() {
+                out.insert(self.slice(i, j));
+            }
+        }
+        out.into_iter().collect()
+    }
+
+    /// All strict infixes of the word.
+    pub fn strict_infixes(&self) -> Vec<Word> {
+        self.infixes().into_iter().filter(|w| w.len() < self.len()).collect()
+    }
+
+    /// Whether the word contains a repeated letter, i.e. can be written
+    /// `β a γ a δ` for a letter `a` (Section 6).
+    pub fn has_repeated_letter(&self) -> bool {
+        let mut seen = std::collections::BTreeSet::new();
+        self.letters.iter().any(|l| !seen.insert(*l))
+    }
+
+    /// The largest "gap" between two occurrences of the same letter, together
+    /// with the decomposition `β a γ a δ` achieving it.
+    ///
+    /// Returns `None` when the word has no repeated letter. When it does,
+    /// returns `(a, β, γ, δ)` such that `self = β a γ a δ` and `|γ|` is maximal
+    /// over all such decompositions (Definition 6.4's first criterion applied
+    /// to a single word).
+    pub fn max_gap_decomposition(&self) -> Option<RepeatedLetterDecomposition> {
+        let mut best: Option<RepeatedLetterDecomposition> = None;
+        for i in 0..self.len() {
+            for j in i + 1..self.len() {
+                if self.letters[i] == self.letters[j] {
+                    let gamma_len = j - i - 1;
+                    let candidate = RepeatedLetterDecomposition {
+                        letter: self.letters[i],
+                        beta: self.slice(0, i),
+                        gamma: self.slice(i + 1, j),
+                        delta: self.slice(j + 1, self.len()),
+                    };
+                    let better = match &best {
+                        None => true,
+                        Some(b) => gamma_len > b.gamma.len(),
+                    };
+                    if better {
+                        best = Some(candidate);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The set of distinct letters occurring in the word.
+    pub fn letter_set(&self) -> Alphabet {
+        Alphabet::from_letters(self.letters.iter().copied())
+    }
+
+    /// Replace every occurrence of letter `from` by the word `to`.
+    pub fn substitute_letter(&self, from: Letter, to: &Word) -> Word {
+        let mut letters = Vec::new();
+        for &l in &self.letters {
+            if l == from {
+                letters.extend_from_slice(to.letters());
+            } else {
+                letters.push(l);
+            }
+        }
+        Word { letters }
+    }
+
+    /// Erase every occurrence of a letter (used for neutral-letter reasoning).
+    pub fn erase_letter(&self, letter: Letter) -> Word {
+        Word { letters: self.letters.iter().copied().filter(|&l| l != letter).collect() }
+    }
+}
+
+/// A decomposition `β a γ a δ` of a word around a repeated letter `a`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepeatedLetterDecomposition {
+    /// The repeated letter `a`.
+    pub letter: Letter,
+    /// The part before the first occurrence.
+    pub beta: Word,
+    /// The part between the two occurrences (the "gap").
+    pub gamma: Word,
+    /// The part after the second occurrence.
+    pub delta: Word,
+}
+
+impl RepeatedLetterDecomposition {
+    /// Reassembles the original word `β a γ a δ`.
+    pub fn reassemble(&self) -> Word {
+        let a = Word::single(self.letter);
+        Word::concat_all([&self.beta, &a, &self.gamma, &a, &self.delta])
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            write!(f, "ε")
+        } else {
+            for l in &self.letters {
+                write!(f, "{l}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+impl From<&str> for Word {
+    fn from(s: &str) -> Self {
+        Word::from_str_word(s)
+    }
+}
+
+impl FromIterator<Letter> for Word {
+    fn from_iter<I: IntoIterator<Item = Letter>>(iter: I) -> Self {
+        Word::from_letters(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(s: &str) -> Word {
+        Word::from_str_word(s)
+    }
+
+    #[test]
+    fn basic_construction() {
+        assert!(Word::epsilon().is_empty());
+        assert_eq!(w("abc").len(), 3);
+        assert_eq!(w("abc").first(), Some(Letter('a')));
+        assert_eq!(w("abc").last(), Some(Letter('c')));
+        assert_eq!(Word::single(Letter('x')), w("x"));
+        assert_eq!(Word::epsilon().first(), None);
+    }
+
+    #[test]
+    fn concat_and_repeat() {
+        assert_eq!(w("ab").concat(&w("cd")), w("abcd"));
+        assert_eq!(w("ab").repeat(3), w("ababab"));
+        assert_eq!(w("ab").repeat(0), Word::epsilon());
+        assert_eq!(Word::concat_all([&w("a"), &w(""), &w("bc")]), w("abc"));
+    }
+
+    #[test]
+    fn mirror() {
+        assert_eq!(w("abc").mirror(), w("cba"));
+        assert_eq!(Word::epsilon().mirror(), Word::epsilon());
+        assert_eq!(w("aba").mirror(), w("aba"));
+    }
+
+    #[test]
+    fn prefix_suffix_infix() {
+        assert!(w("ab").is_prefix_of(&w("abc")));
+        assert!(w("ab").is_strict_prefix_of(&w("abc")));
+        assert!(!w("abc").is_strict_prefix_of(&w("abc")));
+        assert!(w("bc").is_suffix_of(&w("abc")));
+        assert!(w("bc").is_strict_suffix_of(&w("abc")));
+        assert!(w("b").is_infix_of(&w("abc")));
+        assert!(w("b").is_strict_infix_of(&w("abc")));
+        assert!(w("abc").is_infix_of(&w("abc")));
+        assert!(!w("abc").is_strict_infix_of(&w("abc")));
+        assert!(Word::epsilon().is_infix_of(&w("abc")));
+        assert!(!w("ac").is_infix_of(&w("abc")));
+        assert!(!w("abcd").is_infix_of(&w("abc")));
+    }
+
+    #[test]
+    fn infix_enumeration() {
+        let infixes = w("aba").infixes();
+        // ε, a, b, ab, ba, aba (note "a" appears once deduplicated)
+        assert_eq!(infixes.len(), 6);
+        assert!(infixes.contains(&Word::epsilon()));
+        assert!(infixes.contains(&w("aba")));
+        let strict = w("aba").strict_infixes();
+        assert_eq!(strict.len(), 5);
+        assert!(!strict.contains(&w("aba")));
+    }
+
+    #[test]
+    fn repeated_letters() {
+        assert!(!w("abc").has_repeated_letter());
+        assert!(w("aba").has_repeated_letter());
+        assert!(w("aa").has_repeated_letter());
+        assert!(!Word::epsilon().has_repeated_letter());
+    }
+
+    #[test]
+    fn max_gap_decomposition_picks_largest_gap() {
+        // In "abcadea" the two outermost a's are separated by "bcade"? No:
+        // occurrences of a at 0, 3, 6. Gap between 0 and 6 is "bcade" (len 5).
+        let d = w("abcadea").max_gap_decomposition().unwrap();
+        assert_eq!(d.letter, Letter('a'));
+        assert_eq!(d.gamma, w("bcade"));
+        assert_eq!(d.beta, Word::epsilon());
+        assert_eq!(d.delta, Word::epsilon());
+        assert_eq!(d.reassemble(), w("abcadea"));
+
+        assert!(w("abc").max_gap_decomposition().is_none());
+
+        let d = w("xaya").max_gap_decomposition().unwrap();
+        assert_eq!(d.letter, Letter('a'));
+        assert_eq!(d.beta, w("x"));
+        assert_eq!(d.gamma, w("y"));
+        assert_eq!(d.delta, Word::epsilon());
+    }
+
+    #[test]
+    fn substitution_and_erasure() {
+        assert_eq!(w("axa").substitute_letter(Letter('x'), &w("yz")), w("ayza"));
+        assert_eq!(w("axa").erase_letter(Letter('a')), w("x"));
+        assert_eq!(w("aaa").erase_letter(Letter('a')), Word::epsilon());
+    }
+
+    #[test]
+    fn letter_set() {
+        let a = w("abcabc").letter_set();
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(w("abc").to_string(), "abc");
+        assert_eq!(Word::epsilon().to_string(), "ε");
+    }
+}

@@ -1,0 +1,35 @@
+//! Figure 1 benchmark: classify every example language of the paper's
+//! overview figure and time the classification procedure (locality test,
+//! four-legged search, chain / one-dangling decompositions).
+//!
+//! Besides the timing, running this benchmark prints the classification table
+//! (who is PTIME, who is NP-hard, who remains unclassified) — the qualitative
+//! content of Figure 1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_automata::Language;
+use rpq_bench::figure1_patterns;
+use rpq_resilience::classify::classify;
+use std::time::Duration;
+
+fn figure1(c: &mut Criterion) {
+    // Print the reproduced figure once.
+    println!("\nFigure 1 classification (reproduced):");
+    for pattern in figure1_patterns() {
+        let language = Language::parse(pattern).unwrap();
+        println!("  {:<16} {}", pattern, classify(&language).label());
+    }
+
+    let mut group = c.benchmark_group("figure1/classification");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    for pattern in figure1_patterns() {
+        let language = Language::parse(pattern).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(pattern), &language, |b, l| {
+            b.iter(|| classify(l));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure1);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Gadget-family benchmarks (Figures 5, 7–9, 11, 15–16): the cost of
+//! *deriving* a mechanically verified hardness certificate from a language,
+//! following the case analysis of Theorems 5.3 and 6.1.
+//!
+//! This complements the `gadget_verification` bench (which re-verifies the
+//! fixed gadgets of Figures 3, 4, 10 and 13): here the gadget itself is built
+//! programmatically from the language (stable legs, maximal-gap words, …) and
+//! then verified, which is the end-to-end cost of producing a certificate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rpq_automata::Language;
+use rpq_resilience::gadgets::families::find_gadget;
+use std::time::Duration;
+
+fn gadget_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gadgets/find_certificate");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    // (label, pattern): one representative per transcribed family.
+    let cases = [
+        ("fig3_square_aa", "aa"),
+        ("fig5_case1_aexb_cexd", "aexb|cexd"),
+        ("fig7_gap_abca", "abca"),
+        ("fig8_gap_abcab", "abcab"),
+        ("fig9_aba_bab", "aba|bab"),
+        ("fig11_aab", "aab"),
+        ("fig15_abcd_be_ef", "abcd|be|ef"),
+        ("fig16_abcd_bef", "abcd|bef"),
+    ];
+    for (label, pattern) in cases {
+        let language = Language::parse(pattern).unwrap();
+        // Sanity check outside the timed region.
+        assert!(find_gadget(&language).is_some(), "{pattern} must have a verified gadget");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &language, |b, l| {
+            b.iter(|| find_gadget(l).is_some())
+        });
+    }
+    group.finish();
+
+    // Negative side: the driver must also quickly conclude "no gadget" on the
+    // tractable languages of Figure 1 (it returns None for those).
+    let mut group = c.benchmark_group("gadgets/reject_tractable");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    for pattern in ["ax*b", "ab|bc", "abc|be"] {
+        let language = Language::parse(pattern).unwrap();
+        assert!(find_gadget(&language).is_none());
+        group.bench_with_input(BenchmarkId::from_parameter(pattern), &language, |b, l| {
+            b.iter(|| find_gadget(l).is_none())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gadget_families);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! # `rpq-bench`: benchmark harness support
+//!
+//! Shared workload descriptions for the Criterion benchmarks that reproduce
+//! the paper's figures and complexity claims (see `EXPERIMENTS.md` at the
+//! workspace root for the experiment index). The benchmarks themselves live
+//! under `crates/bench/benches/`; this library hosts the instance generators
+//! so that the same workloads can also be regenerated from tests.
+
+pub mod workloads;
+
+pub use workloads::*;

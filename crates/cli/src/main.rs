@@ -1,0 +1,230 @@
+//! `rpq-cli`: command-line front end for the RPQ resilience library.
+//!
+//! ```text
+//! rpq-cli classify  '<regex>'                 classify RES(L) (Figure 1 engine)
+//! rpq-cli resilience '<regex>' <db.txt>       compute the resilience on a database
+//!            [--bag] [--algorithm local|chain|one-dangling|exact] [--show-cut]
+//! rpq-cli gadget    '<regex>'                 derive a verified hardness gadget
+//! rpq-cli figure1                             re-derive the Figure 1 classification map
+//! ```
+//!
+//! Databases use the line-based text format of `rpq-graphdb::text`: one fact
+//! per line, `source label target [multiplicity] [!]` (a trailing `!` marks
+//! the fact exogenous, i.e. un-removable), `#` for comments.
+
+use std::process::ExitCode;
+
+use rpq_automata::Language;
+use rpq_graphdb::{text, GraphDb};
+use rpq_resilience::algorithms::{solve, solve_with, Algorithm, ResilienceOutcome};
+use rpq_resilience::classify::{classify, figure1_rows};
+use rpq_resilience::gadgets::families::find_gadget;
+use rpq_resilience::rpq::Rpq;
+
+const USAGE: &str = "\
+usage:
+  rpq-cli classify '<regex>'
+  rpq-cli resilience '<regex>' <db.txt> [--bag] [--algorithm <name>] [--show-cut]
+  rpq-cli gadget '<regex>'
+  rpq-cli figure1
+
+algorithms: local (Thm 3.13), chain (Prp 7.6), one-dangling (Prp 7.9), exact
+database format: one fact per line, `source label target [multiplicity] [!]`\n(a trailing `!` declares the fact exogenous / un-removable)";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("classify") => {
+            let pattern = args.get(1).ok_or("missing regular expression")?;
+            cmd_classify(pattern)
+        }
+        Some("resilience") => {
+            let pattern = args.get(1).ok_or("missing regular expression")?;
+            let path = args.get(2).ok_or("missing database file")?;
+            cmd_resilience(pattern, path, &args[3..])
+        }
+        Some("gadget") => {
+            let pattern = args.get(1).ok_or("missing regular expression")?;
+            cmd_gadget(pattern)
+        }
+        Some("figure1") => {
+            cmd_figure1();
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("no command given".to_string()),
+    }
+}
+
+fn parse_language(pattern: &str) -> Result<Language, String> {
+    Language::parse(pattern).map_err(|e| format!("cannot parse `{pattern}`: {e}"))
+}
+
+fn load_database(path: &str) -> Result<GraphDb, String> {
+    let contents =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    text::parse(&contents).map_err(|e| format!("cannot parse `{path}`: {e}"))
+}
+
+fn cmd_classify(pattern: &str) -> Result<(), String> {
+    let language = parse_language(pattern)?;
+    let classification = classify(&language);
+    println!("language        : {pattern}");
+    println!("infix-free form : {}", language.infix_free().description());
+    println!("classification  : {}", classification.label());
+    match find_gadget(&language) {
+        Some(found) => println!(
+            "hardness gadget : {:?} ({}){}",
+            found.family,
+            found.family.paper_result(),
+            if found.for_mirror { " — for the mirror language (Prp 6.3)" } else { "" }
+        ),
+        None if classification.is_np_hard() => {
+            println!("hardness gadget : none transcribed (certificate is a language-theoretic witness)")
+        }
+        None => {}
+    }
+    Ok(())
+}
+
+fn cmd_resilience(pattern: &str, path: &str, options: &[String]) -> Result<(), String> {
+    let language = parse_language(pattern)?;
+    let db = load_database(path)?;
+    let mut query = Rpq::new(language);
+    let mut algorithm: Option<Algorithm> = None;
+    let mut show_cut = false;
+    let mut iter = options.iter();
+    while let Some(option) = iter.next() {
+        match option.as_str() {
+            "--bag" => query = query.with_bag_semantics(),
+            "--show-cut" => show_cut = true,
+            "--algorithm" => {
+                let name = iter.next().ok_or("--algorithm requires a value")?;
+                algorithm = Some(match name.as_str() {
+                    "local" => Algorithm::Local,
+                    "chain" => Algorithm::BipartiteChain,
+                    "one-dangling" => Algorithm::OneDangling,
+                    "exact" => Algorithm::ExactBranchAndBound,
+                    other => return Err(format!("unknown algorithm `{other}`")),
+                });
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    println!("database        : {path} ({} nodes, {} facts)", db.num_nodes(), db.num_facts());
+    println!("query           : {query}");
+    println!("classification  : {}", classify(query.language()).label());
+    let outcome: ResilienceOutcome = match algorithm {
+        Some(algorithm) => solve_with(algorithm, &query, &db).map_err(|e| e.to_string())?,
+        None => solve(&query, &db).map_err(|e| e.to_string())?,
+    };
+    println!("algorithm       : {:?}", outcome.algorithm);
+    println!("resilience      : {}", outcome.value);
+    if show_cut {
+        match &outcome.contingency_set {
+            Some(cut) if !cut.is_empty() => {
+                println!("contingency set :");
+                for &fact in cut {
+                    println!("  {}", db.display_fact(fact));
+                }
+            }
+            Some(_) => println!("contingency set : (empty)"),
+            None => println!("contingency set : not produced by this algorithm"),
+        }
+    }
+    Ok(())
+}
+
+fn cmd_gadget(pattern: &str) -> Result<(), String> {
+    let language = parse_language(pattern)?;
+    match find_gadget(&language) {
+        Some(found) => {
+            println!("language        : {pattern}");
+            println!(
+                "gadget family   : {:?} ({})",
+                found.family,
+                found.family.paper_result()
+            );
+            if found.for_mirror {
+                println!("note            : the gadget certifies the mirror language (Prp 6.3)");
+            }
+            println!("matches         : {}", found.report.num_matches);
+            println!("condensed path  : {} edges (odd)", found.report.path_length.unwrap());
+            println!("pre-gadget facts:");
+            let db = found.gadget.db();
+            for (id, _) in db.facts() {
+                println!("  {}", db.display_fact(id));
+            }
+            Ok(())
+        }
+        None => Err(format!(
+            "no verified gadget found for `{pattern}` (the language may be tractable, \
+             unclassified, or only covered by the untranscribed Figure 6 / Figure 12 families)"
+        )),
+    }
+}
+
+fn cmd_figure1() {
+    println!("{:<16} {:<36} {:<40}", "language", "Figure 1 region", "computed classification");
+    println!("{}", "-".repeat(94));
+    for row in figure1_rows() {
+        println!("{:<16} {:<36} {:<40}", row.pattern, row.expected, row.computed.label());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_and_gadget_commands_succeed() {
+        assert!(run(&["classify".into(), "ax*b".into()]).is_ok());
+        assert!(run(&["classify".into(), "aa".into()]).is_ok());
+        assert!(run(&["gadget".into(), "aab".into()]).is_ok());
+        assert!(run(&["figure1".into()]).is_ok());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["bogus".into()]).is_err());
+        assert!(run(&["classify".into(), "((".into()]).is_err());
+        assert!(run(&["gadget".into(), "ax*b".into()]).is_err());
+        assert!(run(&["resilience".into(), "aa".into(), "/nonexistent/file".into()]).is_err());
+    }
+
+    #[test]
+    fn resilience_command_works_on_a_temp_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rpq_cli_test_db.txt");
+        std::fs::write(&path, "s a u\nu x v 3\nv b t\n").unwrap();
+        let path = path.to_string_lossy().to_string();
+        assert!(run(&[
+            "resilience".into(),
+            "ax*b".into(),
+            path.clone(),
+            "--bag".into(),
+            "--show-cut".into()
+        ])
+        .is_ok());
+        assert!(run(&[
+            "resilience".into(),
+            "ax*b".into(),
+            path,
+            "--algorithm".into(),
+            "local".into()
+        ])
+        .is_ok());
+    }
+}

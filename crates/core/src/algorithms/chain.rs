@@ -1,0 +1,279 @@
+//! Proposition 7.6: resilience of bipartite chain languages via MinCut.
+//!
+//! A chain language has no repeated letters and its words only interact
+//! through their endpoint letters; when the endpoint graph is bipartite, the
+//! words can be split into *forward* words (read from the source partition to
+//! the target partition) and *reversed* words (read the other way). The flow
+//! network then has one finite-capacity edge per fact (`start` → `end`
+//! vertices) and infinite wiring edges that follow forward words left-to-right
+//! and reversed words right-to-left, so that source-to-target paths correspond
+//! exactly to query matches.
+
+use super::{Algorithm, ResilienceError, ResilienceOutcome};
+use crate::rpq::{ResilienceValue, Rpq};
+use rpq_automata::alphabet::Letter;
+use rpq_automata::finite::FiniteLanguage;
+use rpq_automata::word::Word;
+use rpq_flow::{Capacity, EdgeId, FlowNetwork, VertexId};
+use rpq_graphdb::{FactId, GraphDb};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Computes the resilience of a query whose infix-free sublanguage is a
+/// bipartite chain language (Proposition 7.6).
+pub fn resilience_bipartite_chain(
+    rpq: &Rpq,
+    db: &GraphDb,
+) -> Result<ResilienceOutcome, ResilienceError> {
+    let language = rpq.infix_free_language();
+    let not_applicable = |reason: String| ResilienceError::NotApplicable {
+        algorithm: Algorithm::BipartiteChain,
+        reason,
+    };
+    let finite = FiniteLanguage::from_language(&language)
+        .map_err(|_| not_applicable(format!("IF({}) is infinite", rpq.language())))?;
+    if !finite.is_chain_language() {
+        return Err(not_applicable(format!("IF({}) is not a chain language", rpq.language())));
+    }
+    let Some((source_letters, target_letters)) = finite.endpoint_bipartition() else {
+        return Err(not_applicable(format!(
+            "the endpoint graph of IF({}) is not bipartite",
+            rpq.language()
+        )));
+    };
+
+    if finite.words().iter().any(Word::is_empty) {
+        return Ok(ResilienceOutcome {
+            value: ResilienceValue::Infinite,
+            algorithm: Algorithm::BipartiteChain,
+            contingency_set: None,
+        });
+    }
+
+    // Preprocessing: single-letter words force the removal of every fact with
+    // that label.
+    let single_letters: BTreeSet<Letter> =
+        finite.words().iter().filter(|w| w.len() == 1).map(|w| w.letter_at(0)).collect();
+    let mut base_cost: u128 = 0;
+    let mut forced_facts: Vec<FactId> = Vec::new();
+    for (id, fact) in db.facts() {
+        if single_letters.contains(&fact.label) {
+            if db.is_exogenous(id) {
+                // A single-letter word matched by an exogenous fact can never
+                // be broken: the resilience is +∞.
+                return Ok(ResilienceOutcome {
+                    value: ResilienceValue::Infinite,
+                    algorithm: Algorithm::BipartiteChain,
+                    contingency_set: None,
+                });
+            }
+            base_cost += rpq.semantics().fact_cost(db, id) as u128;
+            forced_facts.push(id);
+        }
+    }
+    let words: Vec<Word> =
+        finite.words().iter().filter(|w| w.len() >= 2).cloned().collect();
+    let removed_forced: BTreeSet<FactId> = forced_facts.iter().copied().collect();
+
+    // Words are forward when their first letter is in the source partition.
+    let mut forward_digrams: BTreeSet<(Letter, Letter)> = BTreeSet::new();
+    let mut reversed_digrams: BTreeSet<(Letter, Letter)> = BTreeSet::new();
+    let mut relevant_letters: BTreeSet<Letter> = BTreeSet::new();
+    for word in &words {
+        let first = word.first().expect("words have length ≥ 2");
+        relevant_letters.extend(word.iter());
+        let digrams = word.letters().windows(2).map(|p| (p[0], p[1]));
+        if source_letters.contains(&first) {
+            forward_digrams.extend(digrams);
+        } else {
+            reversed_digrams.extend(digrams);
+        }
+    }
+
+    // Build the flow network.
+    let mut network = FlowNetwork::new();
+    let source = network.add_vertex();
+    let target = network.add_vertex();
+    network.set_source(source);
+    network.set_target(target);
+
+    // Per-fact start/end vertices and the finite-capacity fact edge.
+    let mut fact_vertices: BTreeMap<FactId, (VertexId, VertexId)> = BTreeMap::new();
+    let mut edge_to_fact: BTreeMap<EdgeId, FactId> = BTreeMap::new();
+    for (id, fact) in db.facts() {
+        if removed_forced.contains(&id) || !relevant_letters.contains(&fact.label) {
+            continue;
+        }
+        let start = network.add_vertex();
+        let end = network.add_vertex();
+        fact_vertices.insert(id, (start, end));
+        // Exogenous facts can never be cut: capacity +∞.
+        let capacity = if db.is_exogenous(id) {
+            Capacity::Infinite
+        } else {
+            Capacity::Finite(rpq.semantics().fact_cost(db, id) as u128)
+        };
+        let edge = network.add_edge(start, end, capacity);
+        edge_to_fact.insert(edge, id);
+    }
+
+    // Wiring edges between consecutive facts.
+    for (&id_a, &(_, end_a)) in &fact_vertices {
+        let fact_a = db.fact(id_a);
+        for id_b in db.out_facts(fact_a.target) {
+            let Some(&(start_b, end_b)) = fact_vertices.get(&id_b) else { continue };
+            let fact_b = db.fact(id_b);
+            let digram = (fact_a.label, fact_b.label);
+            if forward_digrams.contains(&digram) {
+                network.add_edge(end_a, start_b, Capacity::Infinite);
+            }
+            if reversed_digrams.contains(&digram) {
+                let (start_a, _) = fact_vertices[&id_a];
+                network.add_edge(end_b, start_a, Capacity::Infinite);
+            }
+            let _ = end_b;
+        }
+    }
+
+    // Source / target attachments: only endpoint letters of words.
+    let endpoint_first: BTreeSet<Letter> = words.iter().map(|w| w.first().unwrap()).collect();
+    let endpoint_last: BTreeSet<Letter> = words.iter().map(|w| w.last().unwrap()).collect();
+    for (&id, &(start, end)) in &fact_vertices {
+        let label = db.fact(id).label;
+        let is_endpoint = endpoint_first.contains(&label) || endpoint_last.contains(&label);
+        if !is_endpoint {
+            continue;
+        }
+        if source_letters.contains(&label) {
+            network.add_edge(source, start, Capacity::Infinite);
+        }
+        if target_letters.contains(&label) {
+            network.add_edge(end, target, Capacity::Infinite);
+        }
+    }
+
+    let cut = rpq_flow::min_cut(&network);
+    let value = match cut.value {
+        Capacity::Infinite => ResilienceValue::Infinite,
+        Capacity::Finite(v) => ResilienceValue::Finite(v + base_cost),
+    };
+    let mut contingency: Vec<FactId> = forced_facts;
+    contingency.extend(cut.cut_edges.iter().filter_map(|e| edge_to_fact.get(e).copied()));
+    debug_assert!(
+        value.is_infinite()
+            || rpq.is_contingency_set(db, &contingency.iter().copied().collect()),
+        "the extracted cut must be a contingency set"
+    );
+    Ok(ResilienceOutcome {
+        value,
+        algorithm: Algorithm::BipartiteChain,
+        contingency_set: Some(contingency),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::resilience_exact;
+    use rpq_automata::{Alphabet, Language};
+    use rpq_graphdb::generate::{chain_instance, random_labeled_graph, word_path};
+
+    #[test]
+    fn simple_ab_bc_instance() {
+        // Path a b c: matches of ab|bc are {ab-facts} and {bc-facts}; removing
+        // the middle b fact kills both.
+        let db = word_path(&Word::from_str_word("abc"));
+        let q = Rpq::parse("ab|bc").unwrap();
+        let out = resilience_bipartite_chain(&q, &db).unwrap();
+        assert_eq!(out.value, ResilienceValue::Finite(1));
+        let cut: BTreeSet<FactId> = out.contingency_set.unwrap().into_iter().collect();
+        assert!(q.is_contingency_set(&db, &cut));
+    }
+
+    #[test]
+    fn non_applicable_languages_are_rejected() {
+        let db = word_path(&Word::from_str_word("ab"));
+        for pattern in ["aa", "ax*b", "ab|bc|ca"] {
+            assert!(matches!(
+                resilience_bipartite_chain(&Rpq::parse(pattern).unwrap(), &db),
+                Err(ResilienceError::NotApplicable { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn single_letter_words_force_removals() {
+        // L = a|bc: every a-fact must be removed, plus a min cut for bc.
+        let mut db = GraphDb::new();
+        db.add_fact_by_names("u", 'a', "v");
+        db.add_fact_by_names("w", 'a', "x");
+        db.add_fact_by_names("p", 'b', "q");
+        db.add_fact_by_names("q", 'c', "r");
+        let q = Rpq::parse("a|bc").unwrap();
+        let out = resilience_bipartite_chain(&q, &db).unwrap();
+        assert_eq!(out.value, ResilienceValue::Finite(3));
+        assert_eq!(resilience_exact(&q, &db).value, ResilienceValue::Finite(3));
+    }
+
+    #[test]
+    fn matches_exact_on_random_instances() {
+        let alphabet = Alphabet::from_chars("abc");
+        for seed in 0..6 {
+            let db = random_labeled_graph(5, 10, &alphabet, seed);
+            for pattern in ["ab|bc", "ab|cb", "ab", "axb|byc"] {
+                let q = Rpq::new(Language::parse(pattern).unwrap());
+                let fast = match resilience_bipartite_chain(&q, &db) {
+                    Ok(out) => out,
+                    Err(_) => continue,
+                };
+                let slow = resilience_exact(&q, &db);
+                assert_eq!(fast.value, slow.value, "pattern {pattern}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_exact_on_chain_instances_with_bag_semantics() {
+        let words = vec![Word::from_str_word("ab"), Word::from_str_word("bc")];
+        for seed in 0..4 {
+            let mut db = chain_instance(&words, 2, 2, seed);
+            // Give some facts non-unit multiplicities.
+            let ids: Vec<FactId> = db.fact_ids().collect();
+            for (i, id) in ids.iter().enumerate() {
+                db.set_multiplicity(*id, 1 + (i as u64 % 3));
+            }
+            let q = Rpq::parse("ab|bc").unwrap().with_bag_semantics();
+            let fast = resilience_bipartite_chain(&q, &db).unwrap();
+            let slow = resilience_exact(&q, &db);
+            assert_eq!(fast.value, slow.value, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn example_7_3_bcl_with_longer_words() {
+        // L = axyb|bztc|cd|dea (a BCL from Example 7.3) on a database formed of
+        // its own words glued at shared endpoint nodes.
+        let mut db = GraphDb::new();
+        db.add_fact_by_names("n1", 'a', "n2");
+        db.add_fact_by_names("n2", 'x', "n3");
+        db.add_fact_by_names("n3", 'y', "n4");
+        db.add_fact_by_names("n4", 'b', "n5");
+        db.add_fact_by_names("n5", 'z', "n6");
+        db.add_fact_by_names("n6", 't', "n7");
+        db.add_fact_by_names("n7", 'c', "n8");
+        db.add_fact_by_names("n8", 'd', "n9");
+        db.add_fact_by_names("n9", 'e', "n10");
+        db.add_fact_by_names("n10", 'a', "n11");
+        let q = Rpq::parse("axyb|bztc|cd|dea").unwrap();
+        let fast = resilience_bipartite_chain(&q, &db).unwrap();
+        let slow = resilience_exact(&q, &db);
+        assert_eq!(fast.value, slow.value);
+    }
+
+    #[test]
+    fn query_not_holding_gives_zero() {
+        let db = word_path(&Word::from_str_word("ac"));
+        let q = Rpq::parse("ab|bc").unwrap();
+        let out = resilience_bipartite_chain(&q, &db).unwrap();
+        assert_eq!(out.value, ResilienceValue::Finite(0));
+    }
+}

@@ -1,0 +1,220 @@
+//! Resilience algorithms.
+//!
+//! The tractable algorithms of the paper all reduce resilience to MinCut:
+//!
+//! * [`local`] — Theorem 3.13, for local languages (via RO-εNFA products);
+//! * [`chain`] — Proposition 7.6, for bipartite chain languages;
+//! * [`one_dangling`] — Proposition 7.9, for one-dangling languages (via a
+//!   rewriting into a local-language instance over extended bag semantics).
+//!
+//! The [`solve`] dispatcher inspects the infix-free sublanguage of the query,
+//! picks the most efficient applicable algorithm, and otherwise falls back to
+//! the exponential exact solver of [`crate::exact`].
+
+pub mod chain;
+pub mod local;
+pub mod one_dangling;
+
+use crate::exact::resilience_exact;
+use crate::rpq::{ResilienceValue, Rpq};
+use rpq_automata::finite::{one_dangling_decomposition, FiniteLanguage};
+use rpq_automata::local::is_local;
+use rpq_automata::AutomataError;
+use rpq_graphdb::{FactId, GraphDb};
+use std::fmt;
+
+/// Errors raised by the resilience algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResilienceError {
+    /// An underlying language analysis failed.
+    Automata(AutomataError),
+    /// The requested algorithm does not apply to the query's language.
+    NotApplicable {
+        /// The algorithm that was requested.
+        algorithm: Algorithm,
+        /// Why it does not apply.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ResilienceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceError::Automata(e) => write!(f, "language analysis failed: {e}"),
+            ResilienceError::NotApplicable { algorithm, reason } => {
+                write!(f, "{algorithm:?} does not apply: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ResilienceError {}
+
+impl From<AutomataError> for ResilienceError {
+    fn from(e: AutomataError) -> Self {
+        ResilienceError::Automata(e)
+    }
+}
+
+/// The algorithm used to compute a resilience value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Theorem 3.13: RO-εNFA product reduction to MinCut (local languages).
+    Local,
+    /// Proposition 7.6: bipartite-chain reduction to MinCut.
+    BipartiteChain,
+    /// Proposition 7.9: one-dangling rewriting + local reduction.
+    OneDangling,
+    /// Exponential branch and bound over witness walks (always applicable).
+    ExactBranchAndBound,
+}
+
+/// The outcome of a resilience computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResilienceOutcome {
+    /// The resilience value.
+    pub value: ResilienceValue,
+    /// Which algorithm produced it.
+    pub algorithm: Algorithm,
+    /// An optimal contingency set, when the algorithm produces one
+    /// (the one-dangling rewriting only certifies the value).
+    pub contingency_set: Option<Vec<FactId>>,
+}
+
+/// Computes the resilience of `rpq` on `db`, picking the best applicable
+/// algorithm for the query's infix-free sublanguage:
+///
+/// 1. `IF(L)` local → [`local`] (Theorem 3.13);
+/// 2. `IF(L)` a bipartite chain language → [`chain`] (Proposition 7.6);
+/// 3. `IF(L)` one-dangling → [`one_dangling`] (Proposition 7.9);
+/// 4. otherwise → exponential exact branch and bound (the problem is NP-hard
+///    for every language known to escape 1–3, see Sections 4–6).
+pub fn solve(rpq: &Rpq, db: &GraphDb) -> Result<ResilienceOutcome, ResilienceError> {
+    let if_language = rpq.infix_free_language();
+    if if_language.contains_epsilon() {
+        return Ok(ResilienceOutcome {
+            value: ResilienceValue::Infinite,
+            algorithm: Algorithm::Local,
+            contingency_set: None,
+        });
+    }
+    if is_local(&if_language) {
+        return local::resilience_local(rpq, db);
+    }
+    if let Ok(finite) = FiniteLanguage::from_language(&if_language) {
+        if finite.is_bipartite_chain_language() {
+            return chain::resilience_bipartite_chain(rpq, db);
+        }
+    }
+    if !db.has_exogenous_facts() && one_dangling_decomposition(&if_language).is_some() {
+        return one_dangling::resilience_one_dangling(rpq, db);
+    }
+    let exact = resilience_exact(rpq, db);
+    Ok(ResilienceOutcome {
+        value: exact.value,
+        algorithm: Algorithm::ExactBranchAndBound,
+        contingency_set: Some(exact.contingency_set.into_iter().collect()),
+    })
+}
+
+/// Computes the resilience with an explicitly chosen algorithm, failing with
+/// [`ResilienceError::NotApplicable`] when the language does not qualify.
+pub fn solve_with(
+    algorithm: Algorithm,
+    rpq: &Rpq,
+    db: &GraphDb,
+) -> Result<ResilienceOutcome, ResilienceError> {
+    match algorithm {
+        Algorithm::Local => local::resilience_local(rpq, db),
+        Algorithm::BipartiteChain => chain::resilience_bipartite_chain(rpq, db),
+        Algorithm::OneDangling => one_dangling::resilience_one_dangling(rpq, db),
+        Algorithm::ExactBranchAndBound => {
+            let exact = resilience_exact(rpq, db);
+            Ok(ResilienceOutcome {
+                value: exact.value,
+                algorithm: Algorithm::ExactBranchAndBound,
+                contingency_set: Some(exact.contingency_set.into_iter().collect()),
+            })
+        }
+    }
+}
+
+/// Computes the resilience of the mirror query on the mirror database
+/// (Proposition 6.3): the value always equals `solve(rpq, db)`.
+pub fn solve_mirrored(rpq: &Rpq, db: &GraphDb) -> Result<ResilienceOutcome, ResilienceError> {
+    solve(&rpq.mirror(), &db.reversed())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_automata::Word;
+    use rpq_graphdb::generate::word_path;
+
+    #[test]
+    fn dispatcher_picks_the_right_algorithm() {
+        let db = word_path(&Word::from_str_word("axb"));
+        let out = solve(&Rpq::parse("ax*b").unwrap(), &db).unwrap();
+        assert_eq!(out.algorithm, Algorithm::Local);
+
+        let db = word_path(&Word::from_str_word("abc"));
+        let out = solve(&Rpq::parse("ab|bc").unwrap(), &db).unwrap();
+        assert_eq!(out.algorithm, Algorithm::BipartiteChain);
+
+        let out = solve(&Rpq::parse("abc|be").unwrap(), &db).unwrap();
+        assert_eq!(out.algorithm, Algorithm::OneDangling);
+
+        let db = word_path(&Word::from_str_word("aa"));
+        let out = solve(&Rpq::parse("aa").unwrap(), &db).unwrap();
+        assert_eq!(out.algorithm, Algorithm::ExactBranchAndBound);
+    }
+
+    #[test]
+    fn epsilon_queries_are_infinite() {
+        let db = word_path(&Word::from_str_word("ab"));
+        let out = solve(&Rpq::parse("a*").unwrap(), &db).unwrap();
+        assert!(out.value.is_infinite());
+    }
+
+    #[test]
+    fn infix_free_reduction_is_applied_by_the_dispatcher() {
+        // L = a | aa: IF(L) = a, which is local, even though L itself is not.
+        let db = word_path(&Word::from_str_word("aaa"));
+        let out = solve(&Rpq::parse("a|aa").unwrap(), &db).unwrap();
+        assert_eq!(out.algorithm, Algorithm::Local);
+        // Every a-fact must go: resilience 3.
+        assert_eq!(out.value, ResilienceValue::Finite(3));
+    }
+
+    #[test]
+    fn mirror_invariance_proposition_6_3() {
+        let db = word_path(&Word::from_str_word("axxb"));
+        for pattern in ["ax*b", "ab|bc", "aa", "axb"] {
+            let q = Rpq::parse(pattern).unwrap();
+            let direct = solve(&q, &db).unwrap().value;
+            let mirrored = solve_mirrored(&q, &db).unwrap().value;
+            assert_eq!(direct, mirrored, "{pattern}");
+        }
+    }
+
+    #[test]
+    fn not_applicable_errors() {
+        let db = word_path(&Word::from_str_word("aa"));
+        let q = Rpq::parse("aa").unwrap();
+        assert!(matches!(
+            solve_with(Algorithm::Local, &q, &db),
+            Err(ResilienceError::NotApplicable { .. })
+        ));
+        assert!(matches!(
+            solve_with(Algorithm::BipartiteChain, &q, &db),
+            Err(ResilienceError::NotApplicable { .. })
+        ));
+        assert!(matches!(
+            solve_with(Algorithm::OneDangling, &q, &db),
+            Err(ResilienceError::NotApplicable { .. })
+        ));
+        assert!(solve_with(Algorithm::ExactBranchAndBound, &q, &db).is_ok());
+        let err = solve_with(Algorithm::Local, &q, &db).unwrap_err();
+        assert!(err.to_string().contains("does not apply"));
+    }
+}

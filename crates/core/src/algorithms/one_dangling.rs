@@ -1,0 +1,344 @@
+//! Proposition 7.9: resilience of one-dangling languages.
+//!
+//! A one-dangling language is `L ∪ {xy}` with `L` local over `Σ` and `x ≠ y`,
+//! at least one of them outside `Σ`. Resilience reduces to a local-language
+//! instance over **extended bag semantics**:
+//!
+//! 1. mirror everything if needed so that `y ∉ Σ`;
+//! 2. pick a fresh letter `z` and rewrite the language to `L'`, obtained from
+//!    `L` by replacing the letter `x` with the two-letter word `xz`;
+//! 3. rewrite the database: each node `v` gets a twin `(v, in)`; `x`-facts
+//!    into `v` are redirected to `(v, in)`; a `z`-fact `(v, in) → v` carries
+//!    multiplicity `Σ mult(x-facts into v) − Σ mult(y-facts out of v)`
+//!    (possibly zero or negative); `y`-facts are erased;
+//! 4. `RES_bag(L ∪ {xy}, D) = κ + RES^ex_bag(L', D')` where `κ` is the total
+//!    multiplicity of `y`-facts. Facts of non-positive multiplicity can always
+//!    be removed for free in extended bag semantics, so
+//!    `RES^ex_bag(L', D') = Σ_(negative multiplicities) + RES_bag(L', D'⁺)`,
+//!    and the latter is solved with the Theorem 3.13 product construction.
+//!
+//! Under **set semantics** the same reduction applies after forgetting the
+//! multiplicities of `D` (set resilience is bag resilience on the database
+//! with all multiplicities equal to 1).
+
+use super::{Algorithm, ResilienceError, ResilienceOutcome};
+use crate::algorithms::local::resilience_via_ro_enfa;
+use crate::rpq::{ResilienceValue, Rpq, Semantics};
+use rpq_automata::finite::{one_dangling_decomposition, OneDanglingDecomposition};
+use rpq_automata::ro_enfa::RoEnfa;
+use rpq_graphdb::{GraphDb, NodeId};
+use std::collections::BTreeMap;
+
+/// Computes the resilience of a query whose infix-free sublanguage is
+/// one-dangling (Proposition 7.9). The outcome certifies the value but carries
+/// no contingency set (the rewriting does not directly produce one).
+pub fn resilience_one_dangling(
+    rpq: &Rpq,
+    db: &GraphDb,
+) -> Result<ResilienceOutcome, ResilienceError> {
+    let language = rpq.infix_free_language();
+    let Some(decomposition) = one_dangling_decomposition(&language) else {
+        return Err(ResilienceError::NotApplicable {
+            algorithm: Algorithm::OneDangling,
+            reason: format!("IF({}) is not a one-dangling language", rpq.language()),
+        });
+    };
+    if language.contains_epsilon() {
+        return Ok(ResilienceOutcome {
+            value: ResilienceValue::Infinite,
+            algorithm: Algorithm::OneDangling,
+            contingency_set: None,
+        });
+    }
+    if db.has_exogenous_facts() {
+        // The κ-offset rewriting assumes finite fact weights; exogenous facts
+        // (weight +∞) are not supported by this reduction. Callers fall back
+        // to the exact solver (see `solve`).
+        return Err(ResilienceError::NotApplicable {
+            algorithm: Algorithm::OneDangling,
+            reason: "the one-dangling rewriting does not support exogenous facts".to_string(),
+        });
+    }
+
+    // Work on a database whose multiplicities reflect the query's semantics,
+    // so that the rewriting below can always reason in bag terms.
+    let bag_db = match rpq.semantics() {
+        Semantics::Bag => db.clone(),
+        Semantics::Set => {
+            let mut copy = GraphDb::new();
+            // Rebuild with unit multiplicities, preserving node names.
+            for node in db.nodes() {
+                copy.node(db.node_name(node));
+            }
+            for (_, fact) in db.facts() {
+                copy.add_fact(fact.source, fact.label, fact.target);
+            }
+            copy
+        }
+    };
+
+    // Ensure y ∉ Σ (the alphabet of the local part); otherwise mirror
+    // everything (Proposition 6.3): the mirrored decomposition swaps x and y
+    // and mirrors the local part, and x is guaranteed to be outside Σ because
+    // the original decomposition had at least one of x, y outside it.
+    let local_used = decomposition.local_part.used_letters();
+    #[cfg(debug_assertions)]
+    let original_bag_db = bag_db.clone();
+    let (decomposition, bag_db) = if local_used.contains(decomposition.y) {
+        let mirrored = OneDanglingDecomposition {
+            local_part: decomposition.local_part.mirror(),
+            x: decomposition.y,
+            y: decomposition.x,
+        };
+        debug_assert!(!mirrored.local_part.used_letters().contains(mirrored.y));
+        (mirrored, bag_db.reversed())
+    } else {
+        (decomposition, bag_db)
+    };
+
+    let value = rewrite_and_solve(&decomposition, &bag_db)?;
+    #[cfg(debug_assertions)]
+    debug_assert!(
+        {
+            // Cross-check against the exact solver on small instances only.
+            original_bag_db.num_facts() > 14 || {
+                let exact = crate::exact::resilience_exact(
+                    &Rpq::new(language.clone()).with_bag_semantics(),
+                    &original_bag_db,
+                );
+                exact.value == value
+            }
+        },
+        "one-dangling rewriting disagrees with the exact solver"
+    );
+    Ok(ResilienceOutcome { value, algorithm: Algorithm::OneDangling, contingency_set: None })
+}
+
+/// Performs steps 2–4 of the rewriting for a decomposition with `y ∉ Σ`.
+fn rewrite_and_solve(
+    decomposition: &OneDanglingDecomposition,
+    db: &GraphDb,
+) -> Result<ResilienceValue, ResilienceError> {
+    let x = decomposition.x;
+    let y = decomposition.y;
+    let local_part = &decomposition.local_part;
+
+    // κ = total multiplicity of y-facts.
+    let kappa: i128 = db
+        .facts()
+        .filter(|(_, f)| f.label == y)
+        .map(|(id, _)| db.multiplicity(id) as i128)
+        .sum();
+
+    // Fresh letter z and the rewritten automaton A' (x ↦ xz). When x does not
+    // occur in the local part, the language is unchanged.
+    let ambient = local_part.alphabet().union(&db.alphabet()).with(x).with(y);
+    let z = ambient.fresh_letter();
+    let ro = RoEnfa::for_local_language(local_part)?;
+    let ro_rewritten = if ro.letter_transition(x).is_some() {
+        ro.split_letter_transition(x, z)?
+    } else {
+        ro
+    };
+
+    // Rewrite the database.
+    let mut rewritten = GraphDb::new();
+    for node in db.nodes() {
+        rewritten.node(db.node_name(node));
+    }
+    // Per-node bookkeeping for the z-fact multiplicities.
+    let mut incoming_x: BTreeMap<NodeId, i128> = BTreeMap::new();
+    let mut outgoing_y: BTreeMap<NodeId, i128> = BTreeMap::new();
+    for (id, fact) in db.facts() {
+        if fact.label == x {
+            *incoming_x.entry(fact.target).or_insert(0) += db.multiplicity(id) as i128;
+        }
+        if fact.label == y {
+            *outgoing_y.entry(fact.source).or_insert(0) += db.multiplicity(id) as i128;
+        }
+    }
+    let twin_name = |db: &GraphDb, v: NodeId| format!("{}__in", db.node_name(v));
+
+    for (id, fact) in db.facts() {
+        match fact.label {
+            l if l == y => {
+                // y-facts are erased.
+            }
+            l if l == x => {
+                // Redirect to the twin (v, in).
+                let twin = rewritten.node(&twin_name(db, fact.target));
+                let src = rewritten.node(db.node_name(fact.source));
+                rewritten.add_fact_with_multiplicity(src, x, twin, db.multiplicity(id));
+            }
+            l => {
+                let src = rewritten.node(db.node_name(fact.source));
+                let dst = rewritten.node(db.node_name(fact.target));
+                rewritten.add_fact_with_multiplicity(src, l, dst, db.multiplicity(id));
+            }
+        }
+    }
+
+    // z-facts (extended bag semantics): multiplicity may be ≤ 0, in which case
+    // the fact is removed for free and its (non-positive) multiplicity is
+    // credited to the final value.
+    let mut negative_credit: i128 = 0;
+    let touched: std::collections::BTreeSet<NodeId> =
+        incoming_x.keys().chain(outgoing_y.keys()).copied().collect();
+    for v in touched {
+        let mult = incoming_x.get(&v).copied().unwrap_or(0) - outgoing_y.get(&v).copied().unwrap_or(0);
+        if mult > 0 {
+            let twin = rewritten.node(&twin_name(db, v));
+            let main = rewritten.node(db.node_name(v));
+            rewritten.add_fact_with_multiplicity(twin, z, main, mult as u64);
+        } else {
+            negative_credit += mult;
+        }
+    }
+
+    // Solve the rewritten (positive-multiplicity) instance with the local
+    // algorithm in bag semantics.
+    let (local_value, _) =
+        resilience_via_ro_enfa(&ro_rewritten, &rewritten, Semantics::Bag, |_| true);
+    let local_value = match local_value {
+        ResilienceValue::Infinite => return Ok(ResilienceValue::Infinite),
+        ResilienceValue::Finite(v) => v as i128,
+    };
+    let total = kappa + negative_credit + local_value;
+    debug_assert!(total >= 0, "resilience values are non-negative");
+    Ok(ResilienceValue::Finite(total as u128))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::resilience_exact;
+    use rpq_automata::alphabet::Letter;
+    use rpq_automata::{Alphabet, Language, Word};
+    use rpq_graphdb::generate::{one_dangling_instance, random_labeled_graph, word_path};
+
+    #[test]
+    fn not_applicable_languages_are_rejected() {
+        let db = word_path(&Word::from_str_word("ab"));
+        for pattern in ["aa", "axb|cxd", "abcd|bef"] {
+            assert!(matches!(
+                resilience_one_dangling(&Rpq::parse(pattern).unwrap(), &db),
+                Err(ResilienceError::NotApplicable { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn simple_abc_be_instance() {
+        // Database: path a b c sharing its b-source node with a dangling e fact.
+        let mut db = GraphDb::new();
+        db.add_fact_by_names("1", 'a', "2");
+        db.add_fact_by_names("2", 'b', "3");
+        db.add_fact_by_names("3", 'c', "4");
+        db.add_fact_by_names("3", 'e', "5");
+        let q = Rpq::parse("abc|be").unwrap();
+        let fast = resilience_one_dangling(&q, &db).unwrap();
+        let slow = resilience_exact(&q, &db);
+        assert_eq!(fast.value, slow.value);
+        // Removing the b fact kills both matches: resilience 1.
+        assert_eq!(fast.value, ResilienceValue::Finite(1));
+    }
+
+    #[test]
+    fn mirrored_orientation_is_handled() {
+        // ba|cba: the dangling word is "ba" with b ∈ Σ(L) for L = cba, so the
+        // mirror step kicks in (ab|abc mirrored).
+        let mut db = GraphDb::new();
+        db.add_fact_by_names("1", 'c', "2");
+        db.add_fact_by_names("2", 'b', "3");
+        db.add_fact_by_names("3", 'a', "4");
+        db.add_fact_by_names("0", 'b', "3b");
+        db.add_fact_by_names("3b", 'a', "4b");
+        let q = Rpq::parse("cba|ba").unwrap();
+        let out = resilience_one_dangling(&q, &db);
+        // cba|ba reduced to IF is just ba (ba is an infix of cba), which is
+        // local, so the decomposition may degenerate; accept either a value
+        // matching the exact solver or a NotApplicable error.
+        match out {
+            Ok(fast) => assert_eq!(fast.value, resilience_exact(&q, &db).value),
+            Err(ResilienceError::NotApplicable { .. }) => {}
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn figure_1_one_dangling_languages_match_exact() {
+        let alphabet = Alphabet::from_chars("abcdex");
+        for seed in 0..5 {
+            let db = random_labeled_graph(5, 9, &alphabet, seed);
+            for pattern in ["abc|be", "abcd|ce", "abcd|be", "ab|xd", "ax*b|xd"] {
+                let q = Rpq::new(Language::parse(pattern).unwrap());
+                let fast = match resilience_one_dangling(&q, &db) {
+                    Ok(out) => out,
+                    Err(ResilienceError::NotApplicable { .. }) => continue,
+                    Err(e) => panic!("{e}"),
+                };
+                let slow = resilience_exact(&q, &db);
+                assert_eq!(fast.value, slow.value, "pattern {pattern}, seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn bag_semantics_with_multiplicities_matches_exact() {
+        for seed in 0..4 {
+            let mut db = one_dangling_instance(
+                &Alphabet::from_chars("abc"),
+                Letter('b'),
+                Letter('e'),
+                3,
+                2,
+                3,
+                seed,
+            );
+            let ids: Vec<_> = db.fact_ids().collect();
+            for (i, id) in ids.iter().enumerate() {
+                db.set_multiplicity(*id, 1 + (i as u64 % 4));
+            }
+            if db.num_facts() > 13 {
+                continue;
+            }
+            let q = Rpq::parse("abc|be").unwrap().with_bag_semantics();
+            let fast = resilience_one_dangling(&q, &db).unwrap();
+            let slow = resilience_exact(&q, &db);
+            assert_eq!(fast.value, slow.value, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dangling_word_only_instances() {
+        // Database with only x/y facts: the resilience is the per-node
+        // min(incoming x, outgoing y) summed over nodes.
+        let mut db = GraphDb::new();
+        db.add_fact_by_names("u1", 'b', "v");
+        db.add_fact_by_names("u2", 'b', "v");
+        db.add_fact_by_names("v", 'e', "w1");
+        db.add_fact_by_names("v", 'e', "w2");
+        db.add_fact_by_names("v", 'e', "w3");
+        let q = Rpq::parse("abc|be").unwrap();
+        let fast = resilience_one_dangling(&q, &db).unwrap();
+        assert_eq!(fast.value, ResilienceValue::Finite(2));
+        assert_eq!(resilience_exact(&q, &db).value, ResilienceValue::Finite(2));
+    }
+
+    #[test]
+    fn ax_star_b_xd_from_figure_1() {
+        // ax*b|xd was left open in the conference version and is now tractable
+        // (Proposition 7.9). Cross-check on a small structured instance.
+        let mut db = GraphDb::new();
+        db.add_fact_by_names("s", 'a', "1");
+        db.add_fact_by_names("1", 'x', "2");
+        db.add_fact_by_names("2", 'x', "3");
+        db.add_fact_by_names("3", 'b', "t");
+        db.add_fact_by_names("2", 'd', "d1");
+        db.add_fact_by_names("1", 'd', "d2");
+        let q = Rpq::parse("ax*b|xd").unwrap();
+        let fast = resilience_one_dangling(&q, &db).unwrap();
+        let slow = resilience_exact(&q, &db);
+        assert_eq!(fast.value, slow.value);
+    }
+}

@@ -1,0 +1,833 @@
+//! Parameterized hardness-gadget families (Theorems 5.3 and 6.1, Prop. 7.11).
+//!
+//! The concrete gadgets of [`super::library`] transcribe fixed figures of the
+//! paper (`aa`, `axb|cxd`, `aaa`, `ab|bc|ca`). The hardness proofs of
+//! Sections 5 and 6, however, use *families* of gadgets parameterized by
+//! words extracted from the language (stable legs, maximal-gap words, …).
+//! This module builds those families programmatically:
+//!
+//! | Family | Paper artifact | Parameters |
+//! |---|---|---|
+//! | [`theorem_5_3_case_1_gadget`] | Figure 5 (Theorem 5.3, Case 1) | stable legs `α', β', γ', δ'` and body `x` |
+//! | [`lemma_6_6_gadget`] | Figures 7–8 (Lemma 6.6) | letter `a`, gap `γ`, tail `δ` |
+//! | [`claim_6_10_gadget`] | Figure 9 (Claim 6.10) | letters `a`, `b` with `aba, bab ∈ L` |
+//! | [`claim_6_11_gadget`] | Figure 10 (Claim 6.11) | letter `a` with `aaa ∈ L` |
+//! | [`claim_6_14_gadget`] | Figure 11 (Claim 6.14) | word `aaδ` (generalizes `aab`) |
+//! | [`gadget_abcd_be_ef`] / [`gadget_abcd_bef`] | Figures 15–16 (Prop. 7.11) | fixed |
+//!
+//! Every family constructor only *builds* a candidate pre-gadget; validity for
+//! a concrete language is always established mechanically by
+//! [`PreGadget::verify`] (the analogue of the paper's companion sanity-check
+//! tool). The [`find_gadget`] driver follows the case analysis of the
+//! Theorem 6.1 / Theorem 5.3 proofs, generates the applicable candidates
+//! (also for the mirror language, cf. Proposition 6.3), verifies each, and
+//! returns the first gadget that checks out together with its provenance.
+//!
+//! Two figures are **not** covered by a family yet: Figure 6 (Theorem 5.3,
+//! Case 2 — some infix of `γ'xβ'` is in `L`) and Figure 12 (Claim 6.13, the
+//! non-overlapping case with words `axηya` and `yax`). For languages that
+//! only fall in those cases, [`find_gadget`] returns `None` and the
+//! NP-hardness verdict of the classifier rests on the corresponding witness
+//! certificates instead (see `DESIGN.md`).
+
+use super::library;
+use super::{GadgetError, GadgetReport, PreGadget};
+use rpq_automata::alphabet::Letter;
+use rpq_automata::finite::FiniteLanguage;
+use rpq_automata::four_legged::{four_legged_witness, legs_are_stable, stabilize_legs};
+use rpq_automata::local::CartesianViolation;
+use rpq_automata::word::Word;
+use rpq_automata::Language;
+use rpq_graphdb::GraphDb;
+use std::collections::BTreeMap;
+
+/// Which gadget family produced a verified gadget (provenance for reports and
+/// for the per-experiment index of `EXPERIMENTS.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GadgetFamily {
+    /// Figure 3b — the fixed gadget for `aa` (Proposition 4.1), reused for any
+    /// language whose infix-free sublanguage contains a square word `xx`.
+    Figure3b,
+    /// Figure 4a — the fixed gadget for `axb|cxd` (Proposition 4.13).
+    Figure4a,
+    /// Figure 5 — the Theorem 5.3 Case 1 family, parameterized by stable legs.
+    Figure5Case1,
+    /// Figure 7 — the Lemma 6.6 family for a maximal-gap word `aγa` (`δ = ε`).
+    Figure7,
+    /// Figure 8 — the Lemma 6.6 family for a maximal-gap word `aγaδ` (`δ ≠ ε`).
+    Figure8,
+    /// Figure 9 — the Claim 6.10 gadget for languages containing `aba` and `bab`.
+    Figure9,
+    /// Figure 10 — the Claim 6.11 gadget for languages containing `aaa`.
+    Figure10,
+    /// Figure 11 — the Claim 6.14 family for languages containing `aaδ` with `δ ≠ ε`.
+    Figure11,
+    /// Figure 13 — the fixed gadget for `ab|bc|ca` (Proposition 7.4).
+    Figure13,
+    /// Figure 15 — the gadget for `abcd|be|ef` (Proposition 7.11).
+    Figure15,
+    /// Figure 16 — the gadget for `abcd|bef` (Proposition 7.11).
+    Figure16,
+}
+
+impl GadgetFamily {
+    /// The paper result this family belongs to.
+    pub fn paper_result(&self) -> &'static str {
+        match self {
+            GadgetFamily::Figure3b => "Proposition 4.1",
+            GadgetFamily::Figure4a => "Proposition 4.13",
+            GadgetFamily::Figure5Case1 => "Theorem 5.3 (Case 1)",
+            GadgetFamily::Figure7 | GadgetFamily::Figure8 => "Lemma 6.6",
+            GadgetFamily::Figure9 => "Claim 6.10",
+            GadgetFamily::Figure10 => "Claim 6.11",
+            GadgetFamily::Figure11 => "Claim 6.14",
+            GadgetFamily::Figure13 => "Proposition 7.4",
+            GadgetFamily::Figure15 | GadgetFamily::Figure16 => "Proposition 7.11",
+        }
+    }
+}
+
+/// A gadget that has been mechanically verified for a language (or for its
+/// mirror), together with its provenance.
+#[derive(Debug, Clone)]
+pub struct VerifiedGadget {
+    /// The verified pre-gadget.
+    pub gadget: PreGadget,
+    /// The family that produced it.
+    pub family: GadgetFamily,
+    /// When `true`, the gadget certifies hardness of the *mirror* language
+    /// `L^R`; by Proposition 6.3 this implies hardness of `L` itself.
+    pub for_mirror: bool,
+    /// The verification report (odd-path length, number of matches).
+    pub report: GadgetReport,
+}
+
+// ---------------------------------------------------------------------------
+// Sketch builder: pre-gadgets described by word-labeled paths between named
+// nodes, with ε-paths handled by node unification (the "merge the head node
+// with the tail node" convention used by the paper's figures).
+// ---------------------------------------------------------------------------
+
+/// A lightweight builder for pre-gadgets whose edges are paths labeled by
+/// whole words. Empty words merge their endpoints, as in the paper's figures.
+struct Sketch {
+    facts: Vec<(String, Letter, String)>,
+    merges: Vec<(String, String)>,
+    fresh_counter: usize,
+}
+
+impl Sketch {
+    fn new() -> Sketch {
+        Sketch { facts: Vec::new(), merges: Vec::new(), fresh_counter: 0 }
+    }
+
+    fn fresh(&mut self) -> String {
+        self.fresh_counter += 1;
+        format!("__fresh_{}", self.fresh_counter)
+    }
+
+    /// Adds a path labeled by `word` from node `from` to node `to`, creating
+    /// fresh intermediate nodes. An empty word records a merge of the two
+    /// endpoints instead.
+    fn path(&mut self, from: &str, to: &str, word: &Word) {
+        if word.is_empty() {
+            self.merges.push((from.to_string(), to.to_string()));
+            return;
+        }
+        let mut prev = from.to_string();
+        for (i, letter) in word.iter().enumerate() {
+            let next = if i + 1 == word.len() { to.to_string() } else { self.fresh() };
+            self.facts.push((prev, letter, next.clone()));
+            prev = next;
+        }
+    }
+
+    /// Adds a path labeled by `word` from `from` to a fresh dangling node
+    /// (used for the `δ`-tails of Figure 8). Does nothing for the empty word.
+    fn dangling_path(&mut self, from: &str, word: &Word) {
+        if word.is_empty() {
+            return;
+        }
+        let end = self.fresh();
+        self.path(from, &end, word);
+    }
+
+    /// Resolves the recorded merges (union-find over node names), deduplicates
+    /// facts, and builds the pre-gadget.
+    fn build(self, t_in: &str, t_out: &str, letter: Letter) -> Result<PreGadget, GadgetError> {
+        // Union-find over node names.
+        let mut parent: BTreeMap<String, String> = BTreeMap::new();
+        fn find(parent: &mut BTreeMap<String, String>, name: &str) -> String {
+            let p = parent.get(name).cloned().unwrap_or_else(|| name.to_string());
+            if p == name {
+                return p;
+            }
+            let root = find(parent, &p);
+            parent.insert(name.to_string(), root.clone());
+            root
+        }
+        for (a, b) in &self.merges {
+            let ra = find(&mut parent, a);
+            let rb = find(&mut parent, b);
+            if ra != rb {
+                // Keep the distinguished endpoint names as representatives so
+                // that `t_in`/`t_out` survive the unification.
+                let (keep, drop) = if rb == t_in || rb == t_out { (rb, ra) } else { (ra, rb) };
+                parent.insert(drop, keep);
+            }
+        }
+        let mut db = GraphDb::new();
+        let t_in_id = db.node(&find(&mut parent, t_in));
+        let t_out_id = db.node(&find(&mut parent, t_out));
+        if t_in_id == t_out_id {
+            return Err(GadgetError("t_in and t_out were merged by an ε-path".into()));
+        }
+        let mut seen: std::collections::BTreeSet<(String, Letter, String)> = Default::default();
+        for (src, label, dst) in &self.facts {
+            let s = find(&mut parent, src);
+            let d = find(&mut parent, dst);
+            if !seen.insert((s.clone(), *label, d.clone())) {
+                continue; // identical fact already added (set semantics)
+            }
+            let s_id = db.node(&s);
+            let d_id = db.node(&d);
+            db.add_fact(s_id, *label, d_id);
+        }
+        PreGadget::new(db, t_in_id, t_out_id, letter)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5.3, Case 1 (Figure 5).
+// ---------------------------------------------------------------------------
+
+/// Builds the Theorem 5.3 **Case 1** gadget (Figure 5) from a four-legged
+/// witness with stable legs: the generalization of the Figure 4a gadget in
+/// which the single letters `a, b, c, d` of `axb|cxd` are replaced by the
+/// words `α' = aα`, `β'`, `γ'`, `δ'` (the first letter of `α'` is the
+/// endpoint letter of the completion).
+///
+/// The construction is only meaningful under the Case 1 hypothesis (no infix
+/// of `γ'xβ'` belongs to the language); callers must confirm validity with
+/// [`PreGadget::verify`], which [`find_gadget`] does automatically.
+pub fn theorem_5_3_case_1_gadget(witness: &CartesianViolation) -> Result<PreGadget, GadgetError> {
+    if !witness.has_nonempty_legs() {
+        return Err(GadgetError("Theorem 5.3 requires non-empty legs".into()));
+    }
+    let x = Word::single(witness.body);
+    let alpha_prime = &witness.alpha; // α' = a·α
+    let beta_prime = &witness.beta;
+    let gamma_prime = &witness.gamma;
+    let delta_prime = &witness.delta;
+    let endpoint_letter = alpha_prime.first().expect("non-empty leg");
+    let alpha_tail = alpha_prime.slice(1, alpha_prime.len());
+
+    let mut sketch = Sketch::new();
+    // The skeleton follows Figure 4a; `t_in`/`t_out` are continued by the tail
+    // of α' (the completion supplies its first letter).
+    sketch.path("t_in", "in_mid", &alpha_tail);
+    sketch.path("in_mid", "1", &x);
+    sketch.path("1", "2", beta_prime);
+    sketch.path("1", "3", delta_prime);
+    sketch.path("4", "1", &x);
+    sketch.path("5", "4", alpha_prime);
+    sketch.path("6", "4", gamma_prime);
+    sketch.path("8", "7", gamma_prime);
+    sketch.path("7", "1", &x);
+    sketch.path("7", "9", &x);
+    sketch.path("9", "10", delta_prime);
+    sketch.path("9", "11", beta_prime);
+    sketch.path("13", "12", alpha_prime);
+    sketch.path("12", "9", &x);
+    sketch.path("14", "12", gamma_prime);
+    sketch.path("12", "15", &x);
+    sketch.path("15", "16", beta_prime);
+    sketch.path("t_out", "out_mid", &alpha_tail);
+    sketch.path("out_mid", "15", &x);
+    sketch.build("t_in", "t_out", endpoint_letter)
+}
+
+// ---------------------------------------------------------------------------
+// Lemma 6.6 (Figures 7 and 8).
+// ---------------------------------------------------------------------------
+
+/// Builds the Lemma 6.6 gadget for a maximal-gap word `aγaδ` with `β = ε`,
+/// under the hypothesis that no infix of `γaγ` belongs to the language.
+///
+/// * `δ = ε` gives the Figure 7 shape (a chain of four `a`-edges separated by
+///   `γ`-paths, with the out-endpoint branching into the last `a`-edge);
+/// * `δ ≠ ε` adds the dangling `δ`-tails of Figure 8;
+/// * `γ = ε` degenerates to the Figure 3b shape (for `δ = ε`) or to the
+///   Figure 11 shape (for `δ ≠ ε`) — see [`claim_6_14_gadget`].
+pub fn lemma_6_6_gadget(a: Letter, gamma: &Word, delta: &Word) -> Result<PreGadget, GadgetError> {
+    if gamma.is_empty() {
+        // Degenerate shapes: the general chain would merge the out-endpoint
+        // into the head of an `a`-fact, so reuse the dedicated constructions.
+        return if delta.is_empty() {
+            Ok(library::gadget_aa_with_letter(a))
+        } else {
+            claim_6_14_gadget(a, delta)
+        };
+    }
+    let a_word = Word::single(a);
+    let mut sketch = Sketch::new();
+    // Chain: t_in -γ→ s1 -a→ e1 -γ→ s2 -a→ e2 -γ→ s3 -a→ e3, plus the branch
+    // e4 -γ→ s3 (so that the fourth a-edge a(s4, e4) feeds the third) and the
+    // out-endpoint path t_out -γ→ s4.
+    sketch.path("t_in", "s1", gamma);
+    sketch.path("s1", "e1", &a_word);
+    sketch.path("e1", "s2", gamma);
+    sketch.path("s2", "e2", &a_word);
+    sketch.path("e2", "s3", gamma);
+    sketch.path("s3", "e3", &a_word);
+    sketch.path("s4", "e4", &a_word);
+    sketch.path("e4", "s3", gamma);
+    sketch.path("t_out", "s4", gamma);
+    if !delta.is_empty() {
+        // Figure 8: a δ-tail after every a-edge target (one per node).
+        for node in ["e1", "e2", "e3", "e4"] {
+            sketch.dangling_path(node, delta);
+        }
+    }
+    sketch.build("t_in", "t_out", a)
+}
+
+// ---------------------------------------------------------------------------
+// Claims 6.10, 6.11, 6.14 (Figures 9, 10, 11).
+// ---------------------------------------------------------------------------
+
+/// Builds the Claim 6.10 gadget (Figure 9) for an infix-free language
+/// containing both `aba` and `bab`.
+pub fn claim_6_10_gadget(a: Letter, b: Letter) -> Result<PreGadget, GadgetError> {
+    if a == b {
+        return Err(GadgetError("Claim 6.10 requires two distinct letters".into()));
+    }
+    let mut db = GraphDb::new();
+    let facts: &[(&str, Letter, &str)] = &[
+        ("t_in", b, "1"),
+        ("5", b, "1"),
+        ("1", a, "2"),
+        ("2", b, "3"),
+        ("3", a, "4"),
+        ("t_out", b, "7"),
+        ("8", b, "7"),
+        ("7", a, "4"),
+        ("4", b, "6"),
+    ];
+    let t_in = db.node("t_in");
+    let t_out = db.node("t_out");
+    for &(src, label, dst) in facts {
+        let s = db.node(src);
+        let d = db.node(dst);
+        db.add_fact(s, label, d);
+    }
+    PreGadget::new(db, t_in, t_out, a)
+}
+
+/// Builds the Claim 6.11 gadget (Figure 10) for an infix-free language
+/// containing `aaa`; the shape is the Figure 3b gadget.
+pub fn claim_6_11_gadget(a: Letter) -> PreGadget {
+    library::gadget_aa_with_letter(a)
+}
+
+/// Builds the Claim 6.14 gadget (Figure 11), generalized from the word `aab`
+/// to any word `aaδ` with `δ ≠ ε`: facts `t_in -a→ 1`, a `δ`-path out of `1`,
+/// `t_out -a→ 3`, `3 -a→ 1`, and a `δ`-path out of `3`.
+pub fn claim_6_14_gadget(a: Letter, delta: &Word) -> Result<PreGadget, GadgetError> {
+    if delta.is_empty() {
+        return Err(GadgetError("Claim 6.14 requires a non-empty tail δ".into()));
+    }
+    let a_word = Word::single(a);
+    let mut sketch = Sketch::new();
+    sketch.path("t_in", "1", &a_word);
+    sketch.dangling_path("1", delta);
+    sketch.path("t_out", "3", &a_word);
+    sketch.path("3", "1", &a_word);
+    sketch.dangling_path("3", delta);
+    sketch.build("t_in", "t_out", a)
+}
+
+// ---------------------------------------------------------------------------
+// Proposition 7.11 (Figures 15 and 16).
+// ---------------------------------------------------------------------------
+
+fn prop_7_11_db() -> (GraphDb, rpq_graphdb::NodeId, rpq_graphdb::NodeId) {
+    let mut db = GraphDb::new();
+    let t_in = db.node("t_in");
+    let t_out = db.node("t_out");
+    let facts: &[(&str, char, &str)] = &[
+        ("t_in", 'b', "1"),
+        ("1", 'c', "2"),
+        ("2", 'd', "3"),
+        ("1", 'e', "4"),
+        ("4", 'f', "5"),
+        ("8", 'e', "4"),
+        ("7", 'b', "8"),
+        ("6", 'a', "7"),
+        ("8", 'c', "9"),
+        ("9", 'd', "10"),
+        ("t_out", 'b', "11"),
+        ("11", 'c', "9"),
+    ];
+    for &(src, label, dst) in facts {
+        let s = db.node(src);
+        let d = db.node(dst);
+        db.add_fact(s, Letter(label), d);
+    }
+    (db, t_in, t_out)
+}
+
+/// The gadget for `abcd|be|ef` (Figure 15, Proposition 7.11).
+///
+/// The node numbering differs slightly from the paper's drawing (which is not
+/// fully machine-readable); validity is established mechanically by
+/// [`PreGadget::verify`], which reproduces the odd condensed path of the
+/// figure (7 edges).
+pub fn gadget_abcd_be_ef() -> PreGadget {
+    let (db, t_in, t_out) = prop_7_11_db();
+    PreGadget::new(db, t_in, t_out, Letter('a')).expect("Figure 15 pre-gadget is well-formed")
+}
+
+/// The gadget for `abcd|bef` (Figure 16, Proposition 7.11). As the paper
+/// notes, the database is identical to the Figure 15 gadget; only the
+/// condensed hypergraph of matches differs (a 5-edge odd path).
+pub fn gadget_abcd_bef() -> PreGadget {
+    gadget_abcd_be_ef()
+}
+
+// ---------------------------------------------------------------------------
+// The driver: Theorem 6.1 / Theorem 5.3 case analysis with mechanical
+// verification of every candidate.
+// ---------------------------------------------------------------------------
+
+/// A candidate gadget together with its provenance, before verification.
+struct Candidate {
+    gadget: PreGadget,
+    family: GadgetFamily,
+    for_mirror: bool,
+}
+
+fn push_candidate(
+    candidates: &mut Vec<Candidate>,
+    result: Result<PreGadget, GadgetError>,
+    family: GadgetFamily,
+    for_mirror: bool,
+) {
+    if let Ok(gadget) = result {
+        candidates.push(Candidate { gadget, family, for_mirror });
+    }
+}
+
+/// Candidates derived from the Theorem 6.1 case analysis applied to one
+/// orientation of the (finite, infix-free) language.
+fn finite_candidates(language: &Language, for_mirror: bool, out: &mut Vec<Candidate>) {
+    let Ok(finite) = FiniteLanguage::from_language(language) else {
+        return;
+    };
+    // Square word xx ⇒ the Proposition 4.1 reduction applies directly.
+    for letter in finite.alphabet().iter() {
+        if finite.contains(&Word::from_letters([letter, letter])) {
+            out.push(Candidate {
+                gadget: library::gadget_aa_with_letter(letter),
+                family: GadgetFamily::Figure3b,
+                for_mirror,
+            });
+        }
+        // aaa ∈ L ⇒ Claim 6.11.
+        if finite.contains(&Word::from_letters([letter, letter, letter])) {
+            out.push(Candidate {
+                gadget: claim_6_11_gadget(letter),
+                family: GadgetFamily::Figure10,
+                for_mirror,
+            });
+        }
+    }
+    // aba, bab ∈ L ⇒ Claim 6.10.
+    for a in finite.alphabet().iter() {
+        for b in finite.alphabet().iter() {
+            if a == b {
+                continue;
+            }
+            let aba = Word::from_letters([a, b, a]);
+            let bab = Word::from_letters([b, a, b]);
+            if finite.contains(&aba) && finite.contains(&bab) {
+                push_candidate(out, claim_6_10_gadget(a, b), GadgetFamily::Figure9, for_mirror);
+            }
+        }
+    }
+    // Maximal-gap word β a γ a δ (Definition 6.4).
+    let Some(max_gap) = finite.maximal_gap_word() else {
+        return;
+    };
+    let decomposition = &max_gap.decomposition;
+    let a = decomposition.letter;
+    let beta = &decomposition.beta;
+    let gamma = &decomposition.gamma;
+    let delta = &decomposition.delta;
+    if !beta.is_empty() {
+        // The proof reduces to β = ε by mirroring; the mirror orientation is
+        // explored separately by `find_gadget`.
+        return;
+    }
+    // Lemma 6.6 shapes (valid when no infix of γaγ is in L — verification
+    // decides, so we simply propose the candidates).
+    if delta.is_empty() {
+        let family = if gamma.is_empty() { GadgetFamily::Figure3b } else { GadgetFamily::Figure7 };
+        push_candidate(out, lemma_6_6_gadget(a, gamma, &Word::epsilon()), family, for_mirror);
+    } else if gamma.is_empty() {
+        // The gap is empty: the Lemma 6.6 chain degenerates to the Claim 6.14
+        // shape, so report the Figure 11 provenance directly.
+        push_candidate(out, claim_6_14_gadget(a, delta), GadgetFamily::Figure11, for_mirror);
+    } else {
+        push_candidate(out, lemma_6_6_gadget(a, gamma, delta), GadgetFamily::Figure8, for_mirror);
+    }
+    // aaδ ∈ L for some letter/tail (Claim 6.14), independently of the
+    // maximal-gap choice.
+    for word in finite.words() {
+        if word.len() >= 3 && word.letter_at(0) == word.letter_at(1) {
+            let head = word.letter_at(0);
+            let tail = word.slice(2, word.len());
+            if !tail.is_empty() {
+                push_candidate(out, claim_6_14_gadget(head, &tail), GadgetFamily::Figure11, for_mirror);
+            }
+        }
+    }
+}
+
+/// Whether a four-legged witness with stable legs falls in Case 1 of the
+/// Theorem 5.3 proof: no infix of `γ'xβ'` is in the language.
+fn is_case_1(language: &Language, witness: &CartesianViolation) -> bool {
+    let word = Word::concat_all([&witness.gamma, &Word::single(witness.body), &witness.beta]);
+    word.infixes().iter().all(|w| !language.contains(w))
+}
+
+/// Candidates derived from the Theorem 5.3 analysis (four-legged languages)
+/// applied to one orientation of the language.
+fn four_legged_candidates(language: &Language, for_mirror: bool, out: &mut Vec<Candidate>) {
+    let mut witnesses: Vec<CartesianViolation> = Vec::new();
+    if let Some(witness) = four_legged_witness(language) {
+        let stable = stabilize_legs(language, &witness);
+        if legs_are_stable(language, &stable) {
+            witnesses.push(stable);
+        }
+    }
+    // For finite languages, also enumerate stable Case 1 witnesses directly
+    // from all word decompositions (the automatic witness may land in Case 2
+    // while another decomposition of the same language is Case 1).
+    if let Ok(finite) = FiniteLanguage::from_language(language) {
+        witnesses.extend(enumerate_stable_witnesses(language, &finite, 16));
+    }
+    for witness in witnesses {
+        if is_case_1(language, &witness) {
+            push_candidate(
+                out,
+                theorem_5_3_case_1_gadget(&witness),
+                GadgetFamily::Figure5Case1,
+                for_mirror,
+            );
+        }
+        // Case 2 (Figure 6) is not transcribed; see the module documentation.
+    }
+}
+
+/// Enumerates four-legged witnesses with stable legs of a finite infix-free
+/// language by considering every pair of words and every split position
+/// (bounded by `limit` to keep the candidate pool small).
+fn enumerate_stable_witnesses(
+    language: &Language,
+    finite: &FiniteLanguage,
+    limit: usize,
+) -> Vec<CartesianViolation> {
+    let mut found = Vec::new();
+    for first in finite.words() {
+        for second in finite.words() {
+            for i in 1..first.len().saturating_sub(1) {
+                let x = first.letter_at(i);
+                for j in 1..second.len().saturating_sub(1) {
+                    if second.letter_at(j) != x {
+                        continue;
+                    }
+                    let violation = CartesianViolation {
+                        body: x,
+                        alpha: first.slice(0, i),
+                        beta: first.slice(i + 1, first.len()),
+                        gamma: second.slice(0, j),
+                        delta: second.slice(j + 1, second.len()),
+                    };
+                    if violation.has_nonempty_legs()
+                        && violation.verify(language)
+                        && legs_are_stable(language, &violation)
+                    {
+                        found.push(violation);
+                        if found.len() >= limit {
+                            return found;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+/// Candidates for the specific languages settled by fixed gadgets
+/// (Propositions 4.1, 4.13, 7.4 and 7.11).
+fn library_candidates(language: &Language, for_mirror: bool, out: &mut Vec<Candidate>) {
+    let equals = |pattern: &str| {
+        Language::parse(pattern)
+            .map(|l| language.equals(&l.with_alphabet(language.alphabet())))
+            .unwrap_or(false)
+    };
+    if equals("aa") {
+        out.push(Candidate { gadget: library::gadget_aa(), family: GadgetFamily::Figure3b, for_mirror });
+    }
+    if equals("axb|cxd") {
+        out.push(Candidate {
+            gadget: library::gadget_axb_cxd(),
+            family: GadgetFamily::Figure4a,
+            for_mirror,
+        });
+    }
+    if equals("ab|bc|ca") {
+        out.push(Candidate {
+            gadget: library::gadget_ab_bc_ca(),
+            family: GadgetFamily::Figure13,
+            for_mirror,
+        });
+    }
+    if equals("abcd|be|ef") {
+        out.push(Candidate { gadget: gadget_abcd_be_ef(), family: GadgetFamily::Figure15, for_mirror });
+    }
+    if equals("abcd|bef") {
+        out.push(Candidate { gadget: gadget_abcd_bef(), family: GadgetFamily::Figure16, for_mirror });
+    }
+}
+
+/// Searches for a mechanically verified hardness gadget for the infix-free
+/// sublanguage of `language`, following the case analysis of the paper's
+/// hardness proofs (Sections 4–7). Candidates are generated both for `IF(L)`
+/// and for its mirror (Proposition 6.3) and each candidate is verified with
+/// [`PreGadget::verify`]; the first valid one is returned.
+///
+/// A `Some` result is a *certificate of NP-hardness* of `RES_set(L)` by
+/// Proposition 4.11 (possibly through Proposition 6.3 when
+/// [`VerifiedGadget::for_mirror`] is set). A `None` result does **not** mean
+/// the language is tractable: Figure 6 (Theorem 5.3 Case 2) and Figure 12
+/// (Claim 6.13) are not transcribed, and unclassified languages have no
+/// gadget at all.
+pub fn find_gadget(language: &Language) -> Option<VerifiedGadget> {
+    let if_language = language.infix_free();
+    if if_language.contains_epsilon() || if_language.is_empty() {
+        return None;
+    }
+    let mirror = if_language.mirror();
+
+    let mut candidates: Vec<Candidate> = Vec::new();
+    library_candidates(&if_language, false, &mut candidates);
+    library_candidates(&mirror, true, &mut candidates);
+    finite_candidates(&if_language, false, &mut candidates);
+    finite_candidates(&mirror, true, &mut candidates);
+    four_legged_candidates(&if_language, false, &mut candidates);
+    four_legged_candidates(&mirror, true, &mut candidates);
+
+    for candidate in candidates {
+        let target = if candidate.for_mirror { &mirror } else { &if_language };
+        let report = candidate.gadget.verify(target);
+        if report.is_valid {
+            return Some(VerifiedGadget {
+                gadget: candidate.gadget,
+                family: candidate.family,
+                for_mirror: candidate.for_mirror,
+                report,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::resilience_exact;
+    use crate::reductions::{subdivision_vertex_cover_number, UndirectedGraph};
+    use crate::rpq::{ResilienceValue, Rpq};
+
+    fn lang(pattern: &str) -> Language {
+        Language::parse(pattern).unwrap()
+    }
+
+    #[test]
+    fn figure_5_family_reproduces_figure_4_for_axb_cxd() {
+        // For axb|cxd the stable legs are single letters and the Case 1 family
+        // degenerates exactly to the Figure 4a geometry (9-edge condensed path).
+        let l = lang("axb|cxd");
+        let witness = four_legged_witness(&l).expect("axb|cxd is four-legged");
+        let stable = stabilize_legs(&l, &witness);
+        let gadget = theorem_5_3_case_1_gadget(&stable).unwrap();
+        let report = gadget.verify(&l);
+        assert!(report.is_valid, "{:?}", report.failure);
+        assert_eq!(report.path_length, Some(9));
+    }
+
+    #[test]
+    fn figure_5_family_handles_longer_legs() {
+        // α' = ae, γ' = ce: a genuine Case 1 language with legs of length 2.
+        let l = lang("aexb|cexd");
+        let found = find_gadget(&l).expect("four-legged Case 1 language has a gadget");
+        assert_eq!(found.family, GadgetFamily::Figure5Case1);
+        assert!(found.report.path_length.unwrap() % 2 == 1);
+    }
+
+    #[test]
+    fn figure_5_family_handles_non_star_free_languages() {
+        // b(aa)*d is non-star-free, hence four-legged (Lemma 5.6); the stable
+        // legs found by the library give a Case 1 gadget.
+        let l = lang("b(aa)*d");
+        let found = find_gadget(&l);
+        if let Some(found) = &found {
+            assert!(found.report.is_valid);
+        }
+        // At minimum the four-legged witness must exist; the gadget search may
+        // legitimately fail only if the witness falls in Case 2.
+        assert!(four_legged_witness(&l).is_some());
+    }
+
+    #[test]
+    fn lemma_6_6_family_for_gap_words() {
+        // abca: maximal-gap word abca (β=ε, γ=bc, δ=ε) with no infix of
+        // γaγ = bcabc in the language → Figure 7 shape.
+        for pattern in ["abca", "axya"] {
+            let l = lang(pattern);
+            let found = find_gadget(&l).unwrap_or_else(|| panic!("{pattern} should have a gadget"));
+            assert!(found.report.is_valid);
+            assert!(found.report.path_length.unwrap() % 2 == 1, "{pattern}");
+        }
+    }
+
+    #[test]
+    fn lemma_6_6_figure_8_with_nonempty_delta() {
+        // abcab: maximal-gap decomposition a·bc·a·b has β=ε? The maximal-gap
+        // word of {abcab} is abcab = β a γ a δ with β=ε, γ=bc, δ=b. No infix of
+        // γaγ = bcabc is in the language (abcab is not an infix of bcabc), so
+        // Figure 8 applies.
+        let l = lang("abcab");
+        let gadget = lemma_6_6_gadget(Letter('a'), &Word::from_str_word("bc"), &Word::from_str_word("b")).unwrap();
+        let report = gadget.verify(&l);
+        assert!(report.is_valid, "{:?}", report.failure);
+        assert_eq!(report.path_length, Some(5));
+    }
+
+    #[test]
+    fn claim_6_10_gadget_for_aba_bab() {
+        let l = Language::from_strs(["aba", "bab"]);
+        let gadget = claim_6_10_gadget(Letter('a'), Letter('b')).unwrap();
+        let report = gadget.verify(&l);
+        assert!(report.is_valid, "{:?}", report.failure);
+        // Figure 9: condensed path of 5 edges.
+        assert_eq!(report.path_length, Some(5));
+        assert!(claim_6_10_gadget(Letter('a'), Letter('a')).is_err());
+    }
+
+    #[test]
+    fn claim_6_14_gadget_for_aab_and_longer_tails() {
+        // aab (Figure 11): 3-edge condensed path.
+        let l = lang("aab");
+        let gadget = claim_6_14_gadget(Letter('a'), &Word::from_str_word("b")).unwrap();
+        let report = gadget.verify(&l);
+        assert!(report.is_valid, "{:?}", report.failure);
+        assert_eq!(report.path_length, Some(3));
+        // Longer tails: aabc.
+        let l2 = lang("aabc");
+        let gadget2 = claim_6_14_gadget(Letter('a'), &Word::from_str_word("bc")).unwrap();
+        assert!(gadget2.verify(&l2).is_valid);
+        // Empty tails are rejected.
+        assert!(claim_6_14_gadget(Letter('a'), &Word::epsilon()).is_err());
+    }
+
+    #[test]
+    fn mirror_orientation_covers_baa() {
+        // baa has its repeated letters at the end; the driver must find a
+        // gadget through the mirror language aab (Proposition 6.3).
+        let found = find_gadget(&lang("baa")).expect("baa is settled through its mirror");
+        assert!(found.for_mirror);
+        assert!(found.report.is_valid);
+    }
+
+    #[test]
+    fn figures_15_and_16_are_valid() {
+        let report_15 = gadget_abcd_be_ef().verify(&lang("abcd|be|ef"));
+        assert!(report_15.is_valid, "{:?}", report_15.failure);
+        assert_eq!(report_15.path_length, Some(7));
+        let report_16 = gadget_abcd_bef().verify(&lang("abcd|bef"));
+        assert!(report_16.is_valid, "{:?}", report_16.failure);
+        assert_eq!(report_16.path_length, Some(5));
+    }
+
+    #[test]
+    fn find_gadget_covers_most_figure_1_hard_languages() {
+        // The NP-hard examples of Figure 1 whose hardness proofs go through
+        // the transcribed families come with a mechanically verified gadget
+        // certificate (possibly through the mirror).
+        for pattern in ["aa", "axb|cxd", "ab|bc|ca", "abcd|be|ef", "abcd|bef", "aab", "abca"] {
+            let found = find_gadget(&lang(pattern));
+            assert!(found.is_some(), "no verified gadget found for {pattern}");
+            let found = found.unwrap();
+            assert!(found.report.is_valid, "{pattern}");
+            assert!(found.report.path_length.unwrap() % 2 == 1, "{pattern}");
+        }
+    }
+
+    #[test]
+    fn documented_gaps_figure_6_and_figure_12() {
+        // aaaa only admits Case 2 stable legs (Figure 6) or the overlapping
+        // analysis, and abca|cab falls in the Claim 6.13 non-overlapping case
+        // (Figure 12); neither figure family is transcribed, so the driver is
+        // allowed to give up on them — their NP-hardness verdicts rest on the
+        // repeated-letter certificates of the classifier instead. If a later
+        // extension makes these succeed, this test should be updated (it only
+        // requires that an answer, when given, is a genuinely verified gadget).
+        for pattern in ["aaaa", "abca|cab"] {
+            if let Some(found) = find_gadget(&lang(pattern)) {
+                assert!(found.report.is_valid, "{pattern}");
+                assert!(found.report.path_length.unwrap() % 2 == 1, "{pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn find_gadget_returns_none_for_tractable_languages() {
+        for pattern in ["ax*b", "ab|ad|cd", "ab|bc", "abc|be", "a"] {
+            assert!(find_gadget(&lang(pattern)).is_none(), "{pattern} is tractable");
+        }
+    }
+
+    #[test]
+    fn family_gadgets_support_the_vertex_cover_reduction() {
+        // End-to-end Proposition 4.11 check with family-generated gadgets.
+        for pattern in ["aab", "abca"] {
+            let l = lang(pattern);
+            let found = find_gadget(&l).unwrap();
+            assert!(!found.for_mirror, "{pattern} should be settled directly");
+            let ell = found.report.path_length.unwrap();
+            let query = Rpq::new(l);
+            for graph in [UndirectedGraph::new(3, [(0, 1), (1, 2)]), UndirectedGraph::cycle(3)] {
+                let encoding = found.gadget.encode_graph(&graph);
+                let resilience = resilience_exact(&query, &encoding).value;
+                let expected = subdivision_vertex_cover_number(&graph, ell);
+                assert_eq!(
+                    resilience,
+                    ResilienceValue::Finite(expected as u128),
+                    "{pattern} on a graph with {} vertices",
+                    graph.num_vertices
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gadget_family_provenance_labels() {
+        assert_eq!(GadgetFamily::Figure5Case1.paper_result(), "Theorem 5.3 (Case 1)");
+        assert_eq!(GadgetFamily::Figure8.paper_result(), "Lemma 6.6");
+        assert_eq!(GadgetFamily::Figure15.paper_result(), "Proposition 7.11");
+    }
+}

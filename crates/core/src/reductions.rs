@@ -1,0 +1,216 @@
+//! Vertex-cover machinery for the hardness reductions (Section 4).
+//!
+//! Proposition 4.11 reduces minimum vertex cover to resilience: encode the
+//! input graph by replacing each edge with a copy of a hardness gadget, and
+//! the resilience of the encoding equals `k + m·(ℓ−1)/2` where `k` is the
+//! vertex cover number, `m` the number of edges, and `ℓ` the (odd) length of
+//! the gadget's condensed match path (Proposition 4.2). This module provides
+//! exact vertex-cover solvers and the odd-subdivision arithmetic needed to
+//! validate the reduction end to end on small graphs.
+
+use std::collections::BTreeSet;
+
+/// An undirected graph given by its number of vertices and its edge list
+/// (self-loops are not allowed; duplicate edges are ignored).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UndirectedGraph {
+    /// Number of vertices (vertices are `0..num_vertices`).
+    pub num_vertices: usize,
+    /// Edges as unordered pairs `(u, v)` with `u < v`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl UndirectedGraph {
+    /// Builds a graph, normalizing and deduplicating the edge list.
+    pub fn new(num_vertices: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        let mut set = BTreeSet::new();
+        for (u, v) in edges {
+            assert!(u != v, "self-loops are not allowed");
+            assert!(u < num_vertices && v < num_vertices, "vertex out of range");
+            set.insert((u.min(v), u.max(v)));
+        }
+        UndirectedGraph { num_vertices, edges: set.into_iter().collect() }
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// A complete graph on `n` vertices.
+    pub fn complete(n: usize) -> Self {
+        let edges = (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v)));
+        Self::new(n, edges)
+    }
+
+    /// A cycle on `n ≥ 3` vertices.
+    pub fn cycle(n: usize) -> Self {
+        assert!(n >= 3);
+        Self::new(n, (0..n).map(|i| (i, (i + 1) % n)))
+    }
+
+    /// An Erdős–Rényi style random graph with the given edge probability.
+    pub fn random(n: usize, edge_probability: f64, seed: u64) -> Self {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let edges = (0..n)
+            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+            .filter(|_| rng.gen_bool(edge_probability))
+            .collect::<Vec<_>>();
+        Self::new(n, edges)
+    }
+
+    /// Whether a vertex set covers every edge.
+    pub fn is_vertex_cover(&self, cover: &BTreeSet<usize>) -> bool {
+        self.edges.iter().all(|&(u, v)| cover.contains(&u) || cover.contains(&v))
+    }
+
+    /// The minimum vertex cover, computed exactly by branch and bound
+    /// (exponential; intended for the small validation graphs).
+    pub fn minimum_vertex_cover(&self) -> BTreeSet<usize> {
+        let mut best: BTreeSet<usize> = (0..self.num_vertices).collect();
+        let mut current = BTreeSet::new();
+        self.branch(&mut current, 0, &mut best);
+        best
+    }
+
+    /// The vertex cover number of the graph.
+    pub fn vertex_cover_number(&self) -> usize {
+        self.minimum_vertex_cover().len()
+    }
+
+    fn branch(&self, current: &mut BTreeSet<usize>, from_edge: usize, best: &mut BTreeSet<usize>) {
+        if current.len() >= best.len() {
+            return;
+        }
+        let next = (from_edge..self.edges.len())
+            .find(|&i| !current.contains(&self.edges[i].0) && !current.contains(&self.edges[i].1));
+        let Some(i) = next else {
+            *best = current.clone();
+            return;
+        };
+        let (u, v) = self.edges[i];
+        for pick in [u, v] {
+            current.insert(pick);
+            self.branch(current, i + 1, best);
+            current.remove(&pick);
+        }
+    }
+
+    /// The `ℓ`-subdivision of the graph for an odd `ℓ`: every edge is replaced
+    /// by a path of length `ℓ` through fresh vertices.
+    pub fn odd_subdivision(&self, ell: usize) -> UndirectedGraph {
+        assert!(ell >= 1 && ell % 2 == 1, "the subdivision length must be odd");
+        let mut edges = Vec::new();
+        let mut next_vertex = self.num_vertices;
+        for &(u, v) in &self.edges {
+            let mut previous = u;
+            for step in 1..ell {
+                let fresh = next_vertex;
+                next_vertex += 1;
+                edges.push((previous, fresh));
+                previous = fresh;
+                let _ = step;
+            }
+            edges.push((previous, v));
+        }
+        UndirectedGraph::new(next_vertex, edges)
+    }
+}
+
+/// Proposition 4.2: the vertex cover number of an odd `ℓ`-subdivision of `G`
+/// is `vc(G) + m·(ℓ−1)/2` where `m` is the number of edges of `G`.
+pub fn subdivision_vertex_cover_number(graph: &UndirectedGraph, ell: usize) -> usize {
+    assert!(ell % 2 == 1);
+    graph.vertex_cover_number() + graph.num_edges() * (ell - 1) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_cover_of_simple_graphs() {
+        let triangle = UndirectedGraph::cycle(3);
+        assert_eq!(triangle.vertex_cover_number(), 2);
+        let square = UndirectedGraph::cycle(4);
+        assert_eq!(square.vertex_cover_number(), 2);
+        let c5 = UndirectedGraph::cycle(5);
+        assert_eq!(c5.vertex_cover_number(), 3);
+        let k4 = UndirectedGraph::complete(4);
+        assert_eq!(k4.vertex_cover_number(), 3);
+        let path = UndirectedGraph::new(4, [(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(path.vertex_cover_number(), 2);
+        let empty = UndirectedGraph::new(3, []);
+        assert_eq!(empty.vertex_cover_number(), 0);
+        let star = UndirectedGraph::new(5, [(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(star.vertex_cover_number(), 1);
+    }
+
+    #[test]
+    fn minimum_cover_is_a_cover() {
+        for seed in 0..5 {
+            let g = UndirectedGraph::random(7, 0.4, seed);
+            let cover = g.minimum_vertex_cover();
+            assert!(g.is_vertex_cover(&cover));
+            // No vertex can be dropped.
+            for &v in &cover {
+                let mut smaller = cover.clone();
+                smaller.remove(&v);
+                // The smaller set may still be a cover only if it is not minimum;
+                // minimality of cardinality is what the solver guarantees, so we
+                // check optimality against brute force instead for small graphs.
+                let _ = smaller;
+            }
+            // Brute-force optimality check.
+            let n = g.num_vertices;
+            let mut best = usize::MAX;
+            for mask in 0u32..(1 << n) {
+                let set: BTreeSet<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+                if g.is_vertex_cover(&set) {
+                    best = best.min(set.len());
+                }
+            }
+            assert_eq!(cover.len(), best, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn proposition_4_2_on_small_graphs() {
+        // Check vc(G') = vc(G) + m(ℓ−1)/2 for ℓ ∈ {3, 5} by direct computation.
+        let graphs = vec![
+            UndirectedGraph::cycle(3),
+            UndirectedGraph::cycle(4),
+            UndirectedGraph::complete(4),
+            UndirectedGraph::new(4, [(0, 1), (1, 2), (2, 3), (0, 3), (0, 2)]),
+            UndirectedGraph::random(5, 0.5, 7),
+        ];
+        for g in graphs {
+            for ell in [1usize, 3, 5] {
+                let subdivided = g.odd_subdivision(ell);
+                assert_eq!(
+                    subdivided.vertex_cover_number(),
+                    subdivision_vertex_cover_number(&g, ell),
+                    "ℓ={ell}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subdivision_structure() {
+        let g = UndirectedGraph::new(2, [(0, 1)]);
+        let s = g.odd_subdivision(5);
+        assert_eq!(s.num_vertices, 2 + 4);
+        assert_eq!(s.num_edges(), 5);
+        let identity = g.odd_subdivision(1);
+        assert_eq!(identity.num_edges(), 1);
+        assert_eq!(identity.num_vertices, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_subdivision_is_rejected() {
+        UndirectedGraph::cycle(3).odd_subdivision(2);
+    }
+}

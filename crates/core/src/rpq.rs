@@ -1,0 +1,218 @@
+//! The RPQ query type and resilience values.
+
+use rpq_automata::Language;
+use rpq_graphdb::{FactId, GraphDb};
+use std::fmt;
+
+/// Whether resilience is computed under set semantics (every fact costs 1) or
+/// bag semantics (every fact costs its multiplicity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Semantics {
+    /// Set semantics: each fact removal costs 1.
+    #[default]
+    Set,
+    /// Bag semantics: each fact removal costs its multiplicity.
+    Bag,
+}
+
+impl Semantics {
+    /// The cost of removing a fact of the database under this semantics.
+    pub fn fact_cost(&self, db: &GraphDb, fact: FactId) -> u64 {
+        match self {
+            Semantics::Set => 1,
+            Semantics::Bag => db.multiplicity(fact),
+        }
+    }
+}
+
+/// The resilience of a query on a database: the minimum cost of a contingency
+/// set, or `+∞` when the query holds on every sub-database (which happens
+/// exactly when `ε ∈ L`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResilienceValue {
+    /// A finite resilience value.
+    Finite(u128),
+    /// The query cannot be falsified by removing facts.
+    Infinite,
+}
+
+impl ResilienceValue {
+    /// The finite value, if any.
+    pub fn finite(&self) -> Option<u128> {
+        match self {
+            ResilienceValue::Finite(v) => Some(*v),
+            ResilienceValue::Infinite => None,
+        }
+    }
+
+    /// Whether the value is `+∞`.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, ResilienceValue::Infinite)
+    }
+}
+
+impl fmt::Display for ResilienceValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResilienceValue::Finite(v) => write!(f, "{v}"),
+            ResilienceValue::Infinite => write!(f, "+∞"),
+        }
+    }
+}
+
+impl From<rpq_flow::Capacity> for ResilienceValue {
+    fn from(c: rpq_flow::Capacity) -> Self {
+        match c {
+            rpq_flow::Capacity::Finite(v) => ResilienceValue::Finite(v),
+            rpq_flow::Capacity::Infinite => ResilienceValue::Infinite,
+        }
+    }
+}
+
+/// A Boolean Regular Path Query together with the semantics under which its
+/// resilience should be computed.
+///
+/// The query `Q_L` holds on a database `D` when `D` contains a walk labeled by
+/// a word of `L`. Resilience is the minimum cost of a set of facts whose
+/// removal falsifies the query (Definition 2.1 of the paper).
+#[derive(Debug, Clone)]
+pub struct Rpq {
+    language: Language,
+    semantics: Semantics,
+}
+
+impl Rpq {
+    /// Creates a query from a language, under set semantics.
+    pub fn new(language: Language) -> Rpq {
+        Rpq { language, semantics: Semantics::Set }
+    }
+
+    /// Creates a query from a regular expression, under set semantics.
+    pub fn parse(pattern: &str) -> Result<Rpq, rpq_automata::AutomataError> {
+        Ok(Rpq::new(Language::parse(pattern)?))
+    }
+
+    /// Switches to bag semantics (costs are fact multiplicities).
+    pub fn with_bag_semantics(mut self) -> Rpq {
+        self.semantics = Semantics::Bag;
+        self
+    }
+
+    /// Switches to the given semantics.
+    pub fn with_semantics(mut self, semantics: Semantics) -> Rpq {
+        self.semantics = semantics;
+        self
+    }
+
+    /// The language defining the query.
+    pub fn language(&self) -> &Language {
+        &self.language
+    }
+
+    /// The semantics under which resilience is computed.
+    pub fn semantics(&self) -> Semantics {
+        self.semantics
+    }
+
+    /// The infix-free sublanguage `IF(L)`: the query `Q_{IF(L)}` is the same
+    /// query as `Q_L`, and all complexity analyses work on it.
+    pub fn infix_free_language(&self) -> Language {
+        self.language.infix_free()
+    }
+
+    /// The mirror query `Q_{L^R}` (Proposition 6.3): its resilience on the
+    /// reversed database equals the resilience of this query on the original.
+    pub fn mirror(&self) -> Rpq {
+        Rpq { language: self.language.mirror(), semantics: self.semantics }
+    }
+
+    /// Whether the query holds on the database.
+    pub fn holds_on(&self, db: &GraphDb) -> bool {
+        rpq_graphdb::satisfies(db, &self.language)
+    }
+
+    /// Whether a fact set is a contingency set: removing it falsifies the query.
+    pub fn is_contingency_set(&self, db: &GraphDb, facts: &std::collections::BTreeSet<FactId>) -> bool {
+        !rpq_graphdb::satisfies_excluding(db, &self.language, facts)
+    }
+
+    /// The cost of a fact set under the query's semantics.
+    pub fn cost(&self, db: &GraphDb, facts: &std::collections::BTreeSet<FactId>) -> u128 {
+        facts.iter().map(|&f| self.semantics.fact_cost(db, f) as u128).sum()
+    }
+}
+
+impl fmt::Display for Rpq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sem = match self.semantics {
+            Semantics::Set => "set",
+            Semantics::Bag => "bag",
+        };
+        write!(f, "RES_{sem}({})", self.language)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn resilience_value_basics() {
+        assert!(ResilienceValue::Finite(3) < ResilienceValue::Finite(4));
+        assert!(ResilienceValue::Finite(u128::MAX) < ResilienceValue::Infinite);
+        assert_eq!(ResilienceValue::Finite(3).finite(), Some(3));
+        assert_eq!(ResilienceValue::Infinite.finite(), None);
+        assert!(ResilienceValue::Infinite.is_infinite());
+        assert_eq!(ResilienceValue::Finite(5).to_string(), "5");
+        assert_eq!(ResilienceValue::Infinite.to_string(), "+∞");
+        assert_eq!(
+            ResilienceValue::from(rpq_flow::Capacity::Finite(2)),
+            ResilienceValue::Finite(2)
+        );
+        assert_eq!(ResilienceValue::from(rpq_flow::Capacity::Infinite), ResilienceValue::Infinite);
+    }
+
+    #[test]
+    fn semantics_cost() {
+        let mut db = GraphDb::new();
+        let f = db.add_fact_by_names("u", 'a', "v");
+        db.set_multiplicity(f, 5);
+        assert_eq!(Semantics::Set.fact_cost(&db, f), 1);
+        assert_eq!(Semantics::Bag.fact_cost(&db, f), 5);
+    }
+
+    #[test]
+    fn rpq_holds_and_contingency() {
+        let mut db = GraphDb::new();
+        let f1 = db.add_fact_by_names("u", 'a', "v");
+        let f2 = db.add_fact_by_names("v", 'a', "w");
+        let q = Rpq::parse("aa").unwrap();
+        assert!(q.holds_on(&db));
+        let cs: BTreeSet<FactId> = [f1].into_iter().collect();
+        assert!(q.is_contingency_set(&db, &cs));
+        assert!(q.is_contingency_set(&db, &[f2].into_iter().collect()));
+        assert!(!q.is_contingency_set(&db, &BTreeSet::new()));
+        assert_eq!(q.cost(&db, &cs), 1);
+        let bag = Rpq::parse("aa").unwrap().with_bag_semantics();
+        db.set_multiplicity(f1, 10);
+        assert_eq!(bag.cost(&db, &cs), 10);
+    }
+
+    #[test]
+    fn mirror_query() {
+        let q = Rpq::parse("ab").unwrap().with_bag_semantics();
+        let m = q.mirror();
+        assert_eq!(m.semantics(), Semantics::Bag);
+        assert!(m.language().contains(&rpq_automata::Word::from_str_word("ba")));
+        assert_eq!(q.to_string(), "RES_bag(ab)");
+        assert_eq!(Rpq::parse("ab").unwrap().to_string(), "RES_set(ab)");
+    }
+
+    #[test]
+    fn infix_free_language_of_query() {
+        let q = Rpq::parse("abbc|bb").unwrap();
+        let if_l = q.infix_free_language();
+        assert!(if_l.equals(&Language::from_strs(["bb"])));
+    }
+}

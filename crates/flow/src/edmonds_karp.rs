@@ -1,0 +1,160 @@
+//! Edmonds–Karp maximum flow (BFS augmenting paths).
+//!
+//! This is the simplest classical polynomial max-flow algorithm
+//! (`O(V·E²)`); it is kept as an independent reference implementation used to
+//! cross-check [`crate::dinic`] and [`crate::push_relabel`] in tests and in
+//! the `flow_ablation` bench, which measures how much the choice of max-flow
+//! solver matters for the resilience reductions of the paper.
+
+use crate::dinic::{Arc, MaxFlow, Residual};
+use crate::network::{Capacity, FlowNetwork};
+use std::collections::VecDeque;
+
+/// Computes a maximum flow from the network's source to its target with the
+/// Edmonds–Karp algorithm. The result is interchangeable with
+/// [`crate::dinic::max_flow`] (same value, a residual graph usable for
+/// min-cut extraction).
+pub fn max_flow(network: &FlowNetwork) -> MaxFlow {
+    let n = network.num_vertices();
+    let source = network.source().index();
+    let target = network.target().index();
+    assert_ne!(source, target, "source and target must differ");
+
+    let infinite_cap: u128 = network.total_finite_capacity() + 1;
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut arcs: Vec<Arc> = Vec::new();
+    for (_, e) in network.edges() {
+        let capacity = match e.capacity {
+            Capacity::Finite(0) => continue,
+            Capacity::Finite(c) => c,
+            Capacity::Infinite => infinite_cap,
+        };
+        let forward = arcs.len();
+        arcs.push(Arc { to: e.to.index(), capacity, flow: 0 });
+        arcs.push(Arc { to: e.from.index(), capacity: 0, flow: 0 });
+        adjacency[e.from.index()].push(forward);
+        adjacency[e.to.index()].push(forward + 1);
+    }
+
+    let mut total_flow: u128 = 0;
+    // predecessor arc index for each vertex on the current augmenting path.
+    let mut pred: Vec<Option<usize>> = vec![None; n];
+    loop {
+        // BFS for a shortest augmenting path in the residual graph.
+        for p in pred.iter_mut() {
+            *p = None;
+        }
+        let mut visited = vec![false; n];
+        visited[source] = true;
+        let mut queue = VecDeque::from([source]);
+        'bfs: while let Some(v) = queue.pop_front() {
+            for &ai in &adjacency[v] {
+                let arc = arcs[ai];
+                if arc.residual() > 0 && !visited[arc.to] {
+                    visited[arc.to] = true;
+                    pred[arc.to] = Some(ai);
+                    if arc.to == target {
+                        break 'bfs;
+                    }
+                    queue.push_back(arc.to);
+                }
+            }
+        }
+        if !visited[target] {
+            break;
+        }
+        // Bottleneck along the path.
+        let mut bottleneck = u128::MAX;
+        let mut v = target;
+        while v != source {
+            let ai = pred[v].expect("path exists");
+            bottleneck = bottleneck.min(arcs[ai].residual());
+            v = arcs[ai ^ 1].to;
+        }
+        // Augment.
+        let mut v = target;
+        while v != source {
+            let ai = pred[v].expect("path exists");
+            arcs[ai].flow += bottleneck;
+            arcs[ai ^ 1].capacity += bottleneck;
+            v = arcs[ai ^ 1].to;
+        }
+        total_flow += bottleneck;
+    }
+
+    let value = if total_flow >= infinite_cap {
+        Capacity::Infinite
+    } else {
+        Capacity::Finite(total_flow)
+    };
+    MaxFlow { value, residual: Residual { adjacency, arcs } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::VertexId;
+
+    fn simple_network(edges: &[(u32, u32, u64)], n: u32, s: u32, t: u32) -> FlowNetwork {
+        let mut net = FlowNetwork::new();
+        net.add_vertices(n as usize);
+        net.set_source(VertexId(s));
+        net.set_target(VertexId(t));
+        for &(a, b, c) in edges {
+            net.add_edge(VertexId(a), VertexId(b), Capacity::Finite(c as u128));
+        }
+        net
+    }
+
+    #[test]
+    fn agrees_with_dinic_on_textbook_instances() {
+        let instances = vec![
+            simple_network(&[(0, 1, 5)], 2, 0, 1),
+            simple_network(&[(0, 1, 5), (1, 2, 3), (2, 3, 7)], 4, 0, 3),
+            simple_network(&[(0, 1, 2), (1, 3, 2), (0, 2, 3), (2, 3, 3)], 4, 0, 3),
+            simple_network(
+                &[
+                    (0, 1, 16),
+                    (0, 2, 13),
+                    (1, 2, 10),
+                    (2, 1, 4),
+                    (1, 3, 12),
+                    (3, 2, 9),
+                    (2, 4, 14),
+                    (4, 3, 7),
+                    (3, 5, 20),
+                    (4, 5, 4),
+                ],
+                6,
+                0,
+                5,
+            ),
+            simple_network(&[], 2, 0, 1),
+        ];
+        for net in instances {
+            assert_eq!(max_flow(&net).value, crate::dinic::max_flow(&net).value);
+        }
+    }
+
+    #[test]
+    fn infinite_routes_are_detected() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_vertex();
+        let m = net.add_vertex();
+        let t = net.add_vertex();
+        net.set_source(s);
+        net.set_target(t);
+        net.add_edge(s, m, Capacity::Infinite);
+        net.add_edge(m, t, Capacity::Infinite);
+        assert_eq!(max_flow(&net).value, Capacity::Infinite);
+        let mut net2 = FlowNetwork::new();
+        let s = net2.add_vertex();
+        let m = net2.add_vertex();
+        let t = net2.add_vertex();
+        net2.set_source(s);
+        net2.set_target(t);
+        net2.add_edge(s, m, Capacity::Infinite);
+        net2.add_edge(m, t, Capacity::Finite(9));
+        assert_eq!(max_flow(&net2).value, Capacity::Finite(9));
+    }
+}

@@ -1,0 +1,23 @@
+//! # `rpq-flow`: flow networks and minimum cuts
+//!
+//! The tractable resilience algorithms of the paper (Theorem 3.13,
+//! Proposition 7.6, Proposition 7.9) all reduce resilience to the **MinCut**
+//! problem on a flow network with finite and infinite capacities. This crate
+//! provides the substrate:
+//!
+//! * [`network::FlowNetwork`] — directed networks with a single source and
+//!   target and [`network::Capacity`] values that are either finite (`u64`) or
+//!   `+∞` (a dedicated variant, so saturation bugs are impossible);
+//! * [`dinic`] — Dinic's max-flow algorithm;
+//! * [`mincut`] — min-cut values and cut-edge extraction via residual
+//!   reachability, with certification that the returned cut is finite and
+//!   actually disconnects the network.
+
+pub mod dinic;
+pub mod edmonds_karp;
+pub mod mincut;
+pub mod network;
+pub mod push_relabel;
+
+pub use mincut::{min_cut, min_cut_with, FlowAlgorithm, MinCut};
+pub use network::{Capacity, EdgeId, FlowNetwork, VertexId};

@@ -1,0 +1,204 @@
+//! Push–relabel maximum flow (FIFO selection with the gap heuristic).
+//!
+//! A third independent max-flow implementation (`O(V³)` worst case, very fast
+//! in practice) used to cross-check [`crate::dinic`] and to support the
+//! `flow_ablation` bench: the paper's tractability results only need *some*
+//! polynomial MinCut solver, and the ablation measures how much the choice of
+//! solver affects the end-to-end resilience pipeline.
+
+use crate::dinic::{Arc, MaxFlow, Residual};
+use crate::network::{Capacity, FlowNetwork};
+use std::collections::VecDeque;
+
+/// Computes a maximum flow from the network's source to its target with the
+/// push–relabel algorithm. The result is interchangeable with
+/// [`crate::dinic::max_flow`].
+pub fn max_flow(network: &FlowNetwork) -> MaxFlow {
+    let n = network.num_vertices();
+    let source = network.source().index();
+    let target = network.target().index();
+    assert_ne!(source, target, "source and target must differ");
+
+    let infinite_cap: u128 = network.total_finite_capacity() + 1;
+    let mut adjacency: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut arcs: Vec<Arc> = Vec::new();
+    for (_, e) in network.edges() {
+        let capacity = match e.capacity {
+            Capacity::Finite(0) => continue,
+            Capacity::Finite(c) => c,
+            Capacity::Infinite => infinite_cap,
+        };
+        let forward = arcs.len();
+        arcs.push(Arc { to: e.to.index(), capacity, flow: 0 });
+        arcs.push(Arc { to: e.from.index(), capacity: 0, flow: 0 });
+        adjacency[e.from.index()].push(forward);
+        adjacency[e.to.index()].push(forward + 1);
+    }
+
+    let mut height: Vec<usize> = vec![0; n];
+    let mut excess: Vec<u128> = vec![0; n];
+    // Number of vertices at each height, for the gap heuristic.
+    let mut height_count: Vec<usize> = vec![0; 2 * n + 1];
+    height[source] = n;
+    height_count[0] = n.saturating_sub(1);
+    height_count[n] += 1;
+
+    let mut active: VecDeque<usize> = VecDeque::new();
+    let mut in_queue = vec![false; n];
+
+    // Helper closure semantics inlined: push `d` units along arc `ai`.
+    let push = |arcs: &mut Vec<Arc>, excess: &mut Vec<u128>, from: usize, ai: usize, d: u128| {
+        arcs[ai].flow += d;
+        arcs[ai ^ 1].capacity += d;
+        excess[from] -= d;
+        let to = arcs[ai].to;
+        excess[to] += d;
+    };
+
+    // Saturate all source arcs.
+    let source_arcs: Vec<usize> = adjacency[source].clone();
+    for ai in source_arcs {
+        if ai % 2 == 0 {
+            let d = arcs[ai].residual();
+            if d > 0 {
+                excess[source] += d; // keep excess non-negative at the source
+                push(&mut arcs, &mut excess, source, ai, d);
+                let to = arcs[ai].to;
+                if to != target && to != source && !in_queue[to] {
+                    active.push_back(to);
+                    in_queue[to] = true;
+                }
+            }
+        }
+    }
+
+    while let Some(v) = active.pop_front() {
+        in_queue[v] = false;
+        if v == source || v == target {
+            continue;
+        }
+        let mut idx = 0;
+        while excess[v] > 0 {
+            if idx == adjacency[v].len() {
+                // Relabel: set height to 1 + the minimum height over residual arcs.
+                let old_height = height[v];
+                let mut min_height = usize::MAX;
+                for &ai in &adjacency[v] {
+                    if arcs[ai].residual() > 0 {
+                        min_height = min_height.min(height[arcs[ai].to]);
+                    }
+                }
+                if min_height == usize::MAX {
+                    break; // no residual arc: the remaining excess is stuck (cannot happen)
+                }
+                let new_height = (min_height + 1).min(2 * n);
+                height_count[old_height] -= 1;
+                // Gap heuristic: if no vertex remains at `old_height`, every
+                // vertex above it (except the source/target sentinels) can be
+                // lifted past `n`, as it can no longer reach the target.
+                if height_count[old_height] == 0 && old_height < n {
+                    for (u, h) in height.iter_mut().enumerate() {
+                        if u != source && u != target && *h > old_height && *h <= n {
+                            height_count[*h] -= 1;
+                            *h = n + 1;
+                            height_count[n + 1] += 1;
+                        }
+                    }
+                }
+                height[v] = new_height;
+                height_count[new_height] += 1;
+                idx = 0;
+                continue;
+            }
+            let ai = adjacency[v][idx];
+            let to = arcs[ai].to;
+            if arcs[ai].residual() > 0 && height[v] == height[to] + 1 {
+                let d = excess[v].min(arcs[ai].residual());
+                push(&mut arcs, &mut excess, v, ai, d);
+                if to != source && to != target && !in_queue[to] {
+                    active.push_back(to);
+                    in_queue[to] = true;
+                }
+            } else {
+                idx += 1;
+            }
+        }
+    }
+
+    let total_flow = excess[target];
+    let value = if total_flow >= infinite_cap {
+        Capacity::Infinite
+    } else {
+        Capacity::Finite(total_flow)
+    };
+    MaxFlow { value, residual: Residual { adjacency, arcs } }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::VertexId;
+
+    fn simple_network(edges: &[(u32, u32, u64)], n: u32, s: u32, t: u32) -> FlowNetwork {
+        let mut net = FlowNetwork::new();
+        net.add_vertices(n as usize);
+        net.set_source(VertexId(s));
+        net.set_target(VertexId(t));
+        for &(a, b, c) in edges {
+            net.add_edge(VertexId(a), VertexId(b), Capacity::Finite(c as u128));
+        }
+        net
+    }
+
+    #[test]
+    fn agrees_with_dinic_on_textbook_instances() {
+        let instances = vec![
+            simple_network(&[(0, 1, 5)], 2, 0, 1),
+            simple_network(&[(0, 1, 5), (1, 2, 3), (2, 3, 7)], 4, 0, 3),
+            simple_network(&[(0, 1, 2), (1, 3, 2), (0, 2, 3), (2, 3, 3)], 4, 0, 3),
+            simple_network(&[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 2), (1, 3, 1)], 4, 0, 3),
+            simple_network(
+                &[
+                    (0, 1, 16),
+                    (0, 2, 13),
+                    (1, 2, 10),
+                    (2, 1, 4),
+                    (1, 3, 12),
+                    (3, 2, 9),
+                    (2, 4, 14),
+                    (4, 3, 7),
+                    (3, 5, 20),
+                    (4, 5, 4),
+                ],
+                6,
+                0,
+                5,
+            ),
+            simple_network(&[], 2, 0, 1),
+            simple_network(&[(1, 0, 4)], 2, 0, 1),
+        ];
+        for net in instances {
+            assert_eq!(max_flow(&net).value, crate::dinic::max_flow(&net).value);
+        }
+    }
+
+    #[test]
+    fn infinite_routes_are_detected() {
+        let mut net = FlowNetwork::new();
+        let s = net.add_vertex();
+        let m = net.add_vertex();
+        let t = net.add_vertex();
+        net.set_source(s);
+        net.set_target(t);
+        net.add_edge(s, m, Capacity::Infinite);
+        net.add_edge(m, t, Capacity::Infinite);
+        assert_eq!(max_flow(&net).value, Capacity::Infinite);
+    }
+
+    #[test]
+    fn large_capacities_do_not_overflow() {
+        let net =
+            simple_network(&[(0, 1, u64::MAX), (1, 2, u64::MAX), (0, 2, u64::MAX)], 3, 0, 2);
+        assert_eq!(max_flow(&net).value, Capacity::Finite(2 * (u64::MAX as u128)));
+    }
+}

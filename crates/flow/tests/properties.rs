@@ -1,0 +1,81 @@
+//! Property-based tests for the flow substrate: on random small networks, the
+//! computed minimum cut matches an exhaustive search, the extracted cut
+//! disconnects the network, and its cost equals the max-flow value.
+
+use proptest::prelude::*;
+use rpq_flow::{min_cut, Capacity, EdgeId, FlowNetwork, VertexId};
+use std::collections::BTreeSet;
+
+/// Strategy for a small random network: up to 6 vertices and 10 edges, with a
+/// mix of finite and infinite capacities.
+fn small_network() -> impl Strategy<Value = FlowNetwork> {
+    let edge = (0u32..6, 0u32..6, prop_oneof![ (1u64..8).prop_map(Some), Just(None) ]);
+    proptest::collection::vec(edge, 0..10).prop_map(|edges| {
+        let mut n = FlowNetwork::new();
+        n.add_vertices(6);
+        n.set_source(VertexId(0));
+        n.set_target(VertexId(5));
+        for (from, to, cap) in edges {
+            if from == to {
+                continue;
+            }
+            let capacity = match cap {
+                Some(c) => Capacity::Finite(c as u128),
+                None => Capacity::Infinite,
+            };
+            n.add_edge(VertexId(from), VertexId(to), capacity);
+        }
+        n
+    })
+}
+
+fn brute_force_min_cut(network: &FlowNetwork) -> Capacity {
+    let m = network.num_edges();
+    assert!(m <= 16);
+    let mut best = Capacity::Infinite;
+    for mask in 0u32..(1 << m) {
+        let set: BTreeSet<EdgeId> =
+            (0..m).filter(|i| mask & (1 << i) != 0).map(|i| EdgeId(i as u32)).collect();
+        if network.is_cut(&set) {
+            let cost = network.cost(&set);
+            if cost < best {
+                best = cost;
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn min_cut_matches_brute_force(network in small_network()) {
+        let computed = min_cut(&network);
+        let brute = brute_force_min_cut(&network);
+        // Note: when no finite cut exists the brute force also reports +∞
+        // (taking all edges still costs +∞ because an infinite edge must be cut).
+        prop_assert_eq!(computed.value, brute);
+    }
+
+    #[test]
+    fn extracted_cut_is_valid_and_optimal(network in small_network()) {
+        let computed = min_cut(&network);
+        if let Capacity::Finite(value) = computed.value {
+            let set: BTreeSet<EdgeId> = computed.cut_edges.iter().copied().collect();
+            prop_assert!(network.is_cut(&set), "the returned edges must disconnect the network");
+            prop_assert_eq!(network.cost(&set), Capacity::Finite(value));
+        } else {
+            prop_assert!(computed.cut_edges.is_empty());
+        }
+    }
+
+    #[test]
+    fn source_side_contains_source_and_not_target_when_cut_is_finite(network in small_network()) {
+        let computed = min_cut(&network);
+        prop_assert!(computed.source_side.contains(&0));
+        if computed.value != Capacity::Infinite {
+            prop_assert!(!computed.source_side.contains(&5));
+        }
+    }
+}

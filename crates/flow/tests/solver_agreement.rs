@@ -1,0 +1,84 @@
+//! Property tests: the three max-flow implementations (Dinic, Edmonds–Karp,
+//! push–relabel) agree on the cut value, and every extracted cut is a genuine
+//! minimum-cost separator.
+
+use proptest::prelude::*;
+use rpq_flow::{min_cut_with, Capacity, EdgeId, FlowAlgorithm, FlowNetwork, VertexId};
+use std::collections::BTreeSet;
+
+/// A random small network description: vertex count and edges (from, to, capacity,
+/// is_infinite).
+fn network_strategy() -> impl Strategy<Value = (usize, Vec<(usize, usize, u64, bool)>)> {
+    (2usize..8).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 0u64..20, proptest::bool::weighted(0.15));
+        (Just(n), proptest::collection::vec(edge, 0..20))
+    })
+}
+
+fn build(n: usize, edges: &[(usize, usize, u64, bool)]) -> FlowNetwork {
+    let mut net = FlowNetwork::new();
+    net.add_vertices(n);
+    net.set_source(VertexId(0));
+    net.set_target(VertexId(n as u32 - 1));
+    for &(a, b, c, infinite) in edges {
+        if a == b {
+            continue; // self-loops are irrelevant for cuts
+        }
+        let capacity = if infinite { Capacity::Infinite } else { Capacity::Finite(c as u128) };
+        net.add_edge(VertexId(a as u32), VertexId(b as u32), capacity);
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn all_solvers_agree_on_the_cut_value((n, edges) in network_strategy()) {
+        let net = build(n, &edges);
+        let reference = min_cut_with(&net, FlowAlgorithm::Dinic);
+        for algorithm in FlowAlgorithm::ALL {
+            let cut = min_cut_with(&net, algorithm);
+            prop_assert_eq!(cut.value, reference.value, "{:?}", algorithm);
+        }
+    }
+
+    #[test]
+    fn extracted_cuts_are_valid_separators_of_the_right_cost((n, edges) in network_strategy()) {
+        let net = build(n, &edges);
+        for algorithm in FlowAlgorithm::ALL {
+            let cut = min_cut_with(&net, algorithm);
+            if cut.value.is_infinite() {
+                prop_assert!(cut.cut_edges.is_empty());
+                continue;
+            }
+            let set: BTreeSet<EdgeId> = cut.cut_edges.iter().copied().collect();
+            prop_assert!(net.is_cut(&set), "{:?}: returned edges must disconnect", algorithm);
+            prop_assert_eq!(net.cost(&set), cut.value, "{:?}", algorithm);
+            // The source side always contains the source and never the target
+            // (unless the value is infinite, excluded above).
+            prop_assert!(cut.source_side.contains(&net.source().index()));
+            prop_assert!(!cut.source_side.contains(&net.target().index()));
+        }
+    }
+
+    #[test]
+    fn cut_value_is_minimal_by_brute_force((n, edges) in (2usize..5).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 0u64..6, proptest::bool::weighted(0.1));
+        (Just(n), proptest::collection::vec(edge, 0..8))
+    })) {
+        let net = build(n, &edges);
+        let m = net.num_edges();
+        let mut best = Capacity::Infinite;
+        for mask in 0u32..(1 << m) {
+            let set: BTreeSet<EdgeId> =
+                (0..m).filter(|i| mask & (1 << i) != 0).map(|i| EdgeId(i as u32)).collect();
+            if net.is_cut(&set) {
+                best = best.min(net.cost(&set));
+            }
+        }
+        for algorithm in FlowAlgorithm::ALL {
+            prop_assert_eq!(min_cut_with(&net, algorithm).value, best, "{:?}", algorithm);
+        }
+    }
+}

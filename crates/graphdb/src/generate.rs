@@ -1,0 +1,302 @@
+//! Synthetic workload generators.
+//!
+//! The paper is a theory paper and only ever evaluates on constructed
+//! instances; this module provides the constructed families used by the
+//! benchmark harness and the integration tests:
+//!
+//! * [`flow_instance`] — multi-source / multi-sink flow networks encoded as
+//!   `a x* b` databases (the MinCut correspondence from the introduction);
+//! * [`layered_instance`] — layered DAGs labeled by the letters of an
+//!   arbitrary local language, used for the Theorem 3.13 scaling experiments;
+//! * [`random_labeled_graph`] — uniformly random labeled multigraphs;
+//! * [`chain_instance`] — instances tailored to bipartite chain languages
+//!   (Proposition 7.6);
+//! * [`one_dangling_instance`] — instances mixing a local language with a
+//!   dangling two-letter word (Proposition 7.9);
+//! * [`word_path`] / [`word_cycle`] — tiny deterministic helpers used by unit
+//!   tests and the gadget library.
+
+use crate::db::{GraphDb, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rpq_automata::alphabet::{Alphabet, Letter};
+use rpq_automata::word::Word;
+
+/// Adds a fresh path spelling `word` to the database, starting at `from` and
+/// ending at a fresh node, which is returned. Intermediate nodes are fresh.
+pub fn add_word_path(db: &mut GraphDb, from: NodeId, word: &Word) -> NodeId {
+    let mut current = from;
+    for letter in word.iter() {
+        let next = db.fresh_node();
+        db.add_fact(current, letter, next);
+        current = next;
+    }
+    current
+}
+
+/// Adds a path spelling `word` between two *existing* nodes (intermediate
+/// nodes are fresh). For the empty word the two nodes are expected to be
+/// equal; otherwise an `ε`-labeled shortcut cannot be represented and the
+/// function panics.
+pub fn add_word_path_between(db: &mut GraphDb, from: NodeId, to: NodeId, word: &Word) {
+    if word.is_empty() {
+        assert_eq!(from, to, "an empty word cannot connect two distinct nodes");
+        return;
+    }
+    let mut current = from;
+    for (i, letter) in word.iter().enumerate() {
+        let next = if i + 1 == word.len() { to } else { db.fresh_node() };
+        db.add_fact(current, letter, next);
+        current = next;
+    }
+}
+
+/// A database consisting of a single simple path labeled by `word`.
+pub fn word_path(word: &Word) -> GraphDb {
+    let mut db = GraphDb::new();
+    let start = db.node("v0");
+    add_word_path(&mut db, start, word);
+    db
+}
+
+/// A database consisting of a single cycle labeled by `word` (the last fact
+/// returns to the start node).
+pub fn word_cycle(word: &Word) -> GraphDb {
+    assert!(!word.is_empty(), "a cycle needs at least one fact");
+    let mut db = GraphDb::new();
+    let start = db.node("v0");
+    add_word_path_between(&mut db, start, start, word);
+    db
+}
+
+/// A multi-source multi-sink flow network encoded for the RPQ `a x* b`
+/// (see the introduction of the paper): `a`-facts attach sources, `b`-facts
+/// attach sinks, and `x`-facts are the inner edges of the network.
+///
+/// The generated inner graph is a layered random DAG with `layers` layers of
+/// `width` nodes, where each node has `out_degree` random successors in the
+/// next layer. Multiplicities (edge capacities) are drawn uniformly from
+/// `1..=max_capacity`.
+pub fn flow_instance(
+    layers: usize,
+    width: usize,
+    out_degree: usize,
+    max_capacity: u64,
+    seed: u64,
+) -> GraphDb {
+    assert!(layers >= 2 && width >= 1 && out_degree >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = GraphDb::new();
+    let mut layer_nodes: Vec<Vec<NodeId>> = Vec::new();
+    for layer in 0..layers {
+        let nodes: Vec<NodeId> =
+            (0..width).map(|i| db.node(&format!("l{layer}_{i}"))).collect();
+        layer_nodes.push(nodes);
+    }
+    // Source / sink attachments.
+    let super_source = db.node("source");
+    let super_sink = db.node("sink");
+    for &n in &layer_nodes[0] {
+        db.add_fact_with_multiplicity(super_source, Letter('a'), n, rng.gen_range(1..=max_capacity));
+    }
+    for &n in &layer_nodes[layers - 1] {
+        db.add_fact_with_multiplicity(n, Letter('b'), super_sink, rng.gen_range(1..=max_capacity));
+    }
+    // Inner x-edges.
+    for layer in 0..layers - 1 {
+        for &n in &layer_nodes[layer] {
+            for _ in 0..out_degree {
+                let target = layer_nodes[layer + 1][rng.gen_range(0..width)];
+                db.add_fact_with_multiplicity(n, Letter('x'), target, rng.gen_range(1..=max_capacity));
+            }
+        }
+    }
+    db
+}
+
+/// A layered instance for an arbitrary finite or local language: each layer
+/// transition is labeled by a letter drawn uniformly from `alphabet`.
+/// With `sources` entry nodes per layer-0 node, this produces databases on
+/// which local-language resilience is non-trivial.
+pub fn layered_instance(
+    alphabet: &Alphabet,
+    layers: usize,
+    width: usize,
+    out_degree: usize,
+    seed: u64,
+) -> GraphDb {
+    assert!(layers >= 1 && width >= 1 && out_degree >= 1 && !alphabet.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = GraphDb::new();
+    let mut layer_nodes: Vec<Vec<NodeId>> = Vec::new();
+    for layer in 0..layers {
+        let nodes: Vec<NodeId> =
+            (0..width).map(|i| db.node(&format!("l{layer}_{i}"))).collect();
+        layer_nodes.push(nodes);
+    }
+    for layer in 0..layers.saturating_sub(1) {
+        for &n in &layer_nodes[layer] {
+            for _ in 0..out_degree {
+                let target = layer_nodes[layer + 1][rng.gen_range(0..width)];
+                let letter = alphabet.letter_at(rng.gen_range(0..alphabet.len()));
+                db.add_fact(n, letter, target);
+            }
+        }
+    }
+    db
+}
+
+/// A uniformly random labeled multigraph with `nodes` nodes and `facts`
+/// attempted fact insertions (duplicates are merged, so the resulting database
+/// may be slightly smaller).
+pub fn random_labeled_graph(nodes: usize, facts: usize, alphabet: &Alphabet, seed: u64) -> GraphDb {
+    assert!(nodes >= 1 && !alphabet.is_empty());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = GraphDb::new();
+    let node_ids: Vec<NodeId> = (0..nodes).map(|i| db.node(&format!("v{i}"))).collect();
+    for _ in 0..facts {
+        let s = node_ids[rng.gen_range(0..nodes)];
+        let t = node_ids[rng.gen_range(0..nodes)];
+        let letter = alphabet.letter_at(rng.gen_range(0..alphabet.len()));
+        db.add_fact(s, letter, t);
+    }
+    db
+}
+
+/// An instance tailored to chain languages: for each word of the language we
+/// add `copies` disjoint paths spelling it, then additionally glue `shared`
+/// random endpoint nodes so that words interact through their endpoints.
+pub fn chain_instance(words: &[Word], copies: usize, shared: usize, seed: u64) -> GraphDb {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut db = GraphDb::new();
+    let mut endpoints: Vec<NodeId> = Vec::new();
+    for word in words {
+        for c in 0..copies {
+            let start = db.node(&format!("s_{word}_{c}"));
+            let end = add_word_path(&mut db, start, word);
+            endpoints.push(start);
+            endpoints.push(end);
+        }
+    }
+    // Glue some endpoints together by adding facts between them labeled by the
+    // first letters of the words, creating longer interacting structures.
+    for _ in 0..shared {
+        if endpoints.len() < 2 || words.is_empty() {
+            break;
+        }
+        let a = endpoints[rng.gen_range(0..endpoints.len())];
+        let word = &words[rng.gen_range(0..words.len())];
+        add_word_path(&mut db, a, word);
+    }
+    db
+}
+
+/// An instance for a one-dangling language `L ∪ {xy}`: a layered instance for
+/// the local part, plus `dangling` additional `x`/`y` fact pairs sharing
+/// middle nodes with the local structure.
+pub fn one_dangling_instance(
+    local_alphabet: &Alphabet,
+    x: Letter,
+    y: Letter,
+    layers: usize,
+    width: usize,
+    dangling: usize,
+    seed: u64,
+) -> GraphDb {
+    let mut db = layered_instance(local_alphabet, layers, width, 2, seed);
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_add(1));
+    let nodes: Vec<NodeId> = db.nodes().collect();
+    for i in 0..dangling {
+        let mid = nodes[rng.gen_range(0..nodes.len())];
+        let src = db.node(&format!("dx{i}"));
+        let dst = db.node(&format!("dy{i}"));
+        db.add_fact(src, x, mid);
+        db.add_fact(mid, y, dst);
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::satisfies;
+    use rpq_automata::Language;
+
+    #[test]
+    fn word_path_and_cycle() {
+        let db = word_path(&Word::from_str_word("axb"));
+        assert_eq!(db.num_facts(), 3);
+        assert!(satisfies(&db, &Language::parse("axb").unwrap()));
+        assert!(!satisfies(&db, &Language::parse("ba").unwrap()));
+
+        let db = word_cycle(&Word::from_str_word("ab"));
+        assert_eq!(db.num_facts(), 2);
+        assert_eq!(db.num_nodes(), 2);
+        // On a cycle, the walk can go around: abab is satisfied.
+        assert!(satisfies(&db, &Language::parse("abab").unwrap()));
+    }
+
+    #[test]
+    fn add_word_path_between_connects_nodes() {
+        let mut db = GraphDb::new();
+        let u = db.node("u");
+        let v = db.node("v");
+        add_word_path_between(&mut db, u, v, &Word::from_str_word("xyz"));
+        assert_eq!(db.num_facts(), 3);
+        assert!(satisfies(&db, &Language::parse("xyz").unwrap()));
+        // Single letter connects directly.
+        let mut db = GraphDb::new();
+        let u = db.node("u");
+        let v = db.node("v");
+        add_word_path_between(&mut db, u, v, &Word::from_str_word("a"));
+        assert_eq!(db.num_facts(), 1);
+        assert_eq!(db.num_nodes(), 2);
+    }
+
+    #[test]
+    fn flow_instance_satisfies_axb() {
+        let db = flow_instance(4, 3, 2, 5, 42);
+        assert!(satisfies(&db, &Language::parse("ax*b").unwrap()));
+        assert!(db.num_facts() > 10);
+        // Determinism: same seed, same database.
+        let db2 = flow_instance(4, 3, 2, 5, 42);
+        assert_eq!(db.num_facts(), db2.num_facts());
+        assert_eq!(db.total_multiplicity(), db2.total_multiplicity());
+        // A different seed still yields a valid instance satisfying the query.
+        let db3 = flow_instance(4, 3, 2, 5, 43);
+        assert!(satisfies(&db3, &Language::parse("ax*b").unwrap()));
+    }
+
+    #[test]
+    fn layered_instance_shape() {
+        let alpha = Alphabet::from_chars("ab");
+        let db = layered_instance(&alpha, 3, 4, 2, 7);
+        assert_eq!(db.num_nodes(), 12);
+        assert!(db.num_facts() <= 2 * 4 * 2);
+        assert!(db.alphabet().is_subset_of(&alpha));
+    }
+
+    #[test]
+    fn random_labeled_graph_is_deterministic_per_seed() {
+        let alpha = Alphabet::from_chars("abc");
+        let db1 = random_labeled_graph(10, 30, &alpha, 1);
+        let db2 = random_labeled_graph(10, 30, &alpha, 1);
+        assert_eq!(db1.num_facts(), db2.num_facts());
+        assert_eq!(db1.num_nodes(), 10);
+    }
+
+    #[test]
+    fn chain_instance_contains_the_words() {
+        let words = vec![Word::from_str_word("ab"), Word::from_str_word("bc")];
+        let db = chain_instance(&words, 2, 3, 5);
+        assert!(satisfies(&db, &Language::parse("ab").unwrap()));
+        assert!(satisfies(&db, &Language::parse("bc").unwrap()));
+    }
+
+    #[test]
+    fn one_dangling_instance_contains_dangling_word() {
+        let alpha = Alphabet::from_chars("abc");
+        let db = one_dangling_instance(&alpha, Letter('x'), Letter('y'), 3, 3, 4, 9);
+        assert!(satisfies(&db, &Language::parse("xy").unwrap()));
+    }
+}

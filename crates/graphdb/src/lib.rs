@@ -1,0 +1,24 @@
+//! # `rpq-graphdb`: edge-labeled graph databases for RPQ resilience
+//!
+//! A *graph database* in the sense of the paper is a set of labeled edges
+//! (facts) `v --a--> v'` over an alphabet `Σ`, possibly with multiplicities
+//! (bag semantics). This crate provides:
+//!
+//! * the [`GraphDb`] store itself ([`db`]), with interned node names, fact
+//!   identifiers, multiplicities and label-indexed adjacency;
+//! * Boolean RPQ evaluation `Q_L(D)` and witness-walk extraction ([`eval`]),
+//!   used both by the resilience definition and by the exact solvers;
+//! * match (hyperedge) enumeration for finite languages, feeding the
+//!   hypergraph-of-matches machinery of Section 4.3 of the paper;
+//! * synthetic workload generators ([`generate`]) used by the benchmark
+//!   harness (layered flow-like instances, random labeled graphs, chain and
+//!   one-dangling instances);
+//! * a small text format ([`text`]) for examples and tests.
+
+pub mod db;
+pub mod eval;
+pub mod generate;
+pub mod text;
+
+pub use db::{Fact, FactId, GraphDb, NodeId};
+pub use eval::{enumerate_matches, find_witness_walk, satisfies, satisfies_excluding};

@@ -1,0 +1,51 @@
+//! Quickstart: define an RPQ, build a graph database, compute its resilience.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use rpq::graphdb::GraphDb;
+use rpq::resilience::algorithms::solve;
+use rpq::resilience::classify::classify;
+use rpq::resilience::rpq::Rpq;
+
+fn main() {
+    // A small "road network" labeled database: `a` edges enter the network,
+    // `x` edges are internal roads, `b` edges reach the destinations.
+    let mut db = GraphDb::new();
+    db.add_fact_by_names("depot_1", 'a', "hub_north");
+    db.add_fact_by_names("depot_2", 'a', "hub_south");
+    db.add_fact_by_names("hub_north", 'x', "junction");
+    db.add_fact_by_names("hub_south", 'x', "junction");
+    db.add_fact_by_names("junction", 'x', "ring");
+    db.add_fact_by_names("ring", 'b', "store_east");
+    db.add_fact_by_names("ring", 'b', "store_west");
+    println!("{db}");
+
+    // The query a x* b asks: is some store reachable from some depot?
+    let query = Rpq::parse("a x* b").expect("valid regular expression");
+    println!("query: {query}");
+    println!("the query holds: {}", query.holds_on(&db));
+
+    // The classifier tells us this language is tractable (it is local).
+    let classification = classify(query.language());
+    println!("classification: {}", classification.label());
+
+    // Resilience: how many facts must fail before no store is reachable?
+    let outcome = solve(&query, &db).expect("resilience computation");
+    println!("resilience = {} (algorithm: {:?})", outcome.value, outcome.algorithm);
+    if let Some(cut) = &outcome.contingency_set {
+        println!("an optimal contingency set:");
+        for &fact in cut {
+            println!("  remove {}", db.display_fact(fact));
+        }
+    }
+
+    // Bag semantics: make one internal road very expensive to break.
+    let mut weighted = db.clone();
+    let junction = weighted.find_node("junction").unwrap();
+    let ring = weighted.find_node("ring").unwrap();
+    let critical = weighted.find_fact(junction, 'x'.into(), ring).unwrap();
+    weighted.set_multiplicity(critical, 50);
+    let bag_query = Rpq::parse("a x* b").unwrap().with_bag_semantics();
+    let outcome = solve(&bag_query, &weighted).expect("resilience computation");
+    println!("bag-semantics resilience with a reinforced road = {}", outcome.value);
+}

@@ -1,0 +1,11 @@
+//! Facade crate re-exporting the `rpq-resilience` workspace.
+//!
+//! See the individual crates for details:
+//! - [`automata`]: formal-language substrate (regexes, NFAs/DFAs, locality, four-legged tests)
+//! - [`graphdb`]: edge-labeled graph databases with bag semantics
+//! - [`flow`]: max-flow / min-cut
+//! - [`resilience`]: resilience algorithms, hardness gadgets, and the classifier
+pub use rpq_automata as automata;
+pub use rpq_flow as flow;
+pub use rpq_graphdb as graphdb;
+pub use rpq_resilience as resilience;

@@ -1,0 +1,65 @@
+//! Integration test: the Figure 1 classification map is reproduced, and every
+//! verdict is backed by a certificate that re-verifies.
+
+use rpq::automata::Language;
+use rpq::resilience::classify::{classify, figure1_rows, verify_classification, Classification};
+
+#[test]
+fn figure1_regions_are_reproduced() {
+    let rows = figure1_rows();
+    assert!(rows.len() >= 20, "Figure 1 has many example languages");
+    for row in rows {
+        let region_ok = match row.expected {
+            e if e.starts_with("PTIME") => row.computed.is_tractable(),
+            e if e.starts_with("NP-hard") => row.computed.is_np_hard(),
+            _ => row.computed.is_unclassified(),
+        };
+        assert!(
+            region_ok,
+            "{} expected in region {:?} but classified as {}",
+            row.pattern,
+            row.expected,
+            row.computed.label()
+        );
+        let language = Language::parse(row.pattern).unwrap();
+        assert!(verify_classification(&language, &row.computed), "certificate for {}", row.pattern);
+    }
+}
+
+#[test]
+fn classification_is_stable_under_adding_redundant_words() {
+    // Adding a word that already has an infix in L does not change Q_L, hence
+    // must not change the classification.
+    for (base, redundant) in [("aa", "aaa"), ("ax*b", "aaxbb"), ("ab|bc", "abc")] {
+        let l1 = Language::parse(base).unwrap();
+        let l2 = l1.union(&Language::parse(redundant).unwrap());
+        let c1 = classify(&l1);
+        let c2 = classify(&l2);
+        assert_eq!(c1.is_tractable(), c2.is_tractable(), "{base} + {redundant}");
+        assert_eq!(c1.is_np_hard(), c2.is_np_hard(), "{base} + {redundant}");
+    }
+}
+
+#[test]
+fn known_hard_languages_are_not_claimed_tractable() {
+    for pattern in ["aa", "axb|cxd", "ab|bc|ca", "abcd|be|ef", "abcd|bef", "b(aa)*d", "aaaa"] {
+        let classification = classify(&Language::parse(pattern).unwrap());
+        assert!(
+            matches!(classification, Classification::NpHard(_)),
+            "{pattern} must be classified NP-hard, got {}",
+            classification.label()
+        );
+    }
+}
+
+#[test]
+fn known_tractable_languages_are_not_claimed_hard() {
+    for pattern in ["ax*b", "ab|ad|cd", "abc|abd", "ab|bc", "axb|byc", "abc|be", "abcd|be", "ax*b|xd", "a|b"] {
+        let classification = classify(&Language::parse(pattern).unwrap());
+        assert!(
+            classification.is_tractable(),
+            "{pattern} must be classified tractable, got {}",
+            classification.label()
+        );
+    }
+}
