@@ -59,11 +59,8 @@ pub fn derivative(regex: &Regex, letter: Letter) -> Regex {
                 with_head.extend(tail.iter().cloned());
                 let first = Regex::Concat(with_head);
                 if nullable(head) {
-                    let rest = if tail.is_empty() {
-                        Regex::Epsilon
-                    } else {
-                        Regex::Concat(tail.clone())
-                    };
+                    let rest =
+                        if tail.is_empty() { Regex::Epsilon } else { Regex::Concat(tail.clone()) };
                     Regex::Union(vec![first, derivative(&rest, letter)])
                 } else {
                     first

@@ -193,11 +193,8 @@ impl Enfa {
     /// Returns a *trimmed* equivalent automaton: only useful (accessible and
     /// co-accessible) states are kept (Definition C.3 of the paper's appendix).
     pub fn trimmed(&self) -> Enfa {
-        let useful: BTreeSet<usize> = self
-            .accessible_states()
-            .intersection(&self.coaccessible_states())
-            .copied()
-            .collect();
+        let useful: BTreeSet<usize> =
+            self.accessible_states().intersection(&self.coaccessible_states()).copied().collect();
         let mut remap: BTreeMap<usize, usize> = BTreeMap::new();
         let mut out = Enfa::new();
         for &s in &useful {
@@ -376,8 +373,14 @@ mod tests {
         for pattern in ["ax*b", "ab|ad|cd", "b(aa)*d", "a?b+c*"] {
             let e = enfa_for(pattern);
             let n = e.to_nfa();
-            for word in ["", "a", "ab", "ad", "cd", "axb", "axxb", "bd", "baad", "b", "bc", "abc", "abbcc"] {
-                assert_eq!(e.accepts(&w(word)), n.accepts(&w(word)), "pattern {pattern}, word {word}");
+            for word in
+                ["", "a", "ab", "ad", "cd", "axb", "axxb", "bd", "baad", "b", "bc", "abc", "abbcc"]
+            {
+                assert_eq!(
+                    e.accepts(&w(word)),
+                    n.accepts(&w(word)),
+                    "pattern {pattern}, word {word}"
+                );
             }
         }
     }
@@ -438,8 +441,8 @@ mod tests {
         e.add_transition(s2, Letter('b'), s3);
         e.add_transition(s4, Letter('d'), s5);
         e.add_transition(s4, Letter('c'), s4); // placeholder replaced below
-        // Rebuild properly: c goes from a fresh initial to s4; use the paper's shape:
-        // s1 -a-> s2, s2 -b-> s3, s2 -ε-> s4, s4 -d-> s5, (c-transition from an initial state to s4)
+                                               // Rebuild properly: c goes from a fresh initial to s4; use the paper's shape:
+                                               // s1 -a-> s2, s2 -b-> s3, s2 -ε-> s4, s4 -d-> s5, (c-transition from an initial state to s4)
         let mut e = Enfa::new();
         let s1 = e.add_state();
         let s2 = e.add_state();

@@ -172,7 +172,8 @@ impl FiniteLanguage {
             if word.len() < 2 {
                 continue;
             }
-            let middle: BTreeSet<Letter> = word.letters()[1..word.len() - 1].iter().copied().collect();
+            let middle: BTreeSet<Letter> =
+                word.letters()[1..word.len() - 1].iter().copied().collect();
             if middle.is_empty() {
                 continue;
             }
@@ -425,8 +426,9 @@ mod tests {
         // ab|bc and axyb|bztc|cd|dea are BCLs; ab|bc|ca is a chain language
         // but not bipartite.
         assert!(FiniteLanguage::from_strs(["ab", "bc"]).is_bipartite_chain_language());
-        assert!(FiniteLanguage::from_strs(["axyb", "bztc", "cd", "dea"])
-            .is_bipartite_chain_language());
+        assert!(
+            FiniteLanguage::from_strs(["axyb", "bztc", "cd", "dea"]).is_bipartite_chain_language()
+        );
         let triangle = FiniteLanguage::from_strs(["ab", "bc", "ca"]);
         assert!(triangle.is_chain_language());
         assert!(!triangle.is_bipartite_chain_language());

@@ -121,16 +121,15 @@ pub fn cartesian_violation(
             // Find β with αxβ ∈ L (non-empty if required): it is a word of the
             // left quotient of L by αx.
             let dfa = language.dfa();
-            let after_alpha_x =
-                dfa.run_from(dfa.initial_state(), &alpha.concat(&Word::single(x)));
+            let after_alpha_x = dfa.run_from(dfa.initial_state(), &alpha.concat(&Word::single(x)));
             let beta = after_alpha_x
                 .and_then(|q| shortest_word(&dfa.with_initial_state(q), require_nonempty_legs));
             // Find γ with γxδ ∈ L: mirror reasoning, γ^R is in the left
             // quotient of L^R by δ^R x.
             let mirrored = language.mirror();
             let mdfa = mirrored.dfa();
-            let after_delta_x = mdfa
-                .run_from(mdfa.initial_state(), &delta.mirror().concat(&Word::single(x)));
+            let after_delta_x =
+                mdfa.run_from(mdfa.initial_state(), &delta.mirror().concat(&Word::single(x)));
             let gamma = after_delta_x
                 .and_then(|q| shortest_word(&mdfa.with_initial_state(q), require_nonempty_legs))
                 .map(|g| g.mirror());

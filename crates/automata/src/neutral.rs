@@ -142,7 +142,9 @@ mod tests {
     fn neutrality_definition_spot_check() {
         // Directly check the defining property on samples for L1.
         let l1 = lang("e*be*ce*|e*de*fe*");
-        for (alpha, beta) in [("b", "c"), ("be", "c"), ("", "bc"), ("d", "f"), ("bc", ""), ("b", "d")] {
+        for (alpha, beta) in
+            [("b", "c"), ("be", "c"), ("", "bc"), ("d", "f"), ("bc", ""), ("b", "d")]
+        {
             let without = Word::from_str_word(&format!("{alpha}{beta}"));
             let with = Word::from_str_word(&format!("{alpha}e{beta}"));
             assert_eq!(l1.contains(&without), l1.contains(&with), "α={alpha} β={beta}");

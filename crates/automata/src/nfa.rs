@@ -133,10 +133,8 @@ impl Nfa {
             }
         }
 
-        let finals: Vec<bool> = subsets
-            .iter()
-            .map(|set| set.iter().any(|s| self.finals.contains(s)))
-            .collect();
+        let finals: Vec<bool> =
+            subsets.iter().map(|set| set.iter().any(|s| self.finals.contains(s))).collect();
 
         Dfa::from_parts(alphabet.clone(), 0, finals, transitions)
     }
@@ -156,7 +154,9 @@ mod tests {
         for pattern in ["ax*b", "ab|ad|cd", "b(aa)*d", "(a|b)*c"] {
             let enfa = Regex::parse(pattern).unwrap().to_enfa();
             let nfa = enfa.to_nfa();
-            for word in ["", "a", "ab", "ad", "cd", "axb", "axxb", "bd", "baad", "c", "abc", "aabbc"] {
+            for word in
+                ["", "a", "ab", "ad", "cd", "axb", "axxb", "bd", "baad", "c", "abc", "aabbc"]
+            {
                 assert_eq!(enfa.accepts(&w(word)), nfa.accepts(&w(word)), "{pattern} on {word}");
             }
         }
@@ -169,9 +169,10 @@ mod tests {
             let nfa = enfa.to_nfa();
             let alphabet = nfa.letters();
             let dfa = nfa.determinize(&alphabet);
-            for word in
-                ["", "a", "ab", "ad", "cd", "axb", "axxb", "abb", "babb", "aabb", "ad", "abcd", "acbd", "abd"]
-            {
+            for word in [
+                "", "a", "ab", "ad", "cd", "axb", "axxb", "abb", "babb", "aabb", "ad", "abcd",
+                "acbd", "abd",
+            ] {
                 let word = w(word);
                 // Only compare on words over the DFA's alphabet.
                 if word.iter().all(|l| alphabet.contains(l)) {

@@ -141,7 +141,10 @@ mod tests {
                 continue;
             }
             if !is_star_free(&l).unwrap() {
-                assert!(is_four_legged(&l), "{pattern}: non-star-free infix-free must be four-legged");
+                assert!(
+                    is_four_legged(&l),
+                    "{pattern}: non-star-free infix-free must be four-legged"
+                );
             }
         }
     }

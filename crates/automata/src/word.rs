@@ -108,7 +108,8 @@ impl Word {
 
     /// Whether `self` is a prefix of `other`.
     pub fn is_prefix_of(&self, other: &Word) -> bool {
-        other.letters.len() >= self.letters.len() && other.letters[..self.letters.len()] == self.letters[..]
+        other.letters.len() >= self.letters.len()
+            && other.letters[..self.letters.len()] == self.letters[..]
     }
 
     /// Whether `self` is a *strict* prefix of `other` (prefix and shorter).

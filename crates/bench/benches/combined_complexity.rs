@@ -14,7 +14,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpq_automata::local::is_local;
 use rpq_automata::{Alphabet, Language};
 use rpq_graphdb::generate::random_labeled_graph;
-use rpq_resilience::algorithms::local::resilience_local;
+use rpq_resilience::algorithms::{solve_with, Algorithm};
 use rpq_resilience::rpq::Rpq;
 use std::time::Duration;
 
@@ -32,8 +32,7 @@ fn query_family(k: usize) -> (Language, Alphabet) {
         targets.iter().map(|c| c.to_string()).collect::<Vec<_>>().join("|"),
     );
     let language = Language::parse(&pattern).expect("query family parses");
-    let alphabet_chars: String =
-        sources.iter().chain(targets.iter()).chain(['m'].iter()).collect();
+    let alphabet_chars: String = sources.iter().chain(targets.iter()).chain(['m'].iter()).collect();
     (language, Alphabet::from_chars(&alphabet_chars))
 }
 
@@ -52,7 +51,7 @@ fn combined_complexity(c: &mut Criterion) {
         let query = Rpq::new(language).with_bag_semantics();
         // |Σ| = 2k + 1 is the swept parameter; |A| grows linearly with it.
         group.bench_with_input(BenchmarkId::from_parameter(2 * k + 1), &query, |b, query| {
-            b.iter(|| resilience_local(query, &db).unwrap().value)
+            b.iter(|| solve_with(Algorithm::Local, query, &db).unwrap().value)
         });
     }
     group.finish();

@@ -6,27 +6,29 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpq_bench::{aa_path_db, flow_db_of_size};
 use rpq_resilience::algorithms::{solve_with, Algorithm};
-use rpq_resilience::exact::resilience_exact;
 use rpq_resilience::rpq::Rpq;
 use std::time::Duration;
 
 fn exact_vs_poly(c: &mut Criterion) {
     // Tractable language ax*b: polynomial algorithm vs exact branch-and-bound.
     let mut group = c.benchmark_group("exact_vs_poly/ax_star_b");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200));
     let query = Rpq::parse("ax*b").unwrap().with_bag_semantics();
     for size in [64usize, 256] {
         let db = flow_db_of_size(size);
         // Sanity: both solvers agree.
         assert_eq!(
             solve_with(Algorithm::Local, &query, &db).unwrap().value,
-            resilience_exact(&query, &db).value
+            solve_with(Algorithm::ExactBranchAndBound, &query, &db).unwrap().value
         );
         group.bench_with_input(BenchmarkId::new("mincut_poly", db.num_facts()), &db, |b, db| {
             b.iter(|| solve_with(Algorithm::Local, &query, db).unwrap().value)
         });
         group.bench_with_input(BenchmarkId::new("exact_bb", db.num_facts()), &db, |b, db| {
-            b.iter(|| resilience_exact(&query, db).value)
+            b.iter(|| solve_with(Algorithm::ExactBranchAndBound, &query, db).unwrap().value)
         });
     }
     group.finish();
@@ -34,13 +36,16 @@ fn exact_vs_poly(c: &mut Criterion) {
     // NP-hard language aa: only the exponential solver applies; its cost grows
     // with the path length (the polynomial algorithms refuse the language).
     let mut group = c.benchmark_group("exact_vs_poly/aa_paths");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     let aa = Rpq::parse("aa").unwrap();
     assert!(solve_with(Algorithm::Local, &aa, &aa_path_db(4)).is_err());
     for n in [8usize, 16, 24] {
         let db = aa_path_db(n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
-            b.iter(|| resilience_exact(&aa, db).value)
+            b.iter(|| solve_with(Algorithm::ExactBranchAndBound, &aa, db).unwrap().value)
         });
     }
     group.finish();

@@ -21,7 +21,10 @@ fn figure1(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("figure1/classification");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     for pattern in figure1_patterns() {
         let language = Language::parse(pattern).unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(pattern), &language, |b, l| {

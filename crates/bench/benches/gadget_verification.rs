@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rpq_automata::Language;
-use rpq_resilience::exact::resilience_exact;
+use rpq_resilience::algorithms::{solve_with, Algorithm};
 use rpq_resilience::gadgets::library;
 use rpq_resilience::gadgets::PreGadget;
 use rpq_resilience::reductions::UndirectedGraph;
@@ -21,7 +21,10 @@ fn gadget_verification(c: &mut Criterion) {
     let languages = ["aa", "aaa", "axb|cxd", "ab|bc|ca"];
 
     let mut group = c.benchmark_group("gadgets/verify");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     for ((name, gadget), pattern) in gadgets.iter().zip(languages) {
         let language = Language::parse(pattern).unwrap();
         assert!(gadget.verify(&language).is_valid, "{name}");
@@ -34,14 +37,17 @@ fn gadget_verification(c: &mut Criterion) {
     // Hardness reduction: exact resilience of vertex-cover encodings grows
     // exponentially with the graph size (the NP-hard side of the dichotomy).
     let mut group = c.benchmark_group("gadgets/vertex_cover_reduction_aa");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(200));
     let gadget = library::gadget_aa();
     let query = Rpq::parse("aa").unwrap();
     for n in [3usize, 4, 5] {
         let graph = UndirectedGraph::cycle(n);
         let encoding = gadget.encode_graph(&graph);
         group.bench_with_input(BenchmarkId::from_parameter(format!("C{n}")), &encoding, |b, db| {
-            b.iter(|| resilience_exact(&query, db).value)
+            b.iter(|| solve_with(Algorithm::ExactBranchAndBound, &query, db).unwrap().value)
         });
     }
     group.finish();

@@ -43,7 +43,10 @@ fn classical_network(db: &GraphDb) -> FlowNetwork {
 
 fn mincut_equivalence(c: &mut Criterion) {
     let mut group = c.benchmark_group("mincut_equivalence");
-    group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for size in [512usize, 2048, 8192] {
         let db = flow_db_of_size(size);
         let query = Rpq::parse("ax*b").unwrap().with_bag_semantics();
@@ -56,9 +59,11 @@ fn mincut_equivalence(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("rpq_resilience", db.num_facts()), &db, |b, db| {
             b.iter(|| solve(&query, db).unwrap().value)
         });
-        group.bench_with_input(BenchmarkId::new("classical_mincut", db.num_facts()), &db, |b, db| {
-            b.iter(|| rpq_flow::min_cut(&classical_network(db)).value)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("classical_mincut", db.num_facts()),
+            &db,
+            |b, db| b.iter(|| rpq_flow::min_cut(&classical_network(db)).value),
+        );
     }
     group.finish();
 }

@@ -18,7 +18,10 @@ use std::time::Duration;
 fn scaling(c: &mut Criterion) {
     for workload in scaling_workloads() {
         let mut group = c.benchmark_group(format!("scaling/{}", workload.name));
-        group.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_secs(2))
+            .warm_up_time(Duration::from_millis(300));
         let language = workload_language(&workload);
         for &size in &workload.sizes {
             let db = (workload.build)(size);

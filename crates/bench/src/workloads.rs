@@ -88,9 +88,28 @@ pub fn scaling_workloads() -> Vec<ScalingWorkload> {
 /// the classification benchmark and the EXPERIMENTS.md table.
 pub fn figure1_patterns() -> Vec<&'static str> {
     vec![
-        "abc|abd", "ab|ad|cd", "ax*b", "ab|bc", "axb|byc", "abc|be", "abcd|ce", "abcd|be",
-        "ax*b|xd", "axb|cxd", "ax*b|cxd", "b(aa)*d", "aa", "aaaa", "abca|cab", "ab|bc|ca",
-        "abcd|be|ef", "abcd|bef", "abc|bcd", "abc|bef", "ab*c|ba", "ab*d|ac*d|bc",
+        "abc|abd",
+        "ab|ad|cd",
+        "ax*b",
+        "ab|bc",
+        "axb|byc",
+        "abc|be",
+        "abcd|ce",
+        "abcd|be",
+        "ax*b|xd",
+        "axb|cxd",
+        "ax*b|cxd",
+        "b(aa)*d",
+        "aa",
+        "aaaa",
+        "abca|cab",
+        "ab|bc|ca",
+        "abcd|be|ef",
+        "abcd|bef",
+        "abc|bcd",
+        "abc|bef",
+        "ab*c|ba",
+        "ab*d|ac*d|bc",
     ]
 }
 

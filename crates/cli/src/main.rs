@@ -3,10 +3,15 @@
 //! ```text
 //! rpq-cli classify  '<regex>'                 classify RES(L) (Figure 1 engine)
 //! rpq-cli resilience '<regex>' <db.txt>       compute the resilience on a database
-//!            [--bag] [--algorithm local|chain|one-dangling|exact] [--show-cut]
+//!            [--bag] [--algorithm <name>] [--show-cut]
 //! rpq-cli gadget    '<regex>'                 derive a verified hardness gadget
 //! rpq-cli figure1                             re-derive the Figure 1 classification map
 //! ```
+//!
+//! All resilience computations go through the engine dispatcher
+//! ([`rpq_resilience::algorithms::solve`] / [`solve_with`]); `--algorithm`
+//! accepts every backend name of [`Algorithm`] (`rpq-cli --help` shows the
+//! list).
 //!
 //! Databases use the line-based text format of `rpq-graphdb::text`: one fact
 //! per line, `source label target [multiplicity] [!]` (a trailing `!` marks
@@ -28,7 +33,9 @@ usage:
   rpq-cli gadget '<regex>'
   rpq-cli figure1
 
-algorithms: local (Thm 3.13), chain (Prp 7.6), one-dangling (Prp 7.9), exact
+algorithms: local (Thm 3.13), chain (Prp 7.6), one-dangling (Prp 7.9),
+            exact (branch & bound), enumeration (subset oracle, tiny inputs),
+            greedy / k-approx (certified polynomial bounds, finite languages)
 database format: one fact per line, `source label target [multiplicity] [!]`\n(a trailing `!` declares the fact exogenous / un-removable)";
 
 fn main() -> ExitCode {
@@ -62,6 +69,10 @@ fn run(args: &[String]) -> Result<(), String> {
             cmd_figure1();
             Ok(())
         }
+        Some("--help" | "-h" | "help") => {
+            println!("{USAGE}");
+            Ok(())
+        }
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given".to_string()),
     }
@@ -91,7 +102,9 @@ fn cmd_classify(pattern: &str) -> Result<(), String> {
             if found.for_mirror { " — for the mirror language (Prp 6.3)" } else { "" }
         ),
         None if classification.is_np_hard() => {
-            println!("hardness gadget : none transcribed (certificate is a language-theoretic witness)")
+            println!(
+                "hardness gadget : none transcribed (certificate is a language-theoretic witness)"
+            )
         }
         None => {}
     }
@@ -111,13 +124,7 @@ fn cmd_resilience(pattern: &str, path: &str, options: &[String]) -> Result<(), S
             "--show-cut" => show_cut = true,
             "--algorithm" => {
                 let name = iter.next().ok_or("--algorithm requires a value")?;
-                algorithm = Some(match name.as_str() {
-                    "local" => Algorithm::Local,
-                    "chain" => Algorithm::BipartiteChain,
-                    "one-dangling" => Algorithm::OneDangling,
-                    "exact" => Algorithm::ExactBranchAndBound,
-                    other => return Err(format!("unknown algorithm `{other}`")),
-                });
+                algorithm = Some(name.parse::<Algorithm>()?);
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -129,8 +136,13 @@ fn cmd_resilience(pattern: &str, path: &str, options: &[String]) -> Result<(), S
         Some(algorithm) => solve_with(algorithm, &query, &db).map_err(|e| e.to_string())?,
         None => solve(&query, &db).map_err(|e| e.to_string())?,
     };
-    println!("algorithm       : {:?}", outcome.algorithm);
-    println!("resilience      : {}", outcome.value);
+    println!("algorithm       : {}", outcome.algorithm);
+    match outcome.bounds {
+        Some((lower, upper)) if lower != upper => {
+            println!("resilience      : in [{lower}, {upper}] (certified bounds)")
+        }
+        _ => println!("resilience      : {}", outcome.value),
+    }
     if show_cut {
         match &outcome.contingency_set {
             Some(cut) if !cut.is_empty() => {
@@ -151,11 +163,7 @@ fn cmd_gadget(pattern: &str) -> Result<(), String> {
     match find_gadget(&language) {
         Some(found) => {
             println!("language        : {pattern}");
-            println!(
-                "gadget family   : {:?} ({})",
-                found.family,
-                found.family.paper_result()
-            );
+            println!("gadget family   : {:?} ({})", found.family, found.family.paper_result());
             if found.for_mirror {
                 println!("note            : the gadget certifies the mirror language (Prp 6.3)");
             }
@@ -193,6 +201,32 @@ mod tests {
         assert!(run(&["classify".into(), "aa".into()]).is_ok());
         assert!(run(&["gadget".into(), "aab".into()]).is_ok());
         assert!(run(&["figure1".into()]).is_ok());
+        assert!(run(&["--help".into()]).is_ok());
+    }
+
+    #[test]
+    fn every_engine_backend_is_reachable_from_the_command_line() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rpq_cli_backends_db.txt");
+        std::fs::write(&path, "s a u\nu a v\nv a t\n").unwrap();
+        let path = path.to_string_lossy().to_string();
+        for algorithm in Algorithm::ALL {
+            let result = run(&[
+                "resilience".into(),
+                "aa".into(),
+                path.clone(),
+                "--algorithm".into(),
+                algorithm.name().into(),
+            ]);
+            // `aa` is not local / chain / one-dangling: those backends must
+            // report NotApplicable; the exact and approximate ones succeed.
+            match algorithm {
+                Algorithm::Local | Algorithm::BipartiteChain | Algorithm::OneDangling => {
+                    assert!(result.unwrap_err().contains("does not apply"), "{algorithm}")
+                }
+                _ => assert!(result.is_ok(), "{algorithm}"),
+            }
+        }
     }
 
     #[test]

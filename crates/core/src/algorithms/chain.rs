@@ -42,11 +42,11 @@ pub fn resilience_bipartite_chain(
     };
 
     if finite.words().iter().any(Word::is_empty) {
-        return Ok(ResilienceOutcome {
-            value: ResilienceValue::Infinite,
-            algorithm: Algorithm::BipartiteChain,
-            contingency_set: None,
-        });
+        return Ok(ResilienceOutcome::new(
+            ResilienceValue::Infinite,
+            Algorithm::BipartiteChain,
+            None,
+        ));
     }
 
     // Preprocessing: single-letter words force the removal of every fact with
@@ -60,18 +60,17 @@ pub fn resilience_bipartite_chain(
             if db.is_exogenous(id) {
                 // A single-letter word matched by an exogenous fact can never
                 // be broken: the resilience is +∞.
-                return Ok(ResilienceOutcome {
-                    value: ResilienceValue::Infinite,
-                    algorithm: Algorithm::BipartiteChain,
-                    contingency_set: None,
-                });
+                return Ok(ResilienceOutcome::new(
+                    ResilienceValue::Infinite,
+                    Algorithm::BipartiteChain,
+                    None,
+                ));
             }
             base_cost += rpq.semantics().fact_cost(db, id) as u128;
             forced_facts.push(id);
         }
     }
-    let words: Vec<Word> =
-        finite.words().iter().filter(|w| w.len() >= 2).cloned().collect();
+    let words: Vec<Word> = finite.words().iter().filter(|w| w.len() >= 2).cloned().collect();
     let removed_forced: BTreeSet<FactId> = forced_facts.iter().copied().collect();
 
     // Words are forward when their first letter is in the source partition.
@@ -159,15 +158,10 @@ pub fn resilience_bipartite_chain(
     let mut contingency: Vec<FactId> = forced_facts;
     contingency.extend(cut.cut_edges.iter().filter_map(|e| edge_to_fact.get(e).copied()));
     debug_assert!(
-        value.is_infinite()
-            || rpq.is_contingency_set(db, &contingency.iter().copied().collect()),
+        value.is_infinite() || rpq.is_contingency_set(db, &contingency.iter().copied().collect()),
         "the extracted cut must be a contingency set"
     );
-    Ok(ResilienceOutcome {
-        value,
-        algorithm: Algorithm::BipartiteChain,
-        contingency_set: Some(contingency),
-    })
+    Ok(ResilienceOutcome::new(value, Algorithm::BipartiteChain, Some(contingency)))
 }
 
 #[cfg(test)]

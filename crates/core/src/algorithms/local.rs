@@ -36,20 +36,15 @@ pub fn resilience_local(rpq: &Rpq, db: &GraphDb) -> Result<ResilienceOutcome, Re
         });
     }
     if language.contains_epsilon() {
-        return Ok(ResilienceOutcome {
-            value: ResilienceValue::Infinite,
-            algorithm: Algorithm::Local,
-            contingency_set: None,
-        });
+        return Ok(ResilienceOutcome::new(ResilienceValue::Infinite, Algorithm::Local, None));
     }
     let ro = RoEnfa::for_local_language(&language)?;
     let (value, cut) = resilience_via_ro_enfa(&ro, db, rpq.semantics(), |_| true);
     debug_assert!(
-        value.is_infinite()
-            || rpq.is_contingency_set(db, &cut.iter().copied().collect()),
+        value.is_infinite() || rpq.is_contingency_set(db, &cut.iter().copied().collect()),
         "the extracted cut must be a contingency set"
     );
-    Ok(ResilienceOutcome { value, algorithm: Algorithm::Local, contingency_set: Some(cut) })
+    Ok(ResilienceOutcome::new(value, Algorithm::Local, Some(cut)))
 }
 
 /// Runs the Theorem 3.13 product construction for an explicit RO-εNFA, with a

@@ -1,4 +1,4 @@
-//! Resilience algorithms.
+//! Resilience algorithms behind one engine-style dispatch layer.
 //!
 //! The tractable algorithms of the paper all reduce resilience to MinCut:
 //!
@@ -10,12 +10,25 @@
 //! The [`solve`] dispatcher inspects the infix-free sublanguage of the query,
 //! picks the most efficient applicable algorithm, and otherwise falls back to
 //! the exponential exact solver of [`crate::exact`].
+//!
+//! **This module is the single entry point for computing resilience.** The
+//! CLI, the integration tests, and the benchmarks all go through [`solve`]
+//! (automatic backend choice) or [`solve_with`] (explicit backend, including
+//! the exact oracles of [`crate::exact`] and the certified approximations of
+//! [`crate::approx`], see [`Algorithm`]). The per-module functions are
+//! implementation details: call them directly only from this dispatcher and
+//! from their own unit tests, so every consumer benefits from dispatch-level
+//! invariants (ε-handling, infix-free reduction, outcome normalization) and
+//! backends can be swapped without touching call sites.
 
 pub mod chain;
 pub mod local;
 pub mod one_dangling;
 
-use crate::exact::resilience_exact;
+use crate::approx::{
+    resilience_greedy, resilience_k_approximation, ApproxError, ApproximateResilience,
+};
+use crate::exact::{resilience_by_enumeration, resilience_exact};
 use crate::rpq::{ResilienceValue, Rpq};
 use rpq_automata::finite::{one_dangling_decomposition, FiniteLanguage};
 use rpq_automata::local::is_local;
@@ -42,7 +55,7 @@ impl fmt::Display for ResilienceError {
         match self {
             ResilienceError::Automata(e) => write!(f, "language analysis failed: {e}"),
             ResilienceError::NotApplicable { algorithm, reason } => {
-                write!(f, "{algorithm:?} does not apply: {reason}")
+                write!(f, "`{algorithm}` does not apply: {reason}")
             }
         }
     }
@@ -67,18 +80,110 @@ pub enum Algorithm {
     OneDangling,
     /// Exponential branch and bound over witness walks (always applicable).
     ExactBranchAndBound,
+    /// Exponential subset enumeration (reference oracle, ≤ 24 facts).
+    ExactEnumeration,
+    /// Greedy hitting set over the hypergraph of matches: a certified
+    /// `O(log m)`-approximation for finite languages.
+    ApproxGreedy,
+    /// Disjoint-matches `k`-approximation for finite languages (`k` = maximum
+    /// word length of the infix-free sublanguage).
+    ApproxKDisjoint,
+}
+
+impl Algorithm {
+    /// Every selectable backend, in dispatcher preference order.
+    pub const ALL: [Algorithm; 7] = [
+        Algorithm::Local,
+        Algorithm::BipartiteChain,
+        Algorithm::OneDangling,
+        Algorithm::ExactBranchAndBound,
+        Algorithm::ExactEnumeration,
+        Algorithm::ApproxGreedy,
+        Algorithm::ApproxKDisjoint,
+    ];
+
+    /// The stable command-line name of the backend (see [`Algorithm::from_str`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::Local => "local",
+            Algorithm::BipartiteChain => "chain",
+            Algorithm::OneDangling => "one-dangling",
+            Algorithm::ExactBranchAndBound => "exact",
+            Algorithm::ExactEnumeration => "enumeration",
+            Algorithm::ApproxGreedy => "greedy",
+            Algorithm::ApproxKDisjoint => "k-approx",
+        }
+    }
+
+    /// Whether the backend always returns the exact resilience (as opposed to
+    /// a certified upper bound).
+    pub fn is_exact(self) -> bool {
+        !matches!(self, Algorithm::ApproxGreedy | Algorithm::ApproxKDisjoint)
+    }
+}
+
+impl std::str::FromStr for Algorithm {
+    type Err = String;
+
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        Algorithm::ALL
+            .into_iter()
+            .find(|a| a.name() == name)
+            .ok_or_else(|| format!("unknown algorithm `{name}`"))
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// The outcome of a resilience computation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ResilienceOutcome {
-    /// The resilience value.
+    /// The resilience value. For the approximation backends this is the
+    /// certified **upper bound** (the cost of `contingency_set`); see
+    /// [`ResilienceOutcome::bounds`].
     pub value: ResilienceValue,
     /// Which algorithm produced it.
     pub algorithm: Algorithm,
     /// An optimal contingency set, when the algorithm produces one
-    /// (the one-dangling rewriting only certifies the value).
+    /// (the one-dangling rewriting and the enumeration oracle only certify
+    /// the value).
     pub contingency_set: Option<Vec<FactId>>,
+    /// Certified `lower ≤ RES(Q, D) ≤ upper` bounds, reported by the
+    /// approximation backends; `None` for the exact backends.
+    pub bounds: Option<(u128, u128)>,
+}
+
+impl ResilienceOutcome {
+    /// An exact outcome (no approximation bounds).
+    pub fn new(
+        value: ResilienceValue,
+        algorithm: Algorithm,
+        contingency_set: Option<Vec<FactId>>,
+    ) -> Self {
+        ResilienceOutcome { value, algorithm, contingency_set, bounds: None }
+    }
+
+    fn from_approximation(algorithm: Algorithm, approx: ApproximateResilience) -> Self {
+        ResilienceOutcome {
+            value: ResilienceValue::Finite(approx.upper_bound),
+            algorithm,
+            contingency_set: Some(approx.contingency_set.into_iter().collect()),
+            bounds: Some((approx.lower_bound, approx.upper_bound)),
+        }
+    }
+
+    /// Whether the outcome is the exact resilience: produced by an exact
+    /// backend, or by an approximation whose bounds coincide.
+    pub fn is_exact(&self) -> bool {
+        match self.bounds {
+            None => self.algorithm.is_exact(),
+            Some((lower, upper)) => lower == upper,
+        }
+    }
 }
 
 /// Computes the resilience of `rpq` on `db`, picking the best applicable
@@ -92,11 +197,7 @@ pub struct ResilienceOutcome {
 pub fn solve(rpq: &Rpq, db: &GraphDb) -> Result<ResilienceOutcome, ResilienceError> {
     let if_language = rpq.infix_free_language();
     if if_language.contains_epsilon() {
-        return Ok(ResilienceOutcome {
-            value: ResilienceValue::Infinite,
-            algorithm: Algorithm::Local,
-            contingency_set: None,
-        });
+        return Ok(ResilienceOutcome::new(ResilienceValue::Infinite, Algorithm::Local, None));
     }
     if is_local(&if_language) {
         return local::resilience_local(rpq, db);
@@ -109,12 +210,7 @@ pub fn solve(rpq: &Rpq, db: &GraphDb) -> Result<ResilienceOutcome, ResilienceErr
     if !db.has_exogenous_facts() && one_dangling_decomposition(&if_language).is_some() {
         return one_dangling::resilience_one_dangling(rpq, db);
     }
-    let exact = resilience_exact(rpq, db);
-    Ok(ResilienceOutcome {
-        value: exact.value,
-        algorithm: Algorithm::ExactBranchAndBound,
-        contingency_set: Some(exact.contingency_set.into_iter().collect()),
-    })
+    solve_with(Algorithm::ExactBranchAndBound, rpq, db)
 }
 
 /// Computes the resilience with an explicitly chosen algorithm, failing with
@@ -130,11 +226,40 @@ pub fn solve_with(
         Algorithm::OneDangling => one_dangling::resilience_one_dangling(rpq, db),
         Algorithm::ExactBranchAndBound => {
             let exact = resilience_exact(rpq, db);
-            Ok(ResilienceOutcome {
-                value: exact.value,
-                algorithm: Algorithm::ExactBranchAndBound,
-                contingency_set: Some(exact.contingency_set.into_iter().collect()),
-            })
+            Ok(ResilienceOutcome::new(
+                exact.value,
+                Algorithm::ExactBranchAndBound,
+                Some(exact.contingency_set.into_iter().collect()),
+            ))
+        }
+        Algorithm::ExactEnumeration => Ok(ResilienceOutcome::new(
+            resilience_by_enumeration(rpq, db),
+            Algorithm::ExactEnumeration,
+            None,
+        )),
+        Algorithm::ApproxGreedy => normalize_approximation(algorithm, resilience_greedy(rpq, db)),
+        Algorithm::ApproxKDisjoint => {
+            normalize_approximation(algorithm, resilience_k_approximation(rpq, db))
+        }
+    }
+}
+
+/// Lifts an approximation result into the engine's outcome type: cases where
+/// the resilience is provably `+∞` (ε ∈ L, or a match made of exogenous facts
+/// only) become regular infinite outcomes, and only a genuinely inapplicable
+/// language (infinite, so the hypergraph of matches cannot be built) surfaces
+/// as [`ResilienceError::NotApplicable`].
+fn normalize_approximation(
+    algorithm: Algorithm,
+    result: Result<ApproximateResilience, ApproxError>,
+) -> Result<ResilienceOutcome, ResilienceError> {
+    match result {
+        Ok(approx) => Ok(ResilienceOutcome::from_approximation(algorithm, approx)),
+        Err(ApproxError::InfiniteResilience) | Err(ApproxError::ProtectedMatch) => {
+            Ok(ResilienceOutcome::new(ResilienceValue::Infinite, algorithm, None))
+        }
+        Err(e @ ApproxError::NotFinite) => {
+            Err(ResilienceError::NotApplicable { algorithm, reason: e.to_string() })
         }
     }
 }
@@ -216,5 +341,67 @@ mod tests {
         assert!(solve_with(Algorithm::ExactBranchAndBound, &q, &db).is_ok());
         let err = solve_with(Algorithm::Local, &q, &db).unwrap_err();
         assert!(err.to_string().contains("does not apply"));
+    }
+
+    #[test]
+    fn exact_backends_agree_through_the_dispatcher() {
+        let db = word_path(&Word::from_str_word("aaaa"));
+        let q = Rpq::parse("aa").unwrap();
+        let bb = solve_with(Algorithm::ExactBranchAndBound, &q, &db).unwrap();
+        let enumerated = solve_with(Algorithm::ExactEnumeration, &q, &db).unwrap();
+        assert_eq!(bb.value, enumerated.value);
+        assert_eq!(enumerated.algorithm, Algorithm::ExactEnumeration);
+        assert!(enumerated.contingency_set.is_none());
+        assert!(enumerated.is_exact());
+    }
+
+    #[test]
+    fn approximation_backends_report_certified_bounds() {
+        let db = word_path(&Word::from_str_word("aaaa"));
+        let q = Rpq::parse("aa").unwrap();
+        let exact = solve_with(Algorithm::ExactBranchAndBound, &q, &db).unwrap().value;
+        for algorithm in [Algorithm::ApproxGreedy, Algorithm::ApproxKDisjoint] {
+            let out = solve_with(algorithm, &q, &db).unwrap();
+            let (lower, upper) = out.bounds.expect("approximations certify bounds");
+            assert_eq!(out.value, ResilienceValue::Finite(upper));
+            let exact = exact.finite().unwrap();
+            assert!(lower <= exact && exact <= upper, "{algorithm}");
+            assert!(!out.algorithm.is_exact());
+        }
+    }
+
+    #[test]
+    fn approximations_normalize_infinite_cases_like_the_exact_backends() {
+        let db = word_path(&Word::from_str_word("aa"));
+        // ε ∈ L: the resilience is +∞, not an error.
+        let q = Rpq::parse("a*").unwrap();
+        for algorithm in [Algorithm::ApproxGreedy, Algorithm::ApproxKDisjoint] {
+            assert!(solve_with(algorithm, &q, &db).unwrap().value.is_infinite());
+        }
+        // Every matched fact exogenous: also +∞.
+        let mut db = word_path(&Word::from_str_word("aa"));
+        for fact in db.fact_ids().collect::<Vec<_>>() {
+            db.set_exogenous(fact, true);
+        }
+        let q = Rpq::parse("aa").unwrap();
+        for algorithm in [Algorithm::ApproxGreedy, Algorithm::ApproxKDisjoint] {
+            assert!(solve_with(algorithm, &q, &db).unwrap().value.is_infinite());
+        }
+        // An infinite language stays genuinely inapplicable.
+        let q = Rpq::parse("ax*b").unwrap();
+        for algorithm in [Algorithm::ApproxGreedy, Algorithm::ApproxKDisjoint] {
+            assert!(matches!(
+                solve_with(algorithm, &q, &db),
+                Err(ResilienceError::NotApplicable { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for algorithm in Algorithm::ALL {
+            assert_eq!(algorithm.name().parse::<Algorithm>().unwrap(), algorithm);
+        }
+        assert!("bogus".parse::<Algorithm>().is_err());
     }
 }

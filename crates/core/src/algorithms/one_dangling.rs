@@ -44,11 +44,7 @@ pub fn resilience_one_dangling(
         });
     };
     if language.contains_epsilon() {
-        return Ok(ResilienceOutcome {
-            value: ResilienceValue::Infinite,
-            algorithm: Algorithm::OneDangling,
-            contingency_set: None,
-        });
+        return Ok(ResilienceOutcome::new(ResilienceValue::Infinite, Algorithm::OneDangling, None));
     }
     if db.has_exogenous_facts() {
         // The κ-offset rewriting assumes finite fact weights; exogenous facts
@@ -111,7 +107,7 @@ pub fn resilience_one_dangling(
         },
         "one-dangling rewriting disagrees with the exact solver"
     );
-    Ok(ResilienceOutcome { value, algorithm: Algorithm::OneDangling, contingency_set: None })
+    Ok(ResilienceOutcome::new(value, Algorithm::OneDangling, None))
 }
 
 /// Performs steps 2–4 of the rewriting for a decomposition with `y ∉ Σ`.
@@ -124,22 +120,16 @@ fn rewrite_and_solve(
     let local_part = &decomposition.local_part;
 
     // κ = total multiplicity of y-facts.
-    let kappa: i128 = db
-        .facts()
-        .filter(|(_, f)| f.label == y)
-        .map(|(id, _)| db.multiplicity(id) as i128)
-        .sum();
+    let kappa: i128 =
+        db.facts().filter(|(_, f)| f.label == y).map(|(id, _)| db.multiplicity(id) as i128).sum();
 
     // Fresh letter z and the rewritten automaton A' (x ↦ xz). When x does not
     // occur in the local part, the language is unchanged.
     let ambient = local_part.alphabet().union(&db.alphabet()).with(x).with(y);
     let z = ambient.fresh_letter();
     let ro = RoEnfa::for_local_language(local_part)?;
-    let ro_rewritten = if ro.letter_transition(x).is_some() {
-        ro.split_letter_transition(x, z)?
-    } else {
-        ro
-    };
+    let ro_rewritten =
+        if ro.letter_transition(x).is_some() { ro.split_letter_transition(x, z)? } else { ro };
 
     // Rewrite the database.
     let mut rewritten = GraphDb::new();
@@ -185,7 +175,8 @@ fn rewrite_and_solve(
     let touched: std::collections::BTreeSet<NodeId> =
         incoming_x.keys().chain(outgoing_y.keys()).copied().collect();
     for v in touched {
-        let mult = incoming_x.get(&v).copied().unwrap_or(0) - outgoing_y.get(&v).copied().unwrap_or(0);
+        let mult =
+            incoming_x.get(&v).copied().unwrap_or(0) - outgoing_y.get(&v).copied().unwrap_or(0);
         if mult > 0 {
             let twin = rewritten.node(&twin_name(db, v));
             let main = rewritten.node(db.node_name(v));

@@ -216,8 +216,7 @@ pub fn resilience_approximate(
 ) -> Result<(ResilienceValue, BTreeSet<FactId>), ApproxError> {
     let greedy = resilience_greedy(rpq, db)?;
     let k_approx = resilience_k_approximation(rpq, db)?;
-    let best =
-        if greedy.upper_bound <= k_approx.upper_bound { greedy } else { k_approx };
+    let best = if greedy.upper_bound <= k_approx.upper_bound { greedy } else { k_approx };
     Ok((ResilienceValue::Finite(best.upper_bound), best.contingency_set))
 }
 
@@ -240,9 +239,10 @@ mod tests {
             for pattern in ["aa", "aba|bab", "aab"] {
                 let q = query(pattern);
                 let exact = resilience_exact(&q, &db).value.finite().unwrap();
-                for approx in
-                    [resilience_greedy(&q, &db).unwrap(), resilience_k_approximation(&q, &db).unwrap()]
-                {
+                for approx in [
+                    resilience_greedy(&q, &db).unwrap(),
+                    resilience_k_approximation(&q, &db).unwrap(),
+                ] {
                     assert!(approx.lower_bound <= exact, "{pattern} seed {seed}");
                     assert!(approx.upper_bound >= exact, "{pattern} seed {seed}");
                     assert!(q.is_contingency_set(&db, &approx.contingency_set));
@@ -281,7 +281,10 @@ mod tests {
     #[test]
     fn infinite_and_non_finite_cases_are_reported() {
         let db = word_path(&Word::from_str_word("aa"));
-        assert_eq!(resilience_greedy(&query("a*"), &db).unwrap_err(), ApproxError::InfiniteResilience);
+        assert_eq!(
+            resilience_greedy(&query("a*"), &db).unwrap_err(),
+            ApproxError::InfiniteResilience
+        );
         assert_eq!(resilience_greedy(&query("ax*b"), &db).unwrap_err(), ApproxError::NotFinite);
     }
 

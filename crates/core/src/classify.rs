@@ -209,9 +209,7 @@ pub fn classify_with_neutral_letter(language: &Language) -> Option<Classificatio
                 .map(|x| Word::from_letters([x, x]))
                 .find(|w| if_language.contains(w))
                 .expect("Lemma 5.8: a non-local, non-four-legged IF(L) with a neutral letter contains xx");
-            Some(Classification::NpHard(HardnessReason::RepeatedLetter {
-                witness_word: xx,
-            }))
+            Some(Classification::NpHard(HardnessReason::RepeatedLetter { witness_word: xx }))
         }
     }
 }
@@ -292,7 +290,9 @@ pub fn verify_classification(language: &Language, classification: &Classificatio
                 .unwrap_or(false)
         }
         Classification::NpHard(HardnessReason::FourLegged(witness)) => {
-            if_language.is_infix_free() && witness.verify(&if_language) && witness.has_nonempty_legs()
+            if_language.is_infix_free()
+                && witness.verify(&if_language)
+                && witness.has_nonempty_legs()
         }
         Classification::NpHard(HardnessReason::RepeatedLetter { witness_word }) => {
             if_language.contains(witness_word) && witness_word.has_repeated_letter()
@@ -339,7 +339,13 @@ mod tests {
                 "Unclassified" => computed.is_unclassified(),
                 other => panic!("unknown expectation {other}"),
             };
-            assert!(ok, "language {} expected {} but computed {}", row.pattern, row.expected, computed.label());
+            assert!(
+                ok,
+                "language {} expected {} but computed {}",
+                row.pattern,
+                row.expected,
+                computed.label()
+            );
         }
     }
 

@@ -107,8 +107,7 @@ fn branch(
     // set must hit this walk, so the branching is exhaustive. Exogenous facts
     // cannot be removed; if the walk only uses exogenous facts, this subtree
     // contains no contingency set at all.
-    let distinct: BTreeSet<FactId> =
-        walk.into_iter().filter(|&f| !db.is_exogenous(f)).collect();
+    let distinct: BTreeSet<FactId> = walk.into_iter().filter(|&f| !db.is_exogenous(f)).collect();
     for fact in distinct {
         let fact_cost = rpq.semantics().fact_cost(db, fact) as u128;
         removed.insert(fact);
@@ -130,8 +129,12 @@ pub fn resilience_by_enumeration(rpq: &Rpq, db: &GraphDb) -> ResilienceValue {
     assert!(facts.len() <= 24, "subset enumeration is limited to 24 facts");
     let mut best: Option<u128> = None;
     for mask in 0u64..(1u64 << facts.len()) {
-        let subset: BTreeSet<FactId> =
-            facts.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &f)| f).collect();
+        let subset: BTreeSet<FactId> = facts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &f)| f)
+            .collect();
         if rpq.is_contingency_set(db, &subset) {
             let cost = rpq.cost(db, &subset);
             best = Some(best.map_or(cost, |b: u128| b.min(cost)));
@@ -145,8 +148,8 @@ pub fn resilience_by_enumeration(rpq: &Rpq, db: &GraphDb) -> ResilienceValue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rpq_graphdb::generate::word_path;
     use rpq_automata::Word;
+    use rpq_graphdb::generate::word_path;
 
     #[test]
     fn epsilon_language_has_infinite_resilience() {

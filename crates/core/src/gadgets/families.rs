@@ -488,7 +488,12 @@ fn finite_candidates(language: &Language, for_mirror: bool, out: &mut Vec<Candid
             let head = word.letter_at(0);
             let tail = word.slice(2, word.len());
             if !tail.is_empty() {
-                push_candidate(out, claim_6_14_gadget(head, &tail), GadgetFamily::Figure11, for_mirror);
+                push_candidate(
+                    out,
+                    claim_6_14_gadget(head, &tail),
+                    GadgetFamily::Figure11,
+                    for_mirror,
+                );
             }
         }
     }
@@ -579,7 +584,11 @@ fn library_candidates(language: &Language, for_mirror: bool, out: &mut Vec<Candi
             .unwrap_or(false)
     };
     if equals("aa") {
-        out.push(Candidate { gadget: library::gadget_aa(), family: GadgetFamily::Figure3b, for_mirror });
+        out.push(Candidate {
+            gadget: library::gadget_aa(),
+            family: GadgetFamily::Figure3b,
+            for_mirror,
+        });
     }
     if equals("axb|cxd") {
         out.push(Candidate {
@@ -596,10 +605,18 @@ fn library_candidates(language: &Language, for_mirror: bool, out: &mut Vec<Candi
         });
     }
     if equals("abcd|be|ef") {
-        out.push(Candidate { gadget: gadget_abcd_be_ef(), family: GadgetFamily::Figure15, for_mirror });
+        out.push(Candidate {
+            gadget: gadget_abcd_be_ef(),
+            family: GadgetFamily::Figure15,
+            for_mirror,
+        });
     }
     if equals("abcd|bef") {
-        out.push(Candidate { gadget: gadget_abcd_bef(), family: GadgetFamily::Figure16, for_mirror });
+        out.push(Candidate {
+            gadget: gadget_abcd_bef(),
+            family: GadgetFamily::Figure16,
+            for_mirror,
+        });
     }
 }
 
@@ -711,7 +728,9 @@ mod tests {
         // γaγ = bcabc is in the language (abcab is not an infix of bcabc), so
         // Figure 8 applies.
         let l = lang("abcab");
-        let gadget = lemma_6_6_gadget(Letter('a'), &Word::from_str_word("bc"), &Word::from_str_word("b")).unwrap();
+        let gadget =
+            lemma_6_6_gadget(Letter('a'), &Word::from_str_word("bc"), &Word::from_str_word("b"))
+                .unwrap();
         let report = gadget.verify(&l);
         assert!(report.is_valid, "{:?}", report.failure);
         assert_eq!(report.path_length, Some(5));

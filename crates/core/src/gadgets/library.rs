@@ -170,7 +170,8 @@ mod tests {
         let language = Language::parse("ab|bc|ca").unwrap();
         let ell = gadget.verify(&language).path_length.unwrap();
         let query = Rpq::new(language);
-        for graph in [UndirectedGraph::new(3, [(0, 1), (1, 2)]), UndirectedGraph::new(2, [(0, 1)])] {
+        for graph in [UndirectedGraph::new(3, [(0, 1), (1, 2)]), UndirectedGraph::new(2, [(0, 1)])]
+        {
             let encoding = gadget.encode_graph(&graph);
             let resilience = resilience_exact(&query, &encoding).value;
             let expected = subdivision_vertex_cover_number(&graph, ell);

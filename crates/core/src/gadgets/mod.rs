@@ -78,7 +78,12 @@ impl PreGadget {
     /// Builds a pre-gadget, checking Definition 4.3's conditions: the
     /// in-element and out-element are distinct and never occur as heads of
     /// facts.
-    pub fn new(db: GraphDb, t_in: NodeId, t_out: NodeId, letter: Letter) -> Result<PreGadget, GadgetError> {
+    pub fn new(
+        db: GraphDb,
+        t_in: NodeId,
+        t_out: NodeId,
+        letter: Letter,
+    ) -> Result<PreGadget, GadgetError> {
         if t_in == t_out {
             return Err(GadgetError("t_in and t_out must be distinct".into()));
         }

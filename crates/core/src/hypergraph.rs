@@ -83,9 +83,10 @@ impl Hypergraph {
             // another edge. Also drop duplicate edges.
             let mut kept: Vec<BTreeSet<FactId>> = Vec::new();
             for (i, e) in edges.iter().enumerate() {
-                let dominated = edges.iter().enumerate().any(|(j, other)| {
-                    i != j && other.is_subset(e) && (other != e || j < i)
-                });
+                let dominated = edges
+                    .iter()
+                    .enumerate()
+                    .any(|(j, other)| i != j && other.is_subset(e) && (other != e || j < i));
                 if dominated {
                     changed = true;
                 } else {
@@ -101,7 +102,8 @@ impl Hypergraph {
                 if protected.contains(&v) {
                     continue;
                 }
-                let edges_v: Vec<usize> = (0..edges.len()).filter(|&i| edges[i].contains(&v)).collect();
+                let edges_v: Vec<usize> =
+                    (0..edges.len()).filter(|&i| edges[i].contains(&v)).collect();
                 for &v2 in &vertex_list {
                     if v2 == v {
                         continue;
@@ -131,7 +133,10 @@ impl Hypergraph {
     ///
     /// This is exponential in general (hitting set is NP-hard); it is intended
     /// for the gadget databases and small validation instances.
-    pub fn minimum_hitting_set(&self, weights: impl Fn(FactId) -> u64 + Copy) -> (u128, BTreeSet<FactId>) {
+    pub fn minimum_hitting_set(
+        &self,
+        weights: impl Fn(FactId) -> u64 + Copy,
+    ) -> (u128, BTreeSet<FactId>) {
         // Start from the trivial hitting set: all vertices occurring in edges.
         let mut best_set: BTreeSet<FactId> =
             self.edges.iter().flat_map(|e| e.iter().copied()).collect();
@@ -169,7 +174,14 @@ impl Hypergraph {
         let candidates: Vec<FactId> = self.edges[edge_index].iter().copied().collect();
         for v in candidates {
             current.insert(v);
-            self.hitting_branch(cost + weights(v) as u128, current, edge_index + 1, best_cost, best_set, weights);
+            self.hitting_branch(
+                cost + weights(v) as u128,
+                current,
+                edge_index + 1,
+                best_cost,
+                best_set,
+                weights,
+            );
             current.remove(&v);
         }
     }
@@ -203,11 +215,8 @@ impl Hypergraph {
         let mut visited: BTreeSet<FactId> = BTreeSet::from([from]);
         let mut current = from;
         loop {
-            let next: Vec<FactId> = adjacency[&current]
-                .iter()
-                .copied()
-                .filter(|n| !visited.contains(n))
-                .collect();
+            let next: Vec<FactId> =
+                adjacency[&current].iter().copied().filter(|n| !visited.contains(n)).collect();
             match next.len() {
                 0 => break,
                 1 => {

@@ -62,7 +62,9 @@ pub mod rpq;
 
 /// Convenient re-exports of the most commonly used types.
 pub mod prelude {
-    pub use crate::algorithms::{solve, Algorithm, ResilienceOutcome};
+    pub use crate::algorithms::{
+        solve, solve_mirrored, solve_with, Algorithm, ResilienceError, ResilienceOutcome,
+    };
     pub use crate::classify::{classify, Classification};
     pub use crate::rpq::{ResilienceValue, Rpq, Semantics};
     pub use rpq_graphdb::{Fact, FactId, GraphDb, NodeId};

@@ -132,7 +132,11 @@ impl Rpq {
     }
 
     /// Whether a fact set is a contingency set: removing it falsifies the query.
-    pub fn is_contingency_set(&self, db: &GraphDb, facts: &std::collections::BTreeSet<FactId>) -> bool {
+    pub fn is_contingency_set(
+        &self,
+        db: &GraphDb,
+        facts: &std::collections::BTreeSet<FactId>,
+    ) -> bool {
         !rpq_graphdb::satisfies_excluding(db, &self.language, facts)
     }
 

@@ -98,7 +98,8 @@ pub fn max_flow(network: &FlowNetwork) -> MaxFlow {
         }
         // Blocking flow by iterative DFS.
         loop {
-            let pushed = dfs_push(source, target, u128::MAX, &adjacency, &mut arcs, &level, &mut iter);
+            let pushed =
+                dfs_push(source, target, u128::MAX, &adjacency, &mut arcs, &level, &mut iter);
             if pushed == 0 {
                 break;
             }
@@ -106,11 +107,8 @@ pub fn max_flow(network: &FlowNetwork) -> MaxFlow {
         }
     }
 
-    let value = if total_flow >= infinite_cap {
-        Capacity::Infinite
-    } else {
-        Capacity::Finite(total_flow)
-    };
+    let value =
+        if total_flow >= infinite_cap { Capacity::Infinite } else { Capacity::Finite(total_flow) };
     MaxFlow { value, residual: Residual { adjacency, arcs } }
 }
 
@@ -133,8 +131,7 @@ fn dfs_push(
             (arc.to, arc.residual())
         };
         if residual > 0 && level[to] == level[v] + 1 {
-            let pushed =
-                dfs_push(to, target, limit.min(residual), adjacency, arcs, level, iter);
+            let pushed = dfs_push(to, target, limit.min(residual), adjacency, arcs, level, iter);
             if pushed > 0 {
                 // Decrease the residual of the used arc and increase the
                 // residual of its twin. We track unsigned flow, so the twin's
@@ -255,8 +252,7 @@ mod tests {
     fn large_capacities_do_not_overflow() {
         // Two disjoint routes of capacity u64::MAX each: the flow value exceeds
         // u64 but is represented exactly thanks to 128-bit capacities.
-        let net =
-            simple_network(&[(0, 1, u64::MAX), (1, 2, u64::MAX), (0, 2, u64::MAX)], 3, 0, 2);
+        let net = simple_network(&[(0, 1, u64::MAX), (1, 2, u64::MAX), (0, 2, u64::MAX)], 3, 0, 2);
         assert_eq!(max_flow(&net).value, Capacity::Finite(2 * (u64::MAX as u128)));
     }
 }

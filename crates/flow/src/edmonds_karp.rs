@@ -82,11 +82,8 @@ pub fn max_flow(network: &FlowNetwork) -> MaxFlow {
         total_flow += bottleneck;
     }
 
-    let value = if total_flow >= infinite_cap {
-        Capacity::Infinite
-    } else {
-        Capacity::Finite(total_flow)
-    };
+    let value =
+        if total_flow >= infinite_cap { Capacity::Infinite } else { Capacity::Finite(total_flow) };
     MaxFlow { value, residual: Residual { adjacency, arcs } }
 }
 

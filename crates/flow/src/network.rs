@@ -247,10 +247,7 @@ mod tests {
         assert!(Capacity::Finite(3) < Capacity::Finite(5));
         assert!(Capacity::Finite(u128::MAX) < Capacity::Infinite);
         assert_eq!(Capacity::Infinite, Capacity::Infinite);
-        assert_eq!(
-            Capacity::Finite(2).saturating_add(Capacity::Finite(3)),
-            Capacity::Finite(5)
-        );
+        assert_eq!(Capacity::Finite(2).saturating_add(Capacity::Finite(3)), Capacity::Finite(5));
         assert!(Capacity::Finite(2).saturating_add(Capacity::Infinite).is_infinite());
         assert_eq!(Capacity::from(7u64).finite(), Some(7));
         assert_eq!(Capacity::Infinite.finite(), None);

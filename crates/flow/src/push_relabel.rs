@@ -126,11 +126,8 @@ pub fn max_flow(network: &FlowNetwork) -> MaxFlow {
     }
 
     let total_flow = excess[target];
-    let value = if total_flow >= infinite_cap {
-        Capacity::Infinite
-    } else {
-        Capacity::Finite(total_flow)
-    };
+    let value =
+        if total_flow >= infinite_cap { Capacity::Infinite } else { Capacity::Finite(total_flow) };
     MaxFlow { value, residual: Residual { adjacency, arcs } }
 }
 
@@ -197,8 +194,7 @@ mod tests {
 
     #[test]
     fn large_capacities_do_not_overflow() {
-        let net =
-            simple_network(&[(0, 1, u64::MAX), (1, 2, u64::MAX), (0, 2, u64::MAX)], 3, 0, 2);
+        let net = simple_network(&[(0, 1, u64::MAX), (1, 2, u64::MAX), (0, 2, u64::MAX)], 3, 0, 2);
         assert_eq!(max_flow(&net).value, Capacity::Finite(2 * (u64::MAX as u128)));
     }
 }

@@ -9,7 +9,7 @@ use std::collections::BTreeSet;
 /// Strategy for a small random network: up to 6 vertices and 10 edges, with a
 /// mix of finite and infinite capacities.
 fn small_network() -> impl Strategy<Value = FlowNetwork> {
-    let edge = (0u32..6, 0u32..6, prop_oneof![ (1u64..8).prop_map(Some), Just(None) ]);
+    let edge = (0u32..6, 0u32..6, prop_oneof![(1u64..8).prop_map(Some), Just(None)]);
     proptest::collection::vec(edge, 0..10).prop_map(|edges| {
         let mut n = FlowNetwork::new();
         n.add_vertices(6);

@@ -164,20 +164,12 @@ impl GraphDb {
 
     /// Iterator over the exogenous facts.
     pub fn exogenous_facts(&self) -> impl Iterator<Item = FactId> + '_ {
-        self.exogenous
-            .iter()
-            .enumerate()
-            .filter(|(_, &e)| e)
-            .map(|(i, _)| FactId(i as u32))
+        self.exogenous.iter().enumerate().filter(|(_, &e)| e).map(|(i, _)| FactId(i as u32))
     }
 
     /// Iterator over the endogenous (removable) facts.
     pub fn endogenous_facts(&self) -> impl Iterator<Item = FactId> + '_ {
-        self.exogenous
-            .iter()
-            .enumerate()
-            .filter(|(_, &e)| !e)
-            .map(|(i, _)| FactId(i as u32))
+        self.exogenous.iter().enumerate().filter(|(_, &e)| !e).map(|(i, _)| FactId(i as u32))
     }
 
     /// Number of (distinct) facts.

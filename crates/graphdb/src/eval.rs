@@ -197,7 +197,10 @@ pub fn enumerate_matches(db: &GraphDb, language: &FiniteLanguage) -> Vec<BTreeSe
 /// gadgets of Section 5 need, e.g. for `a x* b | c x d`). Returns `None` when
 /// the database has a directed cycle, in which case the caller should fall
 /// back to [`enumerate_matches`] with a finite language.
-pub fn enumerate_matches_regular(db: &GraphDb, language: &Language) -> Option<Vec<BTreeSet<FactId>>> {
+pub fn enumerate_matches_regular(
+    db: &GraphDb,
+    language: &Language,
+) -> Option<Vec<BTreeSet<FactId>>> {
     if has_directed_cycle(db) {
         return None;
     }
@@ -324,12 +327,13 @@ mod tests {
     fn excluding_facts_changes_the_answer() {
         let db = path_db();
         let l = Language::parse("ax*b").unwrap();
-        let a_fact = db.find_fact(
-            db.find_node("s").unwrap(),
-            rpq_automata::alphabet::Letter('a'),
-            db.find_node("u").unwrap(),
-        )
-        .unwrap();
+        let a_fact = db
+            .find_fact(
+                db.find_node("s").unwrap(),
+                rpq_automata::alphabet::Letter('a'),
+                db.find_node("u").unwrap(),
+            )
+            .unwrap();
         let excluded: BTreeSet<FactId> = [a_fact].into_iter().collect();
         assert!(satisfies(&db, &l));
         assert!(!satisfies_excluding(&db, &l, &excluded));

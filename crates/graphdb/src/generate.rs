@@ -89,15 +89,19 @@ pub fn flow_instance(
     let mut db = GraphDb::new();
     let mut layer_nodes: Vec<Vec<NodeId>> = Vec::new();
     for layer in 0..layers {
-        let nodes: Vec<NodeId> =
-            (0..width).map(|i| db.node(&format!("l{layer}_{i}"))).collect();
+        let nodes: Vec<NodeId> = (0..width).map(|i| db.node(&format!("l{layer}_{i}"))).collect();
         layer_nodes.push(nodes);
     }
     // Source / sink attachments.
     let super_source = db.node("source");
     let super_sink = db.node("sink");
     for &n in &layer_nodes[0] {
-        db.add_fact_with_multiplicity(super_source, Letter('a'), n, rng.gen_range(1..=max_capacity));
+        db.add_fact_with_multiplicity(
+            super_source,
+            Letter('a'),
+            n,
+            rng.gen_range(1..=max_capacity),
+        );
     }
     for &n in &layer_nodes[layers - 1] {
         db.add_fact_with_multiplicity(n, Letter('b'), super_sink, rng.gen_range(1..=max_capacity));
@@ -107,7 +111,12 @@ pub fn flow_instance(
         for &n in &layer_nodes[layer] {
             for _ in 0..out_degree {
                 let target = layer_nodes[layer + 1][rng.gen_range(0..width)];
-                db.add_fact_with_multiplicity(n, Letter('x'), target, rng.gen_range(1..=max_capacity));
+                db.add_fact_with_multiplicity(
+                    n,
+                    Letter('x'),
+                    target,
+                    rng.gen_range(1..=max_capacity),
+                );
             }
         }
     }
@@ -130,8 +139,7 @@ pub fn layered_instance(
     let mut db = GraphDb::new();
     let mut layer_nodes: Vec<Vec<NodeId>> = Vec::new();
     for layer in 0..layers {
-        let nodes: Vec<NodeId> =
-            (0..width).map(|i| db.node(&format!("l{layer}_{i}"))).collect();
+        let nodes: Vec<NodeId> = (0..width).map(|i| db.node(&format!("l{layer}_{i}"))).collect();
         layer_nodes.push(nodes);
     }
     for layer in 0..layers.saturating_sub(1) {

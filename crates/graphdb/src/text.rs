@@ -52,9 +52,7 @@ pub fn parse(input: &str) -> Result<GraphDb, ParseError> {
         if parts.len() != 3 && parts.len() != 4 {
             return Err(ParseError {
                 line: line_no,
-                message: format!(
-                    "expected `source label target [multiplicity] [!]`, got {line:?}"
-                ),
+                message: format!("expected `source label target [multiplicity] [!]`, got {line:?}"),
             });
         }
         let label: Vec<char> = parts[1].chars().collect();
@@ -73,12 +71,19 @@ pub fn parse(input: &str) -> Result<GraphDb, ParseError> {
             1
         };
         if multiplicity == 0 {
-            return Err(ParseError { line: line_no, message: "multiplicity must be positive".into() });
+            return Err(ParseError {
+                line: line_no,
+                message: "multiplicity must be positive".into(),
+            });
         }
         let s = db.node(parts[0]);
         let t = db.node(parts[2]);
-        let id =
-            db.add_fact_with_multiplicity(s, rpq_automata::alphabet::Letter(label[0]), t, multiplicity);
+        let id = db.add_fact_with_multiplicity(
+            s,
+            rpq_automata::alphabet::Letter(label[0]),
+            t,
+            multiplicity,
+        );
         if exogenous {
             db.set_exogenous(id, true);
         }
@@ -159,10 +164,13 @@ mod tests {
 
     #[test]
     fn exogenous_markers_round_trip() {
-        let db = parse("u a v !
+        let db = parse(
+            "u a v !
 v x w 3 !
 w b t 2
-t c z").unwrap();
+t c z",
+        )
+        .unwrap();
         assert_eq!(db.num_facts(), 4);
         let exogenous: Vec<bool> = db.fact_ids().map(|f| db.is_exogenous(f)).collect();
         assert_eq!(exogenous, vec![true, true, false, false]);
@@ -170,10 +178,7 @@ t c z").unwrap();
         assert!(output.contains("u a v !"));
         assert!(output.contains("v x w 3 !"));
         let db2 = parse(&output).unwrap();
-        assert_eq!(
-            db2.fact_ids().map(|f| db2.is_exogenous(f)).collect::<Vec<_>>(),
-            exogenous
-        );
+        assert_eq!(db2.fact_ids().map(|f| db2.is_exogenous(f)).collect::<Vec<_>>(), exogenous);
         // A lone `!` is not a fact.
         assert!(parse("!").is_err());
         // The marker must be the last token.

@@ -1,0 +1,245 @@
+//! Vendored offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! API subset its benches use: [`Criterion`], [`BenchmarkGroup`],
+//! [`BenchmarkId`], [`Throughput`], `criterion_group!` / `criterion_main!`,
+//! and [`Bencher::iter`]. Statistics are intentionally simple: each benchmark
+//! is warmed up, timed over a capped number of batches, and reported as a
+//! single `min / median` line on stdout. There is no HTML report, outlier
+//! analysis, or regression detection.
+//!
+//! Knobs (environment variables):
+//!
+//! * `CRITERION_MEASURE_MS` — per-benchmark time budget in milliseconds
+//!   (default 200; the `measurement_time` requested by the bench is capped to
+//!   this so `cargo bench` stays usable in CI);
+//! * a positional command-line argument filters benchmarks by substring, as
+//!   with real Criterion.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The identifier of one benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of a parameter rendering alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Throughput annotation for a benchmark (recorded, echoed in the report).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times a single benchmark routine.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly within the time budget and records samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed call (also seeds lazy caches).
+        black_box(routine());
+        let deadline = Instant::now() + self.budget;
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+            if Instant::now() >= deadline || self.samples.len() >= 1000 {
+                break;
+            }
+        }
+    }
+}
+
+fn measure_budget() -> Duration {
+    let ms = std::env::var("CRITERION_MEASURE_MS").ok().and_then(|v| v.parse().ok()).unwrap_or(200);
+    Duration::from_millis(ms)
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the stub sizes samples by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Requests a measurement budget (capped by `CRITERION_MEASURE_MS`).
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; warm-up is a single untimed call.
+    pub fn warm_up_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id, |b| routine(b));
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id, |b| routine(b, input));
+        self
+    }
+
+    fn run(&self, id: &BenchmarkId, routine: impl FnOnce(&mut Bencher)) {
+        let full_name = format!("{}/{}", self.name, id.id);
+        if !self.criterion.matches(&full_name) {
+            return;
+        }
+        let mut bencher = Bencher { samples: Vec::new(), budget: measure_budget() };
+        routine(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{full_name:<60} (no samples: routine never called Bencher::iter)");
+            return;
+        }
+        samples.sort();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  [{n} elems/iter]"),
+            Some(Throughput::Bytes(n)) => format!("  [{n} B/iter]"),
+            None => String::new(),
+        };
+        println!(
+            "{full_name:<60} min {:>12}  median {:>12}  ({} samples){throughput}",
+            format_duration(min),
+            format_duration(median),
+            samples.len(),
+        );
+    }
+
+    /// Ends the group (a no-op in the stub; consumes the group like upstream).
+    pub fn finish(self) {}
+}
+
+/// The benchmark manager: entry point handed to `criterion_group!` targets.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // First non-flag argument acts as a substring filter, as in upstream.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Benchmarks a single routine outside any group.
+    pub fn bench_function<R>(&mut self, id: impl Into<BenchmarkId>, routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, routine);
+        group.finish();
+        self
+    }
+}
+
+/// Bundles benchmark functions into a group runner, as in upstream Criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

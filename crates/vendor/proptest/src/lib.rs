@@ -1,0 +1,313 @@
+//! Vendored offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! API subset its property-based tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_recursive`, range / tuple / [`Just`]
+//! strategies, [`collection::vec`], [`bool::weighted`], [`sample::select`],
+//! [`arbitrary::any`], and the `proptest!` / `prop_assert*` / `prop_oneof!`
+//! macros.
+//!
+//! Differences from upstream, deliberate for a test-only stub:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs in the
+//!   assertion message instead of being minimised;
+//! * **deterministic seeding** — each test derives its seed from its name, so
+//!   runs are reproducible; set `PROPTEST_SEED` to explore other streams;
+//! * `prop_assert!` family delegates to the standard `assert!` family (a
+//!   failure is a panic, which the libtest harness reports normally).
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Test configuration and the deterministic generator driving strategies.
+
+    use rand::rngs::StdRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// Configuration for a `proptest!` block.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for compatibility; shrinking is not implemented.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases =
+                std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(256);
+            ProptestConfig { cases, max_shrink_iters: 0 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A default configuration overriding only the number of cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases, ..ProptestConfig::default() }
+        }
+    }
+
+    /// The random generator handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// A generator seeded from the test name (deterministic per test),
+        /// xor-ed with `PROPTEST_SEED` when set.
+        pub fn for_test(name: &str) -> Self {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x100_0000_01b3);
+            }
+            if let Some(extra) =
+                std::env::var("PROPTEST_SEED").ok().and_then(|v| v.parse::<u64>().ok())
+            {
+                seed ^= extra;
+            }
+            TestRng(StdRng::seed_from_u64(seed))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point for type-driven generation.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical generation strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws a uniformly distributed value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<bool>()
+        }
+    }
+
+    /// Strategy generating an arbitrary value of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A range of collection sizes, `min` inclusive and `bound` exclusive.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        bound: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange { min: r.start, bound: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), bound: r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, bound: n + 1 }
+        }
+    }
+
+    /// Strategy for vectors whose elements come from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.min..self.size.bound);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector of `size` elements generated by `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy producing `true` with a fixed probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted(f64);
+
+    impl Strategy for Weighted {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(self.0)
+        }
+    }
+
+    /// `true` with probability `p`.
+    pub fn weighted(p: f64) -> Weighted {
+        Weighted(p)
+    }
+}
+
+pub mod sample {
+    //! Sampling from explicit value collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy picking uniformly from a fixed list of values.
+    #[derive(Debug, Clone)]
+    pub struct Select<T>(Vec<T>);
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+
+    /// A uniform choice among `values`.
+    pub fn select<T: Clone>(values: impl Into<Vec<T>>) -> Select<T> {
+        let values = values.into();
+        assert!(!values.is_empty(), "cannot select from an empty collection");
+        Select(values)
+    }
+}
+
+pub mod prelude {
+    //! The imports every property test wants.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares property-based tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` against `cases` generated inputs.
+///
+/// Unlike upstream proptest, the `#[test]` attribute is written explicitly on
+/// each function (as this workspace's tests do) and failures are plain panics.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($config:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $pat:pat_param in $strat:expr ),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(::core::stringify!($name));
+                let strategies = ( $( $strat, )* );
+                for _case in 0..config.cases {
+                    let ( $( $pat, )* ) =
+                        $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test (plain `assert!` here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test (plain `assert_eq!` here).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test (plain `assert_ne!` here).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// A uniform choice among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

@@ -4,8 +4,8 @@
 //!
 //! Run with `cargo run --example classify_figure1`.
 
-use rpq::resilience::classify::{classify_with_neutral_letter, figure1_rows};
 use rpq::automata::Language;
+use rpq::resilience::classify::{classify_with_neutral_letter, figure1_rows};
 
 fn main() {
     println!("Figure 1 — complexity of resilience for the paper's example languages");

@@ -17,7 +17,11 @@ use std::collections::BTreeMap;
 
 fn main() {
     let db = flow_instance(4, 3, 2, 8, 2024);
-    println!("flow-shaped database: {} facts, total capacity {}", db.num_facts(), db.total_multiplicity());
+    println!(
+        "flow-shaped database: {} facts, total capacity {}",
+        db.num_facts(),
+        db.total_multiplicity()
+    );
 
     // Resilience of a x* b under bag semantics.
     let query = Rpq::parse("a x* b").unwrap().with_bag_semantics();

@@ -6,14 +6,23 @@ use rpq::automata::{Alphabet, Language};
 use rpq::graphdb::generate::random_labeled_graph;
 use rpq::graphdb::GraphDb;
 use rpq::resilience::algorithms::{solve, solve_with, Algorithm};
-use rpq::resilience::exact::{resilience_by_enumeration, resilience_exact};
-use rpq::resilience::rpq::Rpq;
+use rpq::resilience::rpq::{ResilienceValue, Rpq};
 
 /// Strategy: a small random labeled database described by (nodes, facts, seed).
 fn small_db(alphabet: &'static str, max_facts: usize) -> impl Strategy<Value = GraphDb> {
     (2usize..6, 1usize..=max_facts, any::<u64>()).prop_map(move |(nodes, facts, seed)| {
         random_labeled_graph(nodes, facts, &Alphabet::from_chars(alphabet), seed)
     })
+}
+
+/// Ground truth through the engine dispatcher (branch and bound backend).
+fn exact_value(q: &Rpq, db: &GraphDb) -> ResilienceValue {
+    solve_with(Algorithm::ExactBranchAndBound, q, db).unwrap().value
+}
+
+/// Ground truth through the engine dispatcher (subset enumeration backend).
+fn enumeration_value(q: &Rpq, db: &GraphDb) -> ResilienceValue {
+    solve_with(Algorithm::ExactEnumeration, q, db).unwrap().value
 }
 
 proptest! {
@@ -24,7 +33,7 @@ proptest! {
         for pattern in ["ax*b", "ab|ax", "a|b", "ab|xb"] {
             let q = Rpq::new(Language::parse(pattern).unwrap());
             if let Ok(outcome) = solve_with(Algorithm::Local, &q, &db) {
-                prop_assert_eq!(outcome.value, resilience_exact(&q, &db).value);
+                prop_assert_eq!(outcome.value, exact_value(&q, &db));
             }
         }
     }
@@ -34,7 +43,7 @@ proptest! {
         for pattern in ["ab|bc", "ab|cb", "axb|byc"] {
             let q = Rpq::new(Language::parse(pattern).unwrap());
             if let Ok(outcome) = solve_with(Algorithm::BipartiteChain, &q, &db) {
-                prop_assert_eq!(outcome.value, resilience_exact(&q, &db).value);
+                prop_assert_eq!(outcome.value, exact_value(&q, &db));
             }
         }
     }
@@ -44,7 +53,7 @@ proptest! {
         for pattern in ["abc|be", "ab|ce"] {
             let q = Rpq::new(Language::parse(pattern).unwrap());
             if let Ok(outcome) = solve_with(Algorithm::OneDangling, &q, &db) {
-                prop_assert_eq!(outcome.value, resilience_exact(&q, &db).value);
+                prop_assert_eq!(outcome.value, exact_value(&q, &db));
             }
         }
     }
@@ -54,7 +63,7 @@ proptest! {
         for pattern in ["ab", "aa", "a|b", "ab|ba", "ab|bb"] {
             let q = Rpq::new(Language::parse(pattern).unwrap());
             let fast = solve(&q, &db).unwrap().value;
-            prop_assert_eq!(fast, resilience_by_enumeration(&q, &db));
+            prop_assert_eq!(fast, enumeration_value(&q, &db));
         }
     }
 

@@ -1,0 +1,70 @@
+//! The unified engine dispatcher: `algorithms::solve` must route each
+//! tractable family (local, bipartite chain, one-dangling) to its polynomial
+//! algorithm and agree with the exact branch-and-bound backend on small random
+//! instances — the workspace-level contract behind funneling the CLI, tests,
+//! and benches through `solve` / `solve_with`.
+
+use rpq::automata::{Alphabet, Language};
+use rpq::graphdb::generate::random_labeled_graph;
+use rpq::resilience::algorithms::{solve, solve_with, Algorithm};
+use rpq::resilience::rpq::Rpq;
+
+/// (alphabet, patterns, the algorithm `solve` must select for them).
+const FAMILIES: &[(&str, &[&str], Algorithm)] = &[
+    ("abx", &["ax*b", "ab|ax", "a|b"], Algorithm::Local),
+    // (`ab|cb` is excluded: its infix-free form is local, so `solve`
+    // legitimately prefers the Theorem 3.13 algorithm over the chain one.)
+    ("abc", &["ab|bc", "axb|byc"], Algorithm::BipartiteChain),
+    // (`ab|ce` is likewise local and routes to Theorem 3.13 first.)
+    ("abce", &["abc|be"], Algorithm::OneDangling),
+    ("ab", &["aa", "ab|bb"], Algorithm::ExactBranchAndBound),
+];
+
+#[test]
+fn solve_routes_each_family_to_its_algorithm_and_matches_exact() {
+    for &(alphabet, patterns, expected) in FAMILIES {
+        let alphabet = Alphabet::from_chars(alphabet);
+        for pattern in patterns {
+            let query = Rpq::new(Language::parse(pattern).unwrap());
+            for seed in 0..6 {
+                let db = random_labeled_graph(4, 8, &alphabet, seed);
+                let outcome = solve(&query, &db).unwrap();
+                assert_eq!(
+                    outcome.algorithm, expected,
+                    "{pattern} must dispatch to {expected}, got {}",
+                    outcome.algorithm
+                );
+                let reference =
+                    solve_with(Algorithm::ExactBranchAndBound, &query, &db).unwrap().value;
+                assert_eq!(outcome.value, reference, "{pattern}, seed {seed}");
+                // Exact outcomes never carry approximation bounds.
+                assert!(outcome.bounds.is_none());
+                assert!(outcome.is_exact());
+            }
+        }
+    }
+}
+
+#[test]
+fn every_applicable_backend_agrees_or_sandwiches_the_exact_value() {
+    let alphabet = Alphabet::from_chars("ab");
+    let query = Rpq::new(Language::parse("aa").unwrap());
+    for seed in 0..4 {
+        let db = random_labeled_graph(4, 7, &alphabet, seed);
+        let exact = solve_with(Algorithm::ExactBranchAndBound, &query, &db).unwrap().value;
+        for algorithm in Algorithm::ALL {
+            let Ok(outcome) = solve_with(algorithm, &query, &db) else {
+                continue; // backend legitimately refuses the language
+            };
+            match outcome.bounds {
+                // Exact backends must agree outright.
+                None => assert_eq!(outcome.value, exact, "{algorithm}, seed {seed}"),
+                // Approximations must sandwich the exact value.
+                Some((lower, upper)) => {
+                    let exact = exact.finite().unwrap();
+                    assert!(lower <= exact && exact <= upper, "{algorithm}, seed {seed}");
+                }
+            }
+        }
+    }
+}

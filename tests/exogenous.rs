@@ -9,8 +9,17 @@ use rpq::automata::{Alphabet, Language, Word};
 use rpq::graphdb::generate::{random_labeled_graph, word_path};
 use rpq::graphdb::{FactId, GraphDb};
 use rpq::resilience::algorithms::{solve, solve_with, Algorithm};
-use rpq::resilience::exact::{resilience_by_enumeration, resilience_exact};
 use rpq::resilience::rpq::{ResilienceValue, Rpq};
+
+/// Ground truth through the engine dispatcher (branch and bound backend).
+fn exact_value(q: &Rpq, db: &GraphDb) -> ResilienceValue {
+    solve_with(Algorithm::ExactBranchAndBound, q, db).unwrap().value
+}
+
+/// Ground truth through the engine dispatcher (subset enumeration backend).
+fn enumeration_value(q: &Rpq, db: &GraphDb) -> ResilienceValue {
+    solve_with(Algorithm::ExactEnumeration, q, db).unwrap().value
+}
 
 #[test]
 fn exogenous_flags_survive_database_transformations() {
@@ -45,8 +54,8 @@ fn fully_protected_walks_give_infinite_resilience() {
     }
     let query = Rpq::parse("ax*b").unwrap();
     assert_eq!(solve(&query, &db).unwrap().value, ResilienceValue::Infinite);
-    assert_eq!(resilience_exact(&query, &db).value, ResilienceValue::Infinite);
-    assert_eq!(resilience_by_enumeration(&query, &db), ResilienceValue::Infinite);
+    assert_eq!(exact_value(&query, &db), ResilienceValue::Infinite);
+    assert_eq!(enumeration_value(&query, &db), ResilienceValue::Infinite);
 }
 
 #[test]
@@ -73,7 +82,7 @@ fn protected_facts_redirect_the_cut() {
     assert_eq!(outcome.value, ResilienceValue::Finite(3));
     let cut: Vec<FactId> = outcome.contingency_set.unwrap();
     assert_eq!(cut, vec![fb]);
-    assert_eq!(resilience_exact(&query, &db).value, ResilienceValue::Finite(3));
+    assert_eq!(exact_value(&query, &db), ResilienceValue::Finite(3));
     // Protect the b-fact as well: only the expensive x-fact remains cuttable.
     db.set_exogenous(fb, true);
     let outcome = solve_with(Algorithm::Local, &query, &db).unwrap();
@@ -82,7 +91,7 @@ fn protected_facts_redirect_the_cut() {
     // Protect everything: the violation can no longer be broken.
     db.set_exogenous(fx, true);
     assert_eq!(solve(&query, &db).unwrap().value, ResilienceValue::Infinite);
-    assert_eq!(resilience_exact(&query, &db).value, ResilienceValue::Infinite);
+    assert_eq!(exact_value(&query, &db), ResilienceValue::Infinite);
 }
 
 #[test]
@@ -98,7 +107,7 @@ fn chain_algorithm_supports_exogenous_facts() {
     let outcome = solve_with(Algorithm::BipartiteChain, &query, &db).unwrap();
     // Both ab and bc must be broken without touching the b-fact: remove a and c.
     assert_eq!(outcome.value, ResilienceValue::Finite(2));
-    assert_eq!(resilience_exact(&query, &db).value, ResilienceValue::Finite(2));
+    assert_eq!(exact_value(&query, &db), ResilienceValue::Finite(2));
     let _ = (a, c);
     // A single-letter word matched by an exogenous fact is unbreakable.
     let mut db2 = GraphDb::new();
@@ -120,7 +129,7 @@ fn one_dangling_falls_back_to_exact_with_exogenous_facts() {
     // The dispatcher must not use the one-dangling rewriting here.
     let outcome = solve(&query, &db).unwrap();
     assert_eq!(outcome.algorithm, Algorithm::ExactBranchAndBound);
-    assert_eq!(outcome.value, resilience_by_enumeration(&query, &db));
+    assert_eq!(outcome.value, enumeration_value(&query, &db));
     // Requesting the rewriting explicitly is rejected.
     assert!(solve_with(Algorithm::OneDangling, &query, &db).is_err());
 }
@@ -147,7 +156,7 @@ proptest! {
         }
         let query = Rpq::new(Language::parse(pattern).unwrap());
         let fast = solve(&query, &db).unwrap();
-        let reference = resilience_by_enumeration(&query, &db);
+        let reference = enumeration_value(&query, &db);
         prop_assert_eq!(fast.value, reference, "pattern {} seed {}", pattern, seed);
         // Any returned contingency set avoids exogenous facts and really works.
         if let (Some(cut), ResilienceValue::Finite(_)) = (&fast.contingency_set, fast.value) {

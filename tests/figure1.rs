@@ -54,7 +54,9 @@ fn known_hard_languages_are_not_claimed_tractable() {
 
 #[test]
 fn known_tractable_languages_are_not_claimed_hard() {
-    for pattern in ["ax*b", "ab|ad|cd", "abc|abd", "ab|bc", "axb|byc", "abc|be", "abcd|be", "ax*b|xd", "a|b"] {
+    for pattern in
+        ["ax*b", "ab|ad|cd", "abc|abd", "ab|bc", "axb|byc", "abc|be", "abcd|be", "ax*b|xd", "a|b"]
+    {
         let classification = classify(&Language::parse(pattern).unwrap());
         assert!(
             classification.is_tractable(),

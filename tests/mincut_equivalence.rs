@@ -47,11 +47,7 @@ fn resilience_of_ax_star_b_equals_classical_mincut() {
         let outcome = solve(&query, &db).unwrap();
         assert_eq!(outcome.algorithm, Algorithm::Local);
         let cut = rpq::flow::min_cut(&classical_network(&db));
-        assert_eq!(
-            outcome.value.finite().unwrap(),
-            cut.value.finite().unwrap(),
-            "seed {seed}"
-        );
+        assert_eq!(outcome.value.finite().unwrap(), cut.value.finite().unwrap(), "seed {seed}");
     }
 }
 

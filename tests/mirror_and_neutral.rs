@@ -30,14 +30,9 @@ proptest! {
 #[test]
 fn neutral_letter_dichotomy_is_a_dichotomy() {
     // Every language with a neutral letter is classified (no Unclassified verdicts).
-    for pattern in [
-        "e*be*ce*|e*de*fe*",
-        "e*(a|c)e*(a|d)e*",
-        "e*ae*",
-        "e*ae*be*",
-        "e*(a|b)e*",
-        "e*ae*be*ce*",
-    ] {
+    for pattern in
+        ["e*be*ce*|e*de*fe*", "e*(a|c)e*(a|d)e*", "e*ae*", "e*ae*be*", "e*(a|b)e*", "e*ae*be*ce*"]
+    {
         let language = Language::parse(pattern).unwrap();
         assert!(
             neutral::is_neutral_letter(&language, 'e'.into()),
@@ -55,7 +50,9 @@ fn neutral_letter_dichotomy_is_a_dichotomy() {
 fn padded_languages_from_the_paper() {
     // L1 and L2 after Lemma 5.8: L1's IF is four-legged, L2's IF contains aa.
     let l1 = Language::parse("e*be*ce*|e*de*fe*").unwrap();
-    assert!(l1.infix_free().equals(&Language::parse("be*c|de*f").unwrap().with_alphabet(l1.alphabet())));
+    assert!(l1
+        .infix_free()
+        .equals(&Language::parse("be*c|de*f").unwrap().with_alphabet(l1.alphabet())));
     assert!(rpq::automata::four_legged::is_four_legged(&l1.infix_free()));
 
     let l2 = Language::parse("e*(a|c)e*(a|d)e*").unwrap();
