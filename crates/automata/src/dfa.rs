@@ -376,10 +376,8 @@ impl Dfa {
                 }
                 match color.get(&t).copied().unwrap_or(0) {
                     1 => return true, // back edge: cycle
-                    0 => {
-                        if dfs(t, dfa, useful, color) {
-                            return true;
-                        }
+                    0 if dfs(t, dfa, useful, color) => {
+                        return true;
                     }
                     _ => {}
                 }

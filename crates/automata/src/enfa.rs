@@ -387,7 +387,7 @@ mod tests {
 
     #[test]
     fn from_words_recognizes_exactly_those_words() {
-        let words = vec![w("aa"), w("abc"), w("")];
+        let words = [w("aa"), w("abc"), w("")];
         let e = Enfa::from_words(words.iter());
         assert!(e.accepts(&w("aa")));
         assert!(e.accepts(&w("abc")));

@@ -192,7 +192,7 @@ pub fn stabilize_legs(language: &Language, violation: &CartesianViolation) -> Ca
         if cross.slice(start, end) == eta && start < body_pos + 1 && end > body_pos {
             // α₁ is the suffix of α starting at `start`, δ₁ the prefix of δ
             // ending at `end`.
-            if start <= body_pos && end >= body_pos + 1 {
+            if start <= body_pos && end > body_pos {
                 let alpha1 = alpha.slice(start, alpha.len());
                 let delta1 = delta.slice(0, end - body_pos - 1);
                 if !alpha1.is_empty() && !delta1.is_empty() {

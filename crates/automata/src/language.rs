@@ -74,7 +74,7 @@ impl Language {
         } else {
             words.iter().map(|w| w.to_string()).collect::<Vec<_>>().join("|")
         };
-        let regex = Regex::from_words(words.into_iter());
+        let regex = Regex::from_words(words);
         Self::from_regex_with_description(&regex, description)
     }
 

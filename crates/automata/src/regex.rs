@@ -442,7 +442,7 @@ mod tests {
 
     #[test]
     fn from_words_builds_union() {
-        let words = vec![Word::from_str_word("ab"), Word::from_str_word("cd")];
+        let words = [Word::from_str_word("ab"), Word::from_str_word("cd")];
         let r = Regex::from_words(words.iter());
         let enfa = r.to_enfa();
         assert!(enfa.accepts(&Word::from_str_word("ab")));
@@ -452,7 +452,7 @@ mod tests {
         let r = Regex::from_words(std::iter::empty());
         assert_eq!(r, Regex::Empty);
         // a single empty word
-        let eps = vec![Word::epsilon()];
+        let eps = [Word::epsilon()];
         let r = Regex::from_words(eps.iter());
         assert!(r.to_enfa().accepts(&Word::epsilon()));
     }

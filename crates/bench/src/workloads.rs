@@ -113,10 +113,20 @@ pub fn figure1_patterns() -> Vec<&'static str> {
     ]
 }
 
+/// A batch of `count` small random databases over the alphabet of `pattern`,
+/// one per seed — the plan-reuse workload of the `prepared_vs_unprepared`
+/// benchmark: the databases are small enough that the query-only analysis
+/// dominates an unprepared per-database solve.
+pub fn batch_dbs(pattern: &str, count: usize) -> Vec<GraphDb> {
+    let language = Language::parse(pattern).expect("workload patterns parse");
+    let alphabet = language.used_letters();
+    (0..count as u64).map(|seed| random_labeled_graph(5, 10, &alphabet, seed)).collect()
+}
+
 /// A small `aa`-workload database: a path of `n` `a`-facts (the exact solver
 /// baseline used by the `exact_vs_poly` benchmark on an NP-hard language).
 pub fn aa_path_db(n: usize) -> GraphDb {
-    let word = Word::from_letters(std::iter::repeat(rpq_automata::alphabet::Letter('a')).take(n));
+    let word = Word::from_letters(std::iter::repeat_n(rpq_automata::alphabet::Letter('a'), n));
     rpq_graphdb::generate::word_path(&word)
 }
 

@@ -2,41 +2,66 @@
 //!
 //! ```text
 //! rpq-cli classify  '<regex>'                 classify RES(L) (Figure 1 engine)
-//! rpq-cli resilience '<regex>' <db.txt>       compute the resilience on a database
-//!            [--bag] [--algorithm <name>] [--show-cut]
+//! rpq-cli resilience '<regex>' <db.txt>...    compute the resilience on databases
+//!            [--bag] [--algorithm <name>] [--flow <name>] [--show-cut]
 //! rpq-cli gadget    '<regex>'                 derive a verified hardness gadget
 //! rpq-cli figure1                             re-derive the Figure 1 classification map
 //! ```
 //!
-//! All resilience computations go through the engine dispatcher
-//! ([`rpq_resilience::algorithms::solve`] / [`solve_with`]); `--algorithm`
-//! accepts every backend name of [`Algorithm`] (`rpq-cli --help` shows the
-//! list).
+//! All resilience computations go through the prepared-query engine
+//! ([`rpq_resilience::engine::Engine`]): the query is classified **once**
+//! (`Engine::prepare`) and the cached plan is reused for every database file
+//! on the command line, so batch invocations never re-derive the language
+//! analysis. `--algorithm` accepts every backend name of [`Algorithm`] and
+//! `--flow` every MinCut backend of [`FlowAlgorithm`] (`rpq-cli --help` shows
+//! both lists).
 //!
 //! Databases use the line-based text format of `rpq-graphdb::text`: one fact
 //! per line, `source label target [multiplicity] [!]` (a trailing `!` marks
 //! the fact exogenous, i.e. un-removable), `#` for comments.
 
+use std::io::Write;
 use std::process::ExitCode;
 
 use rpq_automata::Language;
+use rpq_flow::FlowAlgorithm;
 use rpq_graphdb::{text, GraphDb};
-use rpq_resilience::algorithms::{solve, solve_with, Algorithm, ResilienceOutcome};
+use rpq_resilience::algorithms::Algorithm;
 use rpq_resilience::classify::{classify, figure1_rows};
+use rpq_resilience::engine::{Engine, SolveOptions};
 use rpq_resilience::gadgets::families::find_gadget;
 use rpq_resilience::rpq::Rpq;
 
 const USAGE: &str = "\
 usage:
   rpq-cli classify '<regex>'
-  rpq-cli resilience '<regex>' <db.txt> [--bag] [--algorithm <name>] [--show-cut]
+  rpq-cli resilience '<regex>' <db.txt>... [--bag] [--algorithm <name>] [--flow <name>] [--show-cut]
   rpq-cli gadget '<regex>'
   rpq-cli figure1
 
 algorithms: local (Thm 3.13), chain (Prp 7.6), one-dangling (Prp 7.9),
             exact (branch & bound), enumeration (subset oracle, tiny inputs),
             greedy / k-approx (certified polynomial bounds, finite languages)
-database format: one fact per line, `source label target [multiplicity] [!]`\n(a trailing `!` declares the fact exogenous / un-removable)";
+flow backends: dinic (default), edmonds-karp, push-relabel
+database format: one fact per line, `source label target [multiplicity] [!]`\n(a trailing `!` declares the fact exogenous / un-removable)
+with several database files, the query plan is prepared once and reused";
+
+/// Prints one line to stdout, exiting quietly when the consumer closed the
+/// pipe — `rpq-cli figure1 | head` must not panic with a broken-pipe error.
+fn out(args: std::fmt::Arguments<'_>) {
+    let mut stdout = std::io::stdout().lock();
+    if let Err(e) = stdout.write_fmt(args).and_then(|()| stdout.write_all(b"\n")) {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        panic!("failed printing to stdout: {e}");
+    }
+}
+
+macro_rules! outln {
+    () => { out(format_args!("")) };
+    ($($arg:tt)*) => { out(format_args!($($arg)*)) };
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -58,8 +83,7 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some("resilience") => {
             let pattern = args.get(1).ok_or("missing regular expression")?;
-            let path = args.get(2).ok_or("missing database file")?;
-            cmd_resilience(pattern, path, &args[3..])
+            cmd_resilience(pattern, &args[2..])
         }
         Some("gadget") => {
             let pattern = args.get(1).ok_or("missing regular expression")?;
@@ -70,7 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("--help" | "-h" | "help") => {
-            println!("{USAGE}");
+            outln!("{USAGE}");
             Ok(())
         }
         Some(other) => Err(format!("unknown command `{other}`")),
@@ -91,18 +115,18 @@ fn load_database(path: &str) -> Result<GraphDb, String> {
 fn cmd_classify(pattern: &str) -> Result<(), String> {
     let language = parse_language(pattern)?;
     let classification = classify(&language);
-    println!("language        : {pattern}");
-    println!("infix-free form : {}", language.infix_free().description());
-    println!("classification  : {}", classification.label());
+    outln!("language        : {pattern}");
+    outln!("infix-free form : {}", language.infix_free().description());
+    outln!("classification  : {}", classification.label());
     match find_gadget(&language) {
-        Some(found) => println!(
+        Some(found) => outln!(
             "hardness gadget : {:?} ({}){}",
             found.family,
             found.family.paper_result(),
             if found.for_mirror { " — for the mirror language (Prp 6.3)" } else { "" }
         ),
         None if classification.is_np_hard() => {
-            println!(
+            outln!(
                 "hardness gadget : none transcribed (certificate is a language-theoretic witness)"
             )
         }
@@ -111,13 +135,14 @@ fn cmd_classify(pattern: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_resilience(pattern: &str, path: &str, options: &[String]) -> Result<(), String> {
+fn cmd_resilience(pattern: &str, args: &[String]) -> Result<(), String> {
     let language = parse_language(pattern)?;
-    let db = load_database(path)?;
     let mut query = Rpq::new(language);
     let mut algorithm: Option<Algorithm> = None;
+    let mut options = SolveOptions::default();
     let mut show_cut = false;
-    let mut iter = options.iter();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
     while let Some(option) = iter.next() {
         match option.as_str() {
             "--bag" => query = query.with_bag_semantics(),
@@ -126,33 +151,55 @@ fn cmd_resilience(pattern: &str, path: &str, options: &[String]) -> Result<(), S
                 let name = iter.next().ok_or("--algorithm requires a value")?;
                 algorithm = Some(name.parse::<Algorithm>()?);
             }
-            other => return Err(format!("unknown option `{other}`")),
-        }
-    }
-    println!("database        : {path} ({} nodes, {} facts)", db.num_nodes(), db.num_facts());
-    println!("query           : {query}");
-    println!("classification  : {}", classify(query.language()).label());
-    let outcome: ResilienceOutcome = match algorithm {
-        Some(algorithm) => solve_with(algorithm, &query, &db).map_err(|e| e.to_string())?,
-        None => solve(&query, &db).map_err(|e| e.to_string())?,
-    };
-    println!("algorithm       : {}", outcome.algorithm);
-    match outcome.bounds {
-        Some((lower, upper)) if lower != upper => {
-            println!("resilience      : in [{lower}, {upper}] (certified bounds)")
-        }
-        _ => println!("resilience      : {}", outcome.value),
-    }
-    if show_cut {
-        match &outcome.contingency_set {
-            Some(cut) if !cut.is_empty() => {
-                println!("contingency set :");
-                for &fact in cut {
-                    println!("  {}", db.display_fact(fact));
-                }
+            "--flow" => {
+                let name = iter.next().ok_or("--flow requires a value")?;
+                options.flow_backend = name.parse::<FlowAlgorithm>()?;
             }
-            Some(_) => println!("contingency set : (empty)"),
-            None => println!("contingency set : not produced by this algorithm"),
+            other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
+            _ => paths.push(option),
+        }
+    }
+    if paths.is_empty() {
+        return Err("missing database file".to_string());
+    }
+
+    // Prepare the query once; solve every database with the cached plan.
+    let engine = Engine::with_options(options);
+    let prepared = match algorithm {
+        Some(algorithm) => engine.prepare_with(algorithm, &query),
+        None => engine.prepare(&query),
+    }
+    .map_err(|e| e.to_string())?;
+
+    outln!("query           : {query}");
+    outln!("classification  : {}", classify(query.language()).label());
+    outln!("plan            : {}", prepared.plan());
+    if options.flow_backend != FlowAlgorithm::default() {
+        outln!("flow backend    : {}", options.flow_backend);
+    }
+    for path in paths {
+        let db = load_database(path)?;
+        outln!();
+        outln!("database        : {path} ({} nodes, {} facts)", db.num_nodes(), db.num_facts());
+        let outcome = prepared.solve(&db).map_err(|e| e.to_string())?;
+        outln!("algorithm       : {}", outcome.algorithm);
+        match outcome.bounds {
+            Some((lower, upper)) if lower != upper => {
+                outln!("resilience      : in [{lower}, {upper}] (certified bounds)")
+            }
+            _ => outln!("resilience      : {}", outcome.value),
+        }
+        if show_cut {
+            match &outcome.contingency_set {
+                Some(cut) if !cut.is_empty() => {
+                    outln!("contingency set :");
+                    for &fact in cut {
+                        outln!("  {}", db.display_fact(fact));
+                    }
+                }
+                Some(_) => outln!("contingency set : (empty)"),
+                None => outln!("contingency set : not produced by this algorithm"),
+            }
         }
     }
     Ok(())
@@ -162,17 +209,17 @@ fn cmd_gadget(pattern: &str) -> Result<(), String> {
     let language = parse_language(pattern)?;
     match find_gadget(&language) {
         Some(found) => {
-            println!("language        : {pattern}");
-            println!("gadget family   : {:?} ({})", found.family, found.family.paper_result());
+            outln!("language        : {pattern}");
+            outln!("gadget family   : {:?} ({})", found.family, found.family.paper_result());
             if found.for_mirror {
-                println!("note            : the gadget certifies the mirror language (Prp 6.3)");
+                outln!("note            : the gadget certifies the mirror language (Prp 6.3)");
             }
-            println!("matches         : {}", found.report.num_matches);
-            println!("condensed path  : {} edges (odd)", found.report.path_length.unwrap());
-            println!("pre-gadget facts:");
+            outln!("matches         : {}", found.report.num_matches);
+            outln!("condensed path  : {} edges (odd)", found.report.path_length.unwrap());
+            outln!("pre-gadget facts:");
             let db = found.gadget.db();
             for (id, _) in db.facts() {
-                println!("  {}", db.display_fact(id));
+                outln!("  {}", db.display_fact(id));
             }
             Ok(())
         }
@@ -184,10 +231,10 @@ fn cmd_gadget(pattern: &str) -> Result<(), String> {
 }
 
 fn cmd_figure1() {
-    println!("{:<16} {:<36} {:<40}", "language", "Figure 1 region", "computed classification");
-    println!("{}", "-".repeat(94));
+    outln!("{:<16} {:<36} {:<40}", "language", "Figure 1 region", "computed classification");
+    outln!("{}", "-".repeat(94));
     for row in figure1_rows() {
-        println!("{:<16} {:<36} {:<40}", row.pattern, row.expected, row.computed.label());
+        outln!("{:<16} {:<36} {:<40}", row.pattern, row.expected, row.computed.label());
     }
 }
 
@@ -230,11 +277,50 @@ mod tests {
     }
 
     #[test]
+    fn every_flow_backend_is_reachable_from_the_command_line() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rpq_cli_flow_db.txt");
+        std::fs::write(&path, "s a u\nu x v\nv b t\n").unwrap();
+        let path = path.to_string_lossy().to_string();
+        for flow in FlowAlgorithm::ALL {
+            assert!(run(&[
+                "resilience".into(),
+                "ax*b".into(),
+                path.clone(),
+                "--flow".into(),
+                flow.name().into(),
+            ])
+            .is_ok());
+        }
+        assert!(run(&["resilience".into(), "ax*b".into(), path, "--flow".into(), "bogus".into(),])
+            .unwrap_err()
+            .contains("unknown flow algorithm"));
+    }
+
+    #[test]
+    fn several_databases_reuse_one_prepared_query() {
+        let dir = std::env::temp_dir();
+        let path_1 = dir.join("rpq_cli_batch_1.txt");
+        let path_2 = dir.join("rpq_cli_batch_2.txt");
+        std::fs::write(&path_1, "s a u\nu x v\nv b t\n").unwrap();
+        std::fs::write(&path_2, "s a u\nu b t\n").unwrap();
+        assert!(run(&[
+            "resilience".into(),
+            "ax*b".into(),
+            path_1.to_string_lossy().to_string(),
+            path_2.to_string_lossy().to_string(),
+            "--show-cut".into(),
+        ])
+        .is_ok());
+    }
+
+    #[test]
     fn errors_are_reported() {
         assert!(run(&[]).is_err());
         assert!(run(&["bogus".into()]).is_err());
         assert!(run(&["classify".into(), "((".into()]).is_err());
         assert!(run(&["gadget".into(), "ax*b".into()]).is_err());
+        assert!(run(&["resilience".into(), "aa".into()]).is_err());
         assert!(run(&["resilience".into(), "aa".into(), "/nonexistent/file".into()]).is_err());
     }
 

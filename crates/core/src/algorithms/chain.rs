@@ -14,9 +14,206 @@ use crate::rpq::{ResilienceValue, Rpq};
 use rpq_automata::alphabet::Letter;
 use rpq_automata::finite::FiniteLanguage;
 use rpq_automata::word::Word;
-use rpq_flow::{Capacity, EdgeId, FlowNetwork, VertexId};
+use rpq_automata::Language;
+use rpq_flow::{Capacity, EdgeId, FlowAlgorithm, FlowNetwork, VertexId};
 use rpq_graphdb::{FactId, GraphDb};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// The query-only half of the Proposition 7.6 reduction: everything derived
+/// from the (bipartite chain) language alone, reusable across databases.
+#[derive(Debug, Clone)]
+pub(crate) struct ChainPlan {
+    /// `ε ∈ IF(L)`: the resilience is `+∞` on every database.
+    epsilon: bool,
+    /// Letters of the single-letter words (their facts are force-removed).
+    single_letters: BTreeSet<Letter>,
+    /// The words of length ≥ 2.
+    words: Vec<Word>,
+    /// The endpoint bipartition (source side, target side).
+    source_letters: BTreeSet<Letter>,
+    target_letters: BTreeSet<Letter>,
+    /// Consecutive-letter pairs of forward / reversed words.
+    forward_digrams: BTreeSet<(Letter, Letter)>,
+    reversed_digrams: BTreeSet<(Letter, Letter)>,
+    /// Letters occurring in any word of length ≥ 2.
+    relevant_letters: BTreeSet<Letter>,
+    /// First / last letters of the words of length ≥ 2.
+    endpoint_first: BTreeSet<Letter>,
+    endpoint_last: BTreeSet<Letter>,
+}
+
+impl ChainPlan {
+    /// Analyses `IF(language)`; errors with [`ResilienceError::NotApplicable`]
+    /// when it is not a bipartite chain language. `display` renders the
+    /// original query language in error messages.
+    pub(crate) fn from_infix_free(
+        language: &Language,
+        display: &Language,
+    ) -> Result<ChainPlan, ResilienceError> {
+        let not_applicable = |reason: String| ResilienceError::NotApplicable {
+            algorithm: Algorithm::BipartiteChain,
+            reason,
+        };
+        let finite = FiniteLanguage::from_language(language)
+            .map_err(|_| not_applicable(format!("IF({display}) is infinite")))?;
+        if !finite.is_chain_language() {
+            return Err(not_applicable(format!("IF({display}) is not a chain language")));
+        }
+        let Some((source_letters, target_letters)) = finite.endpoint_bipartition() else {
+            return Err(not_applicable(format!(
+                "the endpoint graph of IF({display}) is not bipartite"
+            )));
+        };
+
+        let epsilon = finite.words().iter().any(Word::is_empty);
+        let single_letters: BTreeSet<Letter> =
+            finite.words().iter().filter(|w| w.len() == 1).map(|w| w.letter_at(0)).collect();
+        let words: Vec<Word> = finite.words().iter().filter(|w| w.len() >= 2).cloned().collect();
+
+        // Words are forward when their first letter is in the source partition.
+        let mut forward_digrams: BTreeSet<(Letter, Letter)> = BTreeSet::new();
+        let mut reversed_digrams: BTreeSet<(Letter, Letter)> = BTreeSet::new();
+        let mut relevant_letters: BTreeSet<Letter> = BTreeSet::new();
+        for word in &words {
+            let first = word.first().expect("words have length ≥ 2");
+            relevant_letters.extend(word.iter());
+            let digrams = word.letters().windows(2).map(|p| (p[0], p[1]));
+            if source_letters.contains(&first) {
+                forward_digrams.extend(digrams);
+            } else {
+                reversed_digrams.extend(digrams);
+            }
+        }
+        let endpoint_first: BTreeSet<Letter> = words.iter().map(|w| w.first().unwrap()).collect();
+        let endpoint_last: BTreeSet<Letter> = words.iter().map(|w| w.last().unwrap()).collect();
+
+        Ok(ChainPlan {
+            epsilon,
+            single_letters,
+            words,
+            source_letters,
+            target_letters,
+            forward_digrams,
+            reversed_digrams,
+            relevant_letters,
+            endpoint_first,
+            endpoint_last,
+        })
+    }
+
+    /// The per-database half of the reduction: builds and cuts the flow
+    /// network of Proposition 7.6 for one database.
+    pub(crate) fn solve(
+        &self,
+        rpq: &Rpq,
+        db: &GraphDb,
+        flow: FlowAlgorithm,
+        want_cut: bool,
+    ) -> ResilienceOutcome {
+        let infinite =
+            || ResilienceOutcome::new(ResilienceValue::Infinite, Algorithm::BipartiteChain, None);
+        if self.epsilon {
+            return infinite();
+        }
+
+        // Preprocessing: single-letter words force the removal of every fact
+        // with that label.
+        let mut base_cost: u128 = 0;
+        let mut forced_facts: Vec<FactId> = Vec::new();
+        for (id, fact) in db.facts() {
+            if self.single_letters.contains(&fact.label) {
+                if db.is_exogenous(id) {
+                    // A single-letter word matched by an exogenous fact can
+                    // never be broken: the resilience is +∞.
+                    return infinite();
+                }
+                base_cost += rpq.semantics().fact_cost(db, id) as u128;
+                forced_facts.push(id);
+            }
+        }
+        let removed_forced: BTreeSet<FactId> = forced_facts.iter().copied().collect();
+
+        // Build the flow network.
+        let mut network = FlowNetwork::new();
+        let source = network.add_vertex();
+        let target = network.add_vertex();
+        network.set_source(source);
+        network.set_target(target);
+
+        // Per-fact start/end vertices and the finite-capacity fact edge.
+        let mut fact_vertices: BTreeMap<FactId, (VertexId, VertexId)> = BTreeMap::new();
+        let mut edge_to_fact: BTreeMap<EdgeId, FactId> = BTreeMap::new();
+        for (id, fact) in db.facts() {
+            if removed_forced.contains(&id) || !self.relevant_letters.contains(&fact.label) {
+                continue;
+            }
+            let start = network.add_vertex();
+            let end = network.add_vertex();
+            fact_vertices.insert(id, (start, end));
+            // Exogenous facts can never be cut: capacity +∞.
+            let capacity = if db.is_exogenous(id) {
+                Capacity::Infinite
+            } else {
+                Capacity::Finite(rpq.semantics().fact_cost(db, id) as u128)
+            };
+            let edge = network.add_edge(start, end, capacity);
+            edge_to_fact.insert(edge, id);
+        }
+
+        // Wiring edges between consecutive facts.
+        for (&id_a, &(_, end_a)) in &fact_vertices {
+            let fact_a = db.fact(id_a);
+            for id_b in db.out_facts(fact_a.target) {
+                let Some(&(start_b, end_b)) = fact_vertices.get(&id_b) else { continue };
+                let fact_b = db.fact(id_b);
+                let digram = (fact_a.label, fact_b.label);
+                if self.forward_digrams.contains(&digram) {
+                    network.add_edge(end_a, start_b, Capacity::Infinite);
+                }
+                if self.reversed_digrams.contains(&digram) {
+                    let (start_a, _) = fact_vertices[&id_a];
+                    network.add_edge(end_b, start_a, Capacity::Infinite);
+                }
+                let _ = end_b;
+            }
+        }
+
+        // Source / target attachments: only endpoint letters of words.
+        for (&id, &(start, end)) in &fact_vertices {
+            let label = db.fact(id).label;
+            let is_endpoint =
+                self.endpoint_first.contains(&label) || self.endpoint_last.contains(&label);
+            if !is_endpoint {
+                continue;
+            }
+            if self.source_letters.contains(&label) {
+                network.add_edge(source, start, Capacity::Infinite);
+            }
+            if self.target_letters.contains(&label) {
+                network.add_edge(end, target, Capacity::Infinite);
+            }
+        }
+
+        let cut = rpq_flow::min_cut_with(&network, flow);
+        let value = match cut.value {
+            Capacity::Infinite => ResilienceValue::Infinite,
+            Capacity::Finite(v) => ResilienceValue::Finite(v + base_cost),
+        };
+        let mut contingency: Vec<FactId> = forced_facts;
+        contingency.extend(cut.cut_edges.iter().filter_map(|e| edge_to_fact.get(e).copied()));
+        debug_assert!(
+            value.is_infinite()
+                || rpq.is_contingency_set(db, &contingency.iter().copied().collect()),
+            "the extracted cut must be a contingency set"
+        );
+        ResilienceOutcome::new(value, Algorithm::BipartiteChain, want_cut.then_some(contingency))
+    }
+
+    /// The number of words of length ≥ 2 in the plan (used by plan reports).
+    pub(crate) fn num_words(&self) -> usize {
+        self.words.len()
+    }
+}
 
 /// Computes the resilience of a query whose infix-free sublanguage is a
 /// bipartite chain language (Proposition 7.6).
@@ -24,144 +221,8 @@ pub fn resilience_bipartite_chain(
     rpq: &Rpq,
     db: &GraphDb,
 ) -> Result<ResilienceOutcome, ResilienceError> {
-    let language = rpq.infix_free_language();
-    let not_applicable = |reason: String| ResilienceError::NotApplicable {
-        algorithm: Algorithm::BipartiteChain,
-        reason,
-    };
-    let finite = FiniteLanguage::from_language(&language)
-        .map_err(|_| not_applicable(format!("IF({}) is infinite", rpq.language())))?;
-    if !finite.is_chain_language() {
-        return Err(not_applicable(format!("IF({}) is not a chain language", rpq.language())));
-    }
-    let Some((source_letters, target_letters)) = finite.endpoint_bipartition() else {
-        return Err(not_applicable(format!(
-            "the endpoint graph of IF({}) is not bipartite",
-            rpq.language()
-        )));
-    };
-
-    if finite.words().iter().any(Word::is_empty) {
-        return Ok(ResilienceOutcome::new(
-            ResilienceValue::Infinite,
-            Algorithm::BipartiteChain,
-            None,
-        ));
-    }
-
-    // Preprocessing: single-letter words force the removal of every fact with
-    // that label.
-    let single_letters: BTreeSet<Letter> =
-        finite.words().iter().filter(|w| w.len() == 1).map(|w| w.letter_at(0)).collect();
-    let mut base_cost: u128 = 0;
-    let mut forced_facts: Vec<FactId> = Vec::new();
-    for (id, fact) in db.facts() {
-        if single_letters.contains(&fact.label) {
-            if db.is_exogenous(id) {
-                // A single-letter word matched by an exogenous fact can never
-                // be broken: the resilience is +∞.
-                return Ok(ResilienceOutcome::new(
-                    ResilienceValue::Infinite,
-                    Algorithm::BipartiteChain,
-                    None,
-                ));
-            }
-            base_cost += rpq.semantics().fact_cost(db, id) as u128;
-            forced_facts.push(id);
-        }
-    }
-    let words: Vec<Word> = finite.words().iter().filter(|w| w.len() >= 2).cloned().collect();
-    let removed_forced: BTreeSet<FactId> = forced_facts.iter().copied().collect();
-
-    // Words are forward when their first letter is in the source partition.
-    let mut forward_digrams: BTreeSet<(Letter, Letter)> = BTreeSet::new();
-    let mut reversed_digrams: BTreeSet<(Letter, Letter)> = BTreeSet::new();
-    let mut relevant_letters: BTreeSet<Letter> = BTreeSet::new();
-    for word in &words {
-        let first = word.first().expect("words have length ≥ 2");
-        relevant_letters.extend(word.iter());
-        let digrams = word.letters().windows(2).map(|p| (p[0], p[1]));
-        if source_letters.contains(&first) {
-            forward_digrams.extend(digrams);
-        } else {
-            reversed_digrams.extend(digrams);
-        }
-    }
-
-    // Build the flow network.
-    let mut network = FlowNetwork::new();
-    let source = network.add_vertex();
-    let target = network.add_vertex();
-    network.set_source(source);
-    network.set_target(target);
-
-    // Per-fact start/end vertices and the finite-capacity fact edge.
-    let mut fact_vertices: BTreeMap<FactId, (VertexId, VertexId)> = BTreeMap::new();
-    let mut edge_to_fact: BTreeMap<EdgeId, FactId> = BTreeMap::new();
-    for (id, fact) in db.facts() {
-        if removed_forced.contains(&id) || !relevant_letters.contains(&fact.label) {
-            continue;
-        }
-        let start = network.add_vertex();
-        let end = network.add_vertex();
-        fact_vertices.insert(id, (start, end));
-        // Exogenous facts can never be cut: capacity +∞.
-        let capacity = if db.is_exogenous(id) {
-            Capacity::Infinite
-        } else {
-            Capacity::Finite(rpq.semantics().fact_cost(db, id) as u128)
-        };
-        let edge = network.add_edge(start, end, capacity);
-        edge_to_fact.insert(edge, id);
-    }
-
-    // Wiring edges between consecutive facts.
-    for (&id_a, &(_, end_a)) in &fact_vertices {
-        let fact_a = db.fact(id_a);
-        for id_b in db.out_facts(fact_a.target) {
-            let Some(&(start_b, end_b)) = fact_vertices.get(&id_b) else { continue };
-            let fact_b = db.fact(id_b);
-            let digram = (fact_a.label, fact_b.label);
-            if forward_digrams.contains(&digram) {
-                network.add_edge(end_a, start_b, Capacity::Infinite);
-            }
-            if reversed_digrams.contains(&digram) {
-                let (start_a, _) = fact_vertices[&id_a];
-                network.add_edge(end_b, start_a, Capacity::Infinite);
-            }
-            let _ = end_b;
-        }
-    }
-
-    // Source / target attachments: only endpoint letters of words.
-    let endpoint_first: BTreeSet<Letter> = words.iter().map(|w| w.first().unwrap()).collect();
-    let endpoint_last: BTreeSet<Letter> = words.iter().map(|w| w.last().unwrap()).collect();
-    for (&id, &(start, end)) in &fact_vertices {
-        let label = db.fact(id).label;
-        let is_endpoint = endpoint_first.contains(&label) || endpoint_last.contains(&label);
-        if !is_endpoint {
-            continue;
-        }
-        if source_letters.contains(&label) {
-            network.add_edge(source, start, Capacity::Infinite);
-        }
-        if target_letters.contains(&label) {
-            network.add_edge(end, target, Capacity::Infinite);
-        }
-    }
-
-    let cut = rpq_flow::min_cut(&network);
-    let value = match cut.value {
-        Capacity::Infinite => ResilienceValue::Infinite,
-        Capacity::Finite(v) => ResilienceValue::Finite(v + base_cost),
-    };
-    let mut contingency: Vec<FactId> = forced_facts;
-    contingency.extend(cut.cut_edges.iter().filter_map(|e| edge_to_fact.get(e).copied()));
-    debug_assert!(
-        value.is_infinite() || rpq.is_contingency_set(db, &contingency.iter().copied().collect()),
-        "the extracted cut must be a contingency set"
-    );
-    Ok(ResilienceOutcome::new(value, Algorithm::BipartiteChain, Some(contingency)))
+    let plan = ChainPlan::from_infix_free(&rpq.infix_free_language(), rpq.language())?;
+    Ok(plan.solve(rpq, db, FlowAlgorithm::default(), true))
 }
 
 #[cfg(test)]

@@ -21,7 +21,7 @@ use crate::rpq::{ResilienceValue, Rpq, Semantics};
 use rpq_automata::local::is_local;
 use rpq_automata::ro_enfa::RoEnfa;
 use rpq_automata::Language;
-use rpq_flow::{Capacity, EdgeId, FlowNetwork, VertexId};
+use rpq_flow::{Capacity, EdgeId, FlowAlgorithm, FlowNetwork, VertexId};
 use rpq_graphdb::{FactId, GraphDb};
 use std::collections::BTreeMap;
 
@@ -39,12 +39,27 @@ pub fn resilience_local(rpq: &Rpq, db: &GraphDb) -> Result<ResilienceOutcome, Re
         return Ok(ResilienceOutcome::new(ResilienceValue::Infinite, Algorithm::Local, None));
     }
     let ro = RoEnfa::for_local_language(&language)?;
-    let (value, cut) = resilience_via_ro_enfa(&ro, db, rpq.semantics(), |_| true);
+    Ok(solve_prepared(&ro, rpq, db, FlowAlgorithm::default(), true))
+}
+
+/// Runs the Theorem 3.13 reduction for an already-prepared RO-εNFA: the
+/// query-only analysis (locality test, ε-check, automaton construction) has
+/// been done by the caller, so this is the per-database half of the algorithm.
+/// Used by [`crate::engine::PreparedQuery`] to solve batches without
+/// re-deriving the plan.
+pub(crate) fn solve_prepared(
+    ro: &RoEnfa,
+    rpq: &Rpq,
+    db: &GraphDb,
+    flow: FlowAlgorithm,
+    want_cut: bool,
+) -> ResilienceOutcome {
+    let (value, cut) = resilience_via_ro_enfa(ro, db, rpq.semantics(), flow, |_| true);
     debug_assert!(
         value.is_infinite() || rpq.is_contingency_set(db, &cut.iter().copied().collect()),
         "the extracted cut must be a contingency set"
     );
-    Ok(ResilienceOutcome::new(value, Algorithm::Local, Some(cut)))
+    ResilienceOutcome::new(value, Algorithm::Local, want_cut.then_some(cut))
 }
 
 /// Runs the Theorem 3.13 product construction for an explicit RO-εNFA, with a
@@ -55,6 +70,7 @@ pub(crate) fn resilience_via_ro_enfa(
     ro: &RoEnfa,
     db: &GraphDb,
     semantics: Semantics,
+    flow: FlowAlgorithm,
     fact_filter: impl Fn(FactId) -> bool,
 ) -> (ResilienceValue, Vec<FactId>) {
     let mut network = FlowNetwork::new();
@@ -109,7 +125,7 @@ pub(crate) fn resilience_via_ro_enfa(
         }
     }
 
-    let cut = rpq_flow::min_cut(&network);
+    let cut = rpq_flow::min_cut_with(&network, flow);
     let facts: Vec<FactId> =
         cut.cut_edges.iter().filter_map(|e| edge_to_fact.get(e).copied()).collect();
     (ResilienceValue::from(cut.value), facts)

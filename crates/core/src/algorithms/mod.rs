@@ -7,31 +7,44 @@
 //! * [`one_dangling`] — Proposition 7.9, for one-dangling languages (via a
 //!   rewriting into a local-language instance over extended bag semantics).
 //!
-//! The [`solve`] dispatcher inspects the infix-free sublanguage of the query,
-//! picks the most efficient applicable algorithm, and otherwise falls back to
-//! the exponential exact solver of [`crate::exact`].
+//! All of these reductions share a **prepare/solve lifecycle**, implemented
+//! by [`crate::engine::Engine`]:
 //!
-//! **This module is the single entry point for computing resilience.** The
-//! CLI, the integration tests, and the benchmarks all go through [`solve`]
-//! (automatic backend choice) or [`solve_with`] (explicit backend, including
-//! the exact oracles of [`crate::exact`] and the certified approximations of
-//! [`crate::approx`], see [`Algorithm`]). The per-module functions are
-//! implementation details: call them directly only from this dispatcher and
-//! from their own unit tests, so every consumer benefits from dispatch-level
-//! invariants (ε-handling, infix-free reduction, outcome normalization) and
-//! backends can be swapped without touching call sites.
+//! 1. **Prepare (query-only, once per query).** [`crate::engine::Engine::prepare`]
+//!    derives the infix-free sublanguage, runs the ε-check, the locality test
+//!    (building the Theorem 3.13 RO-εNFA), the finiteness / bipartite-chain
+//!    analysis, and the one-dangling decomposition, then fixes an
+//!    [`Algorithm`] — all independent of any database. The cached plan is a
+//!    [`crate::engine::PreparedQuery`]; its
+//!    [`plan()`](crate::engine::PreparedQuery::plan) report says which
+//!    algorithm will run and why.
+//! 2. **Solve (per database, many times).**
+//!    [`crate::engine::PreparedQuery::solve`] (or
+//!    [`solve_batch`](crate::engine::PreparedQuery::solve_batch)) performs
+//!    only the per-database half of the chosen reduction: building and
+//!    cutting one flow network with the configured
+//!    [`rpq_flow::FlowAlgorithm`], or running the exact / approximate
+//!    solvers. Batch workloads over a fixed query never reclassify.
+//!
+//! **The engine is the single entry point for computing resilience.** The
+//! CLI, the integration tests, and the benchmarks all go through it — either
+//! directly or via the thin compatibility wrappers [`solve`] (automatic
+//! backend choice) and [`solve_with`] (explicit backend, including the exact
+//! oracles of [`crate::exact`] and the certified approximations of
+//! [`crate::approx`], see [`Algorithm`]), which delegate to a default
+//! [`crate::engine::Engine`]. The per-module functions are implementation
+//! details: call them directly only from the engine and from their own unit
+//! tests, so every consumer benefits from dispatch-level invariants
+//! (ε-handling, infix-free reduction, outcome normalization) and backends can
+//! be swapped without touching call sites.
 
 pub mod chain;
 pub mod local;
 pub mod one_dangling;
 
-use crate::approx::{
-    resilience_greedy, resilience_k_approximation, ApproxError, ApproximateResilience,
-};
-use crate::exact::{resilience_by_enumeration, resilience_exact};
+use crate::approx::{ApproxError, ApproximateResilience};
+use crate::engine::Engine;
 use crate::rpq::{ResilienceValue, Rpq};
-use rpq_automata::finite::{one_dangling_decomposition, FiniteLanguage};
-use rpq_automata::local::is_local;
 use rpq_automata::AutomataError;
 use rpq_graphdb::{FactId, GraphDb};
 use std::fmt;
@@ -48,6 +61,21 @@ pub enum ResilienceError {
         /// Why it does not apply.
         reason: String,
     },
+    /// The database exceeds the subset-enumeration oracle's fact limit
+    /// (`SolveOptions::enumeration_limit`): enumerating `2^facts` subsets is
+    /// not going to finish.
+    InstanceTooLarge {
+        /// The number of endogenous facts of the database.
+        facts: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// The query escapes every known tractable family and the engine was
+    /// configured with `SolveOptions::exact_fallback = false`.
+    ExactFallbackDisabled {
+        /// A rendering of the query's language.
+        query: String,
+    },
 }
 
 impl fmt::Display for ResilienceError {
@@ -57,6 +85,16 @@ impl fmt::Display for ResilienceError {
             ResilienceError::NotApplicable { algorithm, reason } => {
                 write!(f, "`{algorithm}` does not apply: {reason}")
             }
+            ResilienceError::InstanceTooLarge { facts, limit } => write!(
+                f,
+                "the database has {facts} endogenous facts, above the subset-enumeration \
+                 limit of {limit}"
+            ),
+            ResilienceError::ExactFallbackDisabled { query } => write!(
+                f,
+                "`{query}` escapes every known tractable family and the exact fallback is \
+                 disabled (SolveOptions::exact_fallback)"
+            ),
         }
     }
 }
@@ -194,54 +232,26 @@ impl ResilienceOutcome {
 /// 3. `IF(L)` one-dangling → [`one_dangling`] (Proposition 7.9);
 /// 4. otherwise → exponential exact branch and bound (the problem is NP-hard
 ///    for every language known to escape 1–3, see Sections 4–6).
+///
+/// This is a thin compatibility wrapper over a default
+/// [`Engine`](crate::engine::Engine): batch workloads should call
+/// [`Engine::prepare`](crate::engine::Engine::prepare) once and reuse the
+/// [`PreparedQuery`](crate::engine::PreparedQuery) instead.
 pub fn solve(rpq: &Rpq, db: &GraphDb) -> Result<ResilienceOutcome, ResilienceError> {
-    let if_language = rpq.infix_free_language();
-    if if_language.contains_epsilon() {
-        return Ok(ResilienceOutcome::new(ResilienceValue::Infinite, Algorithm::Local, None));
-    }
-    if is_local(&if_language) {
-        return local::resilience_local(rpq, db);
-    }
-    if let Ok(finite) = FiniteLanguage::from_language(&if_language) {
-        if finite.is_bipartite_chain_language() {
-            return chain::resilience_bipartite_chain(rpq, db);
-        }
-    }
-    if !db.has_exogenous_facts() && one_dangling_decomposition(&if_language).is_some() {
-        return one_dangling::resilience_one_dangling(rpq, db);
-    }
-    solve_with(Algorithm::ExactBranchAndBound, rpq, db)
+    Engine::new().solve(rpq, db)
 }
 
 /// Computes the resilience with an explicitly chosen algorithm, failing with
 /// [`ResilienceError::NotApplicable`] when the language does not qualify.
+///
+/// Thin compatibility wrapper over a default [`Engine`](crate::engine::Engine)
+/// (see [`solve`]).
 pub fn solve_with(
     algorithm: Algorithm,
     rpq: &Rpq,
     db: &GraphDb,
 ) -> Result<ResilienceOutcome, ResilienceError> {
-    match algorithm {
-        Algorithm::Local => local::resilience_local(rpq, db),
-        Algorithm::BipartiteChain => chain::resilience_bipartite_chain(rpq, db),
-        Algorithm::OneDangling => one_dangling::resilience_one_dangling(rpq, db),
-        Algorithm::ExactBranchAndBound => {
-            let exact = resilience_exact(rpq, db);
-            Ok(ResilienceOutcome::new(
-                exact.value,
-                Algorithm::ExactBranchAndBound,
-                Some(exact.contingency_set.into_iter().collect()),
-            ))
-        }
-        Algorithm::ExactEnumeration => Ok(ResilienceOutcome::new(
-            resilience_by_enumeration(rpq, db),
-            Algorithm::ExactEnumeration,
-            None,
-        )),
-        Algorithm::ApproxGreedy => normalize_approximation(algorithm, resilience_greedy(rpq, db)),
-        Algorithm::ApproxKDisjoint => {
-            normalize_approximation(algorithm, resilience_k_approximation(rpq, db))
-        }
-    }
+    Engine::new().solve_with(algorithm, rpq, db)
 }
 
 /// Lifts an approximation result into the engine's outcome type: cases where
@@ -249,7 +259,7 @@ pub fn solve_with(
 /// only) become regular infinite outcomes, and only a genuinely inapplicable
 /// language (infinite, so the hypergraph of matches cannot be built) surfaces
 /// as [`ResilienceError::NotApplicable`].
-fn normalize_approximation(
+pub(crate) fn normalize_approximation(
     algorithm: Algorithm,
     result: Result<ApproximateResilience, ApproxError>,
 ) -> Result<ResilienceOutcome, ResilienceError> {

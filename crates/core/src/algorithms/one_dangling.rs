@@ -26,8 +26,147 @@ use crate::algorithms::local::resilience_via_ro_enfa;
 use crate::rpq::{ResilienceValue, Rpq, Semantics};
 use rpq_automata::finite::{one_dangling_decomposition, OneDanglingDecomposition};
 use rpq_automata::ro_enfa::RoEnfa;
+use rpq_automata::Language;
+use rpq_flow::FlowAlgorithm;
 use rpq_graphdb::{GraphDb, NodeId};
 use std::collections::BTreeMap;
+
+/// The query-only half of the Proposition 7.9 rewriting: the one-dangling
+/// decomposition, normalized so that `y ∉ Σ(local part)` (mirroring the query
+/// when needed), together with the RO-εNFA of the local part. Reusable across
+/// databases; only the fresh-letter choice and the database rewriting remain
+/// per-call (they depend on the database's alphabet and facts).
+#[derive(Debug, Clone)]
+pub(crate) struct OneDanglingPlan {
+    /// The normalized decomposition (`y ∉ Σ`).
+    decomposition: OneDanglingDecomposition,
+    /// Whether normalization mirrored the query: databases must be reversed
+    /// before the rewriting (Proposition 6.3).
+    mirrored: bool,
+    /// RO-εNFA of the normalized local part (`None` when `ε ∈ IF(L)`, in
+    /// which case every database has infinite resilience).
+    ro: Option<RoEnfa>,
+    /// The original infix-free language (debug cross-checks only; not stored
+    /// in release builds, where prepared plans may be cached in bulk).
+    #[cfg(debug_assertions)]
+    language: Language,
+}
+
+impl OneDanglingPlan {
+    /// Analyses `IF(language)`; errors with [`ResilienceError::NotApplicable`]
+    /// when it is not one-dangling. `display` renders the original query
+    /// language in error messages.
+    pub(crate) fn from_infix_free(
+        language: &Language,
+        display: &Language,
+    ) -> Result<OneDanglingPlan, ResilienceError> {
+        let Some(decomposition) = one_dangling_decomposition(language) else {
+            return Err(ResilienceError::NotApplicable {
+                algorithm: Algorithm::OneDangling,
+                reason: format!("IF({display}) is not a one-dangling language"),
+            });
+        };
+
+        // Ensure y ∉ Σ (the alphabet of the local part); otherwise mirror
+        // everything (Proposition 6.3): the mirrored decomposition swaps x and
+        // y and mirrors the local part, and x is guaranteed to be outside Σ
+        // because the original decomposition had at least one of x, y outside
+        // it.
+        let local_used = decomposition.local_part.used_letters();
+        let (decomposition, mirrored) = if local_used.contains(decomposition.y) {
+            let mirrored = OneDanglingDecomposition {
+                local_part: decomposition.local_part.mirror(),
+                x: decomposition.y,
+                y: decomposition.x,
+            };
+            debug_assert!(!mirrored.local_part.used_letters().contains(mirrored.y));
+            (mirrored, true)
+        } else {
+            (decomposition, false)
+        };
+
+        let ro = if language.contains_epsilon() {
+            None
+        } else {
+            Some(RoEnfa::for_local_language(&decomposition.local_part)?)
+        };
+        Ok(OneDanglingPlan {
+            decomposition,
+            mirrored,
+            ro,
+            #[cfg(debug_assertions)]
+            language: language.clone(),
+        })
+    }
+
+    /// The dangling word `xy` of the normalized decomposition (plan reports).
+    pub(crate) fn dangling_word(&self) -> rpq_automata::Word {
+        self.decomposition.dangling_word()
+    }
+
+    /// The per-database half of the rewriting. Errors with
+    /// [`ResilienceError::NotApplicable`] on databases with exogenous facts
+    /// (the κ-offset rewriting assumes finite fact weights); callers decide
+    /// whether to fall back to an exact solver.
+    pub(crate) fn solve(
+        &self,
+        rpq: &Rpq,
+        db: &GraphDb,
+        flow: FlowAlgorithm,
+    ) -> Result<ResilienceOutcome, ResilienceError> {
+        let Some(ro) = &self.ro else {
+            return Ok(ResilienceOutcome::new(
+                ResilienceValue::Infinite,
+                Algorithm::OneDangling,
+                None,
+            ));
+        };
+        if db.has_exogenous_facts() {
+            return Err(ResilienceError::NotApplicable {
+                algorithm: Algorithm::OneDangling,
+                reason: "the one-dangling rewriting does not support exogenous facts".to_string(),
+            });
+        }
+
+        // Work on a database whose multiplicities reflect the query's
+        // semantics, so that the rewriting below can always reason in bag
+        // terms.
+        let bag_db = match rpq.semantics() {
+            Semantics::Bag => db.clone(),
+            Semantics::Set => {
+                let mut copy = GraphDb::new();
+                // Rebuild with unit multiplicities, preserving node names.
+                for node in db.nodes() {
+                    copy.node(db.node_name(node));
+                }
+                for (_, fact) in db.facts() {
+                    copy.add_fact(fact.source, fact.label, fact.target);
+                }
+                copy
+            }
+        };
+        #[cfg(debug_assertions)]
+        let original_bag_db = bag_db.clone();
+        let bag_db = if self.mirrored { bag_db.reversed() } else { bag_db };
+
+        let value = rewrite_and_solve(&self.decomposition, ro, &bag_db, flow)?;
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            {
+                // Cross-check against the exact solver on small instances only.
+                original_bag_db.num_facts() > 14 || {
+                    let exact = crate::exact::resilience_exact(
+                        &Rpq::new(self.language.clone()).with_bag_semantics(),
+                        &original_bag_db,
+                    );
+                    exact.value == value
+                }
+            },
+            "one-dangling rewriting disagrees with the exact solver"
+        );
+        Ok(ResilienceOutcome::new(value, Algorithm::OneDangling, None))
+    }
+}
 
 /// Computes the resilience of a query whose infix-free sublanguage is
 /// one-dangling (Proposition 7.9). The outcome certifies the value but carries
@@ -36,84 +175,17 @@ pub fn resilience_one_dangling(
     rpq: &Rpq,
     db: &GraphDb,
 ) -> Result<ResilienceOutcome, ResilienceError> {
-    let language = rpq.infix_free_language();
-    let Some(decomposition) = one_dangling_decomposition(&language) else {
-        return Err(ResilienceError::NotApplicable {
-            algorithm: Algorithm::OneDangling,
-            reason: format!("IF({}) is not a one-dangling language", rpq.language()),
-        });
-    };
-    if language.contains_epsilon() {
-        return Ok(ResilienceOutcome::new(ResilienceValue::Infinite, Algorithm::OneDangling, None));
-    }
-    if db.has_exogenous_facts() {
-        // The κ-offset rewriting assumes finite fact weights; exogenous facts
-        // (weight +∞) are not supported by this reduction. Callers fall back
-        // to the exact solver (see `solve`).
-        return Err(ResilienceError::NotApplicable {
-            algorithm: Algorithm::OneDangling,
-            reason: "the one-dangling rewriting does not support exogenous facts".to_string(),
-        });
-    }
-
-    // Work on a database whose multiplicities reflect the query's semantics,
-    // so that the rewriting below can always reason in bag terms.
-    let bag_db = match rpq.semantics() {
-        Semantics::Bag => db.clone(),
-        Semantics::Set => {
-            let mut copy = GraphDb::new();
-            // Rebuild with unit multiplicities, preserving node names.
-            for node in db.nodes() {
-                copy.node(db.node_name(node));
-            }
-            for (_, fact) in db.facts() {
-                copy.add_fact(fact.source, fact.label, fact.target);
-            }
-            copy
-        }
-    };
-
-    // Ensure y ∉ Σ (the alphabet of the local part); otherwise mirror
-    // everything (Proposition 6.3): the mirrored decomposition swaps x and y
-    // and mirrors the local part, and x is guaranteed to be outside Σ because
-    // the original decomposition had at least one of x, y outside it.
-    let local_used = decomposition.local_part.used_letters();
-    #[cfg(debug_assertions)]
-    let original_bag_db = bag_db.clone();
-    let (decomposition, bag_db) = if local_used.contains(decomposition.y) {
-        let mirrored = OneDanglingDecomposition {
-            local_part: decomposition.local_part.mirror(),
-            x: decomposition.y,
-            y: decomposition.x,
-        };
-        debug_assert!(!mirrored.local_part.used_letters().contains(mirrored.y));
-        (mirrored, bag_db.reversed())
-    } else {
-        (decomposition, bag_db)
-    };
-
-    let value = rewrite_and_solve(&decomposition, &bag_db)?;
-    #[cfg(debug_assertions)]
-    debug_assert!(
-        {
-            // Cross-check against the exact solver on small instances only.
-            original_bag_db.num_facts() > 14 || {
-                let exact = crate::exact::resilience_exact(
-                    &Rpq::new(language.clone()).with_bag_semantics(),
-                    &original_bag_db,
-                );
-                exact.value == value
-            }
-        },
-        "one-dangling rewriting disagrees with the exact solver"
-    );
-    Ok(ResilienceOutcome::new(value, Algorithm::OneDangling, None))
+    let plan = OneDanglingPlan::from_infix_free(&rpq.infix_free_language(), rpq.language())?;
+    plan.solve(rpq, db, FlowAlgorithm::default())
 }
 
-/// Performs steps 2–4 of the rewriting for a decomposition with `y ∉ Σ`.
+/// Performs steps 2–4 of the rewriting for a decomposition with `y ∉ Σ`, whose
+/// local part is recognized by the prepared RO-εNFA `ro`.
 fn rewrite_and_solve(
     decomposition: &OneDanglingDecomposition,
+    ro: &RoEnfa,
     db: &GraphDb,
+    flow: FlowAlgorithm,
 ) -> Result<ResilienceValue, ResilienceError> {
     let x = decomposition.x;
     let y = decomposition.y;
@@ -127,9 +199,11 @@ fn rewrite_and_solve(
     // occur in the local part, the language is unchanged.
     let ambient = local_part.alphabet().union(&db.alphabet()).with(x).with(y);
     let z = ambient.fresh_letter();
-    let ro = RoEnfa::for_local_language(local_part)?;
-    let ro_rewritten =
-        if ro.letter_transition(x).is_some() { ro.split_letter_transition(x, z)? } else { ro };
+    let ro_rewritten = if ro.letter_transition(x).is_some() {
+        ro.split_letter_transition(x, z)?
+    } else {
+        ro.clone()
+    };
 
     // Rewrite the database.
     let mut rewritten = GraphDb::new();
@@ -189,7 +263,7 @@ fn rewrite_and_solve(
     // Solve the rewritten (positive-multiplicity) instance with the local
     // algorithm in bag semantics.
     let (local_value, _) =
-        resilience_via_ro_enfa(&ro_rewritten, &rewritten, Semantics::Bag, |_| true);
+        resilience_via_ro_enfa(&ro_rewritten, &rewritten, Semantics::Bag, flow, |_| true);
     let local_value = match local_value {
         ResilienceValue::Infinite => return Ok(ResilienceValue::Infinite),
         ResilienceValue::Finite(v) => v as i128,

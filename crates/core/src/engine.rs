@@ -1,0 +1,525 @@
+//! The prepared-query engine: plan once, solve many.
+//!
+//! The tractable cases of the paper (Theorem 3.13, Propositions 7.6 and 7.9)
+//! all hinge on a **query-only** analysis — the infix-free sublanguage, the
+//! ε-check, the locality test and its RO-εNFA, the finiteness / bipartite
+//! chain analysis, the one-dangling decomposition — that is independent of
+//! the database. [`Engine::prepare`] runs that analysis exactly once and
+//! caches the result in a [`PreparedQuery`]; [`PreparedQuery::solve`] and
+//! [`PreparedQuery::solve_batch`] then only perform the per-database half of
+//! the chosen reduction (building and cutting one flow network, or running
+//! the exact/approximate solvers). Server-style workloads that evaluate one
+//! query over many databases skip all reclassification:
+//!
+//! ```
+//! use rpq_resilience::engine::Engine;
+//! use rpq_resilience::rpq::Rpq;
+//! use rpq_graphdb::GraphDb;
+//!
+//! let engine = Engine::new();
+//! let prepared = engine.prepare(&Rpq::parse("a x* b").unwrap()).unwrap();
+//! println!("{}", prepared.plan()); // which algorithm, and why
+//!
+//! let mut db = GraphDb::new();
+//! db.add_fact_by_names("s", 'a', "u");
+//! db.add_fact_by_names("u", 'x', "v");
+//! db.add_fact_by_names("v", 'b', "t");
+//! let outcome = prepared.solve(&db).unwrap();
+//! assert_eq!(outcome.value.finite(), Some(1));
+//! ```
+//!
+//! [`SolveOptions`] configures the engine: every MinCut backend of
+//! [`rpq_flow`] ([`FlowAlgorithm`]) is selectable end to end, the exponential
+//! exact fallback can be disabled for latency-sensitive callers, the
+//! subset-enumeration oracle gets a typed size limit, and contingency-set
+//! extraction can be switched off when only the value is needed.
+//!
+//! The legacy entry points [`crate::algorithms::solve`] and
+//! [`crate::algorithms::solve_with`] are thin wrappers over a default
+//! `Engine` and return identical outcomes.
+
+use crate::algorithms::chain::ChainPlan;
+use crate::algorithms::one_dangling::OneDanglingPlan;
+use crate::algorithms::{
+    local, normalize_approximation, Algorithm, ResilienceError, ResilienceOutcome,
+};
+use crate::approx::{resilience_greedy, resilience_k_approximation};
+use crate::exact::{
+    resilience_by_enumeration_limited, resilience_exact, DEFAULT_ENUMERATION_LIMIT,
+    MAX_ENUMERATION_LIMIT,
+};
+use crate::rpq::{ResilienceValue, Rpq};
+use rpq_automata::local::is_local;
+use rpq_automata::ro_enfa::RoEnfa;
+use rpq_flow::FlowAlgorithm;
+use rpq_graphdb::GraphDb;
+use std::fmt;
+
+/// Configuration of a resilience [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolveOptions {
+    /// The MinCut backend used by every flow-based reduction (Theorem 3.13,
+    /// Propositions 7.6 and 7.9).
+    pub flow_backend: FlowAlgorithm,
+    /// Whether queries outside every known tractable family may fall back to
+    /// the exponential exact branch and bound. When `false`, preparing such a
+    /// query fails with [`ResilienceError::ExactFallbackDisabled`] instead of
+    /// arming an exponential solver.
+    pub exact_fallback: bool,
+    /// The fact limit of the [`Algorithm::ExactEnumeration`] oracle: larger
+    /// databases yield [`ResilienceError::InstanceTooLarge`] instead of a
+    /// `2^facts` enumeration.
+    pub enumeration_limit: usize,
+    /// Whether to extract an optimal contingency set alongside the value
+    /// (when the chosen algorithm can produce one). Disable for value-only
+    /// batch workloads.
+    pub want_cut: bool,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            flow_backend: FlowAlgorithm::default(),
+            exact_fallback: true,
+            enumeration_limit: DEFAULT_ENUMERATION_LIMIT,
+            want_cut: true,
+        }
+    }
+}
+
+/// A resilience solver with fixed [`SolveOptions`]. The engine is stateless
+/// besides its options; [`Engine::prepare`] produces the per-query state.
+#[derive(Debug, Clone, Default)]
+pub struct Engine {
+    options: SolveOptions,
+}
+
+/// The cached per-query strategy: everything derivable from the language
+/// alone, so that solving is purely per-database work.
+#[derive(Debug, Clone)]
+enum Strategy {
+    /// `ε ∈ IF(L)`: the resilience is `+∞` on every database. The tag records
+    /// which algorithm family reported it (for outcome compatibility).
+    EpsilonInfinite { tag: Algorithm },
+    /// Theorem 3.13 with a prepared RO-εNFA.
+    Local { ro: RoEnfa },
+    /// Proposition 7.6 with a prepared chain plan.
+    Chain { plan: ChainPlan },
+    /// Proposition 7.9 with a prepared (normalized) decomposition. When
+    /// `fallback_to_exact` is set (automatic dispatch), databases with
+    /// exogenous facts are routed to the exact solver instead of erroring.
+    OneDangling { plan: OneDanglingPlan, fallback_to_exact: bool },
+    /// Exponential branch and bound over witness walks.
+    ExactBranchAndBound,
+    /// Subset enumeration (size-limited reference oracle).
+    ExactEnumeration,
+    /// Certified greedy `O(log m)`-approximation.
+    ApproxGreedy,
+    /// Certified disjoint-matches `k`-approximation.
+    ApproxKDisjoint,
+}
+
+/// A human- and machine-readable report of a prepared query's plan: which
+/// algorithm was chosen and why (see [`PreparedQuery::plan`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanReport {
+    /// The algorithm the prepared query will run.
+    pub algorithm: Algorithm,
+    /// Why this algorithm applies (or was forced).
+    pub reason: String,
+    /// A rendering of the infix-free sublanguage the analysis worked on.
+    pub infix_free: String,
+    /// Whether the algorithm was forced by the caller rather than chosen by
+    /// the classification (see [`Engine::prepare_with`]).
+    pub forced: bool,
+}
+
+impl fmt::Display for PlanReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}{}: {} [IF(L) = {}]",
+            self.algorithm,
+            if self.forced { " (forced)" } else { "" },
+            self.reason,
+            self.infix_free
+        )
+    }
+}
+
+/// A query whose full plan (classification, automata, decompositions, chosen
+/// algorithm) has been computed once by [`Engine::prepare`]; solving is pure
+/// per-database work.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    rpq: Rpq,
+    options: SolveOptions,
+    strategy: Strategy,
+    report: PlanReport,
+}
+
+impl Engine {
+    /// An engine with default options (Dinic, exact fallback enabled,
+    /// enumeration limit 24, contingency sets extracted).
+    pub fn new() -> Engine {
+        Engine::default()
+    }
+
+    /// An engine with explicit options.
+    pub fn with_options(options: SolveOptions) -> Engine {
+        Engine { options }
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &SolveOptions {
+        &self.options
+    }
+
+    /// Runs the full query-only analysis and caches the resulting plan.
+    /// Picks the best applicable algorithm for the query's infix-free
+    /// sublanguage, in the same order as the legacy `algorithms::solve`:
+    ///
+    /// 1. `ε ∈ IF(L)` → the resilience is `+∞` on every database;
+    /// 2. `IF(L)` local → Theorem 3.13;
+    /// 3. `IF(L)` a bipartite chain language → Proposition 7.6;
+    /// 4. `IF(L)` one-dangling → Proposition 7.9 (with a per-database exact
+    ///    fallback for exogenous facts, which the rewriting does not support);
+    /// 5. otherwise → exponential exact branch and bound, unless
+    ///    [`SolveOptions::exact_fallback`] is disabled.
+    pub fn prepare(&self, rpq: &Rpq) -> Result<PreparedQuery, ResilienceError> {
+        let if_language = rpq.infix_free_language();
+        let infix_free = if_language.description().to_string();
+        let prepared = |strategy: Strategy, algorithm: Algorithm, reason: String| PreparedQuery {
+            rpq: rpq.clone(),
+            options: self.options,
+            strategy,
+            report: PlanReport { algorithm, reason, infix_free: infix_free.clone(), forced: false },
+        };
+
+        if if_language.contains_epsilon() {
+            return Ok(prepared(
+                Strategy::EpsilonInfinite { tag: Algorithm::Local },
+                Algorithm::Local,
+                "ε ∈ IF(L): the query holds on every sub-database, resilience is +∞".to_string(),
+            ));
+        }
+        if is_local(&if_language) {
+            let ro = RoEnfa::for_local_language(&if_language)?;
+            return Ok(prepared(
+                Strategy::Local { ro },
+                Algorithm::Local,
+                "IF(L) is a local language: RO-εNFA product reduction to MinCut (Theorem 3.13)"
+                    .to_string(),
+            ));
+        }
+        match ChainPlan::from_infix_free(&if_language, rpq.language()) {
+            Ok(plan) => {
+                let reason = format!(
+                    "IF(L) is a bipartite chain language ({} words): MinCut reduction \
+                     (Proposition 7.6)",
+                    plan.num_words()
+                );
+                return Ok(prepared(Strategy::Chain { plan }, Algorithm::BipartiteChain, reason));
+            }
+            Err(ResilienceError::NotApplicable { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        match OneDanglingPlan::from_infix_free(&if_language, rpq.language()) {
+            Ok(plan) => {
+                let reason = format!(
+                    "IF(L) is one-dangling (dangling word {}): rewriting to a local instance \
+                     over extended bag semantics (Proposition 7.9)",
+                    plan.dangling_word()
+                );
+                return Ok(prepared(
+                    Strategy::OneDangling { plan, fallback_to_exact: true },
+                    Algorithm::OneDangling,
+                    reason,
+                ));
+            }
+            Err(ResilienceError::NotApplicable { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        if !self.options.exact_fallback {
+            return Err(ResilienceError::ExactFallbackDisabled {
+                query: rpq.language().to_string(),
+            });
+        }
+        Ok(prepared(
+            Strategy::ExactBranchAndBound,
+            Algorithm::ExactBranchAndBound,
+            "IF(L) escapes every known tractable family (the problem is NP-hard for every \
+             language known to do so, Sections 4–6): exponential branch and bound"
+                .to_string(),
+        ))
+    }
+
+    /// Prepares a query with an explicitly chosen algorithm, failing with
+    /// [`ResilienceError::NotApplicable`] when the language does not qualify
+    /// (mirrors the legacy `algorithms::solve_with`).
+    pub fn prepare_with(
+        &self,
+        algorithm: Algorithm,
+        rpq: &Rpq,
+    ) -> Result<PreparedQuery, ResilienceError> {
+        let if_language = rpq.infix_free_language();
+        let prepared = |strategy: Strategy| PreparedQuery {
+            rpq: rpq.clone(),
+            options: self.options,
+            strategy,
+            report: PlanReport {
+                algorithm,
+                reason: format!("algorithm `{algorithm}` requested by the caller"),
+                infix_free: if_language.description().to_string(),
+                forced: true,
+            },
+        };
+        let strategy = match algorithm {
+            Algorithm::Local => {
+                if !is_local(&if_language) {
+                    return Err(ResilienceError::NotApplicable {
+                        algorithm,
+                        reason: format!("IF({}) is not a local language", rpq.language()),
+                    });
+                }
+                if if_language.contains_epsilon() {
+                    Strategy::EpsilonInfinite { tag: Algorithm::Local }
+                } else {
+                    Strategy::Local { ro: RoEnfa::for_local_language(&if_language)? }
+                }
+            }
+            Algorithm::BipartiteChain => {
+                let plan = ChainPlan::from_infix_free(&if_language, rpq.language())?;
+                Strategy::Chain { plan }
+            }
+            Algorithm::OneDangling => {
+                let plan = OneDanglingPlan::from_infix_free(&if_language, rpq.language())?;
+                Strategy::OneDangling { plan, fallback_to_exact: false }
+            }
+            Algorithm::ExactBranchAndBound => Strategy::ExactBranchAndBound,
+            Algorithm::ExactEnumeration => Strategy::ExactEnumeration,
+            Algorithm::ApproxGreedy => Strategy::ApproxGreedy,
+            Algorithm::ApproxKDisjoint => Strategy::ApproxKDisjoint,
+        };
+        Ok(prepared(strategy))
+    }
+
+    /// Prepares and solves in one call (one-shot convenience; prefer
+    /// [`Engine::prepare`] + [`PreparedQuery::solve`] for batch workloads).
+    pub fn solve(&self, rpq: &Rpq, db: &GraphDb) -> Result<ResilienceOutcome, ResilienceError> {
+        self.prepare(rpq)?.solve(db)
+    }
+
+    /// Prepares with an explicit algorithm and solves in one call.
+    pub fn solve_with(
+        &self,
+        algorithm: Algorithm,
+        rpq: &Rpq,
+        db: &GraphDb,
+    ) -> Result<ResilienceOutcome, ResilienceError> {
+        self.prepare_with(algorithm, rpq)?.solve(db)
+    }
+}
+
+impl PreparedQuery {
+    /// The query this plan was prepared for.
+    pub fn rpq(&self) -> &Rpq {
+        &self.rpq
+    }
+
+    /// The options the plan was prepared under.
+    pub fn options(&self) -> &SolveOptions {
+        &self.options
+    }
+
+    /// The plan report: which algorithm will run, and why.
+    pub fn plan(&self) -> &PlanReport {
+        &self.report
+    }
+
+    /// Solves one database using the cached plan: no language analysis is
+    /// re-derived. Returns outcomes identical to the legacy
+    /// `algorithms::solve` / `solve_with` on the same query and database.
+    pub fn solve(&self, db: &GraphDb) -> Result<ResilienceOutcome, ResilienceError> {
+        let options = &self.options;
+        match &self.strategy {
+            Strategy::EpsilonInfinite { tag } => {
+                Ok(ResilienceOutcome::new(ResilienceValue::Infinite, *tag, None))
+            }
+            Strategy::Local { ro } => {
+                Ok(local::solve_prepared(ro, &self.rpq, db, options.flow_backend, options.want_cut))
+            }
+            Strategy::Chain { plan } => {
+                Ok(plan.solve(&self.rpq, db, options.flow_backend, options.want_cut))
+            }
+            Strategy::OneDangling { plan, fallback_to_exact } => {
+                if db.has_exogenous_facts() {
+                    // The κ-offset rewriting assumes finite fact weights
+                    // (Proposition 7.9): route around it or report why not.
+                    if !fallback_to_exact {
+                        return plan.solve(&self.rpq, db, options.flow_backend);
+                    }
+                    if !options.exact_fallback {
+                        return Err(ResilienceError::ExactFallbackDisabled {
+                            query: self.rpq.language().to_string(),
+                        });
+                    }
+                    return Ok(self.solve_exact_branch_and_bound(db));
+                }
+                plan.solve(&self.rpq, db, options.flow_backend)
+            }
+            Strategy::ExactBranchAndBound => Ok(self.solve_exact_branch_and_bound(db)),
+            Strategy::ExactEnumeration => {
+                // Clamp so the reported limit matches what was enforced.
+                let limit = options.enumeration_limit.min(MAX_ENUMERATION_LIMIT);
+                match resilience_by_enumeration_limited(&self.rpq, db, limit) {
+                    Some(value) => {
+                        Ok(ResilienceOutcome::new(value, Algorithm::ExactEnumeration, None))
+                    }
+                    None => Err(ResilienceError::InstanceTooLarge {
+                        facts: db.endogenous_facts().count(),
+                        limit,
+                    }),
+                }
+            }
+            Strategy::ApproxGreedy => {
+                normalize_approximation(Algorithm::ApproxGreedy, resilience_greedy(&self.rpq, db))
+                    .map(|o| self.strip_cut(o))
+            }
+            Strategy::ApproxKDisjoint => normalize_approximation(
+                Algorithm::ApproxKDisjoint,
+                resilience_k_approximation(&self.rpq, db),
+            )
+            .map(|o| self.strip_cut(o)),
+        }
+    }
+
+    /// Solves every database of a batch with the cached plan, in order. Each
+    /// database gets its own result; one failure does not abort the batch.
+    pub fn solve_batch(&self, dbs: &[GraphDb]) -> Vec<Result<ResilienceOutcome, ResilienceError>> {
+        dbs.iter().map(|db| self.solve(db)).collect()
+    }
+
+    fn solve_exact_branch_and_bound(&self, db: &GraphDb) -> ResilienceOutcome {
+        let exact = resilience_exact(&self.rpq, db);
+        ResilienceOutcome::new(
+            exact.value,
+            Algorithm::ExactBranchAndBound,
+            self.options.want_cut.then(|| exact.contingency_set.into_iter().collect()),
+        )
+    }
+
+    fn strip_cut(&self, mut outcome: ResilienceOutcome) -> ResilienceOutcome {
+        if !self.options.want_cut {
+            outcome.contingency_set = None;
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_automata::Word;
+    use rpq_graphdb::generate::word_path;
+
+    #[test]
+    fn prepared_queries_report_their_plan() {
+        let engine = Engine::new();
+        for (pattern, algorithm, fragment) in [
+            ("ax*b", Algorithm::Local, "local"),
+            ("ab|bc", Algorithm::BipartiteChain, "chain"),
+            ("abc|be", Algorithm::OneDangling, "one-dangling"),
+            ("aa", Algorithm::ExactBranchAndBound, "escapes"),
+            ("a*", Algorithm::Local, "ε"),
+        ] {
+            let prepared = engine.prepare(&Rpq::parse(pattern).unwrap()).unwrap();
+            let plan = prepared.plan();
+            assert_eq!(plan.algorithm, algorithm, "{pattern}");
+            assert!(plan.reason.contains(fragment), "{pattern}: {}", plan.reason);
+            assert!(!plan.forced);
+            assert!(plan.to_string().contains("IF(L)"));
+        }
+    }
+
+    #[test]
+    fn solve_batch_reuses_one_plan_across_databases() {
+        let engine = Engine::new();
+        let prepared = engine.prepare(&Rpq::parse("ax*b").unwrap()).unwrap();
+        let dbs: Vec<_> = ["axb", "axxb", "ab", "ba"]
+            .iter()
+            .map(|w| word_path(&Word::from_str_word(w)))
+            .collect();
+        let results = prepared.solve_batch(&dbs);
+        let values: Vec<_> =
+            results.into_iter().map(|r| r.unwrap().value.finite().unwrap()).collect();
+        assert_eq!(values, vec![1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn every_flow_backend_returns_the_same_value() {
+        let db = word_path(&Word::from_str_word("axxb"));
+        let query = Rpq::parse("ax*b").unwrap();
+        for flow_backend in FlowAlgorithm::ALL {
+            let engine = Engine::with_options(SolveOptions { flow_backend, ..Default::default() });
+            let outcome = engine.solve(&query, &db).unwrap();
+            assert_eq!(outcome.value, ResilienceValue::Finite(1), "{flow_backend}");
+        }
+    }
+
+    #[test]
+    fn disabling_exact_fallback_rejects_hard_queries_at_prepare_time() {
+        let engine =
+            Engine::with_options(SolveOptions { exact_fallback: false, ..Default::default() });
+        let err = engine.prepare(&Rpq::parse("aa").unwrap()).unwrap_err();
+        assert!(matches!(err, ResilienceError::ExactFallbackDisabled { .. }));
+        assert!(err.to_string().contains("exact fallback"));
+        // Tractable queries still prepare fine.
+        assert!(engine.prepare(&Rpq::parse("ax*b").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn enumeration_limit_yields_typed_error() {
+        let engine =
+            Engine::with_options(SolveOptions { enumeration_limit: 4, ..Default::default() });
+        let db = word_path(&Word::from_str_word("aaaaaa"));
+        let query = Rpq::parse("aa").unwrap();
+        let err = engine.solve_with(Algorithm::ExactEnumeration, &query, &db).unwrap_err();
+        assert_eq!(err, ResilienceError::InstanceTooLarge { facts: 6, limit: 4 });
+        assert!(err.to_string().contains("6"));
+        // Within the limit the oracle still answers.
+        let small = word_path(&Word::from_str_word("aaa"));
+        let outcome = engine.solve_with(Algorithm::ExactEnumeration, &query, &small).unwrap();
+        assert_eq!(outcome.value, ResilienceValue::Finite(1));
+    }
+
+    #[test]
+    fn want_cut_false_suppresses_contingency_sets() {
+        let engine = Engine::with_options(SolveOptions { want_cut: false, ..Default::default() });
+        let db = word_path(&Word::from_str_word("axb"));
+        let outcome = engine.solve(&Rpq::parse("ax*b").unwrap(), &db).unwrap();
+        assert_eq!(outcome.value, ResilienceValue::Finite(1));
+        assert!(outcome.contingency_set.is_none());
+        let outcome =
+            engine.solve_with(Algorithm::ExactBranchAndBound, &Rpq::parse("ax*b").unwrap(), &db);
+        assert!(outcome.unwrap().contingency_set.is_none());
+    }
+
+    #[test]
+    fn forced_one_dangling_still_rejects_exogenous_databases() {
+        let mut db = GraphDb::new();
+        let f = db.add_fact_by_names("1", 'a', "2");
+        db.add_fact_by_names("2", 'b', "3");
+        db.add_fact_by_names("3", 'c', "4");
+        db.add_fact_by_names("3", 'e', "5");
+        db.set_exogenous(f, true);
+        let engine = Engine::new();
+        let query = Rpq::parse("abc|be").unwrap();
+        // Forced: NotApplicable, like the legacy `solve_with`.
+        let err = engine.solve_with(Algorithm::OneDangling, &query, &db).unwrap_err();
+        assert!(matches!(err, ResilienceError::NotApplicable { .. }));
+        // Automatic dispatch: falls back to the exact solver, like `solve`.
+        let outcome = engine.solve(&query, &db).unwrap();
+        assert_eq!(outcome.algorithm, Algorithm::ExactBranchAndBound);
+    }
+}

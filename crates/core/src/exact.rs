@@ -121,14 +121,41 @@ fn branch(
 /// databases, but free of any clever pruning and therefore a good oracle for
 /// property-based tests.
 pub fn resilience_by_enumeration(rpq: &Rpq, db: &GraphDb) -> ResilienceValue {
+    resilience_by_enumeration_limited(rpq, db, DEFAULT_ENUMERATION_LIMIT)
+        .expect("subset enumeration is limited to 24 facts")
+}
+
+/// The default fact limit of the subset-enumeration oracle (see
+/// [`resilience_by_enumeration_limited`]); also the default of
+/// `SolveOptions::enumeration_limit`.
+pub const DEFAULT_ENUMERATION_LIMIT: usize = 24;
+
+/// The largest honorable `limit` for [`resilience_by_enumeration_limited`]:
+/// the subset mask is a `u128`, so more than 127 facts cannot be enumerated
+/// regardless of the configured limit. Callers clamp to this before building
+/// error messages so reported limits stay truthful.
+pub const MAX_ENUMERATION_LIMIT: usize = 127;
+
+/// Like [`resilience_by_enumeration`], but returns `None` instead of panicking
+/// when the database has more than `limit` endogenous facts (`2^limit` subsets
+/// would be enumerated; limits above [`MAX_ENUMERATION_LIMIT`] are clamped).
+/// The engine surfaces this as the typed `ResilienceError::InstanceTooLarge`
+/// error.
+pub fn resilience_by_enumeration_limited(
+    rpq: &Rpq,
+    db: &GraphDb,
+    limit: usize,
+) -> Option<ResilienceValue> {
     let language = rpq.language();
     if language.contains_epsilon() {
-        return ResilienceValue::Infinite;
+        return Some(ResilienceValue::Infinite);
     }
     let facts: Vec<FactId> = db.endogenous_facts().collect();
-    assert!(facts.len() <= 24, "subset enumeration is limited to 24 facts");
+    if facts.len() > limit.min(MAX_ENUMERATION_LIMIT) {
+        return None;
+    }
     let mut best: Option<u128> = None;
-    for mask in 0u64..(1u64 << facts.len()) {
+    for mask in 0u128..(1u128 << facts.len()) {
         let subset: BTreeSet<FactId> = facts
             .iter()
             .enumerate()
@@ -142,7 +169,7 @@ pub fn resilience_by_enumeration(rpq: &Rpq, db: &GraphDb) -> ResilienceValue {
     }
     // With exogenous facts the query may hold on every removable subset, in
     // which case the resilience is +∞.
-    best.map_or(ResilienceValue::Infinite, ResilienceValue::Finite)
+    Some(best.map_or(ResilienceValue::Infinite, ResilienceValue::Finite))
 }
 
 #[cfg(test)]

@@ -21,6 +21,10 @@
 //!   [`algorithms::local`] (Theorem 3.13), [`algorithms::chain`]
 //!   (Proposition 7.6), [`algorithms::one_dangling`] (Proposition 7.9), and a
 //!   [`algorithms::solve`] dispatcher.
+//! * [`engine`] — the prepared-query engine ([`engine::Engine`],
+//!   [`engine::PreparedQuery`], [`engine::SolveOptions`]): the query-only
+//!   classification is computed once and reused across databases, with a
+//!   configurable MinCut backend; the entry point for batch workloads.
 //! * [`hypergraph`] — the hypergraph of matches, condensation rules and
 //!   minimum hitting sets (Section 4.3).
 //! * [`gadgets`] — hardness gadgets (Definitions 4.3–4.9), the graph encoding
@@ -54,6 +58,7 @@
 pub mod algorithms;
 pub mod approx;
 pub mod classify;
+pub mod engine;
 pub mod exact;
 pub mod gadgets;
 pub mod hypergraph;
@@ -66,7 +71,9 @@ pub mod prelude {
         solve, solve_mirrored, solve_with, Algorithm, ResilienceError, ResilienceOutcome,
     };
     pub use crate::classify::{classify, Classification};
+    pub use crate::engine::{Engine, PlanReport, PreparedQuery, SolveOptions};
     pub use crate::rpq::{ResilienceValue, Rpq, Semantics};
+    pub use rpq_flow::FlowAlgorithm;
     pub use rpq_graphdb::{Fact, FactId, GraphDb, NodeId};
 }
 

@@ -37,6 +37,33 @@ impl FlowAlgorithm {
             FlowAlgorithm::PushRelabel => crate::push_relabel::max_flow(network),
         }
     }
+
+    /// The stable command-line name of the backend (see
+    /// [`FlowAlgorithm::from_str`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            FlowAlgorithm::Dinic => "dinic",
+            FlowAlgorithm::EdmondsKarp => "edmonds-karp",
+            FlowAlgorithm::PushRelabel => "push-relabel",
+        }
+    }
+}
+
+impl std::str::FromStr for FlowAlgorithm {
+    type Err = String;
+
+    fn from_str(name: &str) -> Result<Self, Self::Err> {
+        FlowAlgorithm::ALL
+            .into_iter()
+            .find(|a| a.name() == name)
+            .ok_or_else(|| format!("unknown flow algorithm `{name}`"))
+    }
+}
+
+impl std::fmt::Display for FlowAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// A minimum cut of a flow network.
@@ -140,6 +167,15 @@ mod tests {
             net.add_edge(VertexId(a), VertexId(b), Capacity::Finite(c as u128));
         }
         net
+    }
+
+    #[test]
+    fn flow_algorithm_names_round_trip() {
+        for algorithm in FlowAlgorithm::ALL {
+            assert_eq!(algorithm.name().parse::<FlowAlgorithm>().unwrap(), algorithm);
+            assert_eq!(algorithm.to_string(), algorithm.name());
+        }
+        assert!("bogus".parse::<FlowAlgorithm>().is_err());
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub fn find_witness_walk_enfa(
     }
 
     type Product = (NodeId, usize);
-    let mut parent: BTreeMap<Product, (Product, Option<FactId>)> = BTreeMap::new();
+    let mut parent: ParentMap = BTreeMap::new();
     let mut seen: BTreeSet<Product> = BTreeSet::new();
     let mut queue: VecDeque<Product> = VecDeque::new();
 
@@ -135,10 +135,11 @@ pub fn find_witness_walk_enfa(
     None
 }
 
-fn reconstruct(
-    end: (NodeId, usize),
-    parent: &BTreeMap<(NodeId, usize), ((NodeId, usize), Option<FactId>)>,
-) -> Vec<FactId> {
+/// BFS predecessor map over product states `(node, automaton state)`: each
+/// entry records the preceding product state and the fact traversed, if any.
+type ParentMap = BTreeMap<(NodeId, usize), ((NodeId, usize), Option<FactId>)>;
+
+fn reconstruct(end: (NodeId, usize), parent: &ParentMap) -> Vec<FactId> {
     let mut facts = Vec::new();
     let mut current = end;
     while let Some(&(prev, fact)) = parent.get(&current) {
@@ -237,14 +238,9 @@ pub fn has_directed_cycle(db: &GraphDb) -> bool {
         color[v.0 as usize] = 1;
         for f in db.out_facts(v) {
             let t = db.fact(f).target;
-            match color[t.0 as usize] {
-                1 => return true,
-                0 => {
-                    if dfs(t, db, color) {
-                        return true;
-                    }
-                }
-                _ => {}
+            let state = color[t.0 as usize];
+            if state == 1 || (state == 0 && dfs(t, db, color)) {
+                return true;
             }
         }
         color[v.0 as usize] = 2;

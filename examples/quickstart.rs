@@ -1,10 +1,11 @@
-//! Quickstart: define an RPQ, build a graph database, compute its resilience.
+//! Quickstart: define an RPQ, prepare it once with the engine, and compute
+//! its resilience on several databases.
 //!
 //! Run with `cargo run --example quickstart`.
 
 use rpq::graphdb::GraphDb;
-use rpq::resilience::algorithms::solve;
 use rpq::resilience::classify::classify;
+use rpq::resilience::engine::Engine;
 use rpq::resilience::rpq::Rpq;
 
 fn main() {
@@ -29,8 +30,14 @@ fn main() {
     let classification = classify(query.language());
     println!("classification: {}", classification.label());
 
+    // Prepare the query once: the engine classifies it, builds the product
+    // automaton, and fixes the algorithm. The plan report says why.
+    let engine = Engine::new();
+    let prepared = engine.prepare(&query).expect("query analysis");
+    println!("plan: {}", prepared.plan());
+
     // Resilience: how many facts must fail before no store is reachable?
-    let outcome = solve(&query, &db).expect("resilience computation");
+    let outcome = prepared.solve(&db).expect("resilience computation");
     println!("resilience = {} (algorithm: {:?})", outcome.value, outcome.algorithm);
     if let Some(cut) = &outcome.contingency_set {
         println!("an optimal contingency set:");
@@ -39,13 +46,18 @@ fn main() {
         }
     }
 
-    // Bag semantics: make one internal road very expensive to break.
+    // The same prepared plan solves any number of databases — no per-call
+    // reclassification. Bag semantics needs its own prepared query: make one
+    // internal road very expensive to break.
     let mut weighted = db.clone();
     let junction = weighted.find_node("junction").unwrap();
     let ring = weighted.find_node("ring").unwrap();
     let critical = weighted.find_fact(junction, 'x'.into(), ring).unwrap();
     weighted.set_multiplicity(critical, 50);
     let bag_query = Rpq::parse("a x* b").unwrap().with_bag_semantics();
-    let outcome = solve(&bag_query, &weighted).expect("resilience computation");
-    println!("bag-semantics resilience with a reinforced road = {}", outcome.value);
+    let prepared = engine.prepare(&bag_query).expect("query analysis");
+    for (name, db) in [("original", &db), ("reinforced", &weighted)] {
+        let outcome = prepared.solve(db).expect("resilience computation");
+        println!("bag-semantics resilience ({name} network) = {}", outcome.value);
+    }
 }

@@ -1,0 +1,27 @@
+//! Corpus shared by the engine integration tests (`engine_dispatch.rs`,
+//! `flow_backends.rs`): keeping it in one place means a newly added family
+//! automatically gains both dispatcher-agreement and flow-backend coverage.
+
+// Each integration-test crate compiles its own copy of this module and uses
+// only a subset of it.
+#![allow(dead_code)]
+
+use rpq::resilience::algorithms::Algorithm;
+
+/// (alphabet, patterns, the algorithm `solve` must select for them): one
+/// entry per dispatch family.
+pub const FAMILIES: &[(&str, &[&str], Algorithm)] = &[
+    ("abx", &["ax*b", "ab|ax", "a|b"], Algorithm::Local),
+    // (`ab|cb` is excluded: its infix-free form is local, so `solve`
+    // legitimately prefers the Theorem 3.13 algorithm over the chain one.)
+    ("abc", &["ab|bc", "axb|byc"], Algorithm::BipartiteChain),
+    // (`ab|ce` is likewise local and routes to Theorem 3.13 first.)
+    ("abce", &["abc|be"], Algorithm::OneDangling),
+    ("ab", &["aa", "ab|bb"], Algorithm::ExactBranchAndBound),
+];
+
+/// Whether a family entry routes to one of the flow-based (MinCut) tractable
+/// algorithms — the subset `flow_backends.rs` exercises per backend.
+pub fn is_flow_based(algorithm: Algorithm) -> bool {
+    matches!(algorithm, Algorithm::Local | Algorithm::BipartiteChain | Algorithm::OneDangling)
+}

@@ -1,0 +1,86 @@
+//! Flow-backend agreement: every MinCut backend of `rpq-flow` (Dinic,
+//! Edmonds–Karp, push–relabel) is selectable end to end through
+//! `SolveOptions::flow_backend`, and all three must return the same
+//! resilience value on every tractable family — the engine-level contract
+//! behind plumbing `FlowAlgorithm` through `algorithms/{local,chain,
+//! one_dangling}.rs` down to `rpq_flow::min_cut_with`.
+
+mod common;
+
+use common::{is_flow_based, FAMILIES};
+use rpq::automata::{Alphabet, Language};
+use rpq::flow::FlowAlgorithm;
+use rpq::graphdb::generate::random_labeled_graph;
+use rpq::resilience::algorithms::Algorithm;
+use rpq::resilience::engine::{Engine, SolveOptions};
+use rpq::resilience::rpq::Rpq;
+
+#[test]
+fn all_flow_backends_agree_on_every_tractable_family() {
+    for &(alphabet, patterns, expected) in FAMILIES.iter().filter(|&&(_, _, a)| is_flow_based(a)) {
+        let alphabet = Alphabet::from_chars(alphabet);
+        for pattern in patterns {
+            let query = Rpq::new(Language::parse(pattern).unwrap());
+            for seed in 0..5 {
+                let db = random_labeled_graph(4, 8, &alphabet, seed);
+                let outcomes: Vec<_> = FlowAlgorithm::ALL
+                    .into_iter()
+                    .map(|flow_backend| {
+                        let engine = Engine::with_options(SolveOptions {
+                            flow_backend,
+                            ..Default::default()
+                        });
+                        engine.solve(&query, &db).unwrap()
+                    })
+                    .collect();
+                for (flow, outcome) in FlowAlgorithm::ALL.iter().zip(&outcomes) {
+                    assert_eq!(outcome.algorithm, expected, "{pattern} via {flow}");
+                    assert_eq!(
+                        outcome.value,
+                        outcomes[0].value,
+                        "{pattern}, seed {seed}: {flow} disagrees with {}",
+                        FlowAlgorithm::ALL[0]
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn prepared_batches_agree_across_flow_backends_and_with_the_default() {
+    let alphabet = Alphabet::from_chars("abx");
+    let query = Rpq::new(Language::parse("ax*b").unwrap()).with_bag_semantics();
+    let dbs: Vec<_> = (0..6).map(|seed| random_labeled_graph(5, 12, &alphabet, seed)).collect();
+    let baseline: Vec<_> = dbs
+        .iter()
+        .map(|db| rpq::resilience::algorithms::solve(&query, db).unwrap().value)
+        .collect();
+    for flow_backend in FlowAlgorithm::ALL {
+        let engine = Engine::with_options(SolveOptions { flow_backend, ..Default::default() });
+        let prepared = engine.prepare(&query).unwrap();
+        let values: Vec<_> =
+            prepared.solve_batch(&dbs).into_iter().map(|r| r.unwrap().value).collect();
+        assert_eq!(values, baseline, "{flow_backend}");
+    }
+}
+
+#[test]
+fn forced_backends_accept_every_flow_algorithm() {
+    // Forcing the tractable algorithm (instead of auto-dispatch) must also
+    // honor the chosen flow backend and agree across all of them.
+    let alphabet = Alphabet::from_chars("abc");
+    let query = Rpq::new(Language::parse("ab|bc").unwrap());
+    for seed in 0..4 {
+        let db = random_labeled_graph(4, 9, &alphabet, seed);
+        let values: Vec<_> = FlowAlgorithm::ALL
+            .into_iter()
+            .map(|flow_backend| {
+                let engine =
+                    Engine::with_options(SolveOptions { flow_backend, ..Default::default() });
+                engine.solve_with(Algorithm::BipartiteChain, &query, &db).unwrap().value
+            })
+            .collect();
+        assert!(values.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {values:?}");
+    }
+}
