@@ -466,6 +466,86 @@ impl Dfa {
         out
     }
 
+    /// A **canonical textual form** of the recognized language: two DFAs
+    /// produce the same string iff they recognize the same set of words,
+    /// regardless of their state numbering or ambient alphabet.
+    ///
+    /// The form is computed by restricting the alphabet to the letters that
+    /// actually occur in some word ([`Dfa::used_letters`]), minimizing, and
+    /// renumbering states by BFS from the initial state in alphabet order
+    /// (minimal complete DFAs of equal languages are isomorphic, and BFS
+    /// discovery order is preserved by any isomorphism fixing the initial
+    /// state). The result encodes the alphabet, the finality vector and the
+    /// transition table; it is the collision-free key behind
+    /// [`crate::language::Language::language_fingerprint`].
+    pub fn canonical_form(&self) -> String {
+        // Restrict to the letters occurring in accepted words, so the form
+        // depends only on the set of words (e.g. a language handled over a
+        // larger ambient alphabet keys the same as over its own letters).
+        let used = self.used_letters();
+        let restricted = if used == self.alphabet {
+            self.clone()
+        } else {
+            let n = self.num_states();
+            let mut transitions = Vec::with_capacity(n);
+            for state in 0..n {
+                let row = used
+                    .iter()
+                    .map(|letter| {
+                        let li = self.alphabet.index_of(letter).expect("used letter in alphabet");
+                        self.transitions[state][li]
+                    })
+                    .collect();
+                transitions.push(row);
+            }
+            // Dropping letter columns can only remove words, and the removed
+            // columns never carried an accepted word by definition of
+            // `used_letters`; minimization below merges any dead states.
+            Dfa { alphabet: used, initial: self.initial, finals: self.finals.clone(), transitions }
+        };
+        let minimal = restricted.minimize();
+
+        // BFS renumbering: state ids in discovery order from the initial
+        // state, exploring letters in alphabet order.
+        let n = minimal.num_states();
+        let mut order: Vec<usize> = vec![usize::MAX; n];
+        let mut bfs: Vec<usize> = Vec::with_capacity(n);
+        order[minimal.initial] = 0;
+        bfs.push(minimal.initial);
+        let mut head = 0;
+        while head < bfs.len() {
+            let s = bfs[head];
+            head += 1;
+            for &t in &minimal.transitions[s] {
+                if order[t] == usize::MAX {
+                    order[t] = bfs.len();
+                    bfs.push(t);
+                }
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str("alphabet=");
+        for letter in minimal.alphabet.iter() {
+            out.push(letter.0);
+        }
+        out.push_str(";states=");
+        out.push_str(&bfs.len().to_string());
+        out.push_str(";finals=");
+        for &s in &bfs {
+            out.push(if minimal.finals[s] { '1' } else { '0' });
+        }
+        out.push_str(";delta=");
+        for &s in &bfs {
+            for &t in &minimal.transitions[s] {
+                out.push_str(&order[t].to_string());
+                out.push(',');
+            }
+            out.push(';');
+        }
+        out
+    }
+
     /// The mirror language `L^R`, as a DFA (via NFA reversal + determinization).
     pub fn mirror(&self) -> Dfa {
         use crate::nfa::Nfa;

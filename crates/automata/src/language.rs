@@ -276,6 +276,44 @@ impl Language {
     pub fn is_infix_free(&self) -> bool {
         self.equals(&self.infix_free())
     }
+
+    /// The **canonical form** of the language: a textual encoding of the
+    /// minimized DFA (restricted to used letters, states renumbered by BFS)
+    /// such that two languages yield the same string **iff** they contain the
+    /// same words — independent of regex spelling, state numbering or ambient
+    /// alphabet. See [`Dfa::canonical_form`]. This is the collision-free key
+    /// used by prepared-query caches.
+    pub fn canonical_form(&self) -> String {
+        self.dfa.canonical_form()
+    }
+
+    /// A cheap 64-bit **language fingerprint**: the FNV-1a hash of
+    /// [`Language::canonical_form`]. Equal languages always collide (e.g.
+    /// `a|b` and `b|a`, or `a(b|c)` and `ab|ac`); different languages collide
+    /// only with the usual 64-bit hash probability, so use
+    /// [`Language::canonical_form`] where collisions must be impossible.
+    pub fn language_fingerprint(&self) -> u64 {
+        Self::fingerprint_of_canonical_form(&self.canonical_form())
+    }
+
+    /// The fingerprint of an already-computed [`Language::canonical_form`]
+    /// string — canonicalization is the expensive half, so callers that
+    /// already hold the canonical form (e.g. a cache keyed by it) should
+    /// hash it directly instead of re-deriving it via
+    /// [`Language::language_fingerprint`].
+    pub fn fingerprint_of_canonical_form(canonical: &str) -> u64 {
+        fnv1a_64(canonical.as_bytes())
+    }
+}
+
+/// FNV-1a, 64-bit: a stable, dependency-free hash for fingerprints.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 impl std::fmt::Display for Language {
@@ -479,6 +517,44 @@ mod tests {
         assert!(l.contains(&w("ad")));
         let l2 = Language::from_dfa(l.dfa().clone());
         assert!(l2.equals(&l));
+    }
+
+    #[test]
+    fn language_fingerprint_is_spelling_independent() {
+        // Textually different but equivalent regexes collide.
+        for (left, right) in
+            [("a|b", "b|a"), ("a(b|c)", "ab|ac"), ("ax*b", "a(x)*b"), ("ab|cd|ab", "cd|ab")]
+        {
+            let l = Language::parse(left).unwrap();
+            let r = Language::parse(right).unwrap();
+            assert_eq!(l.canonical_form(), r.canonical_form(), "{left} vs {right}");
+            assert_eq!(l.language_fingerprint(), r.language_fingerprint(), "{left} vs {right}");
+        }
+    }
+
+    #[test]
+    fn language_fingerprint_separates_different_languages() {
+        for (left, right) in [("a", "ab"), ("a", "b"), ("ab|cd", "ab"), ("ax*b", "axb"), ("ε", "a")]
+        {
+            let l = Language::parse(left).unwrap();
+            let r = Language::parse(right).unwrap();
+            assert_ne!(l.canonical_form(), r.canonical_form(), "{left} vs {right}");
+            assert_ne!(l.language_fingerprint(), r.language_fingerprint(), "{left} vs {right}");
+        }
+    }
+
+    #[test]
+    fn language_fingerprint_ignores_the_ambient_alphabet() {
+        // Extending the alphabet does not change the set of words, so the
+        // canonical form (hence the fingerprint) must not change either.
+        let l = Language::parse("ab").unwrap();
+        let extended = l.with_alphabet(&Alphabet::from_chars("abcdxyz"));
+        assert_eq!(l.canonical_form(), extended.canonical_form());
+        assert_eq!(l.language_fingerprint(), extended.language_fingerprint());
+        // The empty and ε languages are distinguished even with no used letters.
+        let empty = Language::empty(Alphabet::from_chars("ab"));
+        let eps = Language::from_words([Word::epsilon()].iter());
+        assert_ne!(empty.canonical_form(), eps.canonical_form());
     }
 
     #[test]

@@ -3,10 +3,18 @@
 //! ```text
 //! rpq-cli classify  '<regex>'                 classify RES(L) (Figure 1 engine)
 //! rpq-cli resilience '<regex>' <db.txt>...    compute the resilience on databases
-//!            [--bag] [--algorithm <name>] [--flow <name>] [--show-cut]
+//!            [--bag] [--algorithm <name>] [--flow <name>] [--enumeration-limit <n>] [--show-cut]
 //! rpq-cli gadget    '<regex>'                 derive a verified hardness gadget
 //! rpq-cli figure1                             re-derive the Figure 1 classification map
+//! rpq-cli serve                               run the resilience service (TCP or --pipe)
+//! rpq-cli client <verb> ...                   talk to a running service
 //! ```
+//!
+//! `serve` starts the `rpq-server` daemon: a newline-delimited JSON protocol
+//! (`prepare`, `solve`, `solve_batch`, `stats`, `shutdown`) over TCP — or
+//! stdin/stdout with `--pipe` — backed by a worker pool and a prepared-query
+//! cache keyed by canonicalized language. `client` is the matching one-shot
+//! front end; see the repository README for the wire format.
 //!
 //! All resilience computations go through the prepared-query engine
 //! ([`rpq_resilience::engine::Engine`]): the query is classified **once**
@@ -31,20 +39,33 @@ use rpq_resilience::classify::{classify, figure1_rows};
 use rpq_resilience::engine::{Engine, SolveOptions};
 use rpq_resilience::gadgets::families::find_gadget;
 use rpq_resilience::rpq::Rpq;
+use rpq_server::{run_pipe, Client, Json, QuerySpec, Request, Server, ServerConfig, ServerState};
 
 const USAGE: &str = "\
 usage:
   rpq-cli classify '<regex>'
-  rpq-cli resilience '<regex>' <db.txt>... [--bag] [--algorithm <name>] [--flow <name>] [--show-cut]
+  rpq-cli resilience '<regex>' <db.txt>... [--bag] [--algorithm <name>] [--flow <name>]
+          [--enumeration-limit <n>] [--show-cut]
   rpq-cli gadget '<regex>'
   rpq-cli figure1
+  rpq-cli serve [--port <p>] [--pipe] [--threads <n>] [--cache-capacity <n>]
+          [--flow <name>] [--enumeration-limit <n>]
+  rpq-cli client [--addr <host:port>] prepare '<regex>' [query options]
+  rpq-cli client [--addr <host:port>] solve '<regex>' <db.txt>... [query options]
+  rpq-cli client [--addr <host:port>] stats | shutdown | raw '<json>'
 
 algorithms: local (Thm 3.13), chain (Prp 7.6), one-dangling (Prp 7.9),
             exact (branch & bound), enumeration (subset oracle, tiny inputs),
             greedy / k-approx (certified polynomial bounds, finite languages)
 flow backends: dinic (default), edmonds-karp, push-relabel
 database format: one fact per line, `source label target [multiplicity] [!]`\n(a trailing `!` declares the fact exogenous / un-removable)
-with several database files, the query plan is prepared once and reused";
+with several database files, the query plan is prepared once and reused
+serve: NDJSON protocol (prepare/solve/solve_batch/stats/shutdown) on 127.0.0.1,
+       default port 7878; --pipe serves stdin/stdout instead of TCP.
+       The prepared-query cache is keyed by canonicalized language, so
+       equivalent regex spellings share one cached plan.
+client query options: [--bag] [--algorithm <name>] [--flow <name>] [--enumeration-limit <n>]
+client: `solve` with several databases sends one solve_batch request";
 
 /// Prints one line to stdout, exiting quietly when the consumer closed the
 /// pipe — `rpq-cli figure1 | head` must not panic with a broken-pipe error.
@@ -93,6 +114,8 @@ fn run(args: &[String]) -> Result<(), String> {
             cmd_figure1();
             Ok(())
         }
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
         Some("--help" | "-h" | "help") => {
             outln!("{USAGE}");
             Ok(())
@@ -154,6 +177,9 @@ fn cmd_resilience(pattern: &str, args: &[String]) -> Result<(), String> {
             "--flow" => {
                 let name = iter.next().ok_or("--flow requires a value")?;
                 options.flow_backend = name.parse::<FlowAlgorithm>()?;
+            }
+            "--enumeration-limit" => {
+                options.enumeration_limit = parse_number("--enumeration-limit", iter.next())?;
             }
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             _ => paths.push(option),
@@ -227,6 +253,149 @@ fn cmd_gadget(pattern: &str) -> Result<(), String> {
             "no verified gadget found for `{pattern}` (the language may be tractable, \
              unclassified, or only covered by the untranscribed Figure 6 / Figure 12 families)"
         )),
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: Option<&String>) -> Result<T, String> {
+    let value = value.ok_or_else(|| format!("{flag} requires a value"))?;
+    value.parse::<T>().map_err(|_| format!("invalid {flag} `{value}`"))
+}
+
+/// Runs the resilience service: TCP on 127.0.0.1 (default port 7878, `0`
+/// asks the OS for a free port) or stdin/stdout with `--pipe`. Blocks until
+/// a `shutdown` request (TCP) or EOF (pipe).
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = ServerConfig::default();
+    let mut port: u16 = 7878;
+    let mut pipe = false;
+    let mut iter = args.iter();
+    while let Some(option) = iter.next() {
+        match option.as_str() {
+            "--pipe" => pipe = true,
+            "--port" => port = parse_number("--port", iter.next())?,
+            "--threads" => config.threads = parse_number("--threads", iter.next())?,
+            "--cache-capacity" => {
+                config.cache_capacity = parse_number("--cache-capacity", iter.next())?;
+            }
+            "--flow" => {
+                let name = iter.next().ok_or("--flow requires a value")?;
+                config.options.flow_backend = name.parse::<FlowAlgorithm>()?;
+            }
+            "--enumeration-limit" => {
+                config.options.enumeration_limit =
+                    parse_number("--enumeration-limit", iter.next())?;
+            }
+            other => return Err(format!("unknown serve option `{other}`")),
+        }
+    }
+    if pipe {
+        let state = ServerState::new(config);
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        run_pipe(&state, stdin.lock(), stdout.lock())
+            .map_err(|e| format!("pipe server failed: {e}"))
+    } else {
+        let server = Server::bind(("127.0.0.1", port), config)
+            .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
+        let addr = server.local_addr().map_err(|e| e.to_string())?;
+        outln!(
+            "rpq-server listening on {addr} (threads={}, cache-capacity={})",
+            config.threads.max(1),
+            config.cache_capacity
+        );
+        server.run().map_err(|e| format!("server failed: {e}"))
+    }
+}
+
+/// Parses the shared query options (`--bag`, `--flow`, `--algorithm`,
+/// `--enumeration-limit`) out of `args`, returning the leftover positionals.
+fn parse_query_options(args: &[String]) -> Result<(QuerySpec, Vec<String>), String> {
+    let mut spec = QuerySpec::default();
+    let mut positional = Vec::new();
+    let mut iter = args.iter();
+    while let Some(option) = iter.next() {
+        match option.as_str() {
+            "--bag" => spec.bag = true,
+            "--flow" => {
+                let name = iter.next().ok_or("--flow requires a value")?;
+                spec.flow = Some(name.parse::<FlowAlgorithm>()?);
+            }
+            "--algorithm" => {
+                let name = iter.next().ok_or("--algorithm requires a value")?;
+                spec.algorithm = Some(name.parse::<Algorithm>()?);
+            }
+            "--enumeration-limit" => {
+                spec.enumeration_limit = Some(parse_number("--enumeration-limit", iter.next())?);
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown client option `{other}`"));
+            }
+            _ => positional.push(option.clone()),
+        }
+    }
+    Ok((spec, positional))
+}
+
+/// One-shot protocol client: builds the request, sends it to a running
+/// server, prints the raw JSON response line, and fails on `"ok": false`.
+fn cmd_client(args: &[String]) -> Result<(), String> {
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut rest: Vec<String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(option) = iter.next() {
+        match option.as_str() {
+            "--addr" => {
+                addr = iter.next().ok_or("--addr requires a value")?.clone();
+            }
+            _ => rest.push(option.clone()),
+        }
+    }
+    let verb = rest.first().cloned().ok_or("missing client verb")?;
+    let (spec_options, positional) = parse_query_options(&rest[1..])?;
+
+    let line = match verb.as_str() {
+        "prepare" => {
+            let pattern =
+                positional.first().ok_or("client prepare requires a regular expression")?;
+            let query = QuerySpec { pattern: pattern.clone(), ..spec_options };
+            Request::Prepare { query }.to_json().to_string()
+        }
+        "solve" => {
+            let pattern = positional.first().ok_or("client solve requires a regular expression")?;
+            let paths = &positional[1..];
+            if paths.is_empty() {
+                return Err("client solve requires at least one database file".to_string());
+            }
+            let dbs = paths
+                .iter()
+                .map(|path| {
+                    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let query = QuerySpec { pattern: pattern.clone(), ..spec_options };
+            if dbs.len() == 1 {
+                Request::Solve { query, db: dbs.into_iter().next().expect("one database") }
+            } else {
+                Request::SolveBatch { query, dbs }
+            }
+            .to_json()
+            .to_string()
+        }
+        "stats" => Request::Stats.to_json().to_string(),
+        "shutdown" => Request::Shutdown.to_json().to_string(),
+        "raw" => positional.first().ok_or("client raw requires a JSON line")?.clone(),
+        other => Err(format!("unknown client verb `{other}`"))?,
+    };
+
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let response = client.request_line(&line).map_err(|e| format!("request failed: {e}"))?;
+    outln!("{response}");
+    match Json::parse(&response) {
+        Ok(json) if json.get("ok").and_then(Json::as_bool) == Some(false) => {
+            Err(json.get("error").and_then(Json::as_str).unwrap_or("request failed").to_string())
+        }
+        _ => Ok(()),
     }
 }
 
@@ -322,6 +491,76 @@ mod tests {
         assert!(run(&["gadget".into(), "ax*b".into()]).is_err());
         assert!(run(&["resilience".into(), "aa".into()]).is_err());
         assert!(run(&["resilience".into(), "aa".into(), "/nonexistent/file".into()]).is_err());
+        assert!(run(&["serve".into(), "--bogus".into()]).is_err());
+        assert!(run(&["client".into()]).is_err());
+        assert!(run(&["client".into(), "fly".into()]).is_err());
+        assert!(run(&["client".into(), "--addr".into(), "127.0.0.1:1".into(), "stats".into()])
+            .unwrap_err()
+            .contains("cannot connect"));
+    }
+
+    #[test]
+    fn enumeration_limit_is_threaded_through_the_resilience_command() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rpq_cli_enum_limit_db.txt");
+        std::fs::write(&path, "1 a 2\n2 a 3\n3 a 4\n").unwrap();
+        let path = path.to_string_lossy().to_string();
+        let err = run(&[
+            "resilience".into(),
+            "aa".into(),
+            path.clone(),
+            "--algorithm".into(),
+            "enumeration".into(),
+            "--enumeration-limit".into(),
+            "2".into(),
+        ])
+        .unwrap_err();
+        assert!(err.contains("limit of 2"), "{err}");
+        assert!(run(&[
+            "resilience".into(),
+            "aa".into(),
+            path,
+            "--algorithm".into(),
+            "enumeration".into(),
+            "--enumeration-limit".into(),
+            "10".into(),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn client_talks_to_an_in_process_server() {
+        let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let running = server.spawn().unwrap();
+        let addr = running.addr.to_string();
+        let dir = std::env::temp_dir();
+        let db1 = dir.join("rpq_cli_client_db1.txt");
+        let db2 = dir.join("rpq_cli_client_db2.txt");
+        std::fs::write(&db1, "s a u\nu x v\nv b t\n").unwrap();
+        std::fs::write(&db2, "s a u\nu b t\n").unwrap();
+
+        let client = |args: &[&str]| -> Result<(), String> {
+            let mut full = vec!["client".to_string(), "--addr".to_string(), addr.clone()];
+            full.extend(args.iter().map(|s| s.to_string()));
+            run(&full)
+        };
+        assert!(client(&["prepare", "ax*b"]).is_ok());
+        assert!(client(&["prepare", "a(x)*b", "--flow", "push-relabel"]).is_ok());
+        assert!(client(&["solve", "ax*b", &db1.to_string_lossy()]).is_ok());
+        assert!(client(&[
+            "solve",
+            "ax*b",
+            &db1.to_string_lossy(),
+            &db2.to_string_lossy(),
+            "--bag"
+        ])
+        .is_ok());
+        assert!(client(&["stats"]).is_ok());
+        assert!(client(&["raw", r#"{"op":"stats"}"#]).is_ok());
+        // A server-side failure surfaces as a CLI error.
+        assert!(client(&["prepare", "(("]).unwrap_err().contains("cannot parse"));
+        assert!(client(&["shutdown"]).is_ok());
+        running.join().unwrap();
     }
 
     #[test]

@@ -134,6 +134,40 @@ pub struct PlanReport {
     pub forced: bool,
 }
 
+impl PlanReport {
+    /// A stable machine-readable JSON rendering of the report, e.g.
+    /// `{"algorithm":"local","reason":"…","infix_free":"…","forced":false}`.
+    /// Used by server front ends; the output is always a well-formed JSON
+    /// object with exactly these four keys.
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str, out: &mut String) {
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        out.push_str(&format!("\\u{:04x}", c as u32));
+                    }
+                    c => out.push(c),
+                }
+            }
+        }
+        let mut out = String::from("{\"algorithm\":\"");
+        escape(self.algorithm.name(), &mut out);
+        out.push_str("\",\"reason\":\"");
+        escape(&self.reason, &mut out);
+        out.push_str("\",\"infix_free\":\"");
+        escape(&self.infix_free, &mut out);
+        out.push_str("\",\"forced\":");
+        out.push_str(if self.forced { "true" } else { "false" });
+        out.push('}');
+        out
+    }
+}
+
 impl fmt::Display for PlanReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -417,6 +451,19 @@ impl PreparedQuery {
     }
 }
 
+// Concurrent front ends (e.g. `rpq-server`) share one `PreparedQuery` across
+// worker threads behind an `Arc`: keep the whole engine layer `Send + Sync`
+// by construction. These assertions fail to compile if any plan component
+// (RO-εNFA, chain / one-dangling decompositions, …) ever grows thread-unsafe
+// interior mutability.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<SolveOptions>();
+    assert_send_sync::<PreparedQuery>();
+    assert_send_sync::<PlanReport>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +486,46 @@ mod tests {
             assert!(plan.reason.contains(fragment), "{pattern}: {}", plan.reason);
             assert!(!plan.forced);
             assert!(plan.to_string().contains("IF(L)"));
+        }
+    }
+
+    #[test]
+    fn plan_reports_serialize_to_json() {
+        let engine = Engine::new();
+        let prepared = engine.prepare(&Rpq::parse("ax*b").unwrap()).unwrap();
+        let json = prepared.plan().to_json();
+        assert!(json.starts_with("{\"algorithm\":\"local\""));
+        assert!(json.contains("\"forced\":false"));
+        assert!(json.contains("\"infix_free\":"));
+        // Quotes and backslashes in reasons must be escaped.
+        let report = PlanReport {
+            algorithm: Algorithm::Local,
+            reason: "say \"hi\" \\ bye\n".to_string(),
+            infix_free: "IF".to_string(),
+            forced: true,
+        };
+        assert_eq!(
+            report.to_json(),
+            "{\"algorithm\":\"local\",\"reason\":\"say \\\"hi\\\" \\\\ bye\\n\",\
+             \"infix_free\":\"IF\",\"forced\":true}"
+        );
+    }
+
+    #[test]
+    fn prepared_queries_are_shareable_across_threads() {
+        let engine = Engine::new();
+        let prepared = std::sync::Arc::new(engine.prepare(&Rpq::parse("ax*b").unwrap()).unwrap());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let prepared = std::sync::Arc::clone(&prepared);
+                std::thread::spawn(move || {
+                    let db = word_path(&Word::from_str_word("axxb"));
+                    prepared.solve(&db).unwrap().value
+                })
+            })
+            .collect();
+        for handle in handles {
+            assert_eq!(handle.join().unwrap(), ResilienceValue::Finite(1));
         }
     }
 

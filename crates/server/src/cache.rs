@@ -1,0 +1,266 @@
+//! The language-keyed prepared-query cache.
+//!
+//! Preparing a query ([`Engine::prepare`]) runs the full query-only analysis
+//! — infix-free sublanguage, ε-check, locality RO-εNFA, chain / one-dangling
+//! decompositions — which dominates small-batch latency (see the
+//! `prepared_vs_unprepared` benchmark). [`QueryCache`] memoizes
+//! [`PreparedQuery`] plans behind an [`Arc`] so concurrent connections share
+//! them, and keys entries by the **canonical language form**
+//! ([`rpq_automata::Language::canonical_form`]) rather than the regex text:
+//! textually different but equivalent spellings (`a|b` vs `b|a`,
+//! `a(b|c)` vs `ab|ac`) hit the same entry. The canonical form is derived
+//! from the minimized DFA, so keying is collision-free — two keys are equal
+//! iff the languages contain exactly the same words.
+//!
+//! Because a plan bakes in the solve configuration, the key also includes the
+//! query semantics (set/bag), the [`SolveOptions`] and any forced algorithm;
+//! the same language prepared under a different flow backend is a different
+//! entry. Eviction is least-recently-used with a fixed capacity.
+
+use rpq_resilience::algorithms::{Algorithm, ResilienceError};
+use rpq_resilience::engine::{Engine, PreparedQuery, SolveOptions};
+use rpq_resilience::rpq::{Rpq, Semantics};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The collision-free cache key: canonical language + everything else the
+/// plan depends on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    /// Canonical form of the query language (spelling-independent).
+    canonical: String,
+    /// Bag vs set semantics.
+    bag: bool,
+    /// A forced algorithm, if the caller bypassed automatic dispatch.
+    forced: Option<&'static str>,
+    /// The flow backend baked into the plan.
+    flow: &'static str,
+    /// Remaining `SolveOptions` fields baked into the plan.
+    exact_fallback: bool,
+    enumeration_limit: usize,
+    want_cut: bool,
+}
+
+impl CacheKey {
+    fn new(rpq: &Rpq, options: &SolveOptions, forced: Option<Algorithm>) -> CacheKey {
+        CacheKey {
+            canonical: rpq.language().canonical_form(),
+            bag: rpq.semantics() == Semantics::Bag,
+            forced: forced.map(Algorithm::name),
+            flow: options.flow_backend.name(),
+            exact_fallback: options.exact_fallback,
+            enumeration_limit: options.enumeration_limit,
+            want_cut: options.want_cut,
+        }
+    }
+}
+
+struct Entry {
+    prepared: Arc<PreparedQuery>,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<CacheKey, Entry>,
+    tick: u64,
+}
+
+/// The result of a cache lookup (see [`QueryCache::get_or_prepare`]).
+pub struct CacheLookup {
+    /// The shared prepared plan.
+    pub prepared: Arc<PreparedQuery>,
+    /// Whether the plan was answered from the cache.
+    pub hit: bool,
+    /// The 64-bit language fingerprint — hashed from the canonical key this
+    /// lookup already computed, so callers never re-canonicalize.
+    pub fingerprint: u64,
+}
+
+/// Aggregate cache counters (see [`QueryCache::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to run `Engine::prepare`.
+    pub misses: u64,
+    /// Entries dropped to respect the capacity.
+    pub evictions: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// The configured capacity.
+    pub capacity: usize,
+}
+
+/// A thread-safe LRU cache of [`PreparedQuery`] plans keyed by canonicalized
+/// query language (plus semantics and options). See the module docs.
+pub struct QueryCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl QueryCache {
+    /// A cache holding at most `capacity` prepared plans (at least one).
+    pub fn new(capacity: usize) -> QueryCache {
+        QueryCache {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner { entries: HashMap::new(), tick: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the cached plan for the query's language (and the engine's
+    /// options), preparing and inserting it on a miss. Preparation runs
+    /// outside the cache lock, so a slow `prepare` never blocks hits on
+    /// other languages; two threads racing on the same new language may both
+    /// prepare, and the first insert wins.
+    pub fn get_or_prepare(
+        &self,
+        engine: &Engine,
+        rpq: &Rpq,
+        forced: Option<Algorithm>,
+    ) -> Result<CacheLookup, ResilienceError> {
+        let key = CacheKey::new(rpq, engine.options(), forced);
+        let fingerprint = rpq_automata::Language::fingerprint_of_canonical_form(&key.canonical);
+        if let Some(prepared) = self.lookup(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(CacheLookup { prepared, hit: true, fingerprint });
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let prepared = Arc::new(match forced {
+            Some(algorithm) => engine.prepare_with(algorithm, rpq)?,
+            None => engine.prepare(rpq)?,
+        });
+        Ok(CacheLookup { prepared: self.insert(key, prepared), hit: false, fingerprint })
+    }
+
+    fn lookup(&self, key: &CacheKey) -> Option<Arc<PreparedQuery>> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.get_mut(key).map(|entry| {
+            entry.last_used = tick;
+            Arc::clone(&entry.prepared)
+        })
+    }
+
+    fn insert(&self, key: CacheKey, prepared: Arc<PreparedQuery>) -> Arc<PreparedQuery> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(existing) = inner.entries.get_mut(&key) {
+            // Another thread prepared the same language concurrently; keep
+            // the incumbent so every caller shares one plan.
+            existing.last_used = tick;
+            return Arc::clone(&existing.prepared);
+        }
+        while inner.entries.len() >= self.capacity {
+            let oldest = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty cache above capacity");
+            inner.entries.remove(&oldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.entries.insert(key, Entry { prepared: Arc::clone(&prepared), last_used: tick });
+        prepared
+    }
+
+    /// The current counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = self.inner.lock().expect("cache lock").entries.len();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache_and_engine(capacity: usize) -> (QueryCache, Engine) {
+        (QueryCache::new(capacity), Engine::new())
+    }
+
+    #[test]
+    fn equivalent_spellings_share_one_entry() {
+        let (cache, engine) = cache_and_engine(8);
+        let first = cache.get_or_prepare(&engine, &Rpq::parse("a|b").unwrap(), None).unwrap();
+        assert!(!first.hit);
+        let second = cache.get_or_prepare(&engine, &Rpq::parse("b|a").unwrap(), None).unwrap();
+        assert!(second.hit);
+        assert!(Arc::ptr_eq(&first.prepared, &second.prepared));
+        assert_eq!(first.fingerprint, second.fingerprint);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn different_languages_get_different_entries() {
+        let (cache, engine) = cache_and_engine(8);
+        cache.get_or_prepare(&engine, &Rpq::parse("a").unwrap(), None).unwrap();
+        assert!(!cache.get_or_prepare(&engine, &Rpq::parse("ab").unwrap(), None).unwrap().hit);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn semantics_options_and_forced_algorithm_split_the_key() {
+        let (cache, engine) = cache_and_engine(8);
+        let q = Rpq::parse("ax*b").unwrap();
+        cache.get_or_prepare(&engine, &q, None).unwrap();
+        // Bag semantics: same language, different key.
+        let bag = Rpq::parse("ax*b").unwrap().with_bag_semantics();
+        assert!(!cache.get_or_prepare(&engine, &bag, None).unwrap().hit);
+        // Different flow backend: different key.
+        let ek = Engine::with_options(SolveOptions {
+            flow_backend: rpq_flow::FlowAlgorithm::EdmondsKarp,
+            ..Default::default()
+        });
+        assert!(!cache.get_or_prepare(&ek, &q, None).unwrap().hit);
+        // Forced algorithm: different key.
+        assert!(!cache.get_or_prepare(&engine, &q, Some(Algorithm::Local)).unwrap().hit);
+        // And each of those now hits.
+        assert!(cache.get_or_prepare(&engine, &q, None).unwrap().hit);
+        assert!(cache.get_or_prepare(&ek, &q, None).unwrap().hit);
+        assert_eq!(cache.stats().entries, 4);
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest_entry() {
+        let (cache, engine) = cache_and_engine(2);
+        cache.get_or_prepare(&engine, &Rpq::parse("a").unwrap(), None).unwrap();
+        cache.get_or_prepare(&engine, &Rpq::parse("b").unwrap(), None).unwrap();
+        // Touch `a` so `b` is the LRU entry.
+        assert!(cache.get_or_prepare(&engine, &Rpq::parse("a").unwrap(), None).unwrap().hit);
+        cache.get_or_prepare(&engine, &Rpq::parse("c").unwrap(), None).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.evictions), (2, 1));
+        // `a` survived, `b` was evicted.
+        assert!(cache.get_or_prepare(&engine, &Rpq::parse("a").unwrap(), None).unwrap().hit);
+        assert!(!cache.get_or_prepare(&engine, &Rpq::parse("b").unwrap(), None).unwrap().hit);
+    }
+
+    #[test]
+    fn prepare_errors_are_not_cached() {
+        let engine =
+            Engine::with_options(SolveOptions { exact_fallback: false, ..Default::default() });
+        let cache = QueryCache::new(4);
+        let q = Rpq::parse("aa").unwrap();
+        assert!(cache.get_or_prepare(&engine, &q, None).is_err());
+        assert!(cache.get_or_prepare(&engine, &q, None).is_err());
+        let stats = cache.stats();
+        assert_eq!((stats.entries, stats.misses), (0, 2));
+    }
+}

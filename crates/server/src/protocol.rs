@@ -1,0 +1,285 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every request is one JSON object on one line; the server answers with one
+//! JSON object on one line. The `op` field selects the verb:
+//!
+//! | `op`          | extra fields                                   |
+//! |---------------|------------------------------------------------|
+//! | `prepare`     | `query`, and optional query settings (below)   |
+//! | `solve`       | `query`, `db` (graph text format), settings    |
+//! | `solve_batch` | `query`, `dbs` (array of graph texts), settings|
+//! | `stats`       | —                                              |
+//! | `shutdown`    | —                                              |
+//!
+//! Query settings (all optional): `bag` (bool, bag semantics), `flow`
+//! (MinCut backend name, see [`FlowAlgorithm`]), `enumeration_limit` (facts
+//! cap of the subset-enumeration oracle), `algorithm` (force a backend by its
+//! [`Algorithm`] name instead of automatic dispatch). Settings participate in
+//! the prepared-query cache key.
+//!
+//! Successful responses carry `"ok": true`; failures carry `"ok": false` and
+//! an `error` string. Databases travel in the line-based text format of
+//! `rpq_graphdb::text` (escaped into a JSON string). See the top-level
+//! README for one example request/response per verb.
+
+use crate::json::Json;
+use rpq_flow::FlowAlgorithm;
+use rpq_graphdb::GraphDb;
+use rpq_resilience::algorithms::{Algorithm, ResilienceOutcome};
+use rpq_resilience::rpq::ResilienceValue;
+
+/// The query half of a request: the regex plus the per-request settings that
+/// participate in the cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct QuerySpec {
+    /// The regular expression defining the query language.
+    pub pattern: String,
+    /// Bag semantics (fact removals cost their multiplicity).
+    pub bag: bool,
+    /// Override of the server's default MinCut backend.
+    pub flow: Option<FlowAlgorithm>,
+    /// Override of the subset-enumeration fact limit.
+    pub enumeration_limit: Option<usize>,
+    /// Force a specific algorithm instead of automatic dispatch.
+    pub algorithm: Option<Algorithm>,
+}
+
+impl QuerySpec {
+    /// A spec with default settings for `pattern`.
+    pub fn new(pattern: impl Into<String>) -> QuerySpec {
+        QuerySpec { pattern: pattern.into(), ..QuerySpec::default() }
+    }
+}
+
+/// A parsed protocol request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Classify the query and cache its plan.
+    Prepare {
+        /// The query to prepare.
+        query: QuerySpec,
+    },
+    /// Compute the resilience on one database.
+    Solve {
+        /// The query to solve.
+        query: QuerySpec,
+        /// The database, in the graph text format.
+        db: String,
+    },
+    /// Compute the resilience on several databases with one cached plan.
+    SolveBatch {
+        /// The query to solve.
+        query: QuerySpec,
+        /// The databases, each in the graph text format.
+        dbs: Vec<String>,
+    },
+    /// Report server and cache counters.
+    Stats,
+    /// Stop accepting connections and exit once open connections drain.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let json = Json::parse(line).map_err(|e| e.to_string())?;
+        let op = json
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("request must be an object with a string `op` field")?;
+        match op {
+            "prepare" => Ok(Request::Prepare { query: parse_query_spec(&json)? }),
+            "solve" => {
+                let db = json
+                    .get("db")
+                    .and_then(Json::as_str)
+                    .ok_or("`solve` requires a string `db` field (graph text format)")?
+                    .to_string();
+                Ok(Request::Solve { query: parse_query_spec(&json)?, db })
+            }
+            "solve_batch" => {
+                let dbs = json
+                    .get("dbs")
+                    .and_then(Json::as_array)
+                    .ok_or("`solve_batch` requires an array `dbs` field")?
+                    .iter()
+                    .map(|item| {
+                        item.as_str()
+                            .map(str::to_string)
+                            .ok_or("`dbs` entries must be strings (graph text format)".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::SolveBatch { query: parse_query_spec(&json)?, dbs })
+            }
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!(
+                "unknown op `{other}` (expected prepare, solve, solve_batch, stats or shutdown)"
+            )),
+        }
+    }
+
+    /// Renders the request as its wire JSON (used by clients).
+    pub fn to_json(&self) -> Json {
+        match self {
+            Request::Prepare { query } => query_spec_json("prepare", query, Vec::new()),
+            Request::Solve { query, db } => {
+                query_spec_json("solve", query, vec![("db", Json::Str(db.clone()))])
+            }
+            Request::SolveBatch { query, dbs } => {
+                let dbs = dbs.iter().map(|d| Json::Str(d.clone())).collect();
+                query_spec_json("solve_batch", query, vec![("dbs", Json::Array(dbs))])
+            }
+            Request::Stats => Json::object([("op", Json::Str("stats".into()))]),
+            Request::Shutdown => Json::object([("op", Json::Str("shutdown".into()))]),
+        }
+    }
+}
+
+fn parse_query_spec(json: &Json) -> Result<QuerySpec, String> {
+    let pattern = json
+        .get("query")
+        .and_then(Json::as_str)
+        .ok_or("missing string `query` field (a regular expression)")?
+        .to_string();
+    let bag = match json.get("bag") {
+        None => false,
+        Some(v) => v.as_bool().ok_or("`bag` must be a boolean")?,
+    };
+    let flow = match json.get("flow") {
+        None => None,
+        Some(v) => Some(v.as_str().ok_or("`flow` must be a string")?.parse::<FlowAlgorithm>()?),
+    };
+    let enumeration_limit = match json.get("enumeration_limit") {
+        None => None,
+        Some(v) => Some(v.as_usize().ok_or("`enumeration_limit` must be a non-negative integer")?),
+    };
+    let algorithm = match json.get("algorithm") {
+        None => None,
+        Some(v) => Some(v.as_str().ok_or("`algorithm` must be a string")?.parse::<Algorithm>()?),
+    };
+    Ok(QuerySpec { pattern, bag, flow, enumeration_limit, algorithm })
+}
+
+fn query_spec_json(op: &'static str, query: &QuerySpec, extra: Vec<(&'static str, Json)>) -> Json {
+    let mut pairs =
+        vec![("op", Json::Str(op.to_string())), ("query", Json::Str(query.pattern.clone()))];
+    if query.bag {
+        pairs.push(("bag", Json::Bool(true)));
+    }
+    if let Some(flow) = query.flow {
+        pairs.push(("flow", Json::Str(flow.name().to_string())));
+    }
+    if let Some(limit) = query.enumeration_limit {
+        pairs.push(("enumeration_limit", Json::Int(limit as i128)));
+    }
+    if let Some(algorithm) = query.algorithm {
+        pairs.push(("algorithm", Json::Str(algorithm.name().to_string())));
+    }
+    pairs.extend(extra);
+    Json::object(pairs)
+}
+
+/// The uniform failure response: `{"ok":false,"error":"…"}`.
+pub fn error_response(message: impl Into<String>) -> Json {
+    Json::object([("ok", Json::Bool(false)), ("error", Json::Str(message.into()))])
+}
+
+/// Renders a resilience value: a JSON integer, or the string `"infinite"`.
+pub fn value_json(value: ResilienceValue) -> Json {
+    match value {
+        ResilienceValue::Infinite => Json::Str("infinite".into()),
+        ResilienceValue::Finite(v) => match i128::try_from(v) {
+            Ok(i) => Json::Int(i),
+            // u128 values beyond i128 cannot be a JSON int in this
+            // implementation; fall back to a decimal string.
+            Err(_) => Json::Str(v.to_string()),
+        },
+    }
+}
+
+/// Renders one solve outcome (without the `ok` marker, so it can serve both
+/// as a full `solve` response body and as a `solve_batch` results entry).
+pub fn outcome_json(outcome: &ResilienceOutcome, db: &GraphDb) -> Json {
+    let mut pairs = vec![
+        ("value", value_json(outcome.value)),
+        ("algorithm", Json::Str(outcome.algorithm.name().to_string())),
+        ("exact", Json::Bool(outcome.is_exact())),
+    ];
+    if let Some((lower, upper)) = outcome.bounds {
+        pairs.push((
+            "bounds",
+            Json::Array(vec![
+                value_json(ResilienceValue::Finite(lower)),
+                value_json(ResilienceValue::Finite(upper)),
+            ]),
+        ));
+    }
+    if let Some(cut) = &outcome.contingency_set {
+        let facts = cut.iter().map(|&f| Json::Str(db.display_fact(f))).collect();
+        pairs.push(("contingency_set", Json::Array(facts)));
+    }
+    Json::object(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let requests = [
+            Request::Prepare { query: QuerySpec::new("ax*b") },
+            Request::Prepare {
+                query: QuerySpec {
+                    pattern: "a|b".into(),
+                    bag: true,
+                    flow: Some(FlowAlgorithm::PushRelabel),
+                    enumeration_limit: Some(12),
+                    algorithm: Some(Algorithm::ExactEnumeration),
+                },
+            },
+            Request::Solve { query: QuerySpec::new("ab"), db: "u a v\nv b w\n".into() },
+            Request::SolveBatch {
+                query: QuerySpec::new("ab"),
+                dbs: vec!["u a v\n".into(), "u b v\n".into()],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_json().to_string();
+            assert_eq!(Request::parse(&line).unwrap(), request, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_reasons() {
+        for (line, fragment) in [
+            ("nonsense", "invalid JSON"),
+            ("{}", "`op`"),
+            (r#"{"op":"fly"}"#, "unknown op `fly`"),
+            (r#"{"op":"prepare"}"#, "missing string `query`"),
+            (r#"{"op":"solve","query":"ab"}"#, "`db`"),
+            (r#"{"op":"solve_batch","query":"ab"}"#, "`dbs`"),
+            (r#"{"op":"solve_batch","query":"ab","dbs":[1]}"#, "must be strings"),
+            (r#"{"op":"prepare","query":"ab","flow":"bogus"}"#, "unknown flow algorithm"),
+            (r#"{"op":"prepare","query":"ab","algorithm":"bogus"}"#, "unknown algorithm"),
+            (r#"{"op":"prepare","query":"ab","enumeration_limit":-3}"#, "non-negative"),
+            (r#"{"op":"prepare","query":"ab","bag":"yes"}"#, "boolean"),
+        ] {
+            let err = Request::parse(line).unwrap_err();
+            assert!(err.contains(fragment), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn value_rendering() {
+        assert_eq!(value_json(ResilienceValue::Finite(3)).to_string(), "3");
+        assert_eq!(value_json(ResilienceValue::Infinite).to_string(), "\"infinite\"");
+        assert_eq!(
+            value_json(ResilienceValue::Finite(u128::MAX)).to_string(),
+            format!("\"{}\"", u128::MAX)
+        );
+    }
+}

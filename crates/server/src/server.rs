@@ -1,0 +1,532 @@
+//! The concurrent resilience service.
+//!
+//! [`Server::bind`] opens a TCP listener; [`Server::run`] accepts connections
+//! and dispatches each to a fixed pool of worker threads. Every connection
+//! speaks the newline-delimited JSON protocol of [`crate::protocol`], and all
+//! workers share one [`QueryCache`], so a query language prepared by any
+//! connection is reused by every other one ([`Arc`]-shared
+//! `PreparedQuery` plans — the engine layer is `Send + Sync` by
+//! construction). [`run_pipe`] serves the same protocol over an arbitrary
+//! reader/writer pair (stdin/stdout in `rpq-cli serve --pipe`), which is also
+//! how the unit tests below drive the handler without sockets.
+//!
+//! A `shutdown` request stops the accept loop; open connections are drained
+//! by the workers before [`Server::run`] returns, so a client that issues
+//! `shutdown` after reading its response observes a clean exit.
+
+use crate::cache::{CacheLookup, CacheStats, QueryCache};
+use crate::json::Json;
+use crate::protocol::{error_response, outcome_json, QuerySpec, Request};
+use rpq_automata::Language;
+use rpq_graphdb::{text, GraphDb};
+use rpq_resilience::engine::{Engine, SolveOptions};
+use rpq_resilience::rpq::Rpq;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server configuration: worker pool size, cache capacity and the default
+/// [`SolveOptions`] (per-request settings override them, see
+/// [`crate::protocol::QuerySpec`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads handling connections (at least 1).
+    pub threads: usize,
+    /// Capacity of the shared prepared-query cache.
+    pub cache_capacity: usize,
+    /// Default solve options; the baseline for per-request overrides.
+    pub options: SolveOptions,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { threads: 4, cache_capacity: 256, options: SolveOptions::default() }
+    }
+}
+
+/// Shared server state: the prepared-query cache, request counters and the
+/// shutdown flag. All request handling lives here so that the TCP front end
+/// and the pipe front end behave identically.
+pub struct ServerState {
+    options: SolveOptions,
+    threads: usize,
+    cache: QueryCache,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    shutdown: AtomicBool,
+    /// The bound address, once known — used to self-connect and wake the
+    /// accept loop on shutdown.
+    addr: Mutex<Option<SocketAddr>>,
+}
+
+impl ServerState {
+    /// Fresh state for a configuration.
+    pub fn new(config: ServerConfig) -> ServerState {
+        ServerState {
+            options: config.options,
+            threads: config.threads.max(1),
+            cache: QueryCache::new(config.cache_capacity),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            addr: Mutex::new(None),
+        }
+    }
+
+    /// The shared prepared-query cache.
+    pub fn cache(&self) -> &QueryCache {
+        &self.cache
+    }
+
+    /// Whether a shutdown has been requested.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Handles one request line and returns the response line plus whether
+    /// the request asked the server to shut down. Never panics on malformed
+    /// input: every failure becomes an `{"ok":false,…}` response.
+    pub fn handle_line(&self, line: &str) -> (String, bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        match Request::parse(line) {
+            Ok(Request::Shutdown) => (Json::object([("ok", Json::Bool(true))]).to_string(), true),
+            Ok(request) => {
+                let response = self.handle_request(&request);
+                if response.get("ok").and_then(Json::as_bool) != Some(true) {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                (response.to_string(), false)
+            }
+            Err(message) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                (error_response(message).to_string(), false)
+            }
+        }
+    }
+
+    /// Handles one parsed, non-`shutdown` request.
+    pub fn handle_request(&self, request: &Request) -> Json {
+        match request {
+            Request::Prepare { query } => self.handle_prepare(query),
+            Request::Solve { query, db } => self.handle_solve(query, db),
+            Request::SolveBatch { query, dbs } => self.handle_solve_batch(query, dbs),
+            Request::Stats => self.handle_stats(),
+            Request::Shutdown => Json::object([("ok", Json::Bool(true))]),
+        }
+    }
+
+    fn engine_for(&self, spec: &QuerySpec) -> Engine {
+        let mut options = self.options;
+        if let Some(flow) = spec.flow {
+            options.flow_backend = flow;
+        }
+        if let Some(limit) = spec.enumeration_limit {
+            options.enumeration_limit = limit;
+        }
+        Engine::with_options(options)
+    }
+
+    fn parse_query(&self, spec: &QuerySpec) -> Result<Rpq, String> {
+        let language = Language::parse(&spec.pattern)
+            .map_err(|e| format!("cannot parse query `{}`: {e}", spec.pattern))?;
+        let mut rpq = Rpq::new(language);
+        if spec.bag {
+            rpq = rpq.with_bag_semantics();
+        }
+        Ok(rpq)
+    }
+
+    fn prepare(&self, spec: &QuerySpec) -> Result<CacheLookup, String> {
+        let rpq = self.parse_query(spec)?;
+        let engine = self.engine_for(spec);
+        self.cache.get_or_prepare(&engine, &rpq, spec.algorithm).map_err(|e| e.to_string())
+    }
+
+    fn handle_prepare(&self, spec: &QuerySpec) -> Json {
+        let lookup = match self.prepare(spec) {
+            Ok(p) => p,
+            Err(message) => return error_response(message),
+        };
+        Json::object([
+            ("ok", Json::Bool(true)),
+            ("cached", Json::Bool(lookup.hit)),
+            // The fingerprint is hashed from the canonical form the cache
+            // lookup already computed — no second canonicalization.
+            ("fingerprint", Json::Str(format!("{:016x}", lookup.fingerprint))),
+            ("plan", Json::Raw(lookup.prepared.plan().to_json())),
+        ])
+    }
+
+    fn handle_solve(&self, spec: &QuerySpec, db_text: &str) -> Json {
+        let CacheLookup { prepared, hit: cached, .. } = match self.prepare(spec) {
+            Ok(p) => p,
+            Err(message) => return error_response(message),
+        };
+        let db = match parse_db(db_text) {
+            Ok(db) => db,
+            Err(message) => return error_response(message),
+        };
+        match prepared.solve(&db) {
+            Ok(outcome) => {
+                let mut fields = vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("cached".to_string(), Json::Bool(cached)),
+                ];
+                if let Json::Object(rest) = outcome_json(&outcome, &db) {
+                    fields.extend(rest);
+                }
+                Json::Object(fields)
+            }
+            Err(e) => error_response(e.to_string()),
+        }
+    }
+
+    fn handle_solve_batch(&self, spec: &QuerySpec, dbs: &[String]) -> Json {
+        let CacheLookup { prepared, hit: cached, .. } = match self.prepare(spec) {
+            Ok(p) => p,
+            Err(message) => return error_response(message),
+        };
+        let results = dbs
+            .iter()
+            .map(|db_text| match parse_db(db_text) {
+                Err(message) => error_response(message),
+                Ok(db) => match prepared.solve(&db) {
+                    Ok(outcome) => outcome_json(&outcome, &db),
+                    Err(e) => error_response(e.to_string()),
+                },
+            })
+            .collect();
+        Json::object([
+            ("ok", Json::Bool(true)),
+            ("cached", Json::Bool(cached)),
+            ("results", Json::Array(results)),
+        ])
+    }
+
+    fn handle_stats(&self) -> Json {
+        let CacheStats { hits, misses, evictions, entries, capacity } = self.cache.stats();
+        Json::object([
+            ("ok", Json::Bool(true)),
+            ("requests", Json::Int(self.requests.load(Ordering::Relaxed) as i128)),
+            ("errors", Json::Int(self.errors.load(Ordering::Relaxed) as i128)),
+            ("threads", Json::Int(self.threads as i128)),
+            (
+                "cache",
+                Json::object([
+                    ("hits", Json::Int(hits as i128)),
+                    ("misses", Json::Int(misses as i128)),
+                    ("evictions", Json::Int(evictions as i128)),
+                    ("entries", Json::Int(entries as i128)),
+                    ("capacity", Json::Int(capacity as i128)),
+                ]),
+            ),
+        ])
+    }
+
+    /// Sets the shutdown flag and wakes the accept loop with a self-connect.
+    fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        let addr = *self.addr.lock().expect("addr lock");
+        if let Some(addr) = addr {
+            // The dummy connection only has to make `accept` return; errors
+            // mean the listener is already gone, which is fine.
+            let _ = TcpStream::connect(addr);
+        }
+    }
+}
+
+fn parse_db(db_text: &str) -> Result<GraphDb, String> {
+    text::parse(db_text).map_err(|e| format!("cannot parse database: {e}"))
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds a listener on `addr` (e.g. `127.0.0.1:0` for an OS-assigned
+    /// port) with the given configuration.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let state = Arc::new(ServerState::new(config));
+        *state.addr.lock().expect("addr lock") = Some(listener.local_addr()?);
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The shared state (counters, cache).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Accepts and serves connections until a `shutdown` request arrives.
+    /// Open connections are drained before returning.
+    pub fn run(self) -> io::Result<()> {
+        let Server { listener, state } = self;
+        let (sender, receiver) = mpsc::channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers: Vec<JoinHandle<()>> = (0..state.threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || loop {
+                    let stream = match receiver.lock().expect("worker queue lock").recv() {
+                        Ok(stream) => stream,
+                        Err(_) => return, // channel closed: server is done
+                    };
+                    if let Err(e) = handle_connection(&state, stream) {
+                        // Connection-level I/O errors (resets, truncated
+                        // lines) only affect that client.
+                        eprintln!("rpq-server: connection error: {e}");
+                    }
+                })
+            })
+            .collect();
+
+        for stream in listener.incoming() {
+            if state.is_shutting_down() {
+                break; // the stream waking us up is dropped unanswered
+            }
+            match stream {
+                Ok(stream) => {
+                    sender.send(stream).expect("workers outlive the accept loop");
+                }
+                Err(e) => eprintln!("rpq-server: accept error: {e}"),
+            }
+        }
+        drop(sender);
+        for worker in workers {
+            worker.join().expect("worker thread panicked");
+        }
+        Ok(())
+    }
+
+    /// Runs the server on a background thread, returning its address and a
+    /// join handle (convenience for tests and benchmarks).
+    pub fn spawn(self) -> io::Result<SpawnedServer> {
+        let addr = self.local_addr()?;
+        let state = self.state();
+        let handle = std::thread::spawn(move || self.run());
+        Ok(SpawnedServer { addr, state, handle })
+    }
+}
+
+/// A server running on a background thread (see [`Server::spawn`]).
+pub struct SpawnedServer {
+    /// The bound address.
+    pub addr: SocketAddr,
+    state: Arc<ServerState>,
+    handle: JoinHandle<io::Result<()>>,
+}
+
+impl SpawnedServer {
+    /// The shared state (counters, cache).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Waits for the server to exit (after a `shutdown` request).
+    pub fn join(self) -> io::Result<()> {
+        self.handle.join().expect("server thread panicked")
+    }
+}
+
+/// How often an idle connection re-checks the shutdown flag. Requests in
+/// flight are never interrupted; a connection merely *waiting* for its next
+/// request is released within this interval once a shutdown is requested, so
+/// [`Server::run`] can join its workers even while clients keep idle
+/// persistent connections open.
+const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(250);
+
+fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<()> {
+    // One short line per response: disable Nagle so replies are not held
+    // back waiting for ACKs of previous responses (~40 ms per round trip).
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(IDLE_POLL))?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    // Raw bytes, not a String: `read_until` keeps everything consumed so far
+    // on a timeout, whereas `read_line` would truncate a slice ending in the
+    // middle of a multi-byte UTF-8 character and silently lose those bytes.
+    let mut buffer: Vec<u8> = Vec::new();
+    let mut eof = false;
+    while !eof {
+        // `read_until` appends, so a line arriving in several timeout slices
+        // accumulates across retries until its newline shows up.
+        match reader.read_until(b'\n', &mut buffer) {
+            Ok(0) => eof = true, // serve a trailing newline-less request below
+            Ok(_) if !buffer.ends_with(b"\n") => continue, // partial line
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                if state.is_shutting_down() {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        let request = String::from_utf8_lossy(&std::mem::take(&mut buffer)).into_owned();
+        if request.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = state.handle_line(&request);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if shutdown {
+            state.initiate_shutdown();
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Serves the protocol over a reader/writer pair — `rpq-cli serve --pipe`
+/// uses stdin/stdout. Returns at EOF or after a `shutdown` request. The pipe
+/// front end is single-threaded but shares the same [`ServerState`] handler
+/// (and cache semantics) as the TCP front end.
+pub fn run_pipe(
+    state: &ServerState,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = state.handle_line(&line);
+        output.write_all(response.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        if shutdown {
+            state.shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ServerState {
+        ServerState::new(ServerConfig::default())
+    }
+
+    fn request(state: &ServerState, line: &str) -> Json {
+        let (response, _) = state.handle_line(line);
+        Json::parse(&response).expect("responses are valid JSON")
+    }
+
+    #[test]
+    fn prepare_reports_plan_and_cache_status() {
+        let state = state();
+        let first = request(&state, r#"{"op":"prepare","query":"ax*b"}"#);
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(first.get("cached"), Some(&Json::Bool(false)));
+        assert_eq!(
+            first.get("plan").unwrap().get("algorithm").and_then(Json::as_str),
+            Some("local")
+        );
+        // A differently spelled but equivalent regex hits the cache.
+        let second = request(&state, r#"{"op":"prepare","query":"a(x)*b"}"#);
+        assert_eq!(second.get("cached"), Some(&Json::Bool(true)));
+        assert_eq!(second.get("fingerprint"), first.get("fingerprint"));
+    }
+
+    #[test]
+    fn solve_returns_values_and_cuts() {
+        let state = state();
+        let response =
+            request(&state, r#"{"op":"solve","query":"ax*b","db":"s a u\nu x v\nv b t\n"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("value"), Some(&Json::Int(1)));
+        assert_eq!(response.get("algorithm").and_then(Json::as_str), Some("local"));
+        assert_eq!(response.get("exact"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("contingency_set").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn solve_batch_mixes_successes_and_per_database_errors() {
+        let state = state();
+        let response = request(
+            &state,
+            r#"{"op":"solve_batch","query":"ab","dbs":["u a v\nv b w\n","u ab v"]}"#,
+        );
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        let results = response.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results[0].get("value"), Some(&Json::Int(1)));
+        assert_eq!(results[1].get("ok"), Some(&Json::Bool(false)));
+        assert!(results[1].get("error").and_then(Json::as_str).unwrap().contains("parse"));
+    }
+
+    #[test]
+    fn per_request_settings_reach_the_engine() {
+        let state = state();
+        // ε ∈ L: infinite resilience.
+        let response = request(&state, r#"{"op":"solve","query":"a*","db":"u a v\n"}"#);
+        assert_eq!(response.get("value").and_then(Json::as_str), Some("infinite"));
+        // Bag semantics multiply the cut cost by the multiplicity.
+        let set = request(&state, r#"{"op":"solve","query":"a","db":"u a v 5\n"}"#);
+        assert_eq!(set.get("value"), Some(&Json::Int(1)));
+        let bag = request(&state, r#"{"op":"solve","query":"a","bag":true,"db":"u a v 5\n"}"#);
+        assert_eq!(bag.get("value"), Some(&Json::Int(5)));
+        // Forced enumeration with a tiny limit yields a typed error.
+        let response = request(
+            &state,
+            r#"{"op":"solve","query":"aa","algorithm":"enumeration","enumeration_limit":2,"db":"1 a 2\n2 a 3\n3 a 4\n"}"#,
+        );
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        assert!(response.get("error").and_then(Json::as_str).unwrap().contains("limit"));
+        // Approximation backends report bounds.
+        let response = request(
+            &state,
+            r#"{"op":"solve","query":"aa","algorithm":"greedy","db":"1 a 2\n2 a 3\n3 a 4\n"}"#,
+        );
+        assert!(response.get("bounds").is_some());
+    }
+
+    #[test]
+    fn stats_and_errors_are_counted() {
+        let state = state();
+        request(&state, r#"{"op":"prepare","query":"a|b"}"#);
+        request(&state, r#"{"op":"prepare","query":"b|a"}"#);
+        request(&state, "garbage");
+        let stats = request(&state, r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(stats.get("requests"), Some(&Json::Int(4)));
+        assert_eq!(stats.get("errors"), Some(&Json::Int(1)));
+        let cache = stats.get("cache").unwrap();
+        assert_eq!(cache.get("hits"), Some(&Json::Int(1)));
+        assert_eq!(cache.get("misses"), Some(&Json::Int(1)));
+        assert_eq!(cache.get("entries"), Some(&Json::Int(1)));
+    }
+
+    #[test]
+    fn pipe_mode_serves_the_same_protocol() {
+        let state = state();
+        let input = "{\"op\":\"prepare\",\"query\":\"ab|cd\"}\n\n{\"op\":\"stats\"}\n{\"op\":\"shutdown\"}\n{\"op\":\"stats\"}\n";
+        let mut output = Vec::new();
+        run_pipe(&state, input.as_bytes(), &mut output).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().trim().lines().collect();
+        // The trailing request after `shutdown` is not served.
+        assert_eq!(lines.len(), 3);
+        assert!(Json::parse(lines[0]).unwrap().get("plan").is_some());
+        assert_eq!(
+            Json::parse(lines[2]).unwrap().get("ok"),
+            Some(&Json::Bool(true)) // the shutdown acknowledgement
+        );
+        assert!(state.is_shutting_down());
+    }
+}

@@ -1,0 +1,193 @@
+//! End-to-end protocol test: a real TCP server on a loopback port, several
+//! concurrent client threads, and agreement with direct `Engine` results.
+//!
+//! This is the acceptance scenario of the server subsystem: a 4-thread
+//! `solve_batch` run over 32 databases must return exactly the values the
+//! engine computes sequentially, and preparing the same language under
+//! different regex spellings must be answered from the cache.
+
+use rpq_automata::Word;
+use rpq_graphdb::generate::word_path;
+use rpq_graphdb::text;
+use rpq_resilience::engine::Engine;
+use rpq_resilience::rpq::Rpq;
+use rpq_server::{Client, Json, QuerySpec, Request, Server, ServerConfig};
+
+/// 32 small databases exercising the `ax*b` local-language plan: paths
+/// labeled `a x^k b` (resilience 1), plus some negatives (no match,
+/// resilience 0) and a branching database with two disjoint matches.
+fn corpus() -> Vec<String> {
+    let mut dbs = Vec::new();
+    for k in 0..20 {
+        let word = format!("a{}b", "x".repeat(k));
+        dbs.push(text::serialize(&word_path(&Word::from_str_word(&word))));
+    }
+    for word in ["ba", "ax", "xb", "aa", "bb", "axxa"] {
+        dbs.push(text::serialize(&word_path(&Word::from_str_word(word))));
+    }
+    for k in 0..6 {
+        // Two node-disjoint matches (the original path plus a renamed copy):
+        // resilience 2.
+        let left =
+            text::serialize(&word_path(&Word::from_str_word(&format!("a{}b", "x".repeat(k)))));
+        let mut combined = left.clone();
+        for line in left.lines() {
+            let mut parts: Vec<String> = line.split_whitespace().map(str::to_string).collect();
+            parts[0] = format!("c_{}", parts[0]);
+            parts[2] = format!("c_{}", parts[2]);
+            combined.push_str(&parts.join(" "));
+            combined.push('\n');
+        }
+        dbs.push(combined);
+    }
+    assert_eq!(dbs.len(), 32);
+    dbs
+}
+
+fn expected_values(pattern: &str, dbs: &[String]) -> Vec<Json> {
+    let engine = Engine::new();
+    let prepared = engine.prepare(&Rpq::parse(pattern).unwrap()).unwrap();
+    dbs.iter()
+        .map(|db_text| {
+            let db = text::parse(db_text).unwrap();
+            let outcome = prepared.solve(&db).unwrap();
+            match outcome.value.finite() {
+                Some(v) => Json::Int(v as i128),
+                None => Json::Str("infinite".into()),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn concurrent_solve_batch_agrees_with_the_direct_engine() {
+    let dbs = corpus();
+    let expected = expected_values("ax*b", &dbs);
+    // Sanity: the corpus is not all-zeros.
+    assert!(expected.contains(&Json::Int(0)));
+    assert!(expected.contains(&Json::Int(1)));
+    assert!(expected.contains(&Json::Int(2)));
+
+    let server =
+        Server::bind("127.0.0.1:0", ServerConfig { threads: 4, ..ServerConfig::default() })
+            .unwrap();
+    let running = server.spawn().unwrap();
+    let addr = running.addr;
+
+    // Warm the cache once so every spelling below is a guaranteed hit.
+    let mut warmup = Client::connect(addr).unwrap();
+    let response = warmup.request(&Request::Prepare { query: QuerySpec::new("ax*b") }).unwrap();
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(response.get("cached"), Some(&Json::Bool(false)));
+    let fingerprint = response.get("fingerprint").unwrap().clone();
+
+    // Four client threads, each using a different spelling of the same
+    // language, each solving the whole 32-database batch.
+    let spellings = ["ax*b", "a(x)*b", "(a)x*b", "ax*b|axx*b"];
+    let handles: Vec<_> = spellings
+        .iter()
+        .map(|&pattern| {
+            let dbs = dbs.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let response = client
+                    .request(&Request::SolveBatch {
+                        query: QuerySpec::new(pattern),
+                        dbs: dbs.clone(),
+                    })
+                    .unwrap();
+                assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{pattern}");
+                assert_eq!(
+                    response.get("cached"),
+                    Some(&Json::Bool(true)),
+                    "equivalent spelling `{pattern}` must hit the cache"
+                );
+                response
+                    .get("results")
+                    .unwrap()
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|r| r.get("value").unwrap().clone())
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for handle in handles {
+        assert_eq!(handle.join().unwrap(), expected);
+    }
+
+    // Different spellings share the fingerprint too.
+    let response = warmup.request(&Request::Prepare { query: QuerySpec::new("a(x)*b") }).unwrap();
+    assert_eq!(response.get("cached"), Some(&Json::Bool(true)));
+    assert_eq!(response.get("fingerprint"), Some(&fingerprint));
+
+    // Stats: one miss (the warm-up), at least 5 hits (4 batches + reprepare),
+    // and every request counted.
+    let stats = warmup.request(&Request::Stats).unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("misses"), Some(&Json::Int(1)));
+    assert!(cache.get("hits").unwrap().as_int().unwrap() >= 5, "{stats}");
+    assert_eq!(cache.get("entries"), Some(&Json::Int(1)));
+    assert!(stats.get("requests").unwrap().as_int().unwrap() >= 7);
+
+    // Clean shutdown: acknowledged, then the server thread exits.
+    let bye = warmup.request(&Request::Shutdown).unwrap();
+    assert_eq!(bye.get("ok"), Some(&Json::Bool(true)));
+    running.join().unwrap();
+}
+
+#[test]
+fn newline_less_shutdown_at_eof_stops_the_server() {
+    use std::io::{Read, Write};
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let running = server.spawn().unwrap();
+    let mut stream = std::net::TcpStream::connect(running.addr).unwrap();
+    // No trailing newline; the write half-close makes the request visible
+    // only at EOF. The shutdown must still be honored.
+    stream.write_all(b"{\"op\":\"shutdown\"}").unwrap();
+    stream.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.contains("\"ok\":true"), "{response}");
+    running.join().unwrap();
+}
+
+#[test]
+fn solve_over_tcp_matches_solve_via_pipe_mode() {
+    let dbs = corpus();
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let running = server.spawn().unwrap();
+
+    let mut client = Client::connect(running.addr).unwrap();
+    let mut tcp_values = Vec::new();
+    for db in &dbs {
+        let response = client
+            .request(&Request::Solve { query: QuerySpec::new("ax*b"), db: db.clone() })
+            .unwrap();
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        tcp_values.push(response.get("value").unwrap().clone());
+    }
+
+    // The same workload through the stdio pipe front end.
+    let state = rpq_server::ServerState::new(ServerConfig::default());
+    let mut input = String::new();
+    for db in &dbs {
+        input.push_str(
+            &Request::Solve { query: QuerySpec::new("ax*b"), db: db.clone() }.to_json().to_string(),
+        );
+        input.push('\n');
+    }
+    let mut output = Vec::new();
+    rpq_server::run_pipe(&state, input.as_bytes(), &mut output).unwrap();
+    let pipe_values: Vec<Json> = std::str::from_utf8(&output)
+        .unwrap()
+        .trim()
+        .lines()
+        .map(|line| Json::parse(line).unwrap().get("value").unwrap().clone())
+        .collect();
+    assert_eq!(tcp_values, pipe_values);
+
+    client.request(&Request::Shutdown).unwrap();
+    running.join().unwrap();
+}

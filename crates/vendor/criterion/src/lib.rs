@@ -14,10 +14,19 @@
 //! * `CRITERION_MEASURE_MS` — per-benchmark time budget in milliseconds
 //!   (default 200; the `measurement_time` requested by the bench is capped to
 //!   this so `cargo bench` stays usable in CI);
+//! * `CRITERION_SAVE` — path of a JSON file to persist results into: a
+//!   single object mapping each benchmark name to
+//!   `{"min_ns": …, "median_ns": …, "samples": …}` (plus `throughput` when
+//!   annotated). The file is rewritten after every completed benchmark, so
+//!   an interrupted run still leaves a valid, machine-readable artifact —
+//!   this is how the committed `BENCH_*.json` files at the workspace root
+//!   are produced (see EXPERIMENTS.md);
 //! * a positional command-line argument filters benchmarks by substring, as
 //!   with real Criterion.
 
+use std::collections::BTreeMap;
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -81,6 +90,71 @@ impl Bencher {
                 break;
             }
         }
+    }
+}
+
+/// One persisted measurement (see the `CRITERION_SAVE` knob).
+struct SavedRecord {
+    min_ns: u128,
+    median_ns: u128,
+    samples: usize,
+    throughput: Option<Throughput>,
+}
+
+/// All measurements of the current process, keyed by full benchmark name.
+/// `criterion_group!` creates one `Criterion` per group, so persistence
+/// accumulates globally and rewrites the whole file after each benchmark:
+/// the last write of a `cargo bench --bench <target>` run holds every
+/// benchmark of that target.
+static SAVED: Mutex<BTreeMap<String, SavedRecord>> = Mutex::new(BTreeMap::new());
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn persist_record(name: &str, record: SavedRecord) {
+    let Ok(path) = std::env::var("CRITERION_SAVE") else { return };
+    if path.is_empty() {
+        return;
+    }
+    let mut saved = SAVED.lock().expect("benchmark record lock");
+    saved.insert(name.to_string(), record);
+    let mut out = String::from("{\n");
+    for (i, (name, r)) in saved.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  \"{}\": {{\"min_ns\": {}, \"median_ns\": {}, \"samples\": {}",
+            escape_json(name),
+            r.min_ns,
+            r.median_ns,
+            r.samples
+        ));
+        match r.throughput {
+            Some(Throughput::Elements(n)) => {
+                out.push_str(&format!(", \"throughput\": {{\"elements\": {n}}}"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                out.push_str(&format!(", \"throughput\": {{\"bytes\": {n}}}"));
+            }
+            None => {}
+        }
+        out.push('}');
+    }
+    out.push_str("\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion stub: cannot persist results to {path}: {e}");
     }
 }
 
@@ -171,6 +245,15 @@ impl BenchmarkGroup<'_> {
         samples.sort();
         let min = samples[0];
         let median = samples[samples.len() / 2];
+        persist_record(
+            &full_name,
+            SavedRecord {
+                min_ns: min.as_nanos(),
+                median_ns: median.as_nanos(),
+                samples: samples.len(),
+                throughput: self.throughput,
+            },
+        );
         let throughput = match self.throughput {
             Some(Throughput::Elements(n)) => format!("  [{n} elems/iter]"),
             Some(Throughput::Bytes(n)) => format!("  [{n} B/iter]"),
