@@ -34,7 +34,7 @@ use std::process::ExitCode;
 use rpq_automata::Language;
 use rpq_flow::FlowAlgorithm;
 use rpq_graphdb::{text, GraphDb};
-use rpq_resilience::algorithms::Algorithm;
+use rpq_resilience::algorithms::{Algorithm, ResilienceOutcome};
 use rpq_resilience::classify::{classify, figure1_rows};
 use rpq_resilience::engine::{Engine, SolveOptions};
 use rpq_resilience::gadgets::families::find_gadget;
@@ -45,7 +45,7 @@ const USAGE: &str = "\
 usage:
   rpq-cli classify '<regex>'
   rpq-cli resilience '<regex>' <db.txt>... [--bag] [--algorithm <name>] [--flow <name>]
-          [--enumeration-limit <n>] [--show-cut]
+          [--enumeration-limit <n>] [--show-cut] [--no-cut]
   rpq-cli gadget '<regex>'
   rpq-cli figure1
   rpq-cli serve [--port <p>] [--pipe] [--threads <n>] [--cache-capacity <n>]
@@ -64,7 +64,12 @@ serve: NDJSON protocol (prepare/solve/solve_batch/stats/shutdown) on 127.0.0.1,
        default port 7878; --pipe serves stdin/stdout instead of TCP.
        The prepared-query cache is keyed by canonicalized language, so
        equivalent regex spellings share one cached plan.
+show-cut: `contingency set : {}` means the optimal cut is empty (resilience 0);
+          an explicit `(…)` note says why no witness is available instead
+no-cut: value-only solving (skips witness extraction; with --show-cut, the
+        contingency set line reports the cut as not extracted)
 client query options: [--bag] [--algorithm <name>] [--flow <name>] [--enumeration-limit <n>]
+                      [--no-cut] (value-only response: sends want_cut=false)
 client: `solve` with several databases sends one solve_batch request";
 
 /// Prints one line to stdout, exiting quietly when the consumer closed the
@@ -170,6 +175,7 @@ fn cmd_resilience(pattern: &str, args: &[String]) -> Result<(), String> {
         match option.as_str() {
             "--bag" => query = query.with_bag_semantics(),
             "--show-cut" => show_cut = true,
+            "--no-cut" => options.want_cut = false,
             "--algorithm" => {
                 let name = iter.next().ok_or("--algorithm requires a value")?;
                 algorithm = Some(name.parse::<Algorithm>()?);
@@ -216,19 +222,39 @@ fn cmd_resilience(pattern: &str, args: &[String]) -> Result<(), String> {
             _ => outln!("resilience      : {}", outcome.value),
         }
         if show_cut {
-            match &outcome.contingency_set {
-                Some(cut) if !cut.is_empty() => {
-                    outln!("contingency set :");
-                    for &fact in cut {
-                        outln!("  {}", db.display_fact(fact));
-                    }
-                }
-                Some(_) => outln!("contingency set : (empty)"),
-                None => outln!("contingency set : not produced by this algorithm"),
+            for line in cut_report(&outcome, &db, options.want_cut) {
+                outln!("{line}");
             }
         }
     }
     Ok(())
+}
+
+/// Renders the `--show-cut` lines for one outcome. The three cases are
+/// explicitly distinguishable: a non-empty witness is listed fact by fact, a
+/// genuinely empty optimal cut prints `{}` (the query does not hold, nothing
+/// needs removing), and a missing witness states *why* none is shown —
+/// value-only solving (`--no-cut`), an infinite value (no finite cut exists),
+/// or a backend that only certifies the value.
+fn cut_report(outcome: &ResilienceOutcome, db: &GraphDb, want_cut: bool) -> Vec<String> {
+    match &outcome.contingency_set {
+        Some(cut) if !cut.is_empty() => {
+            let mut lines = vec!["contingency set :".to_string()];
+            lines.extend(cut.iter().map(|&fact| format!("  {}", db.display_fact(fact))));
+            lines
+        }
+        Some(_) => vec!["contingency set : {}".to_string()],
+        None if !want_cut => {
+            vec!["contingency set : (not extracted: --no-cut)".to_string()]
+        }
+        None if outcome.value.is_infinite() => {
+            vec!["contingency set : (none exists: the resilience is infinite)".to_string()]
+        }
+        None => vec![format!(
+            "contingency set : (unavailable: `{}` only certifies the value)",
+            outcome.algorithm
+        )],
+    }
 }
 
 fn cmd_gadget(pattern: &str) -> Result<(), String> {
@@ -327,6 +353,7 @@ fn parse_query_options(args: &[String]) -> Result<(QuerySpec, Vec<String>), Stri
             "--enumeration-limit" => {
                 spec.enumeration_limit = Some(parse_number("--enumeration-limit", iter.next())?);
             }
+            "--no-cut" => spec.want_cut = Some(false),
             other if other.starts_with("--") => {
                 return Err(format!("unknown client option `{other}`"));
             }
@@ -479,6 +506,60 @@ mod tests {
             path_1.to_string_lossy().to_string(),
             path_2.to_string_lossy().to_string(),
             "--show-cut".into(),
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn cut_report_distinguishes_empty_unavailable_and_suppressed() {
+        use rpq_resilience::rpq::ResilienceValue;
+        let mut db = GraphDb::new();
+        let fact = db.add_fact_by_names("u", 'a', "v");
+        let outcome = |value, cut| ResilienceOutcome::new(value, Algorithm::Local, cut);
+
+        // A non-empty witness is listed fact by fact.
+        let lines = cut_report(&outcome(ResilienceValue::Finite(1), Some(vec![fact])), &db, true);
+        assert_eq!(lines, vec!["contingency set :".to_string(), "  u -a-> v".to_string()]);
+        // An empty optimal cut is `{}` — distinguishable from "no witness".
+        let lines = cut_report(&outcome(ResilienceValue::Finite(0), Some(vec![])), &db, true);
+        assert_eq!(lines, vec!["contingency set : {}".to_string()]);
+        // Value-only solving says so explicitly.
+        let lines = cut_report(&outcome(ResilienceValue::Finite(1), None), &db, false);
+        assert_eq!(lines, vec!["contingency set : (not extracted: --no-cut)".to_string()]);
+        // Infinite resilience has no finite cut.
+        let lines = cut_report(&outcome(ResilienceValue::Infinite, None), &db, true);
+        assert_eq!(
+            lines,
+            vec!["contingency set : (none exists: the resilience is infinite)".to_string()]
+        );
+        // A value-only backend is named.
+        let none =
+            ResilienceOutcome::new(ResilienceValue::Finite(1), Algorithm::ExactEnumeration, None);
+        let lines = cut_report(&none, &db, true);
+        assert_eq!(
+            lines,
+            vec!["contingency set : (unavailable: `enumeration` only certifies the value)"
+                .to_string()]
+        );
+    }
+
+    #[test]
+    fn one_dangling_show_cut_and_no_cut_work_end_to_end() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rpq_cli_one_dangling_db.txt");
+        std::fs::write(&path, "1 a 2\n2 b 3\n3 c 4\n3 e 5\n").unwrap();
+        let path = path.to_string_lossy().to_string();
+        // The one-dangling backend now extracts witnesses: --show-cut lists
+        // them, and --no-cut degrades to the explicit "(not extracted)" note.
+        assert!(
+            run(&["resilience".into(), "abc|be".into(), path.clone(), "--show-cut".into()]).is_ok()
+        );
+        assert!(run(&[
+            "resilience".into(),
+            "abc|be".into(),
+            path,
+            "--show-cut".into(),
+            "--no-cut".into(),
         ])
         .is_ok());
     }

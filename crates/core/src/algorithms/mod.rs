@@ -24,7 +24,13 @@
 //!    only the per-database half of the chosen reduction: building and
 //!    cutting one flow network with the configured
 //!    [`rpq_flow::FlowAlgorithm`], or running the exact / approximate
-//!    solvers. Batch workloads over a fixed query never reclassify.
+//!    solvers. Batch workloads over a fixed query never reclassify. All
+//!    three flow-based reductions also extract an **optimal contingency
+//!    set** from their minimum cut (for the one-dangling rewriting, by
+//!    mapping cut edges of the rewritten instance back to original facts);
+//!    value-only callers skip the extraction via `SolveOptions::want_cut`
+//!    or the per-call
+//!    [`solve_with_cut`](crate::engine::PreparedQuery::solve_with_cut).
 //!
 //! **The engine is the single entry point for computing resilience.** The
 //! CLI, the integration tests, and the benchmarks all go through it — either
@@ -186,9 +192,12 @@ pub struct ResilienceOutcome {
     pub value: ResilienceValue,
     /// Which algorithm produced it.
     pub algorithm: Algorithm,
-    /// An optimal contingency set, when the algorithm produces one
-    /// (the one-dangling rewriting and the enumeration oracle only certify
-    /// the value).
+    /// An optimal contingency set, when the algorithm produces one. Every
+    /// flow-based tractable backend extracts a witness from its minimum cut
+    /// (including the one-dangling rewriting, which maps the cut of the
+    /// rewritten instance back to original facts); the enumeration oracle
+    /// only certifies the value, and `SolveOptions::want_cut = false`
+    /// suppresses extraction everywhere.
     pub contingency_set: Option<Vec<FactId>>,
     /// Certified `lower ≤ RES(Q, D) ≤ upper` bounds, reported by the
     /// approximation backends; `None` for the exact backends.

@@ -20,6 +20,32 @@
 //! Under **set semantics** the same reduction applies after forgetting the
 //! multiplicities of `D` (set resilience is bag resilience on the database
 //! with all multiplicities equal to 1).
+//!
+//! # Witness extraction
+//!
+//! The rewriting not only certifies the value — a minimum cut of the
+//! rewritten instance maps back to an **optimal contingency set of the
+//! original database**. Every fact of `D'` carries a provenance:
+//!
+//! * a non-`x`, non-`z` fact stands for the identically-labeled original fact;
+//! * an `x`-fact into the twin `(v, in)` stands for the original `x`-fact
+//!   into `v`;
+//! * the `z`-fact at `v` stands for the *per-node exchange* "delete every
+//!   `x`-fact into `v` instead of the `y`-facts out of `v`" — its
+//!   multiplicity `in_x(v) − out_y(v)` is exactly the price of that exchange
+//!   on top of the baseline `κ` (which deletes every `y`-fact).
+//!
+//! The inverse mapping therefore starts from the baseline "delete all
+//! `y`-facts", then *restores* the `y`-facts of every node whose exchange was
+//! taken — either for free (`in_x(v) ≤ out_y(v)`, the non-positive `z`-facts
+//! removed by the negative-credit accounting) or because the minimum cut cut
+//! the `z`-fact at `v` — deleting all `x`-facts into those nodes instead;
+//! cut `x`-facts and cut local facts map to their original facts directly.
+//! Both [`GraphDb::reversed`] (the mirrored orientation) and the
+//! unit-multiplicity copy taken under set semantics preserve fact
+//! identifiers, so the extracted identifiers are valid in the caller's
+//! database as-is. The cost bookkeeping telescopes:
+//! `cost(witness) = κ + Σ_(non-positive z) + cost(cut) = value`.
 
 use super::{Algorithm, ResilienceError, ResilienceOutcome};
 use crate::algorithms::local::resilience_via_ro_enfa;
@@ -28,8 +54,8 @@ use rpq_automata::finite::{one_dangling_decomposition, OneDanglingDecomposition}
 use rpq_automata::ro_enfa::RoEnfa;
 use rpq_automata::Language;
 use rpq_flow::FlowAlgorithm;
-use rpq_graphdb::{GraphDb, NodeId};
-use std::collections::BTreeMap;
+use rpq_graphdb::{FactId, GraphDb, NodeId};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The query-only half of the Proposition 7.9 rewriting: the one-dangling
 /// decomposition, normalized so that `y ∉ Σ(local part)` (mirroring the query
@@ -104,15 +130,18 @@ impl OneDanglingPlan {
         self.decomposition.dangling_word()
     }
 
-    /// The per-database half of the rewriting. Errors with
-    /// [`ResilienceError::NotApplicable`] on databases with exogenous facts
-    /// (the κ-offset rewriting assumes finite fact weights); callers decide
-    /// whether to fall back to an exact solver.
+    /// The per-database half of the rewriting. When `want_cut` is set the
+    /// outcome also carries an optimal contingency set, mapped back from a
+    /// minimum cut of the rewritten instance (see the module docs). Errors
+    /// with [`ResilienceError::NotApplicable`] on databases with exogenous
+    /// facts (the κ-offset rewriting assumes finite fact weights); callers
+    /// decide whether to fall back to an exact solver.
     pub(crate) fn solve(
         &self,
         rpq: &Rpq,
         db: &GraphDb,
         flow: FlowAlgorithm,
+        want_cut: bool,
     ) -> Result<ResilienceOutcome, ResilienceError> {
         let Some(ro) = &self.ro else {
             return Ok(ResilienceOutcome::new(
@@ -130,7 +159,8 @@ impl OneDanglingPlan {
 
         // Work on a database whose multiplicities reflect the query's
         // semantics, so that the rewriting below can always reason in bag
-        // terms.
+        // terms. Fact identifiers are preserved by the copy (and by
+        // `reversed` below), so witness facts need no id translation.
         let bag_db = match rpq.semantics() {
             Semantics::Bag => db.clone(),
             Semantics::Set => {
@@ -149,7 +179,7 @@ impl OneDanglingPlan {
         let original_bag_db = bag_db.clone();
         let bag_db = if self.mirrored { bag_db.reversed() } else { bag_db };
 
-        let value = rewrite_and_solve(&self.decomposition, ro, &bag_db, flow)?;
+        let (value, witness) = rewrite_and_solve(&self.decomposition, ro, &bag_db, flow, want_cut)?;
         #[cfg(debug_assertions)]
         debug_assert!(
             {
@@ -164,29 +194,56 @@ impl OneDanglingPlan {
             },
             "one-dangling rewriting disagrees with the exact solver"
         );
-        Ok(ResilienceOutcome::new(value, Algorithm::OneDangling, None))
+        if let Some(witness) = &witness {
+            debug_assert!(
+                value.is_infinite() || rpq.is_contingency_set(db, witness),
+                "the extracted witness must be a contingency set of the original database"
+            );
+            debug_assert!(
+                value.is_infinite() || ResilienceValue::Finite(rpq.cost(db, witness)) == value,
+                "the extracted witness must cost exactly the certified value"
+            );
+        }
+        Ok(ResilienceOutcome::new(
+            value,
+            Algorithm::OneDangling,
+            witness.map(|w| w.into_iter().collect()),
+        ))
     }
 }
 
 /// Computes the resilience of a query whose infix-free sublanguage is
-/// one-dangling (Proposition 7.9). The outcome certifies the value but carries
-/// no contingency set (the rewriting does not directly produce one).
+/// one-dangling (Proposition 7.9), together with an optimal contingency set
+/// extracted from a minimum cut of the rewritten instance.
 pub fn resilience_one_dangling(
     rpq: &Rpq,
     db: &GraphDb,
 ) -> Result<ResilienceOutcome, ResilienceError> {
     let plan = OneDanglingPlan::from_infix_free(&rpq.infix_free_language(), rpq.language())?;
-    plan.solve(rpq, db, FlowAlgorithm::default())
+    plan.solve(rpq, db, FlowAlgorithm::default(), true)
+}
+
+/// What a fact of the rewritten database stands for in the original one.
+#[derive(Debug, Clone, Copy)]
+enum Provenance {
+    /// A carried-over local fact, or an `x`-fact redirected to a twin node.
+    Original(FactId),
+    /// The `z`-fact of node `v`: cutting it means "delete every `x`-fact into
+    /// `v` and restore the `y`-facts out of `v`".
+    Exchange(NodeId),
 }
 
 /// Performs steps 2–4 of the rewriting for a decomposition with `y ∉ Σ`, whose
-/// local part is recognized by the prepared RO-εNFA `ro`.
+/// local part is recognized by the prepared RO-εNFA `ro`. Returns the value
+/// and, when `want_cut` is set and the value is finite, an optimal
+/// contingency set in `db`'s fact identifiers.
 fn rewrite_and_solve(
     decomposition: &OneDanglingDecomposition,
     ro: &RoEnfa,
     db: &GraphDb,
     flow: FlowAlgorithm,
-) -> Result<ResilienceValue, ResilienceError> {
+    want_cut: bool,
+) -> Result<(ResilienceValue, Option<BTreeSet<FactId>>), ResilienceError> {
     let x = decomposition.x;
     let y = decomposition.y;
     let local_part = &decomposition.local_part;
@@ -205,7 +262,16 @@ fn rewrite_and_solve(
         ro.clone()
     };
 
-    // Rewrite the database.
+    // Twin-node names must be fresh: grow the suffix until no original node
+    // name collides with any twin name (otherwise a node literally named
+    // `v__in` would alias the twin of `v` and corrupt the rewriting).
+    let mut suffix = String::from("__in");
+    while db.nodes().any(|v| db.find_node(&format!("{}{suffix}", db.node_name(v))).is_some()) {
+        suffix.push('_');
+    }
+    let twin_name = |db: &GraphDb, v: NodeId| format!("{}{suffix}", db.node_name(v));
+
+    // Rewrite the database, recording what each rewritten fact stands for.
     let mut rewritten = GraphDb::new();
     for node in db.nodes() {
         rewritten.node(db.node_name(node));
@@ -221,8 +287,8 @@ fn rewrite_and_solve(
             *outgoing_y.entry(fact.source).or_insert(0) += db.multiplicity(id) as i128;
         }
     }
-    let twin_name = |db: &GraphDb, v: NodeId| format!("{}__in", db.node_name(v));
 
+    let mut provenance: BTreeMap<FactId, Provenance> = BTreeMap::new();
     for (id, fact) in db.facts() {
         match fact.label {
             l if l == y => {
@@ -232,45 +298,79 @@ fn rewrite_and_solve(
                 // Redirect to the twin (v, in).
                 let twin = rewritten.node(&twin_name(db, fact.target));
                 let src = rewritten.node(db.node_name(fact.source));
-                rewritten.add_fact_with_multiplicity(src, x, twin, db.multiplicity(id));
+                let new = rewritten.add_fact_with_multiplicity(src, x, twin, db.multiplicity(id));
+                provenance.insert(new, Provenance::Original(id));
             }
             l => {
                 let src = rewritten.node(db.node_name(fact.source));
                 let dst = rewritten.node(db.node_name(fact.target));
-                rewritten.add_fact_with_multiplicity(src, l, dst, db.multiplicity(id));
+                let new = rewritten.add_fact_with_multiplicity(src, l, dst, db.multiplicity(id));
+                provenance.insert(new, Provenance::Original(id));
             }
         }
     }
 
     // z-facts (extended bag semantics): multiplicity may be ≤ 0, in which case
     // the fact is removed for free and its (non-positive) multiplicity is
-    // credited to the final value.
+    // credited to the final value — the per-node exchange is taken for free.
     let mut negative_credit: i128 = 0;
-    let touched: std::collections::BTreeSet<NodeId> =
-        incoming_x.keys().chain(outgoing_y.keys()).copied().collect();
+    let mut free_exchanges: BTreeSet<NodeId> = BTreeSet::new();
+    let touched: BTreeSet<NodeId> = incoming_x.keys().chain(outgoing_y.keys()).copied().collect();
     for v in touched {
         let mult =
             incoming_x.get(&v).copied().unwrap_or(0) - outgoing_y.get(&v).copied().unwrap_or(0);
         if mult > 0 {
             let twin = rewritten.node(&twin_name(db, v));
             let main = rewritten.node(db.node_name(v));
-            rewritten.add_fact_with_multiplicity(twin, z, main, mult as u64);
+            let new = rewritten.add_fact_with_multiplicity(twin, z, main, mult as u64);
+            provenance.insert(new, Provenance::Exchange(v));
         } else {
             negative_credit += mult;
+            free_exchanges.insert(v);
         }
     }
 
     // Solve the rewritten (positive-multiplicity) instance with the local
     // algorithm in bag semantics.
-    let (local_value, _) =
+    let (local_value, cut) =
         resilience_via_ro_enfa(&ro_rewritten, &rewritten, Semantics::Bag, flow, |_| true);
     let local_value = match local_value {
-        ResilienceValue::Infinite => return Ok(ResilienceValue::Infinite),
+        ResilienceValue::Infinite => return Ok((ResilienceValue::Infinite, None)),
         ResilienceValue::Finite(v) => v as i128,
     };
     let total = kappa + negative_credit + local_value;
     debug_assert!(total >= 0, "resilience values are non-negative");
-    Ok(ResilienceValue::Finite(total as u128))
+    let value = ResilienceValue::Finite(total as u128);
+    if !want_cut {
+        return Ok((value, None));
+    }
+
+    // Map the minimum cut back to original facts. `restored` collects the
+    // nodes whose exchange is taken: their y-facts survive, their x-facts go.
+    let mut witness: BTreeSet<FactId> = BTreeSet::new();
+    let mut restored = free_exchanges;
+    for rewritten_fact in cut {
+        match provenance.get(&rewritten_fact) {
+            Some(Provenance::Original(id)) => {
+                witness.insert(*id);
+            }
+            Some(Provenance::Exchange(v)) => {
+                restored.insert(*v);
+            }
+            // Every finite-capacity edge of the rewritten network is a
+            // rewritten fact, and all of them were recorded above.
+            None => unreachable!("cut facts of the rewritten instance have provenance"),
+        }
+    }
+    for (id, fact) in db.facts() {
+        if fact.label == x && restored.contains(&fact.target) {
+            witness.insert(id);
+        }
+        if fact.label == y && !restored.contains(&fact.source) {
+            witness.insert(id);
+        }
+    }
+    Ok((value, Some(witness)))
 }
 
 #[cfg(test)]
@@ -280,6 +380,20 @@ mod tests {
     use rpq_automata::alphabet::Letter;
     use rpq_automata::{Alphabet, Language, Word};
     use rpq_graphdb::generate::{one_dangling_instance, random_labeled_graph, word_path};
+
+    /// The witness invariants of Proposition 7.9's extraction: present,
+    /// a real contingency set, and of cost exactly the certified value.
+    fn assert_witness(rpq: &Rpq, db: &GraphDb, outcome: &ResilienceOutcome) {
+        let witness: BTreeSet<FactId> = outcome
+            .contingency_set
+            .as_ref()
+            .expect("the one-dangling backend extracts witnesses")
+            .iter()
+            .copied()
+            .collect();
+        assert!(rpq.is_contingency_set(db, &witness), "not a contingency set: {witness:?}");
+        assert_eq!(ResilienceValue::Finite(rpq.cost(db, &witness)), outcome.value);
+    }
 
     #[test]
     fn not_applicable_languages_are_rejected() {
@@ -297,7 +411,7 @@ mod tests {
         // Database: path a b c sharing its b-source node with a dangling e fact.
         let mut db = GraphDb::new();
         db.add_fact_by_names("1", 'a', "2");
-        db.add_fact_by_names("2", 'b', "3");
+        let b_fact = db.add_fact_by_names("2", 'b', "3");
         db.add_fact_by_names("3", 'c', "4");
         db.add_fact_by_names("3", 'e', "5");
         let q = Rpq::parse("abc|be").unwrap();
@@ -306,6 +420,8 @@ mod tests {
         assert_eq!(fast.value, slow.value);
         // Removing the b fact kills both matches: resilience 1.
         assert_eq!(fast.value, ResilienceValue::Finite(1));
+        assert_eq!(fast.contingency_set, Some(vec![b_fact]));
+        assert_witness(&q, &db, &fast);
     }
 
     #[test]
@@ -331,6 +447,24 @@ mod tests {
     }
 
     #[test]
+    fn mirrored_orientation_extracts_witnesses() {
+        // cba|eb is the mirror of abc|be: the dangling word eb has y = b in
+        // Σ(cba), so the plan reverses the database before rewriting. Fact
+        // identifiers survive the reversal, so witnesses map straight back.
+        let mut db = GraphDb::new();
+        db.add_fact_by_names("4", 'c', "3");
+        db.add_fact_by_names("3", 'b', "2");
+        db.add_fact_by_names("2", 'a', "1");
+        db.add_fact_by_names("5", 'e', "3");
+        let q = Rpq::parse("cba|eb").unwrap();
+        let fast = resilience_one_dangling(&q, &db).unwrap();
+        let slow = resilience_exact(&q, &db);
+        assert_eq!(fast.value, slow.value);
+        assert_eq!(fast.value, ResilienceValue::Finite(1));
+        assert_witness(&q, &db, &fast);
+    }
+
+    #[test]
     fn figure_1_one_dangling_languages_match_exact() {
         let alphabet = Alphabet::from_chars("abcdex");
         for seed in 0..5 {
@@ -344,6 +478,33 @@ mod tests {
                 };
                 let slow = resilience_exact(&q, &db);
                 assert_eq!(fast.value, slow.value, "pattern {pattern}, seed {seed}");
+                if !fast.value.is_infinite() {
+                    assert_witness(&q, &db, &fast);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mirrored_languages_match_exact_on_random_instances() {
+        // The mirrors of the Figure 1 one-dangling patterns: the plan's
+        // normalization reverses every database, exercising the witness
+        // mapping through `GraphDb::reversed`.
+        let alphabet = Alphabet::from_chars("abcdex");
+        for seed in 0..5 {
+            let db = random_labeled_graph(5, 9, &alphabet, seed);
+            for pattern in ["cba|eb", "dcba|ec", "dcba|eb", "ba|dx"] {
+                let q = Rpq::new(Language::parse(pattern).unwrap());
+                let fast = match resilience_one_dangling(&q, &db) {
+                    Ok(out) => out,
+                    Err(ResilienceError::NotApplicable { .. }) => continue,
+                    Err(e) => panic!("{e}"),
+                };
+                let slow = resilience_exact(&q, &db);
+                assert_eq!(fast.value, slow.value, "pattern {pattern}, seed {seed}");
+                if !fast.value.is_infinite() {
+                    assert_witness(&q, &db, &fast);
+                }
             }
         }
     }
@@ -371,6 +532,7 @@ mod tests {
             let fast = resilience_one_dangling(&q, &db).unwrap();
             let slow = resilience_exact(&q, &db);
             assert_eq!(fast.value, slow.value, "seed {seed}");
+            assert_witness(&q, &db, &fast);
         }
     }
 
@@ -388,6 +550,9 @@ mod tests {
         let fast = resilience_one_dangling(&q, &db).unwrap();
         assert_eq!(fast.value, ResilienceValue::Finite(2));
         assert_eq!(resilience_exact(&q, &db).value, ResilienceValue::Finite(2));
+        // The cheap side of the exchange: both b-facts, keeping the e-facts.
+        assert_witness(&q, &db, &fast);
+        assert_eq!(fast.contingency_set.as_ref().unwrap().len(), 2);
     }
 
     #[test]
@@ -405,5 +570,39 @@ mod tests {
         let fast = resilience_one_dangling(&q, &db).unwrap();
         let slow = resilience_exact(&q, &db);
         assert_eq!(fast.value, slow.value);
+        assert_witness(&q, &db, &fast);
+    }
+
+    #[test]
+    fn value_only_solves_skip_witness_extraction() {
+        let mut db = GraphDb::new();
+        db.add_fact_by_names("1", 'a', "2");
+        db.add_fact_by_names("2", 'b', "3");
+        db.add_fact_by_names("3", 'c', "4");
+        db.add_fact_by_names("3", 'e', "5");
+        let q = Rpq::parse("abc|be").unwrap();
+        let plan =
+            OneDanglingPlan::from_infix_free(&q.infix_free_language(), q.language()).unwrap();
+        let out = plan.solve(&q, &db, FlowAlgorithm::default(), false).unwrap();
+        assert_eq!(out.value, ResilienceValue::Finite(1));
+        assert!(out.contingency_set.is_none());
+    }
+
+    #[test]
+    fn adversarial_twin_node_names_do_not_alias() {
+        // A node literally named `3__in` must not be mistaken for the twin of
+        // node `3` by the rewriting.
+        let mut db = GraphDb::new();
+        db.add_fact_by_names("1", 'a', "2");
+        db.add_fact_by_names("2", 'b', "3");
+        db.add_fact_by_names("3", 'c', "4");
+        db.add_fact_by_names("3", 'e', "5");
+        db.add_fact_by_names("1", 'a', "3__in");
+        db.add_fact_by_names("3__in", 'b', "3");
+        let q = Rpq::parse("abc|be").unwrap();
+        let fast = resilience_one_dangling(&q, &db).unwrap();
+        let slow = resilience_exact(&q, &db);
+        assert_eq!(fast.value, slow.value);
+        assert_witness(&q, &db, &fast);
     }
 }

@@ -375,34 +375,47 @@ impl PreparedQuery {
     /// re-derived. Returns outcomes identical to the legacy
     /// `algorithms::solve` / `solve_with` on the same query and database.
     pub fn solve(&self, db: &GraphDb) -> Result<ResilienceOutcome, ResilienceError> {
+        self.solve_with_cut(db, self.options.want_cut)
+    }
+
+    /// Solves one database with an explicit per-call choice of contingency-set
+    /// extraction, overriding [`SolveOptions::want_cut`]. Whether a witness is
+    /// wanted is a solve-time flag, not a plan input: one cached
+    /// `PreparedQuery` serves both value-only and with-cut callers (the
+    /// server's `QueryCache` relies on this to keep one entry per language).
+    pub fn solve_with_cut(
+        &self,
+        db: &GraphDb,
+        want_cut: bool,
+    ) -> Result<ResilienceOutcome, ResilienceError> {
         let options = &self.options;
         match &self.strategy {
             Strategy::EpsilonInfinite { tag } => {
                 Ok(ResilienceOutcome::new(ResilienceValue::Infinite, *tag, None))
             }
             Strategy::Local { ro } => {
-                Ok(local::solve_prepared(ro, &self.rpq, db, options.flow_backend, options.want_cut))
+                Ok(local::solve_prepared(ro, &self.rpq, db, options.flow_backend, want_cut))
             }
             Strategy::Chain { plan } => {
-                Ok(plan.solve(&self.rpq, db, options.flow_backend, options.want_cut))
+                Ok(plan.solve(&self.rpq, db, options.flow_backend, want_cut))
             }
             Strategy::OneDangling { plan, fallback_to_exact } => {
                 if db.has_exogenous_facts() {
                     // The κ-offset rewriting assumes finite fact weights
                     // (Proposition 7.9): route around it or report why not.
                     if !fallback_to_exact {
-                        return plan.solve(&self.rpq, db, options.flow_backend);
+                        return plan.solve(&self.rpq, db, options.flow_backend, want_cut);
                     }
                     if !options.exact_fallback {
                         return Err(ResilienceError::ExactFallbackDisabled {
                             query: self.rpq.language().to_string(),
                         });
                     }
-                    return Ok(self.solve_exact_branch_and_bound(db));
+                    return Ok(self.solve_exact_branch_and_bound(db, want_cut));
                 }
-                plan.solve(&self.rpq, db, options.flow_backend)
+                plan.solve(&self.rpq, db, options.flow_backend, want_cut)
             }
-            Strategy::ExactBranchAndBound => Ok(self.solve_exact_branch_and_bound(db)),
+            Strategy::ExactBranchAndBound => Ok(self.solve_exact_branch_and_bound(db, want_cut)),
             Strategy::ExactEnumeration => {
                 // Clamp so the reported limit matches what was enforced.
                 let limit = options.enumeration_limit.min(MAX_ENUMERATION_LIMIT);
@@ -418,13 +431,13 @@ impl PreparedQuery {
             }
             Strategy::ApproxGreedy => {
                 normalize_approximation(Algorithm::ApproxGreedy, resilience_greedy(&self.rpq, db))
-                    .map(|o| self.strip_cut(o))
+                    .map(|o| strip_cut(o, want_cut))
             }
             Strategy::ApproxKDisjoint => normalize_approximation(
                 Algorithm::ApproxKDisjoint,
                 resilience_k_approximation(&self.rpq, db),
             )
-            .map(|o| self.strip_cut(o)),
+            .map(|o| strip_cut(o, want_cut)),
         }
     }
 
@@ -434,21 +447,21 @@ impl PreparedQuery {
         dbs.iter().map(|db| self.solve(db)).collect()
     }
 
-    fn solve_exact_branch_and_bound(&self, db: &GraphDb) -> ResilienceOutcome {
+    fn solve_exact_branch_and_bound(&self, db: &GraphDb, want_cut: bool) -> ResilienceOutcome {
         let exact = resilience_exact(&self.rpq, db);
         ResilienceOutcome::new(
             exact.value,
             Algorithm::ExactBranchAndBound,
-            self.options.want_cut.then(|| exact.contingency_set.into_iter().collect()),
+            want_cut.then(|| exact.contingency_set.into_iter().collect()),
         )
     }
+}
 
-    fn strip_cut(&self, mut outcome: ResilienceOutcome) -> ResilienceOutcome {
-        if !self.options.want_cut {
-            outcome.contingency_set = None;
-        }
-        outcome
+fn strip_cut(mut outcome: ResilienceOutcome, want_cut: bool) -> ResilienceOutcome {
+    if !want_cut {
+        outcome.contingency_set = None;
     }
+    outcome
 }
 
 // Concurrent front ends (e.g. `rpq-server`) share one `PreparedQuery` across
@@ -590,6 +603,41 @@ mod tests {
         let outcome =
             engine.solve_with(Algorithm::ExactBranchAndBound, &Rpq::parse("ax*b").unwrap(), &db);
         assert!(outcome.unwrap().contingency_set.is_none());
+    }
+
+    #[test]
+    fn solve_with_cut_overrides_the_plan_options_per_call() {
+        // One prepared plan serves both value-only and with-cut callers: the
+        // flag is applied at solve time, not baked into the plan.
+        let engine = Engine::new();
+        let db = word_path(&Word::from_str_word("axb"));
+        for pattern in ["ax*b", "ab|bc", "abc|be", "aa"] {
+            let prepared = engine.prepare(&Rpq::parse(pattern).unwrap()).unwrap();
+            let with = prepared.solve_with_cut(&db, true).unwrap();
+            let without = prepared.solve_with_cut(&db, false).unwrap();
+            assert_eq!(with.value, without.value, "{pattern}");
+            assert!(without.contingency_set.is_none(), "{pattern}");
+            if !with.value.is_infinite() {
+                assert!(with.contingency_set.is_some(), "{pattern}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_dangling_plans_extract_witnesses_through_the_engine() {
+        let engine = Engine::new();
+        let mut db = GraphDb::new();
+        db.add_fact_by_names("1", 'a', "2");
+        db.add_fact_by_names("2", 'b', "3");
+        db.add_fact_by_names("3", 'c', "4");
+        db.add_fact_by_names("3", 'e', "5");
+        let query = Rpq::parse("abc|be").unwrap();
+        let outcome = engine.solve(&query, &db).unwrap();
+        assert_eq!(outcome.algorithm, Algorithm::OneDangling);
+        let cut: std::collections::BTreeSet<_> =
+            outcome.contingency_set.expect("witness extracted").into_iter().collect();
+        assert!(query.is_contingency_set(&db, &cut));
+        assert_eq!(ResilienceValue::Finite(query.cost(&db, &cut)), outcome.value);
     }
 
     #[test]

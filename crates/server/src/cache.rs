@@ -13,9 +13,13 @@
 //! iff the languages contain exactly the same words.
 //!
 //! Because a plan bakes in the solve configuration, the key also includes the
-//! query semantics (set/bag), the [`SolveOptions`] and any forced algorithm;
-//! the same language prepared under a different flow backend is a different
-//! entry. Eviction is least-recently-used with a fixed capacity.
+//! query semantics (set/bag), the plan-relevant [`SolveOptions`] and any
+//! forced algorithm; the same language prepared under a different flow
+//! backend is a different entry. `SolveOptions::want_cut` is deliberately
+//! **not** part of the key: whether a contingency set is extracted is a
+//! solve-time flag (`PreparedQuery::solve_with_cut`), so value-only and
+//! with-cut requests for the same language share one entry. Eviction is
+//! least-recently-used with a fixed capacity.
 
 use rpq_resilience::algorithms::{Algorithm, ResilienceError};
 use rpq_resilience::engine::{Engine, PreparedQuery, SolveOptions};
@@ -36,10 +40,10 @@ struct CacheKey {
     forced: Option<&'static str>,
     /// The flow backend baked into the plan.
     flow: &'static str,
-    /// Remaining `SolveOptions` fields baked into the plan.
+    /// Remaining plan-relevant `SolveOptions` fields (`want_cut` is excluded:
+    /// it is applied per solve call, not baked into the plan).
     exact_fallback: bool,
     enumeration_limit: usize,
-    want_cut: bool,
 }
 
 impl CacheKey {
@@ -51,7 +55,6 @@ impl CacheKey {
             flow: options.flow_backend.name(),
             exact_fallback: options.exact_fallback,
             enumeration_limit: options.enumeration_limit,
-            want_cut: options.want_cut,
         }
     }
 }
@@ -235,6 +238,22 @@ mod tests {
         assert!(cache.get_or_prepare(&engine, &q, None).unwrap().hit);
         assert!(cache.get_or_prepare(&ek, &q, None).unwrap().hit);
         assert_eq!(cache.stats().entries, 4);
+    }
+
+    #[test]
+    fn want_cut_is_not_part_of_the_key() {
+        // Cut extraction is a solve-time flag: a value-only engine and a
+        // with-cut engine share one cached plan per language.
+        let (cache, with_cut) = cache_and_engine(8);
+        let value_only =
+            Engine::with_options(SolveOptions { want_cut: false, ..Default::default() });
+        let q = Rpq::parse("abc|be").unwrap();
+        let first = cache.get_or_prepare(&with_cut, &q, None).unwrap();
+        assert!(!first.hit);
+        let second = cache.get_or_prepare(&value_only, &q, None).unwrap();
+        assert!(second.hit, "want_cut must not split the cache key");
+        assert!(Arc::ptr_eq(&first.prepared, &second.prepared));
+        assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]

@@ -14,8 +14,11 @@
 //! Query settings (all optional): `bag` (bool, bag semantics), `flow`
 //! (MinCut backend name, see [`FlowAlgorithm`]), `enumeration_limit` (facts
 //! cap of the subset-enumeration oracle), `algorithm` (force a backend by its
-//! [`Algorithm`] name instead of automatic dispatch). Settings participate in
-//! the prepared-query cache key.
+//! [`Algorithm`] name instead of automatic dispatch), `want_cut` (bool,
+//! default `true`: extract an optimal contingency set alongside the value;
+//! set `false` for value-only responses). All settings except `want_cut`
+//! participate in the prepared-query cache key — cut extraction is a
+//! solve-time flag, so both variants share one cached plan.
 //!
 //! Successful responses carry `"ok": true`; failures carry `"ok": false` and
 //! an `error` string. Databases travel in the line-based text format of
@@ -42,6 +45,10 @@ pub struct QuerySpec {
     pub enumeration_limit: Option<usize>,
     /// Force a specific algorithm instead of automatic dispatch.
     pub algorithm: Option<Algorithm>,
+    /// Whether to extract a contingency set alongside the value (`None`
+    /// defers to the server default, which is `true`). Not part of the cache
+    /// key: the flag is applied per solve call.
+    pub want_cut: Option<bool>,
 }
 
 impl QuerySpec {
@@ -158,7 +165,11 @@ fn parse_query_spec(json: &Json) -> Result<QuerySpec, String> {
         None => None,
         Some(v) => Some(v.as_str().ok_or("`algorithm` must be a string")?.parse::<Algorithm>()?),
     };
-    Ok(QuerySpec { pattern, bag, flow, enumeration_limit, algorithm })
+    let want_cut = match json.get("want_cut") {
+        None => None,
+        Some(v) => Some(v.as_bool().ok_or("`want_cut` must be a boolean")?),
+    };
+    Ok(QuerySpec { pattern, bag, flow, enumeration_limit, algorithm, want_cut })
 }
 
 fn query_spec_json(op: &'static str, query: &QuerySpec, extra: Vec<(&'static str, Json)>) -> Json {
@@ -175,6 +186,9 @@ fn query_spec_json(op: &'static str, query: &QuerySpec, extra: Vec<(&'static str
     }
     if let Some(algorithm) = query.algorithm {
         pairs.push(("algorithm", Json::Str(algorithm.name().to_string())));
+    }
+    if let Some(want_cut) = query.want_cut {
+        pairs.push(("want_cut", Json::Bool(want_cut)));
     }
     pairs.extend(extra);
     Json::object(pairs)
@@ -237,6 +251,7 @@ mod tests {
                     flow: Some(FlowAlgorithm::PushRelabel),
                     enumeration_limit: Some(12),
                     algorithm: Some(Algorithm::ExactEnumeration),
+                    want_cut: Some(false),
                 },
             },
             Request::Solve { query: QuerySpec::new("ab"), db: "u a v\nv b w\n".into() },
@@ -267,6 +282,7 @@ mod tests {
             (r#"{"op":"prepare","query":"ab","algorithm":"bogus"}"#, "unknown algorithm"),
             (r#"{"op":"prepare","query":"ab","enumeration_limit":-3}"#, "non-negative"),
             (r#"{"op":"prepare","query":"ab","bag":"yes"}"#, "boolean"),
+            (r#"{"op":"solve","query":"ab","db":"u a v\n","want_cut":1}"#, "`want_cut`"),
         ] {
             let err = Request::parse(line).unwrap_err();
             assert!(err.contains(fragment), "{line}: {err}");

@@ -129,6 +129,13 @@ impl ServerState {
         Engine::with_options(options)
     }
 
+    /// Whether this request wants a contingency set: the per-request
+    /// `want_cut` override, or the server default. Applied per solve call
+    /// (`PreparedQuery::solve_with_cut`), never part of the cache key.
+    fn want_cut_for(&self, spec: &QuerySpec) -> bool {
+        spec.want_cut.unwrap_or(self.options.want_cut)
+    }
+
     fn parse_query(&self, spec: &QuerySpec) -> Result<Rpq, String> {
         let language = Language::parse(&spec.pattern)
             .map_err(|e| format!("cannot parse query `{}`: {e}", spec.pattern))?;
@@ -169,7 +176,7 @@ impl ServerState {
             Ok(db) => db,
             Err(message) => return error_response(message),
         };
-        match prepared.solve(&db) {
+        match prepared.solve_with_cut(&db, self.want_cut_for(spec)) {
             Ok(outcome) => {
                 let mut fields = vec![
                     ("ok".to_string(), Json::Bool(true)),
@@ -189,11 +196,12 @@ impl ServerState {
             Ok(p) => p,
             Err(message) => return error_response(message),
         };
+        let want_cut = self.want_cut_for(spec);
         let results = dbs
             .iter()
             .map(|db_text| match parse_db(db_text) {
                 Err(message) => error_response(message),
-                Ok(db) => match prepared.solve(&db) {
+                Ok(db) => match prepared.solve_with_cut(&db, want_cut) {
                     Ok(outcome) => outcome_json(&outcome, &db),
                     Err(e) => error_response(e.to_string()),
                 },
@@ -495,6 +503,35 @@ mod tests {
             r#"{"op":"solve","query":"aa","algorithm":"greedy","db":"1 a 2\n2 a 3\n3 a 4\n"}"#,
         );
         assert!(response.get("bounds").is_some());
+    }
+
+    #[test]
+    fn want_cut_false_yields_value_only_responses_from_one_cache_entry() {
+        let state = state();
+        // One-dangling query: the backend now extracts witnesses by default.
+        let db = "1 a 2\\n2 b 3\\n3 c 4\\n3 e 5\\n";
+        let with_cut =
+            request(&state, &format!(r#"{{"op":"solve","query":"abc|be","db":"{db}"}}"#));
+        assert_eq!(with_cut.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(with_cut.get("algorithm").and_then(Json::as_str), Some("one-dangling"));
+        assert_eq!(with_cut.get("contingency_set").unwrap().as_array().unwrap().len(), 1);
+        // Opting out drops the witness but reuses the same cached plan.
+        let value_only = request(
+            &state,
+            &format!(r#"{{"op":"solve","query":"abc|be","want_cut":false,"db":"{db}"}}"#),
+        );
+        assert_eq!(value_only.get("value"), with_cut.get("value"));
+        assert!(value_only.get("contingency_set").is_none());
+        assert_eq!(value_only.get("cached"), Some(&Json::Bool(true)));
+        let stats = request(&state, r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("cache").unwrap().get("entries"), Some(&Json::Int(1)));
+        // Batches honor the flag too.
+        let batch = request(
+            &state,
+            &format!(r#"{{"op":"solve_batch","query":"abc|be","want_cut":false,"dbs":["{db}"]}}"#),
+        );
+        let results = batch.get("results").unwrap().as_array().unwrap();
+        assert!(results[0].get("contingency_set").is_none());
     }
 
     #[test]

@@ -138,6 +138,47 @@ fn concurrent_solve_batch_agrees_with_the_direct_engine() {
 }
 
 #[test]
+fn want_cut_variants_share_one_cache_entry_and_differ_only_in_the_witness() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let running = server.spawn().unwrap();
+    let mut client = Client::connect(running.addr).unwrap();
+
+    // A one-dangling query (witnesses come from the Proposition 7.9 cut
+    // mapping) over a database where the optimal cut is the shared b-fact.
+    let db = "1 a 2\n2 b 3\n3 c 4\n3 e 5\n".to_string();
+    let with_cut = client
+        .request(&Request::Solve { query: QuerySpec::new("abc|be"), db: db.clone() })
+        .unwrap();
+    assert_eq!(with_cut.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(with_cut.get("algorithm").and_then(Json::as_str), Some("one-dangling"));
+    assert_eq!(
+        with_cut.get("contingency_set").unwrap().as_array().unwrap(),
+        &vec![Json::Str("2 -b-> 3".into())]
+    );
+
+    // The value-only variant of the same language: no witness, same value,
+    // answered from the same cache entry (want_cut is not part of the key).
+    let value_only = client
+        .request(&Request::Solve {
+            query: QuerySpec { want_cut: Some(false), ..QuerySpec::new("abc|be") },
+            db,
+        })
+        .unwrap();
+    assert_eq!(value_only.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(value_only.get("value"), with_cut.get("value"));
+    assert!(value_only.get("contingency_set").is_none());
+    assert_eq!(value_only.get("cached"), Some(&Json::Bool(true)));
+
+    let stats = client.request(&Request::Stats).unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("entries"), Some(&Json::Int(1)), "one entry for both variants");
+    assert_eq!(cache.get("misses"), Some(&Json::Int(1)));
+
+    client.request(&Request::Shutdown).unwrap();
+    running.join().unwrap();
+}
+
+#[test]
 fn newline_less_shutdown_at_eof_stops_the_server() {
     use std::io::{Read, Write};
     let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();

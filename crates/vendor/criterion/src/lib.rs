@@ -20,7 +20,9 @@
 //!   annotated). The file is rewritten after every completed benchmark, so
 //!   an interrupted run still leaves a valid, machine-readable artifact —
 //!   this is how the committed `BENCH_*.json` files at the workspace root
-//!   are produced (see EXPERIMENTS.md);
+//!   are produced (see EXPERIMENTS.md). Relative paths are resolved against
+//!   the workspace root (nearest ancestor with a `Cargo.lock`), not the
+//!   bench binary's package-directory cwd;
 //! * a positional command-line argument filters benchmarks by substring, as
 //!   with real Criterion.
 
@@ -122,11 +124,34 @@ fn escape_json(s: &str) -> String {
     out
 }
 
+/// Resolves a relative `CRITERION_SAVE` path against the workspace root —
+/// the nearest ancestor of the working directory containing a `Cargo.lock`.
+/// Cargo runs bench binaries from the *package* directory (`crates/bench/`),
+/// so without this the documented `CRITERION_SAVE=BENCH_x.json cargo bench…`
+/// invocation would scatter artifacts outside the committed workspace-root
+/// location. Absolute paths are used as given.
+fn resolve_save_path(path: &str) -> std::path::PathBuf {
+    let path = std::path::Path::new(path);
+    if path.is_absolute() {
+        return path.to_path_buf();
+    }
+    let mut dir = std::env::current_dir().unwrap_or_default();
+    loop {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join(path);
+        }
+        if !dir.pop() {
+            return path.to_path_buf();
+        }
+    }
+}
+
 fn persist_record(name: &str, record: SavedRecord) {
     let Ok(path) = std::env::var("CRITERION_SAVE") else { return };
     if path.is_empty() {
         return;
     }
+    let path = resolve_save_path(&path);
     let mut saved = SAVED.lock().expect("benchmark record lock");
     saved.insert(name.to_string(), record);
     let mut out = String::from("{\n");
@@ -154,7 +179,7 @@ fn persist_record(name: &str, record: SavedRecord) {
     }
     out.push_str("\n}\n");
     if let Err(e) = std::fs::write(&path, out) {
-        eprintln!("criterion stub: cannot persist results to {path}: {e}");
+        eprintln!("criterion stub: cannot persist results to {}: {e}", path.display());
     }
 }
 

@@ -16,7 +16,9 @@ pub const FAMILIES: &[(&str, &[&str], Algorithm)] = &[
     // legitimately prefers the Theorem 3.13 algorithm over the chain one.)
     ("abc", &["ab|bc", "axb|byc"], Algorithm::BipartiteChain),
     // (`ab|ce` is likewise local and routes to Theorem 3.13 first.)
-    ("abce", &["abc|be"], Algorithm::OneDangling),
+    // `cba|eb` is the mirror of `abc|be`: its normalization reverses every
+    // database (Proposition 6.3), covering the mirrored witness mapping.
+    ("abce", &["abc|be", "cba|eb"], Algorithm::OneDangling),
     ("ab", &["aa", "ab|bb"], Algorithm::ExactBranchAndBound),
 ];
 
