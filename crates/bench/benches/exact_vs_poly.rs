@@ -17,18 +17,25 @@ fn exact_vs_poly(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2))
         .warm_up_time(Duration::from_millis(200));
     let query = Rpq::parse("ax*b").unwrap().with_bag_semantics();
-    for size in [64usize, 256] {
+    // The exact solver is exponential: ~9 ms at 54 facts, ~170 ms at 87,
+    // effectively forever at 231 — so it is only *benchmarked* on sizes
+    // where one iteration terminates (the blow-up is still plainly visible),
+    // while the polynomial side sweeps further.
+    for size in [64usize, 96] {
         let db = flow_db_of_size(size);
         // Sanity: both solvers agree.
         assert_eq!(
             solve_with(Algorithm::Local, &query, &db).unwrap().value,
             solve_with(Algorithm::ExactBranchAndBound, &query, &db).unwrap().value
         );
-        group.bench_with_input(BenchmarkId::new("mincut_poly", db.num_facts()), &db, |b, db| {
-            b.iter(|| solve_with(Algorithm::Local, &query, db).unwrap().value)
-        });
         group.bench_with_input(BenchmarkId::new("exact_bb", db.num_facts()), &db, |b, db| {
             b.iter(|| solve_with(Algorithm::ExactBranchAndBound, &query, db).unwrap().value)
+        });
+    }
+    for size in [64usize, 96, 256, 1024] {
+        let db = flow_db_of_size(size);
+        group.bench_with_input(BenchmarkId::new("mincut_poly", db.num_facts()), &db, |b, db| {
+            b.iter(|| solve_with(Algorithm::Local, &query, db).unwrap().value)
         });
     }
     group.finish();

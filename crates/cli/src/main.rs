@@ -45,11 +45,11 @@ const USAGE: &str = "\
 usage:
   rpq-cli classify '<regex>'
   rpq-cli resilience '<regex>' <db.txt>... [--bag] [--algorithm <name>] [--flow <name>]
-          [--enumeration-limit <n>] [--show-cut] [--no-cut]
+          [--enumeration-limit <n>] [--show-cut] [--no-cut] [--jobs <n>]
   rpq-cli gadget '<regex>'
   rpq-cli figure1
   rpq-cli serve [--port <p>] [--pipe] [--threads <n>] [--cache-capacity <n>]
-          [--flow <name>] [--enumeration-limit <n>]
+          [--cache-shards <n>] [--jobs <n>] [--flow <name>] [--enumeration-limit <n>]
   rpq-cli client [--addr <host:port>] prepare '<regex>' [query options]
   rpq-cli client [--addr <host:port>] solve '<regex>' <db.txt>... [query options]
   rpq-cli client [--addr <host:port>] stats | shutdown | raw '<json>'
@@ -62,14 +62,20 @@ database format: one fact per line, `source label target [multiplicity] [!]`\n(a
 with several database files, the query plan is prepared once and reused
 serve: NDJSON protocol (prepare/solve/solve_batch/stats/shutdown) on 127.0.0.1,
        default port 7878; --pipe serves stdin/stdout instead of TCP.
-       The prepared-query cache is keyed by canonicalized language, so
-       equivalent regex spellings share one cached plan.
+       Connections are multiplexed: workers pick up one request at a time, so
+       idle persistent connections never starve new clients. The prepared-query
+       cache is keyed by canonicalized language (equivalent regex spellings
+       share one cached plan) and striped over --cache-shards locks.
+jobs: worker threads for the per-database half of a batch (default 1);
+      on `serve` the default for requests without a `jobs` field, on `client`
+      sent with the request, on `resilience` used across the database files
 show-cut: `contingency set : {}` means the optimal cut is empty (resilience 0);
           an explicit `(…)` note says why no witness is available instead
 no-cut: value-only solving (skips witness extraction; with --show-cut, the
         contingency set line reports the cut as not extracted)
 client query options: [--bag] [--algorithm <name>] [--flow <name>] [--enumeration-limit <n>]
                       [--no-cut] (value-only response: sends want_cut=false)
+                      [--jobs <n>] (parallel per-database solving server-side)
 client: `solve` with several databases sends one solve_batch request";
 
 /// Prints one line to stdout, exiting quietly when the consumer closed the
@@ -169,6 +175,7 @@ fn cmd_resilience(pattern: &str, args: &[String]) -> Result<(), String> {
     let mut algorithm: Option<Algorithm> = None;
     let mut options = SolveOptions::default();
     let mut show_cut = false;
+    let mut jobs: usize = 1;
     let mut paths: Vec<&String> = Vec::new();
     let mut iter = args.iter();
     while let Some(option) = iter.next() {
@@ -187,6 +194,7 @@ fn cmd_resilience(pattern: &str, args: &[String]) -> Result<(), String> {
             "--enumeration-limit" => {
                 options.enumeration_limit = parse_number("--enumeration-limit", iter.next())?;
             }
+            "--jobs" => jobs = parse_number("--jobs", iter.next())?,
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             _ => paths.push(option),
         }
@@ -209,11 +217,9 @@ fn cmd_resilience(pattern: &str, args: &[String]) -> Result<(), String> {
     if options.flow_backend != FlowAlgorithm::default() {
         outln!("flow backend    : {}", options.flow_backend);
     }
-    for path in paths {
-        let db = load_database(path)?;
+    let report = |path: &str, db: &GraphDb, outcome: &ResilienceOutcome| {
         outln!();
         outln!("database        : {path} ({} nodes, {} facts)", db.num_nodes(), db.num_facts());
-        let outcome = prepared.solve(&db).map_err(|e| e.to_string())?;
         outln!("algorithm       : {}", outcome.algorithm);
         match outcome.bounds {
             Some((lower, upper)) if lower != upper => {
@@ -222,9 +228,26 @@ fn cmd_resilience(pattern: &str, args: &[String]) -> Result<(), String> {
             _ => outln!("resilience      : {}", outcome.value),
         }
         if show_cut {
-            for line in cut_report(&outcome, &db, options.want_cut) {
+            for line in cut_report(outcome, db, options.want_cut) {
                 outln!("{line}");
             }
+        }
+    };
+    if jobs > 1 {
+        // `--jobs n`: load everything, solve the whole batch on scoped
+        // threads, then print in file order.
+        let dbs = paths.iter().map(|path| load_database(path)).collect::<Result<Vec<_>, _>>()?;
+        let outcomes = prepared.solve_batch_parallel(&dbs, jobs);
+        for ((path, db), outcome) in paths.iter().zip(&dbs).zip(outcomes) {
+            report(path, db, &outcome.map_err(|e| e.to_string())?);
+        }
+    } else {
+        // Sequential default: stream each database's result as it is
+        // solved (earlier results survive a later file failing to load).
+        for path in paths {
+            let db = load_database(path)?;
+            let outcome = prepared.solve(&db).map_err(|e| e.to_string())?;
+            report(path, &db, &outcome);
         }
     }
     Ok(())
@@ -303,6 +326,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--cache-capacity" => {
                 config.cache_capacity = parse_number("--cache-capacity", iter.next())?;
             }
+            "--cache-shards" => {
+                config.cache_shards = parse_number("--cache-shards", iter.next())?;
+            }
+            "--jobs" => config.jobs = parse_number("--jobs", iter.next())?,
             "--flow" => {
                 let name = iter.next().ok_or("--flow requires a value")?;
                 config.options.flow_backend = name.parse::<FlowAlgorithm>()?;
@@ -325,8 +352,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot bind 127.0.0.1:{port}: {e}"))?;
         let addr = server.local_addr().map_err(|e| e.to_string())?;
         outln!(
-            "rpq-server listening on {addr} (threads={}, cache-capacity={})",
+            "rpq-server listening on {addr} (threads={}, jobs={}, cache-capacity={})",
             config.threads.max(1),
+            config.jobs.max(1),
             config.cache_capacity
         );
         server.run().map_err(|e| format!("server failed: {e}"))
@@ -334,7 +362,8 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
 }
 
 /// Parses the shared query options (`--bag`, `--flow`, `--algorithm`,
-/// `--enumeration-limit`) out of `args`, returning the leftover positionals.
+/// `--enumeration-limit`, `--no-cut`, `--jobs`) out of `args`, returning the
+/// leftover positionals.
 fn parse_query_options(args: &[String]) -> Result<(QuerySpec, Vec<String>), String> {
     let mut spec = QuerySpec::default();
     let mut positional = Vec::new();
@@ -354,6 +383,7 @@ fn parse_query_options(args: &[String]) -> Result<(QuerySpec, Vec<String>), Stri
                 spec.enumeration_limit = Some(parse_number("--enumeration-limit", iter.next())?);
             }
             "--no-cut" => spec.want_cut = Some(false),
+            "--jobs" => spec.jobs = Some(parse_number("--jobs", iter.next())?),
             other if other.starts_with("--") => {
                 return Err(format!("unknown client option `{other}`"));
             }

@@ -20,6 +20,15 @@
 //! solve-time flag (`PreparedQuery::solve_with_cut`), so value-only and
 //! with-cut requests for the same language share one entry. Eviction is
 //! least-recently-used with a fixed capacity.
+//!
+//! The cache is **sharded into lock stripes** keyed by the language
+//! fingerprint: each stripe has its own mutex and its own LRU region, so
+//! cache hits on different languages never contend on one global lock under
+//! high connection counts. Counters (hits/misses/evictions) are lock-free
+//! atomics; eviction is LRU *within a stripe* (stripe capacities sum to the
+//! configured total), which approximates global LRU the way any striped
+//! cache does. `QueryCache::with_shards(capacity, 1)` recovers exact global
+//! LRU when determinism matters more than throughput.
 
 use rpq_resilience::algorithms::{Algorithm, ResilienceError};
 use rpq_resilience::engine::{Engine, PreparedQuery, SolveOptions};
@@ -89,37 +98,71 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped to respect the capacity.
     pub evictions: u64,
-    /// Entries currently cached.
+    /// Entries currently cached (summed over all stripes).
     pub entries: usize,
-    /// The configured capacity.
+    /// The configured total capacity.
     pub capacity: usize,
+    /// The number of lock stripes.
+    pub shards: usize,
 }
 
-/// A thread-safe LRU cache of [`PreparedQuery`] plans keyed by canonicalized
-/// query language (plus semantics and options). See the module docs.
+/// The default stripe count of [`QueryCache::new`] (clamped to the capacity).
+pub const DEFAULT_SHARDS: usize = 8;
+
+/// The minimum number of slots per stripe: every option-variant of a
+/// language shares its stripe, so stripes must hold a few entries each.
+pub const MIN_STRIPE_CAPACITY: usize = 4;
+
+/// A thread-safe, lock-striped LRU cache of [`PreparedQuery`] plans keyed by
+/// canonicalized query language (plus semantics and options). See the module
+/// docs for the keying and sharding rules.
 pub struct QueryCache {
     capacity: usize,
-    inner: Mutex<Inner>,
+    stripe_capacity: usize,
+    stripes: Vec<Mutex<Inner>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
 }
 
 impl QueryCache {
-    /// A cache holding at most `capacity` prepared plans (at least one).
+    /// A cache holding at most `capacity` prepared plans (at least one),
+    /// striped over [`DEFAULT_SHARDS`] locks.
     pub fn new(capacity: usize) -> QueryCache {
+        QueryCache::with_shards(capacity, DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit stripe count. The stripe count is clamped so
+    /// that every stripe gets at least [`MIN_STRIPE_CAPACITY`] slots — all
+    /// option-variants of one language land in the same stripe (they share a
+    /// fingerprint), so tiny stripes would thrash between variants. Each
+    /// stripe gets `capacity.div_ceil(shards)` slots; stripe capacities sum
+    /// to (at least) the requested total.
+    pub fn with_shards(capacity: usize, shards: usize) -> QueryCache {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, (capacity / MIN_STRIPE_CAPACITY).max(1));
         QueryCache {
-            capacity: capacity.max(1),
-            inner: Mutex::new(Inner { entries: HashMap::new(), tick: 0 }),
+            capacity,
+            stripe_capacity: capacity.div_ceil(shards),
+            stripes: (0..shards)
+                .map(|_| Mutex::new(Inner { entries: HashMap::new(), tick: 0 }))
+                .collect(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
 
+    /// The stripe a language fingerprint maps to. All keys of one language
+    /// share a stripe regardless of options, so a hot language contends on
+    /// exactly one lock and different languages spread over all of them.
+    fn stripe(&self, fingerprint: u64) -> &Mutex<Inner> {
+        &self.stripes[(fingerprint % self.stripes.len() as u64) as usize]
+    }
+
     /// Returns the cached plan for the query's language (and the engine's
     /// options), preparing and inserting it on a miss. Preparation runs
-    /// outside the cache lock, so a slow `prepare` never blocks hits on
+    /// outside every cache lock, so a slow `prepare` never blocks hits on
     /// other languages; two threads racing on the same new language may both
     /// prepare, and the first insert wins.
     pub fn get_or_prepare(
@@ -130,7 +173,7 @@ impl QueryCache {
     ) -> Result<CacheLookup, ResilienceError> {
         let key = CacheKey::new(rpq, engine.options(), forced);
         let fingerprint = rpq_automata::Language::fingerprint_of_canonical_form(&key.canonical);
-        if let Some(prepared) = self.lookup(&key) {
+        if let Some(prepared) = self.lookup(fingerprint, &key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(CacheLookup { prepared, hit: true, fingerprint });
         }
@@ -139,11 +182,15 @@ impl QueryCache {
             Some(algorithm) => engine.prepare_with(algorithm, rpq)?,
             None => engine.prepare(rpq)?,
         });
-        Ok(CacheLookup { prepared: self.insert(key, prepared), hit: false, fingerprint })
+        Ok(CacheLookup {
+            prepared: self.insert(fingerprint, key, prepared),
+            hit: false,
+            fingerprint,
+        })
     }
 
-    fn lookup(&self, key: &CacheKey) -> Option<Arc<PreparedQuery>> {
-        let mut inner = self.inner.lock().expect("cache lock");
+    fn lookup(&self, fingerprint: u64, key: &CacheKey) -> Option<Arc<PreparedQuery>> {
+        let mut inner = self.stripe(fingerprint).lock().expect("cache stripe lock");
         inner.tick += 1;
         let tick = inner.tick;
         inner.entries.get_mut(key).map(|entry| {
@@ -152,8 +199,13 @@ impl QueryCache {
         })
     }
 
-    fn insert(&self, key: CacheKey, prepared: Arc<PreparedQuery>) -> Arc<PreparedQuery> {
-        let mut inner = self.inner.lock().expect("cache lock");
+    fn insert(
+        &self,
+        fingerprint: u64,
+        key: CacheKey,
+        prepared: Arc<PreparedQuery>,
+    ) -> Arc<PreparedQuery> {
+        let mut inner = self.stripe(fingerprint).lock().expect("cache stripe lock");
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(existing) = inner.entries.get_mut(&key) {
@@ -162,13 +214,13 @@ impl QueryCache {
             existing.last_used = tick;
             return Arc::clone(&existing.prepared);
         }
-        while inner.entries.len() >= self.capacity {
+        while inner.entries.len() >= self.stripe_capacity {
             let oldest = inner
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
-                .expect("non-empty cache above capacity");
+                .expect("non-empty stripe above capacity");
             inner.entries.remove(&oldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -176,15 +228,17 @@ impl QueryCache {
         prepared
     }
 
-    /// The current counters.
+    /// The current counters (entries summed over all stripes).
     pub fn stats(&self) -> CacheStats {
-        let entries = self.inner.lock().expect("cache lock").entries.len();
+        let entries =
+            self.stripes.iter().map(|s| s.lock().expect("cache stripe lock").entries.len()).sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             entries,
             capacity: self.capacity,
+            shards: self.stripes.len(),
         }
     }
 }
@@ -257,7 +311,78 @@ mod tests {
     }
 
     #[test]
+    fn sharding_clamps_and_reports_its_stripe_count() {
+        // Tiny capacities collapse to one stripe (exact global LRU).
+        assert_eq!(QueryCache::new(2).stats().shards, 1);
+        assert_eq!(QueryCache::with_shards(2, 16).stats().shards, 1);
+        // Every stripe keeps at least MIN_STRIPE_CAPACITY slots.
+        assert_eq!(QueryCache::with_shards(16, 16).stats().shards, 16 / MIN_STRIPE_CAPACITY);
+        // The default server configuration really is striped.
+        let default = QueryCache::new(256).stats();
+        assert_eq!(default.shards, DEFAULT_SHARDS);
+        assert_eq!(default.capacity, 256);
+    }
+
+    #[test]
+    fn striped_cache_spreads_languages_and_aggregates_stats() {
+        let (cache, engine) = cache_and_engine(64); // 8 stripes by default
+        let patterns = ["a", "b", "c", "ab", "ax*b", "ab|bc", "abc|be", "ba"];
+        for pattern in patterns {
+            assert!(
+                !cache.get_or_prepare(&engine, &Rpq::parse(pattern).unwrap(), None).unwrap().hit
+            );
+        }
+        // Entries are summed over all stripes; every language now hits.
+        assert_eq!(cache.stats().entries, patterns.len());
+        for pattern in patterns {
+            assert!(
+                cache.get_or_prepare(&engine, &Rpq::parse(pattern).unwrap(), None).unwrap().hit
+            );
+        }
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (patterns.len() as u64, patterns.len() as u64));
+        // At least two distinct stripes are populated (fingerprints spread).
+        let distinct: std::collections::BTreeSet<u64> = patterns
+            .iter()
+            .map(|p| {
+                let lookup = cache.get_or_prepare(&engine, &Rpq::parse(p).unwrap(), None).unwrap();
+                lookup.fingerprint % stats.shards as u64
+            })
+            .collect();
+        assert!(distinct.len() > 1, "fingerprints must spread over stripes: {distinct:?}");
+    }
+
+    #[test]
+    fn concurrent_hits_on_distinct_stripes_share_plans() {
+        let cache = std::sync::Arc::new(QueryCache::new(64));
+        let patterns = ["a", "b", "ax*b", "ab|bc"];
+        let mut handles = Vec::new();
+        for &pattern in &patterns {
+            for _ in 0..3 {
+                let cache = std::sync::Arc::clone(&cache);
+                handles.push(std::thread::spawn(move || {
+                    let engine = Engine::new();
+                    let rpq = Rpq::parse(pattern).unwrap();
+                    let lookup = cache.get_or_prepare(&engine, &rpq, None).unwrap();
+                    std::sync::Arc::as_ptr(&lookup.prepared) as usize
+                }));
+            }
+        }
+        let mut plans: Vec<usize> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        plans.sort_unstable();
+        plans.dedup();
+        // Racing threads may both prepare, but the first insert wins and
+        // every caller is handed the incumbent: exactly one shared plan per
+        // language, no matter how the 12 lookups interleaved.
+        assert_eq!(cache.stats().entries, patterns.len());
+        assert_eq!(plans.len(), patterns.len());
+        let stats = cache.stats();
+        assert_eq!(stats.hits + stats.misses, 12);
+    }
+
+    #[test]
     fn lru_eviction_drops_the_coldest_entry() {
+        // Capacity 2 collapses to a single stripe: exact global LRU.
         let (cache, engine) = cache_and_engine(2);
         cache.get_or_prepare(&engine, &Rpq::parse("a").unwrap(), None).unwrap();
         cache.get_or_prepare(&engine, &Rpq::parse("b").unwrap(), None).unwrap();

@@ -27,6 +27,13 @@ impl Client {
         Ok(Client { reader: BufReader::new(stream), writer })
     }
 
+    /// Bounds how long [`Client::request`] waits for a response line
+    /// (`None` blocks forever). Tests use this to turn a hung server into a
+    /// failing assertion instead of a stuck test run.
+    pub fn set_read_timeout(&self, timeout: Option<std::time::Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     /// Sends one raw request line and returns the raw response line.
     pub fn request_line(&mut self, line: &str) -> io::Result<String> {
         self.writer.write_all(line.as_bytes())?;

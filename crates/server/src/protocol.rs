@@ -16,9 +16,11 @@
 //! cap of the subset-enumeration oracle), `algorithm` (force a backend by its
 //! [`Algorithm`] name instead of automatic dispatch), `want_cut` (bool,
 //! default `true`: extract an optimal contingency set alongside the value;
-//! set `false` for value-only responses). All settings except `want_cut`
-//! participate in the prepared-query cache key — cut extraction is a
-//! solve-time flag, so both variants share one cached plan.
+//! set `false` for value-only responses), `jobs` (int, worker threads for
+//! the per-database half of a `solve_batch`; defaults to the server's
+//! `--jobs` setting). All settings except `want_cut` and `jobs` participate
+//! in the prepared-query cache key — cut extraction and batch parallelism
+//! are solve-time choices, so their variants share one cached plan.
 //!
 //! Successful responses carry `"ok": true`; failures carry `"ok": false` and
 //! an `error` string. Databases travel in the line-based text format of
@@ -49,6 +51,10 @@ pub struct QuerySpec {
     /// defers to the server default, which is `true`). Not part of the cache
     /// key: the flag is applied per solve call.
     pub want_cut: Option<bool>,
+    /// Worker threads for the per-database half of a `solve_batch` (`None`
+    /// defers to the server default). Like `want_cut`, a solve-time setting:
+    /// never part of the cache key.
+    pub jobs: Option<usize>,
 }
 
 impl QuerySpec {
@@ -169,7 +175,11 @@ fn parse_query_spec(json: &Json) -> Result<QuerySpec, String> {
         None => None,
         Some(v) => Some(v.as_bool().ok_or("`want_cut` must be a boolean")?),
     };
-    Ok(QuerySpec { pattern, bag, flow, enumeration_limit, algorithm, want_cut })
+    let jobs = match json.get("jobs") {
+        None => None,
+        Some(v) => Some(v.as_usize().ok_or("`jobs` must be a non-negative integer")?),
+    };
+    Ok(QuerySpec { pattern, bag, flow, enumeration_limit, algorithm, want_cut, jobs })
 }
 
 fn query_spec_json(op: &'static str, query: &QuerySpec, extra: Vec<(&'static str, Json)>) -> Json {
@@ -189,6 +199,9 @@ fn query_spec_json(op: &'static str, query: &QuerySpec, extra: Vec<(&'static str
     }
     if let Some(want_cut) = query.want_cut {
         pairs.push(("want_cut", Json::Bool(want_cut)));
+    }
+    if let Some(jobs) = query.jobs {
+        pairs.push(("jobs", Json::Int(jobs as i128)));
     }
     pairs.extend(extra);
     Json::object(pairs)
@@ -252,6 +265,7 @@ mod tests {
                     enumeration_limit: Some(12),
                     algorithm: Some(Algorithm::ExactEnumeration),
                     want_cut: Some(false),
+                    jobs: Some(2),
                 },
             },
             Request::Solve { query: QuerySpec::new("ab"), db: "u a v\nv b w\n".into() },
@@ -283,6 +297,8 @@ mod tests {
             (r#"{"op":"prepare","query":"ab","enumeration_limit":-3}"#, "non-negative"),
             (r#"{"op":"prepare","query":"ab","bag":"yes"}"#, "boolean"),
             (r#"{"op":"solve","query":"ab","db":"u a v\n","want_cut":1}"#, "`want_cut`"),
+            (r#"{"op":"solve_batch","query":"ab","dbs":[],"jobs":-2}"#, "`jobs`"),
+            (r#"{"op":"solve_batch","query":"ab","dbs":[],"jobs":true}"#, "`jobs`"),
         ] {
             let err = Request::parse(line).unwrap_err();
             assert!(err.contains(fragment), "{line}: {err}");

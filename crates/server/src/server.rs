@@ -1,18 +1,33 @@
 //! The concurrent resilience service.
 //!
 //! [`Server::bind`] opens a TCP listener; [`Server::run`] accepts connections
-//! and dispatches each to a fixed pool of worker threads. Every connection
-//! speaks the newline-delimited JSON protocol of [`crate::protocol`], and all
-//! workers share one [`QueryCache`], so a query language prepared by any
-//! connection is reused by every other one ([`Arc`]-shared
-//! `PreparedQuery` plans — the engine layer is `Send + Sync` by
-//! construction). [`run_pipe`] serves the same protocol over an arbitrary
+//! and serves them with a **multiplexed scheduler**: an accept loop hands
+//! every connection to a *poller* thread, the poller parks connections in
+//! non-blocking mode and extracts complete request lines into a shared
+//! ready-queue, and a fixed pool of workers picks up **one request at a
+//! time** — never a whole connection. An idle keep-alive connection
+//! therefore costs no worker at all: any number of clients can hold
+//! persistent connections open without starving new clients, and a client
+//! that pipelines many requests shares the workers fairly with everyone
+//! else (its connection re-enters the queue after every response).
+//!
+//! This replaces the original one-connection-per-worker pool, which pinned a
+//! worker for a connection's entire lifetime — `threads` idle persistent
+//! connections starved every subsequent client indefinitely (see the
+//! starvation regression test in `tests/server_concurrency.rs`).
+//!
+//! Every connection speaks the newline-delimited JSON protocol of
+//! [`crate::protocol`], and all workers share one [`QueryCache`], so a query
+//! language prepared by any connection is reused by every other one
+//! ([`Arc`]-shared `PreparedQuery` plans — the engine layer is `Send + Sync`
+//! by construction). [`run_pipe`] serves the same protocol over an arbitrary
 //! reader/writer pair (stdin/stdout in `rpq-cli serve --pipe`), which is also
 //! how the unit tests below drive the handler without sockets.
 //!
-//! A `shutdown` request stops the accept loop; open connections are drained
-//! by the workers before [`Server::run`] returns, so a client that issues
-//! `shutdown` after reading its response observes a clean exit.
+//! A `shutdown` request stops the accept loop and the poller; parked idle
+//! connections are dropped, requests already in the ready-queue are answered,
+//! and [`Server::run`] joins its threads before returning, so a client that
+//! issues `shutdown` after reading its response observes a clean exit.
 
 use crate::cache::{CacheLookup, CacheStats, QueryCache};
 use crate::json::Json;
@@ -21,30 +36,61 @@ use rpq_automata::Language;
 use rpq_graphdb::{text, GraphDb};
 use rpq_resilience::engine::{Engine, SolveOptions};
 use rpq_resilience::rpq::Rpq;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
+use std::sync::mpsc::{self, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
-/// Server configuration: worker pool size, cache capacity and the default
-/// [`SolveOptions`] (per-request settings override them, see
+/// Server configuration: worker pool size, cache geometry, batch parallelism
+/// and the default [`SolveOptions`] (per-request settings override them, see
 /// [`crate::protocol::QuerySpec`]).
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
-    /// Worker threads handling connections (at least 1).
+    /// Worker threads handling requests (at least 1). Workers are shared by
+    /// all connections — this bounds concurrent *request* processing, not
+    /// the number of connected clients.
     pub threads: usize,
     /// Capacity of the shared prepared-query cache.
     pub cache_capacity: usize,
+    /// Lock stripes of the shared cache (see [`QueryCache::with_shards`]).
+    pub cache_shards: usize,
+    /// Default worker threads for the per-database half of a `solve_batch`
+    /// (the per-request `jobs` setting overrides it; 1 = sequential).
+    pub jobs: usize,
     /// Default solve options; the baseline for per-request overrides.
     pub options: SolveOptions,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { threads: 4, cache_capacity: 256, options: SolveOptions::default() }
+        ServerConfig {
+            threads: 4,
+            cache_capacity: 256,
+            cache_shards: crate::cache::DEFAULT_SHARDS,
+            jobs: 1,
+            options: SolveOptions::default(),
+        }
     }
+}
+
+/// Connection and keep-alive counters (see the `connections` object of the
+/// `stats` response). All counters are lock-free atomics; `open` and
+/// `queue_depth` are gauges, the rest are monotone totals.
+#[derive(Debug, Default)]
+struct ConnectionMetrics {
+    /// Currently open TCP connections (parked, queued or being served).
+    open: AtomicU64,
+    /// Total connections accepted since the server started.
+    accepted: AtomicU64,
+    /// Total requests served over TCP connections.
+    requests: AtomicU64,
+    /// The largest number of requests any single connection has issued.
+    max_requests: AtomicU64,
+    /// Requests currently sitting in the ready-queue (extracted from a
+    /// connection, not yet picked up by a worker).
+    queue_depth: AtomicU64,
 }
 
 /// Shared server state: the prepared-query cache, request counters and the
@@ -53,10 +99,12 @@ impl Default for ServerConfig {
 pub struct ServerState {
     options: SolveOptions,
     threads: usize,
+    jobs: usize,
     cache: QueryCache,
     requests: AtomicU64,
     errors: AtomicU64,
     shutdown: AtomicBool,
+    connections: ConnectionMetrics,
     /// The bound address, once known — used to self-connect and wake the
     /// accept loop on shutdown.
     addr: Mutex<Option<SocketAddr>>,
@@ -68,10 +116,12 @@ impl ServerState {
         ServerState {
             options: config.options,
             threads: config.threads.max(1),
-            cache: QueryCache::new(config.cache_capacity),
+            jobs: config.jobs.clamp(1, MAX_BATCH_JOBS),
+            cache: QueryCache::with_shards(config.cache_capacity, config.cache_shards),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            connections: ConnectionMetrics::default(),
             addr: Mutex::new(None),
         }
     }
@@ -84,6 +134,26 @@ impl ServerState {
     /// Whether a shutdown has been requested.
     pub fn is_shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Handles one raw request line (undecoded bytes). Invalid UTF-8 is an
+    /// explicit protocol error — the bytes are never lossily replaced and
+    /// forwarded, which used to surface as a confusing downstream JSON parse
+    /// error on mangled text.
+    pub fn handle_raw_line(&self, line: &[u8]) -> (String, bool) {
+        match std::str::from_utf8(line) {
+            Ok(text) => self.handle_line(text),
+            Err(e) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                let message = format!(
+                    "invalid encoding: request line is not UTF-8 (first invalid byte at \
+                     offset {})",
+                    e.valid_up_to()
+                );
+                (error_response(message).to_string(), false)
+            }
+        }
     }
 
     /// Handles one request line and returns the response line plus whether
@@ -197,16 +267,45 @@ impl ServerState {
             Err(message) => return error_response(message),
         };
         let want_cut = self.want_cut_for(spec);
-        let results = dbs
+        // The per-request override is untrusted input: clamp it, or one
+        // request could ask for an OS thread per database.
+        let jobs = spec.jobs.unwrap_or(self.jobs).clamp(1, MAX_BATCH_JOBS);
+        // Parse every database up front (cheap, per-entry failures recorded),
+        // then run the per-database solves through the engine's scoped-thread
+        // batch path — `jobs` worker threads over the parsed databases.
+        let mut parsed: Vec<GraphDb> = Vec::with_capacity(dbs.len());
+        let slots: Vec<Result<usize, String>> = dbs
             .iter()
-            .map(|db_text| match parse_db(db_text) {
-                Err(message) => error_response(message),
-                Ok(db) => match prepared.solve_with_cut(&db, want_cut) {
-                    Ok(outcome) => outcome_json(&outcome, &db),
-                    Err(e) => error_response(e.to_string()),
+            .map(|db_text| {
+                parse_db(db_text).map(|db| {
+                    parsed.push(db);
+                    parsed.len() - 1
+                })
+            })
+            .collect();
+        let outcomes = prepared.solve_batch_parallel_with_cut(&parsed, want_cut, jobs);
+        let mut failures: u64 = 0;
+        let results: Vec<Json> = slots
+            .into_iter()
+            .map(|slot| match slot {
+                Err(message) => {
+                    failures += 1;
+                    error_response(message)
+                }
+                Ok(i) => match &outcomes[i] {
+                    Ok(outcome) => outcome_json(outcome, &parsed[i]),
+                    Err(e) => {
+                        failures += 1;
+                        error_response(e.to_string())
+                    }
                 },
             })
             .collect();
+        // Per-database failures ride inside an `"ok": true` envelope; count
+        // them here or the `errors` stat undercounts mixed batches.
+        if failures > 0 {
+            self.errors.fetch_add(failures, Ordering::Relaxed);
+        }
         Json::object([
             ("ok", Json::Bool(true)),
             ("cached", Json::Bool(cached)),
@@ -215,12 +314,30 @@ impl ServerState {
     }
 
     fn handle_stats(&self) -> Json {
-        let CacheStats { hits, misses, evictions, entries, capacity } = self.cache.stats();
+        let CacheStats { hits, misses, evictions, entries, capacity, shards } = self.cache.stats();
+        let connections = &self.connections;
         Json::object([
             ("ok", Json::Bool(true)),
             ("requests", Json::Int(self.requests.load(Ordering::Relaxed) as i128)),
             ("errors", Json::Int(self.errors.load(Ordering::Relaxed) as i128)),
             ("threads", Json::Int(self.threads as i128)),
+            ("jobs", Json::Int(self.jobs as i128)),
+            (
+                "connections",
+                Json::object([
+                    ("open", Json::Int(connections.open.load(Ordering::Relaxed) as i128)),
+                    ("accepted", Json::Int(connections.accepted.load(Ordering::Relaxed) as i128)),
+                    ("requests", Json::Int(connections.requests.load(Ordering::Relaxed) as i128)),
+                    (
+                        "max_requests",
+                        Json::Int(connections.max_requests.load(Ordering::Relaxed) as i128),
+                    ),
+                    (
+                        "queue_depth",
+                        Json::Int(connections.queue_depth.load(Ordering::Relaxed) as i128),
+                    ),
+                ]),
+            ),
             (
                 "cache",
                 Json::object([
@@ -229,6 +346,7 @@ impl ServerState {
                     ("evictions", Json::Int(evictions as i128)),
                     ("entries", Json::Int(entries as i128)),
                     ("capacity", Json::Int(capacity as i128)),
+                    ("shards", Json::Int(shards as i128)),
                 ]),
             ),
         ])
@@ -246,8 +364,235 @@ impl ServerState {
     }
 }
 
+/// Upper bound on the scoped worker threads a single `solve_batch` may use,
+/// whatever the request's `jobs` field says (threads beyond the physical
+/// core count only add overhead anyway).
+pub const MAX_BATCH_JOBS: usize = 64;
+
 fn parse_db(db_text: &str) -> Result<GraphDb, String> {
     text::parse(db_text).map_err(|e| format!("cannot parse database: {e}"))
+}
+
+/// One accepted TCP connection: the (non-blocking while parked) stream, the
+/// bytes read so far, and its request counter. Dropping a `Connection`
+/// closes the socket and maintains the `open` gauge.
+struct Connection {
+    stream: TcpStream,
+    buffer: Vec<u8>,
+    requests: u64,
+    state: Arc<ServerState>,
+}
+
+impl Connection {
+    /// Adopts a freshly accepted stream: no-delay (one short line per
+    /// response — Nagle + delayed ACKs would add ~40 ms per round trip),
+    /// non-blocking (the poller multiplexes reads), counters bumped.
+    fn adopt(state: &Arc<ServerState>, stream: TcpStream) -> io::Result<Connection> {
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        state.connections.accepted.fetch_add(1, Ordering::Relaxed);
+        state.connections.open.fetch_add(1, Ordering::Relaxed);
+        Ok(Connection { stream, buffer: Vec::new(), requests: 0, state: Arc::clone(state) })
+    }
+
+    /// Records one served request on this connection (keep-alive metrics).
+    fn note_request(&mut self) {
+        self.requests += 1;
+        let state = &self.state.connections;
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        state.max_requests.fetch_max(self.requests, Ordering::Relaxed);
+    }
+}
+
+impl Drop for Connection {
+    fn drop(&mut self) {
+        self.state.connections.open.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// One complete request line extracted from a connection, queued for the
+/// worker pool. The connection travels with its request, so per-connection
+/// response ordering is trivially preserved: only one worker ever holds a
+/// given connection.
+struct ReadyRequest {
+    conn: Connection,
+    line: Vec<u8>,
+    /// The peer half-closed after this line (no trailing newline at EOF):
+    /// answer it, then close instead of re-parking.
+    eof: bool,
+}
+
+/// What one poller pass observed on a parked connection.
+enum Polled {
+    /// A complete request line (plus whether the connection hit EOF).
+    Request { line: Vec<u8>, eof: bool },
+    /// No complete line yet; keep the connection parked.
+    Idle,
+    /// Peer closed (or the connection errored) with nothing left to serve.
+    Closed,
+}
+
+/// Extracts the next request line from a parked connection, reading
+/// non-blockingly as needed. Whitespace-only lines are skipped (the protocol
+/// ignores them). A non-empty buffer at EOF is served as a final request —
+/// a trailing newline-less `{"op":"shutdown"}` must still be honored.
+fn poll_connection(conn: &mut Connection) -> Polled {
+    loop {
+        if let Some(pos) = conn.buffer.iter().position(|&b| b == b'\n') {
+            let mut line: Vec<u8> = conn.buffer.drain(..=pos).collect();
+            line.pop(); // the newline
+            if line.iter().all(u8::is_ascii_whitespace) {
+                continue;
+            }
+            return Polled::Request { line, eof: false };
+        }
+        let mut chunk = [0u8; 4096];
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                let line = std::mem::take(&mut conn.buffer);
+                if line.iter().all(u8::is_ascii_whitespace) {
+                    return Polled::Closed;
+                }
+                return Polled::Request { line, eof: true };
+            }
+            Ok(n) => conn.buffer.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Polled::Idle,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return Polled::Closed, // reset mid-line: drop the client
+        }
+    }
+}
+
+/// The poller's longest sleep between no-progress passes. Sleeps back off
+/// exponentially from [`POLL_BACKOFF_START_MICROS`] up to this cap, so a
+/// connection that just exchanged a request is re-polled at microsecond
+/// cadence (ping-pong round trips stay in the tens of microseconds) while a
+/// genuinely idle server settles at one wake-up per millisecond. Parked
+/// connections are only *scanned* (one non-blocking `read` each), never
+/// waited on, so no worker is ever pinned. A dedicated `epoll`/`kqueue`
+/// readiness loop would remove the scan entirely; see ROADMAP.md.
+const POLL_INTERVAL_MAX: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// First backoff sleep after a pass that made progress (doubles per idle
+/// pass up to [`POLL_INTERVAL_MAX`]).
+const POLL_BACKOFF_START_MICROS: u64 = 2;
+
+/// The poller: parks connections, extracts complete request lines, feeds the
+/// ready-queue. Exits when a shutdown is requested (dropping every parked
+/// idle connection) or when both inbound channels close.
+fn poller_loop(
+    state: &Arc<ServerState>,
+    from_accept: &mpsc::Receiver<Connection>,
+    from_workers: &mpsc::Receiver<Connection>,
+    ready: &mpsc::Sender<ReadyRequest>,
+) {
+    let mut parked: Vec<Connection> = Vec::new();
+    let mut backoff = std::time::Duration::from_micros(POLL_BACKOFF_START_MICROS);
+    loop {
+        let mut progress = false;
+        let mut inbound_open = false;
+        for inbound in [from_accept, from_workers] {
+            loop {
+                match inbound.try_recv() {
+                    Ok(conn) => {
+                        parked.push(conn);
+                        progress = true;
+                    }
+                    Err(TryRecvError::Empty) => {
+                        inbound_open = true;
+                        break;
+                    }
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+        }
+        if state.is_shutting_down() {
+            // Parked connections are idle by definition — drop them (clients
+            // see EOF). In-flight requests finish in the workers.
+            return;
+        }
+        let mut i = 0;
+        while i < parked.len() {
+            match poll_connection(&mut parked[i]) {
+                Polled::Request { line, eof } => {
+                    let conn = parked.swap_remove(i);
+                    state.connections.queue_depth.fetch_add(1, Ordering::Relaxed);
+                    if ready.send(ReadyRequest { conn, line, eof }).is_err() {
+                        // Workers gone: only happens on teardown.
+                        state.connections.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        return;
+                    }
+                    progress = true;
+                }
+                Polled::Idle => i += 1,
+                Polled::Closed => {
+                    parked.swap_remove(i);
+                    progress = true;
+                }
+            }
+        }
+        if !inbound_open && parked.is_empty() {
+            return; // accept loop and workers both done
+        }
+        if progress {
+            backoff = std::time::Duration::from_micros(POLL_BACKOFF_START_MICROS);
+        } else {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(POLL_INTERVAL_MAX);
+        }
+    }
+}
+
+/// A worker: picks one ready request, serves it, re-parks the connection.
+fn worker_loop(
+    state: &Arc<ServerState>,
+    ready: &Arc<Mutex<mpsc::Receiver<ReadyRequest>>>,
+    park: &mpsc::Sender<Connection>,
+) {
+    loop {
+        // Holding the lock while blocked in `recv` is the standard shared-
+        // receiver pattern: exactly one idle worker waits on the channel.
+        let request = ready.lock().expect("ready queue lock").recv();
+        let Ok(request) = request else { return }; // poller gone, queue drained
+        state.connections.queue_depth.fetch_sub(1, Ordering::Relaxed);
+        if let Err(e) = serve_one(state, request, park) {
+            // Connection-level I/O errors (resets, truncated lines) only
+            // affect that client.
+            eprintln!("rpq-server: connection error: {e}");
+        }
+    }
+}
+
+/// Serves one request end to end: decode, handle, respond, then either
+/// re-park the connection (keep-alive), close it (EOF) or initiate shutdown.
+fn serve_one(
+    state: &Arc<ServerState>,
+    request: ReadyRequest,
+    park: &mpsc::Sender<Connection>,
+) -> io::Result<()> {
+    let ReadyRequest { mut conn, line, eof } = request;
+    // Blocking for the response write: responses can exceed the socket
+    // buffer (large batches), and a worker owns the connection anyway.
+    conn.stream.set_nonblocking(false)?;
+    // Counted before handling so a `stats` request sees itself, matching the
+    // top-level `requests` counter's semantics.
+    conn.note_request();
+    let (response, shutdown) = state.handle_raw_line(&line);
+    conn.stream.write_all(response.as_bytes())?;
+    conn.stream.write_all(b"\n")?;
+    conn.stream.flush()?;
+    if shutdown {
+        state.initiate_shutdown();
+        return Ok(()); // connection drops: the client saw its response
+    }
+    if eof {
+        return Ok(());
+    }
+    conn.stream.set_nonblocking(true)?;
+    // A send error means the poller exited (shutdown raced us): the
+    // connection just closes.
+    let _ = park.send(conn);
+    Ok(())
 }
 
 /// A bound, not-yet-running server.
@@ -277,41 +622,51 @@ impl Server {
     }
 
     /// Accepts and serves connections until a `shutdown` request arrives.
-    /// Open connections are drained before returning.
+    /// Requests already extracted into the ready-queue are answered before
+    /// the workers exit; parked idle connections are dropped.
     pub fn run(self) -> io::Result<()> {
         let Server { listener, state } = self;
-        let (sender, receiver) = mpsc::channel::<TcpStream>();
-        let receiver = Arc::new(Mutex::new(receiver));
+        let (to_poller, from_accept) = mpsc::channel::<Connection>();
+        let (to_workers, ready_receiver) = mpsc::channel::<ReadyRequest>();
+        let ready_receiver = Arc::new(Mutex::new(ready_receiver));
+        let (park_sender, from_workers) = mpsc::channel::<Connection>();
+
+        let poller: JoinHandle<()> = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                poller_loop(&state, &from_accept, &from_workers, &to_workers)
+            })
+        };
         let workers: Vec<JoinHandle<()>> = (0..state.threads)
             .map(|_| {
-                let receiver = Arc::clone(&receiver);
                 let state = Arc::clone(&state);
-                std::thread::spawn(move || loop {
-                    let stream = match receiver.lock().expect("worker queue lock").recv() {
-                        Ok(stream) => stream,
-                        Err(_) => return, // channel closed: server is done
-                    };
-                    if let Err(e) = handle_connection(&state, stream) {
-                        // Connection-level I/O errors (resets, truncated
-                        // lines) only affect that client.
-                        eprintln!("rpq-server: connection error: {e}");
-                    }
-                })
+                let ready = Arc::clone(&ready_receiver);
+                let park = park_sender.clone();
+                std::thread::spawn(move || worker_loop(&state, &ready, &park))
             })
             .collect();
+        // Workers hold the only park senders: when they exit, the poller's
+        // from_workers channel reports disconnected.
+        drop(park_sender);
 
         for stream in listener.incoming() {
             if state.is_shutting_down() {
                 break; // the stream waking us up is dropped unanswered
             }
             match stream {
-                Ok(stream) => {
-                    sender.send(stream).expect("workers outlive the accept loop");
-                }
+                Ok(stream) => match Connection::adopt(&state, stream) {
+                    Ok(conn) => {
+                        let _ = to_poller.send(conn); // poller outlives accepts
+                    }
+                    Err(e) => eprintln!("rpq-server: cannot adopt connection: {e}"),
+                },
                 Err(e) => eprintln!("rpq-server: accept error: {e}"),
             }
         }
-        drop(sender);
+        drop(to_poller);
+        poller.join().expect("poller thread panicked");
+        // The poller dropped `to_workers`: workers drain the remaining ready
+        // requests (answering them) and exit.
         for worker in workers {
             worker.join().expect("worker thread panicked");
         }
@@ -348,71 +703,29 @@ impl SpawnedServer {
     }
 }
 
-/// How often an idle connection re-checks the shutdown flag. Requests in
-/// flight are never interrupted; a connection merely *waiting* for its next
-/// request is released within this interval once a shutdown is requested, so
-/// [`Server::run`] can join its workers even while clients keep idle
-/// persistent connections open.
-const IDLE_POLL: std::time::Duration = std::time::Duration::from_millis(250);
-
-fn handle_connection(state: &ServerState, stream: TcpStream) -> io::Result<()> {
-    // One short line per response: disable Nagle so replies are not held
-    // back waiting for ACKs of previous responses (~40 ms per round trip).
-    stream.set_nodelay(true)?;
-    stream.set_read_timeout(Some(IDLE_POLL))?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    // Raw bytes, not a String: `read_until` keeps everything consumed so far
-    // on a timeout, whereas `read_line` would truncate a slice ending in the
-    // middle of a multi-byte UTF-8 character and silently lose those bytes.
-    let mut buffer: Vec<u8> = Vec::new();
-    let mut eof = false;
-    while !eof {
-        // `read_until` appends, so a line arriving in several timeout slices
-        // accumulates across retries until its newline shows up.
-        match reader.read_until(b'\n', &mut buffer) {
-            Ok(0) => eof = true, // serve a trailing newline-less request below
-            Ok(_) if !buffer.ends_with(b"\n") => continue, // partial line
-            Ok(_) => {}
-            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
-                if state.is_shutting_down() {
-                    return Ok(());
-                }
-                continue;
-            }
-            Err(e) => return Err(e),
-        }
-        let request = String::from_utf8_lossy(&std::mem::take(&mut buffer)).into_owned();
-        if request.trim().is_empty() {
-            continue;
-        }
-        let (response, shutdown) = state.handle_line(&request);
-        writer.write_all(response.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
-        if shutdown {
-            state.initiate_shutdown();
-            return Ok(());
-        }
-    }
-    Ok(())
-}
-
 /// Serves the protocol over a reader/writer pair — `rpq-cli serve --pipe`
 /// uses stdin/stdout. Returns at EOF or after a `shutdown` request. The pipe
 /// front end is single-threaded but shares the same [`ServerState`] handler
-/// (and cache semantics) as the TCP front end.
+/// (and cache semantics) as the TCP front end, including the strict UTF-8
+/// decoding of [`ServerState::handle_raw_line`].
 pub fn run_pipe(
     state: &ServerState,
-    input: impl BufRead,
+    mut input: impl BufRead,
     mut output: impl Write,
 ) -> io::Result<()> {
-    for line in input.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+    let mut buffer: Vec<u8> = Vec::new();
+    loop {
+        buffer.clear();
+        if input.read_until(b'\n', &mut buffer)? == 0 {
+            break; // EOF
+        }
+        if buffer.ends_with(b"\n") {
+            buffer.pop();
+        }
+        if buffer.iter().all(u8::is_ascii_whitespace) {
             continue;
         }
-        let (response, shutdown) = state.handle_line(&line);
+        let (response, shutdown) = state.handle_raw_line(&buffer);
         output.write_all(response.as_bytes())?;
         output.write_all(b"\n")?;
         output.flush()?;
@@ -477,6 +790,69 @@ mod tests {
         assert_eq!(results[0].get("value"), Some(&Json::Int(1)));
         assert_eq!(results[1].get("ok"), Some(&Json::Bool(false)));
         assert!(results[1].get("error").and_then(Json::as_str).unwrap().contains("parse"));
+    }
+
+    #[test]
+    fn per_database_batch_failures_increment_the_errors_stat() {
+        let state = state();
+        // Two parse failures and one success inside an `"ok":true` batch.
+        let response = request(
+            &state,
+            r#"{"op":"solve_batch","query":"ab","dbs":["u a v\nv b w\n","u ab v","!!"]}"#,
+        );
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        let stats = request(&state, r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("errors"), Some(&Json::Int(2)), "{stats}");
+        // A per-database *solve* failure counts too: forced enumeration with
+        // a tiny limit fails on the larger database only.
+        let response = request(
+            &state,
+            r#"{"op":"solve_batch","query":"aa","algorithm":"enumeration","enumeration_limit":2,"dbs":["1 a 2\n","1 a 2\n2 a 3\n3 a 4\n"]}"#,
+        );
+        let results = response.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results[0].get("value"), Some(&Json::Int(0)));
+        assert_eq!(results[1].get("ok"), Some(&Json::Bool(false)));
+        let stats = request(&state, r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("errors"), Some(&Json::Int(3)), "{stats}");
+    }
+
+    #[test]
+    fn batch_jobs_setting_reaches_the_parallel_path() {
+        let state = state();
+        // jobs > 1 exercises the scoped-thread batch; results stay in order.
+        let response = request(
+            &state,
+            r#"{"op":"solve_batch","query":"ax*b","jobs":3,"dbs":["s a u\nu b t\n","s a u\n","s a u\nu x v\nv b t\n"]}"#,
+        );
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        let values: Vec<_> = response
+            .get("results")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|r| r.get("value").unwrap().clone())
+            .collect();
+        assert_eq!(values, vec![Json::Int(1), Json::Int(0), Json::Int(1)]);
+    }
+
+    #[test]
+    fn invalid_utf8_request_lines_get_an_explicit_error() {
+        let state = state();
+        let mut line = br#"{"op":"prepare","query":""#.to_vec();
+        line.extend([0xFF, 0xFE]); // not UTF-8
+        line.extend(br#""}"#);
+        let (response, shutdown) = state.handle_raw_line(&line);
+        assert!(!shutdown);
+        let json = Json::parse(&response).unwrap();
+        assert_eq!(json.get("ok"), Some(&Json::Bool(false)));
+        let error = json.get("error").and_then(Json::as_str).unwrap();
+        assert!(error.contains("invalid encoding"), "{error}");
+        assert!(error.contains("UTF-8"), "{error}");
+        // Counted as a request and an error.
+        let stats = request(&state, r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("requests"), Some(&Json::Int(2)));
+        assert_eq!(stats.get("errors"), Some(&Json::Int(1)));
     }
 
     #[test]
@@ -548,6 +924,12 @@ mod tests {
         assert_eq!(cache.get("hits"), Some(&Json::Int(1)));
         assert_eq!(cache.get("misses"), Some(&Json::Int(1)));
         assert_eq!(cache.get("entries"), Some(&Json::Int(1)));
+        assert!(cache.get("shards").unwrap().as_int().unwrap() >= 1);
+        // The pipe/handler path opens no TCP connections: all gauges zero.
+        let connections = stats.get("connections").unwrap();
+        assert_eq!(connections.get("open"), Some(&Json::Int(0)));
+        assert_eq!(connections.get("accepted"), Some(&Json::Int(0)));
+        assert_eq!(connections.get("queue_depth"), Some(&Json::Int(0)));
     }
 
     #[test]
@@ -565,5 +947,24 @@ mod tests {
             Some(&Json::Bool(true)) // the shutdown acknowledgement
         );
         assert!(state.is_shutting_down());
+    }
+
+    #[test]
+    fn pipe_mode_reports_invalid_utf8_and_keeps_serving() {
+        let state = state();
+        let mut input: Vec<u8> = Vec::new();
+        input.extend(b"{\"op\":\"prepare\",\"query\":\"a");
+        input.extend([0xC3]); // truncated UTF-8 sequence
+        input.extend(b"\"}\n{\"op\":\"stats\"}\n");
+        let mut output = Vec::new();
+        run_pipe(&state, &input[..], &mut output).unwrap();
+        let lines: Vec<&str> = std::str::from_utf8(&output).unwrap().trim().lines().collect();
+        assert_eq!(lines.len(), 2, "the pipe keeps serving after the bad line");
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(first.get("ok"), Some(&Json::Bool(false)));
+        assert!(first.get("error").and_then(Json::as_str).unwrap().contains("invalid encoding"));
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(second.get("errors"), Some(&Json::Int(1)));
     }
 }

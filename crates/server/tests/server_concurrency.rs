@@ -1,0 +1,250 @@
+//! Concurrency tests for the multiplexed connection scheduler.
+//!
+//! The original server pinned one worker thread per connection for the
+//! connection's whole lifetime, so `threads` idle persistent connections
+//! starved every later client indefinitely. The scheduler now parks idle
+//! connections in a poller and hands workers *one request at a time*; these
+//! tests pin down the three properties that redesign bought:
+//!
+//! 1. **No starvation**: a client connecting after `threads + 4` idle
+//!    persistent connections is still served (the regression test for the
+//!    original bug).
+//! 2. **Fair pipelining**: many requests buffered on one connection are
+//!    answered in order without monopolizing the pool.
+//! 3. **Correctness under load**: many clients × persistent connections ×
+//!    concurrent `solve_batch` agree with the direct engine, while the
+//!    sharded cache's stats stay monotone and bounded.
+
+use rpq_automata::Word;
+use rpq_graphdb::generate::word_path;
+use rpq_graphdb::text;
+use rpq_resilience::engine::Engine;
+use rpq_resilience::rpq::Rpq;
+use rpq_server::{Client, Json, QuerySpec, Request, Server, ServerConfig};
+use std::time::Duration;
+
+/// Generous bound on any single round trip: the server answers idle-free
+/// requests in microseconds, so a timeout only fires when the scheduler is
+/// actually starved (which is exactly what the regression test detects).
+const RESPONSE_TIMEOUT: Duration = Duration::from_secs(20);
+
+fn connect(addr: std::net::SocketAddr) -> Client {
+    let client = Client::connect(addr).expect("connect");
+    client.set_read_timeout(Some(RESPONSE_TIMEOUT)).expect("set timeout");
+    client
+}
+
+#[test]
+fn idle_persistent_connections_do_not_starve_new_clients() {
+    let threads = 2;
+    let server =
+        Server::bind("127.0.0.1:0", ServerConfig { threads, ..ServerConfig::default() }).unwrap();
+    let running = server.spawn().unwrap();
+    let addr = running.addr;
+
+    // `threads + 4` persistent connections, each warmed with one request so
+    // the server has demonstrably adopted them — then left idle and open.
+    let mut idle: Vec<Client> = (0..threads + 4)
+        .map(|_| {
+            let mut client = connect(addr);
+            let response = client.request(&Request::Stats).expect("warm-up request");
+            assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+            client
+        })
+        .collect();
+
+    // The regression: with one-connection-per-worker scheduling, both workers
+    // are now pinned to idle connections and this request never gets served.
+    let mut fresh = connect(addr);
+    let response = fresh
+        .request(&Request::Solve {
+            query: QuerySpec::new("ax*b"),
+            db: "s a u\nu x v\nv b t\n".to_string(),
+        })
+        .expect("a new client must be served despite threads+4 idle connections");
+    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(response.get("value"), Some(&Json::Int(1)));
+
+    // The idle connections are still alive — parking did not drop them.
+    for (i, client) in idle.iter_mut().enumerate() {
+        let response = client.request(&Request::Stats).expect("idle connection still serviceable");
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "idle connection {i}");
+    }
+
+    // Keep-alive metrics: all connections are open, each served ≥ 1 request.
+    let stats = fresh.request(&Request::Stats).unwrap();
+    let connections = stats.get("connections").unwrap();
+    let open = connections.get("open").unwrap().as_int().unwrap();
+    assert!(open >= (threads + 5) as i128, "{stats}");
+    assert!(
+        connections.get("accepted").unwrap().as_int().unwrap() >= open,
+        "accepted is a monotone total: {stats}"
+    );
+    assert!(
+        connections.get("requests").unwrap().as_int().unwrap() >= (2 * (threads + 4) + 2) as i128,
+        "{stats}"
+    );
+    assert!(connections.get("max_requests").unwrap().as_int().unwrap() >= 2, "{stats}");
+
+    fresh.request(&Request::Shutdown).unwrap();
+    running.join().unwrap();
+}
+
+#[test]
+fn pipelined_requests_on_one_connection_are_answered_in_order() {
+    use std::io::{BufRead, BufReader, Write};
+    let server =
+        Server::bind("127.0.0.1:0", ServerConfig { threads: 3, ..ServerConfig::default() })
+            .unwrap();
+    let running = server.spawn().unwrap();
+
+    let mut stream = std::net::TcpStream::connect(running.addr).unwrap();
+    stream.set_read_timeout(Some(RESPONSE_TIMEOUT)).unwrap();
+    // 16 requests written back to back before reading anything: the poller
+    // must slice the buffer into lines and re-queue the connection after
+    // each response, preserving order.
+    let words = ["ab", "axb", "axxb", "ba"];
+    let mut pipelined = String::new();
+    for i in 0..16 {
+        let db = text::serialize(&word_path(&Word::from_str_word(words[i % words.len()])));
+        pipelined
+            .push_str(&Request::Solve { query: QuerySpec::new("ax*b"), db }.to_json().to_string());
+        pipelined.push('\n');
+    }
+    stream.write_all(pipelined.as_bytes()).unwrap();
+
+    let engine = Engine::new();
+    let prepared = engine.prepare(&Rpq::parse("ax*b").unwrap()).unwrap();
+    let mut reader = BufReader::new(stream);
+    for i in 0..16 {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("pipelined response");
+        let response = Json::parse(line.trim()).unwrap();
+        let db = word_path(&Word::from_str_word(words[i % words.len()]));
+        let expected = prepared.solve(&db).unwrap().value.finite().unwrap() as i128;
+        assert_eq!(response.get("value"), Some(&Json::Int(expected)), "response {i}");
+    }
+
+    let mut closer = connect(running.addr);
+    // One connection issued 16 requests: the keep-alive maximum saw it.
+    let stats = closer.request(&Request::Stats).unwrap();
+    let max = stats.get("connections").unwrap().get("max_requests").unwrap();
+    assert!(max.as_int().unwrap() >= 16, "{stats}");
+    closer.request(&Request::Shutdown).unwrap();
+    running.join().unwrap();
+}
+
+/// The stress corpus: word paths for `ax*b` with known resilience values.
+fn corpus() -> Vec<String> {
+    let mut dbs = Vec::new();
+    for k in 0..12 {
+        dbs.push(text::serialize(&word_path(&Word::from_str_word(&format!(
+            "a{}b",
+            "x".repeat(k)
+        )))));
+    }
+    for word in ["ba", "ax", "xb", "axxa"] {
+        dbs.push(text::serialize(&word_path(&Word::from_str_word(word))));
+    }
+    dbs
+}
+
+#[test]
+fn stress_many_clients_with_batches_agree_with_the_engine_and_stats_stay_monotone() {
+    let dbs = corpus();
+    let engine = Engine::new();
+    let prepared = engine.prepare(&Rpq::parse("ax*b").unwrap()).unwrap();
+    let expected: Vec<Json> = dbs
+        .iter()
+        .map(|t| {
+            let db = text::parse(t).unwrap();
+            Json::Int(prepared.solve(&db).unwrap().value.finite().unwrap() as i128)
+        })
+        .collect();
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig { threads: 3, cache_capacity: 64, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let running = server.spawn().unwrap();
+    let addr = running.addr;
+
+    // 8 clients × 4 rounds of parallel `solve_batch` over one persistent
+    // connection each, under several equivalent spellings (all one cache
+    // entry) plus a second genuine language (a second stripe).
+    let spellings = ["ax*b", "a(x)*b", "(a)x*b", "ax*b|axx*b"];
+    let workers: Vec<_> = (0..8)
+        .map(|c| {
+            let dbs = dbs.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = connect(addr);
+                for round in 0..4 {
+                    let pattern = spellings[(c + round) % spellings.len()];
+                    let response = client
+                        .request(&Request::SolveBatch {
+                            query: QuerySpec { jobs: Some(2), ..QuerySpec::new(pattern) },
+                            dbs: dbs.clone(),
+                        })
+                        .expect("batch response");
+                    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+                    let values: Vec<Json> = response
+                        .get("results")
+                        .unwrap()
+                        .as_array()
+                        .unwrap()
+                        .iter()
+                        .map(|r| r.get("value").unwrap().clone())
+                        .collect();
+                    assert_eq!(values, expected, "client {c} round {round} ({pattern})");
+                    // Interleave a second language so several stripes are hot.
+                    let response = client
+                        .request(&Request::Prepare { query: QuerySpec::new("ab|bc") })
+                        .expect("prepare response");
+                    assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+                }
+            })
+        })
+        .collect();
+
+    // While the fleet hammers the server, watch the cache stats over a
+    // separate persistent connection: hits+misses never decreases, entries
+    // never exceed the capacity, and the error counter stays at zero.
+    let mut observer = connect(addr);
+    let mut last_lookups: i128 = -1;
+    while workers.iter().any(|w| !w.is_finished()) {
+        let stats = observer.request(&Request::Stats).expect("stats under load");
+        assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(stats.get("errors"), Some(&Json::Int(0)), "{stats}");
+        let cache = stats.get("cache").unwrap();
+        let lookups = cache.get("hits").unwrap().as_int().unwrap()
+            + cache.get("misses").unwrap().as_int().unwrap();
+        assert!(lookups >= last_lookups, "cache lookups must be monotone: {stats}");
+        last_lookups = lookups;
+        let entries = cache.get("entries").unwrap().as_int().unwrap();
+        let capacity = cache.get("capacity").unwrap().as_int().unwrap();
+        assert!(entries <= capacity, "{stats}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for worker in workers {
+        worker.join().expect("client thread");
+    }
+
+    // Final agreement on the cache shape: the four spellings canonicalize to
+    // one language; `ab|bc` is the second entry. Clients racing on a cold
+    // language may each record a miss (the first insert wins), but every
+    // post-warm-up lookup hits: 64 lookups total, at most 16 cold ones.
+    let stats = observer.request(&Request::Stats).unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("entries"), Some(&Json::Int(2)), "{stats}");
+    let misses = cache.get("misses").unwrap().as_int().unwrap();
+    let hits = cache.get("hits").unwrap().as_int().unwrap();
+    assert!((2..=16).contains(&misses), "{stats}");
+    assert_eq!(hits + misses, 64, "8 clients × 4 rounds × 2 lookups: {stats}");
+    assert!(cache.get("shards").unwrap().as_int().unwrap() > 1, "{stats}");
+    assert_eq!(stats.get("errors"), Some(&Json::Int(0)), "{stats}");
+
+    observer.request(&Request::Shutdown).unwrap();
+    running.join().unwrap();
+}
