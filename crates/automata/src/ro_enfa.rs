@@ -14,12 +14,22 @@ use crate::local::{is_local, LocalProfile};
 use crate::word::Word;
 use std::collections::BTreeMap;
 
+/// Dense-table sentinel: "no transition for this ASCII letter".
+const NO_TRANSITION: u32 = u32::MAX;
+
 /// A read-once ε-NFA: an ε-NFA with at most one letter transition per letter.
 #[derive(Debug, Clone)]
 pub struct RoEnfa {
     enfa: Enfa,
     /// For every letter, its unique transition `(source, target)`.
     letter_transitions: BTreeMap<Letter, (usize, usize)>,
+    /// Dense fast path for [`RoEnfa::letter_transition`]: ASCII letters index
+    /// straight into this table instead of walking the `BTreeMap`. The lookup
+    /// sits on the per-fact hot loop of the Theorem 3.13 product build, where
+    /// it runs twice per fact per solve. `(NO_TRANSITION, _)` = absent;
+    /// letters whose state ids overflow `u32` (never in practice) stay absent
+    /// here and fall back to the map.
+    ascii_transitions: Box<[(u32, u32); 128]>,
 }
 
 impl RoEnfa {
@@ -35,7 +45,15 @@ impl RoEnfa {
                 }
             }
         }
-        Ok(RoEnfa { enfa, letter_transitions })
+        let mut ascii_transitions = Box::new([(NO_TRANSITION, NO_TRANSITION); 128]);
+        for (&letter, &(from, to)) in &letter_transitions {
+            if let (Ok(from), Ok(to)) = (u32::try_from(from), u32::try_from(to)) {
+                if letter.0.is_ascii() && from != NO_TRANSITION {
+                    ascii_transitions[letter.0 as usize] = (from, to);
+                }
+            }
+        }
+        Ok(RoEnfa { enfa, letter_transitions, ascii_transitions })
     }
 
     /// Builds an RO-εNFA for a **local** language (Lemma 3.17), directly from
@@ -105,7 +123,15 @@ impl RoEnfa {
     }
 
     /// The unique transition for `letter`, if any, as `(source, target)`.
+    #[inline]
     pub fn letter_transition(&self, letter: Letter) -> Option<(usize, usize)> {
+        if letter.0.is_ascii() {
+            let (from, to) = self.ascii_transitions[letter.0 as usize];
+            if from != NO_TRANSITION {
+                return Some((from as usize, to as usize));
+            }
+            // Absent — or unrepresentable (u32 overflow): ask the map.
+        }
         self.letter_transitions.get(&letter).copied()
     }
 

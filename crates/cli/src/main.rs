@@ -57,7 +57,8 @@ usage:
 algorithms: local (Thm 3.13), chain (Prp 7.6), one-dangling (Prp 7.9),
             exact (branch & bound), enumeration (subset oracle, tiny inputs),
             greedy / k-approx (certified polynomial bounds, finite languages)
-flow backends: dinic (default), edmonds-karp, push-relabel
+flow backends: dinic (default), edmonds-karp, push-relabel,
+               auto (per-instance choice from measured size thresholds)
 database format: one fact per line, `source label target [multiplicity] [!]`\n(a trailing `!` declares the fact exogenous / un-removable)
 with several database files, the query plan is prepared once and reused
 serve: NDJSON protocol (prepare/solve/solve_batch/stats/shutdown) on 127.0.0.1,
@@ -508,7 +509,8 @@ mod tests {
         let path = dir.join("rpq_cli_flow_db.txt");
         std::fs::write(&path, "s a u\nu x v\nv b t\n").unwrap();
         let path = path.to_string_lossy().to_string();
-        for flow in FlowAlgorithm::ALL {
+        // SELECTABLE = the concrete backends plus `auto`.
+        for flow in FlowAlgorithm::SELECTABLE {
             assert!(run(&[
                 "resilience".into(),
                 "ax*b".into(),

@@ -9,15 +9,15 @@
 //! and reversed words right-to-left, so that source-to-target paths correspond
 //! exactly to query matches.
 
-use super::{Algorithm, ResilienceError, ResilienceOutcome};
+use super::{Algorithm, ResilienceError, ResilienceOutcome, SolveScratch};
 use crate::rpq::{ResilienceValue, Rpq};
 use rpq_automata::alphabet::Letter;
 use rpq_automata::finite::FiniteLanguage;
 use rpq_automata::word::Word;
 use rpq_automata::Language;
-use rpq_flow::{Capacity, EdgeId, FlowAlgorithm, FlowNetwork, VertexId};
+use rpq_flow::{Capacity, FlowAlgorithm, VertexId};
 use rpq_graphdb::{FactId, GraphDb};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// The query-only half of the Proposition 7.6 reduction: everything derived
 /// from the (bipartite chain) language alone, reusable across databases.
@@ -102,13 +102,16 @@ impl ChainPlan {
     }
 
     /// The per-database half of the reduction: builds and cuts the flow
-    /// network of Proposition 7.6 for one database.
+    /// network of Proposition 7.6 for one database, inside `scratch`'s CSR
+    /// arena (fact edges first, so arena ids index the dense `edge_fact`
+    /// provenance; per-fact vertices live in the dense `fact_vertex` lookup).
     pub(crate) fn solve(
         &self,
         rpq: &Rpq,
         db: &GraphDb,
         flow: FlowAlgorithm,
         want_cut: bool,
+        scratch: &mut SolveScratch,
     ) -> ResilienceOutcome {
         let infinite =
             || ResilienceOutcome::new(ResilienceValue::Infinite, Algorithm::BipartiteChain, None);
@@ -131,76 +134,98 @@ impl ChainPlan {
                 forced_facts.push(id);
             }
         }
-        let removed_forced: BTreeSet<FactId> = forced_facts.iter().copied().collect();
 
-        // Build the flow network.
-        let mut network = FlowNetwork::new();
-        let source = network.add_vertex();
-        let target = network.add_vertex();
-        network.set_source(source);
-        network.set_target(target);
+        // Build the flow network into the scratch arena.
+        let SolveScratch { csr, flow: flow_scratch, edge_fact, fact_vertex, .. } = scratch;
+        csr.clear();
+        let source = csr.add_vertex();
+        let target = csr.add_vertex();
+        csr.set_source(source);
+        csr.set_target(target);
 
-        // Per-fact start/end vertices and the finite-capacity fact edge.
-        let mut fact_vertices: BTreeMap<FactId, (VertexId, VertexId)> = BTreeMap::new();
-        let mut edge_to_fact: BTreeMap<EdgeId, FactId> = BTreeMap::new();
+        // Per-fact start/end vertices (end = start + 1) and the
+        // finite-capacity fact edge. Every fact with a single-letter label is
+        // already force-removed above, so it never enters the network.
+        const ABSENT: u32 = u32::MAX;
+        fact_vertex.clear();
+        fact_vertex.resize(db.num_facts(), ABSENT);
+        edge_fact.clear();
         for (id, fact) in db.facts() {
-            if removed_forced.contains(&id) || !self.relevant_letters.contains(&fact.label) {
+            if self.single_letters.contains(&fact.label)
+                || !self.relevant_letters.contains(&fact.label)
+            {
                 continue;
             }
-            let start = network.add_vertex();
-            let end = network.add_vertex();
-            fact_vertices.insert(id, (start, end));
+            let start = csr.add_vertex();
+            let end = csr.add_vertex();
+            fact_vertex[id.index()] = start.0;
             // Exogenous facts can never be cut: capacity +∞.
             let capacity = if db.is_exogenous(id) {
                 Capacity::Infinite
             } else {
                 Capacity::Finite(rpq.semantics().fact_cost(db, id) as u128)
             };
-            let edge = network.add_edge(start, end, capacity);
-            edge_to_fact.insert(edge, id);
+            let edge = csr.add_edge(start, end, capacity);
+            debug_assert_eq!(edge.index(), edge_fact.len());
+            edge_fact.push(id.0);
         }
 
         // Wiring edges between consecutive facts.
-        for (&id_a, &(_, end_a)) in &fact_vertices {
-            let fact_a = db.fact(id_a);
+        for (id_a, fact_a) in db.facts() {
+            let start_a = fact_vertex[id_a.index()];
+            if start_a == ABSENT {
+                continue;
+            }
+            let end_a = VertexId(start_a + 1);
             for id_b in db.out_facts(fact_a.target) {
-                let Some(&(start_b, end_b)) = fact_vertices.get(&id_b) else { continue };
+                let start_b = fact_vertex[id_b.index()];
+                if start_b == ABSENT {
+                    continue;
+                }
                 let fact_b = db.fact(id_b);
                 let digram = (fact_a.label, fact_b.label);
                 if self.forward_digrams.contains(&digram) {
-                    network.add_edge(end_a, start_b, Capacity::Infinite);
+                    csr.add_edge(end_a, VertexId(start_b), Capacity::Infinite);
                 }
                 if self.reversed_digrams.contains(&digram) {
-                    let (start_a, _) = fact_vertices[&id_a];
-                    network.add_edge(end_b, start_a, Capacity::Infinite);
+                    csr.add_edge(VertexId(start_b + 1), VertexId(start_a), Capacity::Infinite);
                 }
-                let _ = end_b;
             }
         }
 
         // Source / target attachments: only endpoint letters of words.
-        for (&id, &(start, end)) in &fact_vertices {
-            let label = db.fact(id).label;
+        for (id, fact) in db.facts() {
+            let start = fact_vertex[id.index()];
+            if start == ABSENT {
+                continue;
+            }
+            let label = fact.label;
             let is_endpoint =
                 self.endpoint_first.contains(&label) || self.endpoint_last.contains(&label);
             if !is_endpoint {
                 continue;
             }
             if self.source_letters.contains(&label) {
-                network.add_edge(source, start, Capacity::Infinite);
+                csr.add_edge(source, VertexId(start), Capacity::Infinite);
             }
             if self.target_letters.contains(&label) {
-                network.add_edge(end, target, Capacity::Infinite);
+                csr.add_edge(VertexId(start + 1), target, Capacity::Infinite);
             }
         }
 
-        let cut = rpq_flow::min_cut_with(&network, flow);
+        csr.freeze();
+        let cut = csr.min_cut(flow, flow_scratch);
         let value = match cut.value {
             Capacity::Infinite => ResilienceValue::Infinite,
             Capacity::Finite(v) => ResilienceValue::Finite(v + base_cost),
         };
         let mut contingency: Vec<FactId> = forced_facts;
-        contingency.extend(cut.cut_edges.iter().filter_map(|e| edge_to_fact.get(e).copied()));
+        contingency.extend(
+            cut.cut_edges
+                .iter()
+                .filter(|e| e.index() < edge_fact.len())
+                .map(|e| FactId(edge_fact[e.index()])),
+        );
         debug_assert!(
             value.is_infinite()
                 || rpq.is_contingency_set(db, &contingency.iter().copied().collect()),
@@ -222,7 +247,7 @@ pub fn resilience_bipartite_chain(
     db: &GraphDb,
 ) -> Result<ResilienceOutcome, ResilienceError> {
     let plan = ChainPlan::from_infix_free(&rpq.infix_free_language(), rpq.language())?;
-    Ok(plan.solve(rpq, db, FlowAlgorithm::default(), true))
+    Ok(plan.solve(rpq, db, FlowAlgorithm::default(), true, &mut SolveScratch::new()))
 }
 
 #[cfg(test)]

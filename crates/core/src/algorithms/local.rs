@@ -16,14 +16,13 @@
 //! correspondence with facts, so minimum cuts correspond to minimum
 //! contingency sets.
 
-use super::{Algorithm, ResilienceError, ResilienceOutcome};
+use super::{Algorithm, ResilienceError, ResilienceOutcome, SolveScratch};
 use crate::rpq::{ResilienceValue, Rpq, Semantics};
 use rpq_automata::local::is_local;
 use rpq_automata::ro_enfa::RoEnfa;
 use rpq_automata::Language;
-use rpq_flow::{Capacity, EdgeId, FlowAlgorithm, FlowNetwork, VertexId};
+use rpq_flow::{Capacity, FlowAlgorithm, VertexId};
 use rpq_graphdb::{FactId, GraphDb};
-use std::collections::BTreeMap;
 
 /// Computes the resilience of a query whose infix-free sublanguage is local
 /// (Theorem 3.13). Errors with [`ResilienceError::NotApplicable`] otherwise.
@@ -39,7 +38,7 @@ pub fn resilience_local(rpq: &Rpq, db: &GraphDb) -> Result<ResilienceOutcome, Re
         return Ok(ResilienceOutcome::new(ResilienceValue::Infinite, Algorithm::Local, None));
     }
     let ro = RoEnfa::for_local_language(&language)?;
-    Ok(solve_prepared(&ro, rpq, db, FlowAlgorithm::default(), true))
+    Ok(solve_prepared(&ro, rpq, db, FlowAlgorithm::default(), true, &mut SolveScratch::new()))
 }
 
 /// Runs the Theorem 3.13 reduction for an already-prepared RO-εNFA: the
@@ -53,8 +52,9 @@ pub(crate) fn solve_prepared(
     db: &GraphDb,
     flow: FlowAlgorithm,
     want_cut: bool,
+    scratch: &mut SolveScratch,
 ) -> ResilienceOutcome {
-    let (value, cut) = resilience_via_ro_enfa(ro, db, rpq.semantics(), flow, |_| true);
+    let (value, cut) = resilience_via_ro_enfa(ro, db, rpq.semantics(), flow, scratch, |_| true);
     debug_assert!(
         value.is_infinite() || rpq.is_contingency_set(db, &cut.iter().copied().collect()),
         "the extracted cut must be a contingency set"
@@ -66,68 +66,330 @@ pub(crate) fn solve_prepared(
 /// per-fact filter (`fact_filter` returns `false` for facts that should be
 /// ignored entirely — used by the one-dangling rewriting). Returns the
 /// resilience value and the facts of a minimum cut.
+///
+/// The network is built into `scratch`'s CSR arena and solved over its flow
+/// buffers: nothing is allocated once the scratch is warmed up to the batch's
+/// shape. Fact edges are emitted first so their arena ids directly index the
+/// dense `edge_fact` provenance vector.
+///
+/// # Product pruning and vertex compaction
+///
+/// The textbook product has `|V| · |Q|` vertices and an ε / source / target
+/// edge for *every* node — but on real databases most product vertices can
+/// never lie on a source→target path (a node with no `a`-labelled out-fact
+/// contributes nothing at the `a`-transition's origin state). For automata of
+/// ≤ 64 states the build therefore computes, per node, bitmasks of
+/// *enterable* states (ε-closure of the states its incoming facts and the
+/// initial states land in) and *exitable* states (ε-co-closure of the states
+/// its outgoing facts and the final states leave from), and emits an edge only
+/// when its tail is enterable and its head exitable. Every source→target path
+/// of the full product enters and exits each vertex it crosses, so each of its
+/// edges passes the test: the pruned network preserves all paths, hence the
+/// min-cut value, and any cut of it separates the full product. Used vertices
+/// (enterable ∧ exitable) are compacted to dense ids so the CSR arrays and the
+/// solver's per-vertex state shrink with the network. Automata above 64
+/// states (alphabets beyond what a `u64` mask holds) take the unpruned build.
+///
+/// # ε-contraction
+///
+/// An emitted ε-edge `(v, s) → (v, s')` that is its tail's **only** out-edge
+/// and its head's **only** in-edge can be contracted: some minimum cut places
+/// both endpoints on the same side. If a cut has `(v, s) ∈ S` and
+/// `(v, s') ∈ T` it cuts the infinite ε-edge, so only the `tail ∈ T`,
+/// `head ∈ S` split can occur in a finite cut — and moving the tail to `S`
+/// removes its incoming cut edges while adding none (its only out-edge now
+/// stays inside `S`), so the cut value never increases. The condition composes
+/// along chains: contracted edges form paths whose interior vertices have
+/// in-degree = out-degree = 1, and any boundary vertex can be moved across
+/// one edge at a time without increasing the cut. On automata in the shape
+/// the locality construction produces (entry/exit state pairs linked by ε),
+/// this collapses most product nodes to a single vertex, roughly halving the
+/// network again on top of the mask pruning.
 pub(crate) fn resilience_via_ro_enfa(
     ro: &RoEnfa,
     db: &GraphDb,
     semantics: Semantics,
     flow: FlowAlgorithm,
+    scratch: &mut SolveScratch,
     fact_filter: impl Fn(FactId) -> bool,
 ) -> (ResilienceValue, Vec<FactId>) {
-    let mut network = FlowNetwork::new();
+    let SolveScratch {
+        csr,
+        flow: flow_scratch,
+        edge_fact,
+        node_in,
+        node_out,
+        node_base,
+        node_slot,
+        ..
+    } = scratch;
     let num_states = ro.num_states();
     let num_nodes = db.num_nodes();
-    // Product vertices are laid out as node_index * num_states + state.
-    let first = network.add_vertices(num_nodes * num_states);
-    debug_assert_eq!(first, VertexId(0));
-    let source = network.add_vertex();
-    let target = network.add_vertex();
-    network.set_source(source);
-    network.set_target(target);
+    csr.clear();
+    edge_fact.clear();
 
-    let product = |node: rpq_graphdb::NodeId, state: usize| -> VertexId {
-        VertexId((node.0 as usize * num_states + state) as u32)
+    let capacity_of = |fact_id: FactId| {
+        // Exogenous facts can never be cut: they get capacity +∞, exactly
+        // like the structural edges of the construction.
+        if db.is_exogenous(fact_id) {
+            Capacity::Infinite
+        } else {
+            Capacity::Finite(semantics.fact_cost(db, fact_id) as u128)
+        }
     };
 
-    // Fact edges (finite capacity), one per fact whose label has a transition.
-    let mut edge_to_fact: BTreeMap<EdgeId, FactId> = BTreeMap::new();
-    for (fact_id, fact) in db.facts() {
-        if !fact_filter(fact_id) {
-            continue;
+    if num_states <= 64 {
+        let eps: Vec<(usize, usize)> = ro.epsilon_transitions().collect();
+        // ε-closures on the state graph: fwd[s] = states ε-reachable from
+        // `s`, bwd[s] = states that ε-reach `s` (both include `s`).
+        let mut fwd = [0u64; 64];
+        let mut bwd = [0u64; 64];
+        for s in 0..num_states {
+            fwd[s] = 1 << s;
+            bwd[s] = 1 << s;
         }
-        if let Some((s, s_prime)) = ro.letter_transition(fact.label) {
-            // Exogenous facts can never be cut: they get capacity +∞, exactly
-            // like the structural edges of the construction.
-            let capacity = if db.is_exogenous(fact_id) {
-                Capacity::Infinite
-            } else {
-                Capacity::Finite(semantics.fact_cost(db, fact_id) as u128)
-            };
-            let edge =
-                network.add_edge(product(fact.source, s), product(fact.target, s_prime), capacity);
-            edge_to_fact.insert(edge, fact_id);
+        loop {
+            let mut changed = false;
+            for &(s, s_prime) in &eps {
+                let f = fwd[s] | fwd[s_prime];
+                changed |= f != fwd[s];
+                fwd[s] = f;
+                let b = bwd[s_prime] | bwd[s];
+                changed |= b != bwd[s_prime];
+                bwd[s_prime] = b;
+            }
+            if !changed {
+                break;
+            }
         }
-    }
-    // ε-transition edges (infinite capacity).
-    for (s, s_prime) in ro.epsilon_transitions() {
-        for node in db.nodes() {
-            network.add_edge(product(node, s), product(node, s_prime), Capacity::Infinite);
+        let mut init_mask: u64 = 0;
+        for s in ro.initial_states() {
+            init_mask |= 1 << s;
         }
-    }
-    // Source and target attachments (infinite capacity).
-    for s in ro.initial_states() {
-        for node in db.nodes() {
-            network.add_edge(source, product(node, s), Capacity::Infinite);
+        let mut final_mask: u64 = 0;
+        for s in ro.final_states() {
+            final_mask |= 1 << s;
         }
-    }
-    for s in ro.final_states() {
-        for node in db.nodes() {
-            network.add_edge(product(node, s), target, Capacity::Infinite);
+
+        // Pass 1: which states do facts enter / leave each node at?
+        node_in.clear();
+        node_in.resize(num_nodes, 0);
+        node_out.clear();
+        node_out.resize(num_nodes, 0);
+        for (fact_id, fact) in db.facts() {
+            if !fact_filter(fact_id) {
+                continue;
+            }
+            if let Some((s, s_prime)) = ro.letter_transition(fact.label) {
+                node_out[fact.source.0 as usize] |= 1 << s;
+                node_in[fact.target.0 as usize] |= 1 << s_prime;
+            }
+        }
+
+        // Close per node (the source attaches at initial states and the
+        // target at final states, so those seed the masks), ε-contract, and
+        // assign compact slots to the surviving product-vertex classes. An
+        // ε-edge `(s, s')` is emitted at `v` iff both endpoints are used:
+        // tail enterable and head exitable are the emission conditions, and
+        // the ε-edge itself supplies the tail's exit and the head's entry.
+        // The same equivalence makes "slot assigned" the single emission test
+        // for fact, ε, source, and target edges below.
+        let close = |mask: u64, table: &[u64; 64]| {
+            let mut m = mask;
+            let mut acc = 0u64;
+            while m != 0 {
+                acc |= table[m.trailing_zeros() as usize];
+                m &= m - 1;
+            }
+            acc
+        };
+        fn find(parent: &mut [u8; 64], mut s: usize) -> usize {
+            while parent[s] as usize != s {
+                let p = parent[s] as usize;
+                parent[s] = parent[p];
+                s = p;
+            }
+            s
+        }
+        node_base.clear();
+        node_base.reserve(num_nodes);
+        node_slot.clear();
+        node_slot.resize(num_nodes * num_states, u8::MAX);
+        let mut next: u32 = 0;
+        for v in 0..num_nodes {
+            let fact_in = node_in[v];
+            let fact_out = node_out[v];
+            node_base.push(next);
+            let used = close(fact_in | init_mask, &fwd) & close(fact_out | final_mask, &bwd);
+            if used == 0 {
+                continue;
+            }
+            // Union-find over this node's states: merge the endpoints of
+            // every contractible ε-edge (see the module-level soundness
+            // argument). An edge qualifies when it is its tail's only
+            // out-edge (no fact leaves there, the state is not final, no
+            // other emitted ε shares the tail) and its head's only in-edge.
+            let mut parent = [0u8; 64];
+            for (s, p) in parent.iter_mut().enumerate().take(num_states) {
+                *p = s as u8;
+            }
+            if !eps.is_empty() {
+                let mut out_deg = [0u8; 64];
+                let mut in_deg = [0u8; 64];
+                for &(s, s_prime) in &eps {
+                    if used >> s & 1 == 1 && used >> s_prime & 1 == 1 {
+                        out_deg[s] = out_deg[s].saturating_add(1);
+                        in_deg[s_prime] = in_deg[s_prime].saturating_add(1);
+                    }
+                }
+                for &(s, s_prime) in &eps {
+                    if used >> s & 1 == 1
+                        && used >> s_prime & 1 == 1
+                        && out_deg[s] == 1
+                        && fact_out >> s & 1 == 0
+                        && final_mask >> s & 1 == 0
+                        && in_deg[s_prime] == 1
+                        && fact_in >> s_prime & 1 == 0
+                        && init_mask >> s_prime & 1 == 0
+                    {
+                        let ra = find(&mut parent, s);
+                        let rb = find(&mut parent, s_prime);
+                        if ra != rb {
+                            parent[ra] = rb as u8;
+                        }
+                    }
+                }
+            }
+            // One slot per union-find class among the used states.
+            let base = v * num_states;
+            let mut count = 0u32;
+            let mut m = used;
+            while m != 0 {
+                let s = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let r = find(&mut parent, s);
+                if node_slot[base + r] == u8::MAX {
+                    node_slot[base + r] = count as u8;
+                    count += 1;
+                }
+                node_slot[base + s] = node_slot[base + r];
+            }
+            next += count;
+        }
+
+        let first = csr.add_vertices(next as usize);
+        debug_assert_eq!(first, VertexId(0));
+        let source = csr.add_vertex();
+        let target = csr.add_vertex();
+        csr.set_source(source);
+        csr.set_target(target);
+
+        let node_base = &*node_base;
+        let node_slot = &*node_slot;
+        let slot = |v: usize, state: usize| -> u8 { node_slot[v * num_states + state] };
+        let product = |v: usize, state: usize| -> VertexId {
+            let s = slot(v, state);
+            debug_assert_ne!(s, u8::MAX, "product vertex must be used");
+            VertexId(node_base[v] + s as u32)
+        };
+
+        // Fact edges (finite capacity) — emitted first, so edge id == index
+        // into `edge_fact`. A fact is pruned exactly when no query path can
+        // traverse it, so it can never be in a minimum cut either.
+        for (fact_id, fact) in db.facts() {
+            if !fact_filter(fact_id) {
+                continue;
+            }
+            if let Some((s, s_prime)) = ro.letter_transition(fact.label) {
+                let sv = fact.source.0 as usize;
+                let tv = fact.target.0 as usize;
+                if slot(sv, s) != u8::MAX && slot(tv, s_prime) != u8::MAX {
+                    let edge =
+                        csr.add_edge(product(sv, s), product(tv, s_prime), capacity_of(fact_id));
+                    debug_assert_eq!(edge.index(), edge_fact.len());
+                    edge_fact.push(fact_id.0);
+                }
+            }
+        }
+        // ε-transition edges (infinite capacity); contracted edges collapse
+        // to self-loops of the merged vertex and are skipped.
+        for &(s, s_prime) in &eps {
+            for v in 0..num_nodes {
+                let a = slot(v, s);
+                let b = slot(v, s_prime);
+                if a != u8::MAX && b != u8::MAX && a != b {
+                    csr.add_edge(product(v, s), product(v, s_prime), Capacity::Infinite);
+                }
+            }
+        }
+        // Source and target attachments (infinite capacity).
+        for s in ro.initial_states() {
+            for v in 0..num_nodes {
+                if slot(v, s) != u8::MAX {
+                    csr.add_edge(source, product(v, s), Capacity::Infinite);
+                }
+            }
+        }
+        for s in ro.final_states() {
+            for v in 0..num_nodes {
+                if slot(v, s) != u8::MAX {
+                    csr.add_edge(product(v, s), target, Capacity::Infinite);
+                }
+            }
+        }
+    } else {
+        // Unpruned fallback: product vertices laid out as
+        // node_index * num_states + state.
+        let first = csr.add_vertices(num_nodes * num_states);
+        debug_assert_eq!(first, VertexId(0));
+        let source = csr.add_vertex();
+        let target = csr.add_vertex();
+        csr.set_source(source);
+        csr.set_target(target);
+
+        let product = |node: rpq_graphdb::NodeId, state: usize| -> VertexId {
+            VertexId((node.0 as usize * num_states + state) as u32)
+        };
+
+        for (fact_id, fact) in db.facts() {
+            if !fact_filter(fact_id) {
+                continue;
+            }
+            if let Some((s, s_prime)) = ro.letter_transition(fact.label) {
+                let edge = csr.add_edge(
+                    product(fact.source, s),
+                    product(fact.target, s_prime),
+                    capacity_of(fact_id),
+                );
+                debug_assert_eq!(edge.index(), edge_fact.len());
+                edge_fact.push(fact_id.0);
+            }
+        }
+        for (s, s_prime) in ro.epsilon_transitions() {
+            for node in db.nodes() {
+                csr.add_edge(product(node, s), product(node, s_prime), Capacity::Infinite);
+            }
+        }
+        for s in ro.initial_states() {
+            for node in db.nodes() {
+                csr.add_edge(source, product(node, s), Capacity::Infinite);
+            }
+        }
+        for s in ro.final_states() {
+            for node in db.nodes() {
+                csr.add_edge(product(node, s), target, Capacity::Infinite);
+            }
         }
     }
 
-    let cut = rpq_flow::min_cut_with(&network, flow);
-    let facts: Vec<FactId> =
-        cut.cut_edges.iter().filter_map(|e| edge_to_fact.get(e).copied()).collect();
+    csr.freeze();
+    let cut = csr.min_cut(flow, flow_scratch);
+    let facts: Vec<FactId> = cut
+        .cut_edges
+        .iter()
+        .filter(|e| e.index() < edge_fact.len())
+        .map(|e| FactId(edge_fact[e.index()]))
+        .collect();
     (ResilienceValue::from(cut.value), facts)
 }
 

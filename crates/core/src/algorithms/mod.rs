@@ -32,6 +32,28 @@
 //!    or the per-call
 //!    [`solve_with_cut`](crate::engine::PreparedQuery::solve_with_cut).
 //!
+//! # Scratch reuse across solves
+//!
+//! The flow-based reductions do not allocate a fresh network per database.
+//! Each solve builds its edges into the [`rpq_flow::CsrFlow`] arena of a
+//! [`SolveScratch`] (cleared, never freed, between databases), freezes it
+//! into CSR adjacency, and runs the configured backend over the scratch's
+//! [`rpq_flow::FlowScratch`] buffers — which are reset by `clear()` +
+//! `resize()`, so their capacity only ever grows. Edge → fact provenance is
+//! a dense `Vec` in the same scratch: fact edges are emitted **first**, so
+//! an arena edge id below `edge_fact.len()` indexes its fact directly and
+//! wiring edges (ids past the prefix) need no map at all.
+//!
+//! The scratch's lifetime is tied to the prepared plan: every
+//! [`crate::engine::PreparedQuery`] owns a pool of `SolveScratch` buffers,
+//! checked out once per [`solve`](crate::engine::PreparedQuery::solve) call
+//! (or once per worker thread in
+//! [`solve_batch_parallel`](crate::engine::PreparedQuery::solve_batch_parallel),
+//! where each chunk reuses one scratch across all its databases). After a
+//! warm-up solve sizes the buffers, a batch over same-shaped databases
+//! performs **zero** further allocations in the flow core — the engine's
+//! tests assert this via [`SolveScratch::capacity_signature`].
+//!
 //! **The engine is the single entry point for computing resilience.** The
 //! CLI, the integration tests, and the benchmarks all go through it — either
 //! directly or via the thin compatibility wrappers [`solve`] (automatic
@@ -52,8 +74,70 @@ use crate::approx::{ApproxError, ApproximateResilience};
 use crate::engine::Engine;
 use crate::rpq::{ResilienceValue, Rpq};
 use rpq_automata::AutomataError;
+use rpq_flow::{CsrFlow, FlowScratch};
 use rpq_graphdb::{FactId, GraphDb};
 use std::fmt;
+
+/// Reusable per-solve buffers of the flow-based reductions (see the
+/// *scratch reuse* section of the [module docs](self)): the [`CsrFlow`]
+/// arena the reduction builds into, the [`FlowScratch`] the backend solves
+/// over, and the dense provenance / vertex-lookup vectors. One scratch is
+/// checked out of the owning [`crate::engine::PreparedQuery`]'s pool per
+/// solve (or per batch worker) and reset — never reallocated — between
+/// databases.
+#[derive(Debug, Default)]
+pub struct SolveScratch {
+    /// The CSR flow arena the reductions build and freeze per database.
+    pub(crate) csr: CsrFlow,
+    /// Solver state for [`CsrFlow::min_cut`].
+    pub(crate) flow: FlowScratch,
+    /// Edge → fact provenance. Fact edges are emitted into the arena first,
+    /// so `edge_fact[edge.index()]` is the `FactId` of every edge with index
+    /// below `edge_fact.len()`; later (wiring) edges have no fact.
+    pub(crate) edge_fact: Vec<u32>,
+    /// Fact → start-vertex lookup of the chain reduction, indexed by
+    /// `FactId`; `u32::MAX` marks facts absent from the network. The end
+    /// vertex of a fact is always `start + 1`.
+    pub(crate) fact_vertex: Vec<u32>,
+    /// Per-node bitmask of *enterable* automaton states (states a query path
+    /// can be in when arriving at the node), used by the local reduction's
+    /// product pruning. Indexed by `NodeId`; valid for automata ≤ 64 states.
+    pub(crate) node_in: Vec<u64>,
+    /// Per-node bitmask of *exitable* automaton states (see `node_in`).
+    pub(crate) node_out: Vec<u64>,
+    /// Per-node first compacted product-vertex id of the local reduction
+    /// (prefix sums of used-state counts).
+    pub(crate) node_base: Vec<u32>,
+    /// Per-(node, state) compacted local vertex slot of the local reduction
+    /// (`u8::MAX` = pruned), laid out as `node * num_states + state`. States
+    /// merged by ε-contraction share a slot.
+    pub(crate) node_slot: Vec<u8>,
+}
+
+impl SolveScratch {
+    /// A scratch with no capacity reserved.
+    pub fn new() -> SolveScratch {
+        SolveScratch::default()
+    }
+
+    /// The capacities of every internal buffer. Used to assert the reuse
+    /// contract: once warmed up on a batch's shape, further solves must not
+    /// change the signature (zero reallocations).
+    pub fn capacity_signature(&self) -> ([usize; 9], [usize; 13], [usize; 6]) {
+        (
+            self.csr.capacity_signature(),
+            self.flow.capacity_signature(),
+            [
+                self.edge_fact.capacity(),
+                self.fact_vertex.capacity(),
+                self.node_in.capacity(),
+                self.node_out.capacity(),
+                self.node_base.capacity(),
+                self.node_slot.capacity(),
+            ],
+        )
+    }
+}
 
 /// Errors raised by the resilience algorithms.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -47,7 +47,7 @@
 //! database as-is. The cost bookkeeping telescopes:
 //! `cost(witness) = κ + Σ_(non-positive z) + cost(cut) = value`.
 
-use super::{Algorithm, ResilienceError, ResilienceOutcome};
+use super::{Algorithm, ResilienceError, ResilienceOutcome, SolveScratch};
 use crate::algorithms::local::resilience_via_ro_enfa;
 use crate::rpq::{ResilienceValue, Rpq, Semantics};
 use rpq_automata::finite::{one_dangling_decomposition, OneDanglingDecomposition};
@@ -55,7 +55,7 @@ use rpq_automata::ro_enfa::RoEnfa;
 use rpq_automata::Language;
 use rpq_flow::FlowAlgorithm;
 use rpq_graphdb::{FactId, GraphDb, NodeId};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// The query-only half of the Proposition 7.9 rewriting: the one-dangling
 /// decomposition, normalized so that `y ∉ Σ(local part)` (mirroring the query
@@ -142,6 +142,7 @@ impl OneDanglingPlan {
         db: &GraphDb,
         flow: FlowAlgorithm,
         want_cut: bool,
+        scratch: &mut SolveScratch,
     ) -> Result<ResilienceOutcome, ResilienceError> {
         let Some(ro) = &self.ro else {
             return Ok(ResilienceOutcome::new(
@@ -179,7 +180,8 @@ impl OneDanglingPlan {
         let original_bag_db = bag_db.clone();
         let bag_db = if self.mirrored { bag_db.reversed() } else { bag_db };
 
-        let (value, witness) = rewrite_and_solve(&self.decomposition, ro, &bag_db, flow, want_cut)?;
+        let (value, witness) =
+            rewrite_and_solve(&self.decomposition, ro, &bag_db, flow, want_cut, scratch)?;
         #[cfg(debug_assertions)]
         debug_assert!(
             {
@@ -220,7 +222,7 @@ pub fn resilience_one_dangling(
     db: &GraphDb,
 ) -> Result<ResilienceOutcome, ResilienceError> {
     let plan = OneDanglingPlan::from_infix_free(&rpq.infix_free_language(), rpq.language())?;
-    plan.solve(rpq, db, FlowAlgorithm::default(), true)
+    plan.solve(rpq, db, FlowAlgorithm::default(), true, &mut SolveScratch::new())
 }
 
 /// What a fact of the rewritten database stands for in the original one.
@@ -243,6 +245,7 @@ fn rewrite_and_solve(
     db: &GraphDb,
     flow: FlowAlgorithm,
     want_cut: bool,
+    scratch: &mut SolveScratch,
 ) -> Result<(ResilienceValue, Option<BTreeSet<FactId>>), ResilienceError> {
     let x = decomposition.x;
     let y = decomposition.y;
@@ -276,19 +279,26 @@ fn rewrite_and_solve(
     for node in db.nodes() {
         rewritten.node(db.node_name(node));
     }
-    // Per-node bookkeeping for the z-fact multiplicities.
-    let mut incoming_x: BTreeMap<NodeId, i128> = BTreeMap::new();
-    let mut outgoing_y: BTreeMap<NodeId, i128> = BTreeMap::new();
+    // Per-node bookkeeping for the z-fact multiplicities, dense by node id
+    // (`touched` marks nodes with at least one incident x- or y-fact).
+    let mut incoming_x: Vec<i128> = vec![0; db.num_nodes()];
+    let mut outgoing_y: Vec<i128> = vec![0; db.num_nodes()];
+    let mut touched: Vec<bool> = vec![false; db.num_nodes()];
     for (id, fact) in db.facts() {
         if fact.label == x {
-            *incoming_x.entry(fact.target).or_insert(0) += db.multiplicity(id) as i128;
+            incoming_x[fact.target.0 as usize] += db.multiplicity(id) as i128;
+            touched[fact.target.0 as usize] = true;
         }
         if fact.label == y {
-            *outgoing_y.entry(fact.source).or_insert(0) += db.multiplicity(id) as i128;
+            outgoing_y[fact.source.0 as usize] += db.multiplicity(id) as i128;
+            touched[fact.source.0 as usize] = true;
         }
     }
 
-    let mut provenance: BTreeMap<FactId, Provenance> = BTreeMap::new();
+    // Rewritten facts never collide (facts are identified by their triple,
+    // x-facts are redirected to twins, z is fresh), so their ids are assigned
+    // sequentially and `provenance` is a dense push-indexed Vec.
+    let mut provenance: Vec<Provenance> = Vec::with_capacity(db.num_facts());
     for (id, fact) in db.facts() {
         match fact.label {
             l if l == y => {
@@ -299,13 +309,15 @@ fn rewrite_and_solve(
                 let twin = rewritten.node(&twin_name(db, fact.target));
                 let src = rewritten.node(db.node_name(fact.source));
                 let new = rewritten.add_fact_with_multiplicity(src, x, twin, db.multiplicity(id));
-                provenance.insert(new, Provenance::Original(id));
+                debug_assert_eq!(new.index(), provenance.len());
+                provenance.push(Provenance::Original(id));
             }
             l => {
                 let src = rewritten.node(db.node_name(fact.source));
                 let dst = rewritten.node(db.node_name(fact.target));
                 let new = rewritten.add_fact_with_multiplicity(src, l, dst, db.multiplicity(id));
-                provenance.insert(new, Provenance::Original(id));
+                debug_assert_eq!(new.index(), provenance.len());
+                provenance.push(Provenance::Original(id));
             }
         }
     }
@@ -313,27 +325,30 @@ fn rewrite_and_solve(
     // z-facts (extended bag semantics): multiplicity may be ≤ 0, in which case
     // the fact is removed for free and its (non-positive) multiplicity is
     // credited to the final value — the per-node exchange is taken for free.
+    // `restored` starts as the free exchanges; cut exchanges join it below.
     let mut negative_credit: i128 = 0;
-    let mut free_exchanges: BTreeSet<NodeId> = BTreeSet::new();
-    let touched: BTreeSet<NodeId> = incoming_x.keys().chain(outgoing_y.keys()).copied().collect();
-    for v in touched {
-        let mult =
-            incoming_x.get(&v).copied().unwrap_or(0) - outgoing_y.get(&v).copied().unwrap_or(0);
+    let mut restored: Vec<bool> = vec![false; db.num_nodes()];
+    for v in db.nodes() {
+        if !touched[v.0 as usize] {
+            continue;
+        }
+        let mult = incoming_x[v.0 as usize] - outgoing_y[v.0 as usize];
         if mult > 0 {
             let twin = rewritten.node(&twin_name(db, v));
             let main = rewritten.node(db.node_name(v));
             let new = rewritten.add_fact_with_multiplicity(twin, z, main, mult as u64);
-            provenance.insert(new, Provenance::Exchange(v));
+            debug_assert_eq!(new.index(), provenance.len());
+            provenance.push(Provenance::Exchange(v));
         } else {
             negative_credit += mult;
-            free_exchanges.insert(v);
+            restored[v.0 as usize] = true;
         }
     }
 
     // Solve the rewritten (positive-multiplicity) instance with the local
     // algorithm in bag semantics.
     let (local_value, cut) =
-        resilience_via_ro_enfa(&ro_rewritten, &rewritten, Semantics::Bag, flow, |_| true);
+        resilience_via_ro_enfa(&ro_rewritten, &rewritten, Semantics::Bag, flow, scratch, |_| true);
     let local_value = match local_value {
         ResilienceValue::Infinite => return Ok((ResilienceValue::Infinite, None)),
         ResilienceValue::Finite(v) => v as i128,
@@ -347,26 +362,24 @@ fn rewrite_and_solve(
 
     // Map the minimum cut back to original facts. `restored` collects the
     // nodes whose exchange is taken: their y-facts survive, their x-facts go.
+    // Every finite-capacity edge of the rewritten network is a rewritten
+    // fact, and all of them were recorded above, so indexing cannot miss.
     let mut witness: BTreeSet<FactId> = BTreeSet::new();
-    let mut restored = free_exchanges;
     for rewritten_fact in cut {
-        match provenance.get(&rewritten_fact) {
-            Some(Provenance::Original(id)) => {
-                witness.insert(*id);
+        match provenance[rewritten_fact.index()] {
+            Provenance::Original(id) => {
+                witness.insert(id);
             }
-            Some(Provenance::Exchange(v)) => {
-                restored.insert(*v);
+            Provenance::Exchange(v) => {
+                restored[v.0 as usize] = true;
             }
-            // Every finite-capacity edge of the rewritten network is a
-            // rewritten fact, and all of them were recorded above.
-            None => unreachable!("cut facts of the rewritten instance have provenance"),
         }
     }
     for (id, fact) in db.facts() {
-        if fact.label == x && restored.contains(&fact.target) {
+        if fact.label == x && restored[fact.target.0 as usize] {
             witness.insert(id);
         }
-        if fact.label == y && !restored.contains(&fact.source) {
+        if fact.label == y && !restored[fact.source.0 as usize] {
             witness.insert(id);
         }
     }
@@ -583,7 +596,8 @@ mod tests {
         let q = Rpq::parse("abc|be").unwrap();
         let plan =
             OneDanglingPlan::from_infix_free(&q.infix_free_language(), q.language()).unwrap();
-        let out = plan.solve(&q, &db, FlowAlgorithm::default(), false).unwrap();
+        let out =
+            plan.solve(&q, &db, FlowAlgorithm::default(), false, &mut SolveScratch::new()).unwrap();
         assert_eq!(out.value, ResilienceValue::Finite(1));
         assert!(out.contingency_set.is_none());
     }

@@ -41,7 +41,7 @@
 use crate::algorithms::chain::ChainPlan;
 use crate::algorithms::one_dangling::OneDanglingPlan;
 use crate::algorithms::{
-    local, normalize_approximation, Algorithm, ResilienceError, ResilienceOutcome,
+    local, normalize_approximation, Algorithm, ResilienceError, ResilienceOutcome, SolveScratch,
 };
 use crate::approx::{resilience_greedy, resilience_k_approximation};
 use crate::exact::{
@@ -54,6 +54,7 @@ use rpq_automata::ro_enfa::RoEnfa;
 use rpq_flow::FlowAlgorithm;
 use rpq_graphdb::GraphDb;
 use std::fmt;
+use std::sync::Mutex;
 
 /// Configuration of a resilience [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -181,15 +182,60 @@ impl fmt::Display for PlanReport {
     }
 }
 
+/// An upper bound on the number of [`SolveScratch`] buffers a plan retains:
+/// enough for any realistic worker count, small enough that a burst of
+/// threads cannot pin unbounded memory to a cached plan.
+const MAX_POOLED_SCRATCH: usize = 64;
+
+/// A pool of [`SolveScratch`] buffers owned by a [`PreparedQuery`], so that
+/// repeated solves (and each worker thread of a parallel batch) reuse warm
+/// flow buffers instead of reallocating them per database. Cloned plans start
+/// with a fresh, empty pool.
+#[derive(Debug, Default)]
+struct ScratchPool(Mutex<Vec<SolveScratch>>);
+
+impl ScratchPool {
+    /// Checks a scratch out of the pool (a fresh one when the pool is empty).
+    fn take(&self) -> SolveScratch {
+        match self.0.lock() {
+            Ok(mut pool) => pool.pop().unwrap_or_default(),
+            Err(_) => SolveScratch::new(),
+        }
+    }
+
+    /// Returns a scratch to the pool for the next solve.
+    fn put(&self, scratch: SolveScratch) {
+        if let Ok(mut pool) = self.0.lock() {
+            if pool.len() < MAX_POOLED_SCRATCH {
+                pool.push(scratch);
+            }
+        }
+    }
+}
+
 /// A query whose full plan (classification, automata, decompositions, chosen
 /// algorithm) has been computed once by [`Engine::prepare`]; solving is pure
-/// per-database work.
-#[derive(Debug, Clone)]
+/// per-database work over pooled [`SolveScratch`] buffers.
+#[derive(Debug)]
 pub struct PreparedQuery {
     rpq: Rpq,
     options: SolveOptions,
     strategy: Strategy,
     report: PlanReport,
+    scratch: ScratchPool,
+}
+
+impl Clone for PreparedQuery {
+    fn clone(&self) -> PreparedQuery {
+        PreparedQuery {
+            rpq: self.rpq.clone(),
+            options: self.options,
+            strategy: self.strategy.clone(),
+            report: self.report.clone(),
+            // Scratch buffers are per-plan working memory, not plan state.
+            scratch: ScratchPool::default(),
+        }
+    }
 }
 
 impl Engine {
@@ -228,6 +274,7 @@ impl Engine {
             options: self.options,
             strategy,
             report: PlanReport { algorithm, reason, infix_free: infix_free.clone(), forced: false },
+            scratch: ScratchPool::default(),
         };
 
         if if_language.contains_epsilon() {
@@ -307,6 +354,7 @@ impl Engine {
                 infix_free: if_language.description().to_string(),
                 forced: true,
             },
+            scratch: ScratchPool::default(),
         };
         let strategy = match algorithm {
             Algorithm::Local => {
@@ -388,23 +436,44 @@ impl PreparedQuery {
         db: &GraphDb,
         want_cut: bool,
     ) -> Result<ResilienceOutcome, ResilienceError> {
+        let mut scratch = self.scratch.take();
+        let result = self.solve_with_cut_using(db, want_cut, &mut scratch);
+        self.scratch.put(scratch);
+        result
+    }
+
+    /// [`PreparedQuery::solve_with_cut`] over an explicit scratch, so batch
+    /// paths (and each worker thread of a parallel batch) can reuse one warm
+    /// scratch across all their databases instead of round-tripping the pool
+    /// per solve.
+    fn solve_with_cut_using(
+        &self,
+        db: &GraphDb,
+        want_cut: bool,
+        scratch: &mut SolveScratch,
+    ) -> Result<ResilienceOutcome, ResilienceError> {
         let options = &self.options;
         match &self.strategy {
             Strategy::EpsilonInfinite { tag } => {
                 Ok(ResilienceOutcome::new(ResilienceValue::Infinite, *tag, None))
             }
-            Strategy::Local { ro } => {
-                Ok(local::solve_prepared(ro, &self.rpq, db, options.flow_backend, want_cut))
-            }
+            Strategy::Local { ro } => Ok(local::solve_prepared(
+                ro,
+                &self.rpq,
+                db,
+                options.flow_backend,
+                want_cut,
+                scratch,
+            )),
             Strategy::Chain { plan } => {
-                Ok(plan.solve(&self.rpq, db, options.flow_backend, want_cut))
+                Ok(plan.solve(&self.rpq, db, options.flow_backend, want_cut, scratch))
             }
             Strategy::OneDangling { plan, fallback_to_exact } => {
                 if db.has_exogenous_facts() {
                     // The κ-offset rewriting assumes finite fact weights
                     // (Proposition 7.9): route around it or report why not.
                     if !fallback_to_exact {
-                        return plan.solve(&self.rpq, db, options.flow_backend, want_cut);
+                        return plan.solve(&self.rpq, db, options.flow_backend, want_cut, scratch);
                     }
                     if !options.exact_fallback {
                         return Err(ResilienceError::ExactFallbackDisabled {
@@ -413,7 +482,7 @@ impl PreparedQuery {
                     }
                     return Ok(self.solve_exact_branch_and_bound(db, want_cut));
                 }
-                plan.solve(&self.rpq, db, options.flow_backend, want_cut)
+                plan.solve(&self.rpq, db, options.flow_backend, want_cut, scratch)
             }
             Strategy::ExactBranchAndBound => Ok(self.solve_exact_branch_and_bound(db, want_cut)),
             Strategy::ExactEnumeration => {
@@ -443,8 +512,16 @@ impl PreparedQuery {
 
     /// Solves every database of a batch with the cached plan, in order. Each
     /// database gets its own result; one failure does not abort the batch.
+    /// One scratch is checked out for the whole batch, so after the first
+    /// (warm-up) database the flow core allocates nothing.
     pub fn solve_batch(&self, dbs: &[GraphDb]) -> Vec<Result<ResilienceOutcome, ResilienceError>> {
-        dbs.iter().map(|db| self.solve(db)).collect()
+        let mut scratch = self.scratch.take();
+        let results = dbs
+            .iter()
+            .map(|db| self.solve_with_cut_using(db, self.options.want_cut, &mut scratch))
+            .collect();
+        self.scratch.put(scratch);
+        results
     }
 
     /// Solves a batch with up to `jobs` worker threads, returning results in
@@ -473,7 +550,13 @@ impl PreparedQuery {
     ) -> Vec<Result<ResilienceOutcome, ResilienceError>> {
         let jobs = jobs.max(1).min(dbs.len().max(1));
         if jobs <= 1 {
-            return dbs.iter().map(|db| self.solve_with_cut(db, want_cut)).collect();
+            let mut scratch = self.scratch.take();
+            let results = dbs
+                .iter()
+                .map(|db| self.solve_with_cut_using(db, want_cut, &mut scratch))
+                .collect();
+            self.scratch.put(scratch);
+            return results;
         }
         let chunk_size = dbs.len().div_ceil(jobs);
         let mut results: Vec<Option<Result<ResilienceOutcome, ResilienceError>>> =
@@ -481,10 +564,14 @@ impl PreparedQuery {
         std::thread::scope(|scope| {
             for (db_chunk, out_chunk) in dbs.chunks(chunk_size).zip(results.chunks_mut(chunk_size))
             {
+                // Each worker checks one scratch out of the plan's pool and
+                // reuses it across every database of its chunk.
                 scope.spawn(move || {
+                    let mut scratch = self.scratch.take();
                     for (db, out) in db_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *out = Some(self.solve_with_cut(db, want_cut));
+                        *out = Some(self.solve_with_cut_using(db, want_cut, &mut scratch));
                     }
+                    self.scratch.put(scratch);
                 });
             }
         });
@@ -627,6 +714,30 @@ mod tests {
         for result in prepared.solve_batch_parallel_with_cut(&dbs, false, 4) {
             assert!(result.unwrap().contingency_set.is_none());
         }
+    }
+
+    #[test]
+    fn batch_solves_do_not_reallocate_scratch_after_warmup() {
+        use rpq_graphdb::generate::flow_instance;
+        let engine = Engine::new();
+        let prepared = engine.prepare(&Rpq::parse("ax*b").unwrap()).unwrap();
+        let dbs: Vec<GraphDb> = (0..32).map(|seed| flow_instance(4, 4, 2, 3, seed)).collect();
+        let mut scratch = SolveScratch::new();
+        // Warm-up pass: sizes every buffer to the batch's shape.
+        for db in &dbs {
+            prepared.solve_with_cut_using(db, true, &mut scratch).unwrap();
+        }
+        let signature = scratch.capacity_signature();
+        // Post-warmup: one PreparedQuery solving 32 databases must perform
+        // zero scratch reallocations (the capacities stay bit-identical).
+        for db in &dbs {
+            prepared.solve_with_cut_using(db, true, &mut scratch).unwrap();
+        }
+        assert_eq!(
+            scratch.capacity_signature(),
+            signature,
+            "post-warmup solves must not reallocate scratch buffers"
+        );
     }
 
     #[test]

@@ -1,0 +1,744 @@
+//! Cache-friendly CSR flow networks solved over reusable scratch buffers.
+//!
+//! [`crate::network::FlowNetwork`] is the construction-friendly API: an edge
+//! list with `Option` source/target, solved by building a fresh residual
+//! graph (`Vec<Vec<usize>>` adjacency — one heap allocation per vertex) on
+//! every call. That is fine for one-off solves, but the resilience engine
+//! solves the *same shape* of network once per database, thousands of times
+//! per prepared query, and the per-solve allocation and pointer-chasing cost
+//! dominates at the sizes the benches exercise.
+//!
+//! [`CsrFlow`] is the hot-path representation:
+//!
+//! * edges are appended into a flat **arena** (`edge_from`/`edge_to`/
+//!   `edge_cap` arrays of `u32`/`u128`) that is `clear()`ed — never freed —
+//!   between databases;
+//! * [`CsrFlow::freeze`] compiles the arena into **CSR** (compressed sparse
+//!   row) adjacency by counting sort: `adj_start[v]..adj_start[v+1]` indexes
+//!   the contiguous arc slice of vertex `v`, with forward and reverse
+//!   residual arcs interleaved in the same arrays and paired through an
+//!   explicit `arc_twin` index (the `ai ^ 1` twin trick of the edge-list
+//!   solvers does not survive the CSR permutation);
+//! * [`CsrFlow::min_cut`] runs Dinic, Edmonds–Karp, or push–relabel over a
+//!   caller-provided [`FlowScratch`], whose buffers are reset — never
+//!   reallocated — across solves (see [`crate::scratch`]).
+//!
+//! Infinite capacities use the same certification scheme as the edge-list
+//! solvers: they are capped internally at `total_finite_capacity + 1`, so a
+//! flow reaching the cap proves that every cut uses an infinite edge.
+//! Passing [`FlowAlgorithm::Auto`] selects the backend per instance from the
+//! measured size thresholds in [`crate::auto`].
+
+use crate::mincut::FlowAlgorithm;
+use crate::network::{Capacity, EdgeId, FlowNetwork, VertexId};
+use crate::scratch::{FlowScratch, NO_ARC, UNVISITED};
+
+/// Capacity sentinel inside the arena: `+∞` (finite capacities must be
+/// strictly below; the reductions only produce `u64`-sized costs).
+const INFINITE: u128 = u128::MAX;
+/// `arc_edge` sentinel for reverse (residual-only) arcs.
+const NO_EDGE: u32 = u32::MAX;
+
+/// A flow network frozen into contiguous CSR arrays, built once per database
+/// inside a reusable arena and solved over a [`FlowScratch`].
+///
+/// Lifecycle: [`clear`](CsrFlow::clear) → [`add_vertices`](CsrFlow::add_vertices)
+/// / [`add_edge`](CsrFlow::add_edge) / [`set_source`](CsrFlow::set_source) /
+/// [`set_target`](CsrFlow::set_target) → [`freeze`](CsrFlow::freeze) →
+/// [`min_cut`](CsrFlow::min_cut) (any number of times). All buffers keep
+/// their allocations across `clear`.
+#[derive(Debug, Clone, Default)]
+pub struct CsrFlow {
+    num_vertices: usize,
+    source: u32,
+    target: u32,
+    // Edge arena (original edge ids are indexes into these).
+    edge_from: Vec<u32>,
+    edge_to: Vec<u32>,
+    edge_cap: Vec<u128>,
+    // Frozen CSR residual graph.
+    adj_start: Vec<u32>,
+    cursor: Vec<u32>,
+    arc_head: Vec<u32>,
+    arc_twin: Vec<u32>,
+    arc_edge: Vec<u32>,
+    arc_cap: Vec<u128>,
+    infinite_cap: u128,
+    frozen: bool,
+}
+
+/// A minimum cut computed by [`CsrFlow::min_cut`]. The cut edges borrow the
+/// scratch buffer and stay valid until its next solve.
+#[derive(Debug)]
+pub struct CsrCut<'a> {
+    /// The cost of the cut (`Infinite` when no finite cut exists).
+    pub value: Capacity,
+    /// A concrete set of edges achieving the cut (arena [`EdgeId`]s). Empty
+    /// when the value is infinite.
+    pub cut_edges: &'a [EdgeId],
+}
+
+impl CsrFlow {
+    /// An empty network with no capacity reserved.
+    pub fn new() -> CsrFlow {
+        CsrFlow { source: NO_ARC, target: NO_ARC, ..CsrFlow::default() }
+    }
+
+    /// Resets the network for a new build, keeping every allocation.
+    pub fn clear(&mut self) {
+        self.num_vertices = 0;
+        self.source = NO_ARC;
+        self.target = NO_ARC;
+        self.edge_from.clear();
+        self.edge_to.clear();
+        self.edge_cap.clear();
+        self.frozen = false;
+    }
+
+    /// Adds `n` vertices, returning the identifier of the first one.
+    pub fn add_vertices(&mut self, n: usize) -> VertexId {
+        let first = VertexId(self.num_vertices as u32);
+        self.num_vertices += n;
+        first
+    }
+
+    /// Adds one vertex and returns its identifier.
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.add_vertices(1)
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of arena edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_from.len()
+    }
+
+    /// The size `|N| = |V| + |E|` (the measure used by the auto-selection
+    /// thresholds and the `flow_ablation` bench).
+    pub fn size(&self) -> usize {
+        self.num_vertices + self.edge_from.len()
+    }
+
+    /// Declares the source vertex.
+    pub fn set_source(&mut self, v: VertexId) {
+        assert!(v.index() < self.num_vertices, "vertex out of range");
+        self.source = v.0;
+    }
+
+    /// Declares the target vertex.
+    pub fn set_target(&mut self, v: VertexId) {
+        assert!(v.index() < self.num_vertices, "vertex out of range");
+        self.target = v.0;
+    }
+
+    /// Appends a directed edge to the arena and returns its identifier.
+    pub fn add_edge(&mut self, from: VertexId, to: VertexId, capacity: Capacity) -> EdgeId {
+        assert!(from.index() < self.num_vertices && to.index() < self.num_vertices);
+        let cap = match capacity {
+            Capacity::Finite(c) => {
+                assert!(c < INFINITE, "finite capacity too large");
+                c
+            }
+            Capacity::Infinite => INFINITE,
+        };
+        let id = EdgeId(self.edge_from.len() as u32);
+        self.edge_from.push(from.0);
+        self.edge_to.push(to.0);
+        self.edge_cap.push(cap);
+        id
+    }
+
+    /// The capacities of every internal buffer, for asserting that reuse
+    /// never reallocates (see [`FlowScratch::capacity_signature`]).
+    pub fn capacity_signature(&self) -> [usize; 9] {
+        [
+            self.edge_from.capacity(),
+            self.edge_to.capacity(),
+            self.edge_cap.capacity(),
+            self.adj_start.capacity(),
+            self.cursor.capacity(),
+            self.arc_head.capacity(),
+            self.arc_twin.capacity(),
+            self.arc_edge.capacity(),
+            self.arc_cap.capacity(),
+        ]
+    }
+
+    /// The capacity of an arena edge.
+    pub fn edge_capacity(&self, id: EdgeId) -> Capacity {
+        match self.edge_cap[id.index()] {
+            INFINITE => Capacity::Infinite,
+            c => Capacity::Finite(c),
+        }
+    }
+
+    /// Compiles the arena into CSR residual adjacency (counting sort by arc
+    /// tail). Must be called after construction and before
+    /// [`min_cut`](CsrFlow::min_cut); adding more edges requires a new
+    /// `freeze`. Zero-capacity edges stay in the arena (they participate in
+    /// cut extraction) but produce no residual arcs.
+    pub fn freeze(&mut self) {
+        assert!(self.source != NO_ARC, "source vertex not set");
+        assert!(self.target != NO_ARC, "target vertex not set");
+        assert_ne!(self.source, self.target, "source and target must differ");
+        let n = self.num_vertices;
+
+        let mut total_finite: u128 = 0;
+        for &c in &self.edge_cap {
+            if c != INFINITE {
+                total_finite = total_finite.saturating_add(c);
+            }
+        }
+        self.infinite_cap = total_finite.saturating_add(1);
+
+        self.adj_start.clear();
+        self.adj_start.resize(n + 1, 0);
+        let mut num_arcs = 0usize;
+        for i in 0..self.edge_from.len() {
+            if self.edge_cap[i] == 0 {
+                continue;
+            }
+            self.adj_start[self.edge_from[i] as usize + 1] += 1;
+            self.adj_start[self.edge_to[i] as usize + 1] += 1;
+            num_arcs += 2;
+        }
+        for v in 0..n {
+            self.adj_start[v + 1] += self.adj_start[v];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.adj_start[..n]);
+        self.arc_head.clear();
+        self.arc_head.resize(num_arcs, 0);
+        self.arc_twin.clear();
+        self.arc_twin.resize(num_arcs, 0);
+        self.arc_edge.clear();
+        self.arc_edge.resize(num_arcs, NO_EDGE);
+        self.arc_cap.clear();
+        self.arc_cap.resize(num_arcs, 0);
+
+        for i in 0..self.edge_from.len() {
+            let cap = self.edge_cap[i];
+            if cap == 0 {
+                continue;
+            }
+            let from = self.edge_from[i] as usize;
+            let to = self.edge_to[i] as usize;
+            let forward = self.cursor[from] as usize;
+            self.cursor[from] += 1;
+            let reverse = self.cursor[to] as usize;
+            self.cursor[to] += 1;
+            self.arc_head[forward] = to as u32;
+            self.arc_cap[forward] = if cap == INFINITE { self.infinite_cap } else { cap };
+            self.arc_edge[forward] = i as u32;
+            self.arc_twin[forward] = reverse as u32;
+            self.arc_head[reverse] = from as u32;
+            self.arc_cap[reverse] = 0;
+            self.arc_edge[reverse] = NO_EDGE;
+            self.arc_twin[reverse] = forward as u32;
+        }
+        self.frozen = true;
+    }
+
+    /// Copies a [`FlowNetwork`] into a fresh, frozen `CsrFlow` (convenience
+    /// for cross-checking and benches; the engine builds arenas directly).
+    pub fn from_network(network: &FlowNetwork) -> CsrFlow {
+        let mut csr = CsrFlow::new();
+        csr.add_vertices(network.num_vertices());
+        csr.set_source(network.source());
+        csr.set_target(network.target());
+        for (_, e) in network.edges() {
+            csr.add_edge(e.from, e.to, e.capacity);
+        }
+        csr.freeze();
+        csr
+    }
+
+    /// The contiguous arc-index range of vertex `v`.
+    #[inline]
+    fn arc_range(&self, v: usize) -> std::ops::Range<usize> {
+        self.adj_start[v] as usize..self.adj_start[v + 1] as usize
+    }
+
+    /// Computes a minimum source–target cut with the requested backend
+    /// ([`FlowAlgorithm::Auto`] resolves per instance from the measured
+    /// thresholds in [`crate::auto`]). All solver state lives in `scratch`,
+    /// which is resized (growing only) and reused across calls.
+    pub fn min_cut<'s>(
+        &self,
+        algorithm: FlowAlgorithm,
+        scratch: &'s mut FlowScratch,
+    ) -> CsrCut<'s> {
+        assert!(self.frozen, "CsrFlow::min_cut requires freeze()");
+        let algorithm = algorithm.resolve(self.num_vertices, self.num_edges());
+        scratch.prepare(self.num_vertices);
+        scratch.residual.clear();
+        scratch.residual.extend_from_slice(&self.arc_cap);
+
+        let flow = match algorithm {
+            FlowAlgorithm::Dinic => dinic(self, scratch),
+            FlowAlgorithm::EdmondsKarp => edmonds_karp(self, scratch),
+            FlowAlgorithm::PushRelabel => {
+                scratch.prepare_push_relabel(self.num_vertices);
+                push_relabel(self, scratch)
+            }
+            FlowAlgorithm::Auto => unreachable!("Auto resolves to a concrete backend"),
+        };
+
+        // Vertices reachable from the source in the residual graph.
+        scratch.queue.clear();
+        scratch.reachable[self.source as usize] = true;
+        scratch.queue.push(self.source);
+        let mut head = 0;
+        while head < scratch.queue.len() {
+            let v = scratch.queue[head] as usize;
+            head += 1;
+            for ai in self.arc_range(v) {
+                if scratch.residual[ai] > 0 {
+                    let to = self.arc_head[ai] as usize;
+                    if !scratch.reachable[to] {
+                        scratch.reachable[to] = true;
+                        scratch.queue.push(to as u32);
+                    }
+                }
+            }
+        }
+
+        if flow >= self.infinite_cap {
+            scratch.cut_edges.clear();
+            return CsrCut { value: Capacity::Infinite, cut_edges: &scratch.cut_edges };
+        }
+
+        // Original edges crossing reachable → unreachable form a minimum cut.
+        // Zero-capacity edges crossing it are included so the returned set is
+        // a genuine separator (they cost nothing) — same contract as
+        // `crate::mincut::min_cut_with`.
+        scratch.cut_edges.clear();
+        for i in 0..self.edge_from.len() {
+            if scratch.reachable[self.edge_from[i] as usize]
+                && !scratch.reachable[self.edge_to[i] as usize]
+            {
+                scratch.cut_edges.push(EdgeId(i as u32));
+            }
+        }
+        CsrCut { value: Capacity::Finite(flow), cut_edges: &scratch.cut_edges }
+    }
+}
+
+/// Dinic's algorithm over the frozen CSR arrays: BFS level graph, then an
+/// iterative blocking-flow DFS driven by an explicit arc-path stack and the
+/// per-vertex current-arc pointers.
+fn dinic(csr: &CsrFlow, s: &mut FlowScratch) -> u128 {
+    let n = csr.num_vertices;
+    let source = csr.source as usize;
+    let target = csr.target as usize;
+    let mut total: u128 = 0;
+    loop {
+        // BFS to build the level graph (`level` may be longer than `n` after
+        // a bigger instance; only this instance's prefix is live).
+        for l in s.level[..n].iter_mut() {
+            *l = UNVISITED;
+        }
+        s.level[source] = 0;
+        s.queue.clear();
+        s.queue.push(source as u32);
+        let mut head = 0;
+        while head < s.queue.len() {
+            let v = s.queue[head] as usize;
+            head += 1;
+            let next_level = s.level[v] + 1;
+            for ai in csr.arc_range(v) {
+                if s.residual[ai] > 0 {
+                    let to = csr.arc_head[ai] as usize;
+                    if s.level[to] == UNVISITED {
+                        s.level[to] = next_level;
+                        s.queue.push(to as u32);
+                    }
+                }
+            }
+        }
+        if s.level[target] == UNVISITED {
+            break;
+        }
+        s.current_arc[..n].copy_from_slice(&csr.adj_start[..n]);
+
+        // Blocking flow: advance along admissible arcs, augment at the
+        // target, retreat (pruning the vertex from this phase) on dead ends.
+        s.path.clear();
+        let mut v = source;
+        loop {
+            if v == target {
+                let mut bottleneck = u128::MAX;
+                for &ai in &s.path {
+                    bottleneck = bottleneck.min(s.residual[ai as usize]);
+                }
+                for &ai in &s.path {
+                    let ai = ai as usize;
+                    s.residual[ai] -= bottleneck;
+                    s.residual[csr.arc_twin[ai] as usize] += bottleneck;
+                }
+                total += bottleneck;
+                // Restart from the tail of the first saturated arc.
+                let mut keep = 0;
+                while keep < s.path.len() && s.residual[s.path[keep] as usize] > 0 {
+                    keep += 1;
+                }
+                s.path.truncate(keep);
+                v = match s.path.last() {
+                    Some(&ai) => csr.arc_head[ai as usize] as usize,
+                    None => source,
+                };
+                continue;
+            }
+            let end = csr.adj_start[v + 1];
+            let mut advanced = false;
+            while s.current_arc[v] < end {
+                let ai = s.current_arc[v] as usize;
+                let to = csr.arc_head[ai] as usize;
+                if s.residual[ai] > 0 && s.level[to] == s.level[v] + 1 {
+                    s.path.push(ai as u32);
+                    v = to;
+                    advanced = true;
+                    break;
+                }
+                s.current_arc[v] += 1;
+            }
+            if !advanced {
+                if v == source {
+                    break; // blocking flow complete for this phase
+                }
+                s.level[v] = UNVISITED; // dead end: prune for this phase
+                s.path.pop();
+                v = match s.path.last() {
+                    Some(&ai) => csr.arc_head[ai as usize] as usize,
+                    None => source,
+                };
+            }
+        }
+    }
+    total
+}
+
+/// Edmonds–Karp over the frozen CSR arrays: repeated BFS augmenting paths,
+/// with `pred` holding the arc used to reach each vertex.
+fn edmonds_karp(csr: &CsrFlow, s: &mut FlowScratch) -> u128 {
+    let n = csr.num_vertices;
+    let source = csr.source as usize;
+    let target = csr.target as usize;
+    let mut total: u128 = 0;
+    loop {
+        for p in s.pred[..n].iter_mut() {
+            *p = NO_ARC;
+        }
+        for l in s.level[..n].iter_mut() {
+            *l = UNVISITED; // `level` doubles as the visited marker here
+        }
+        s.level[source] = 0;
+        s.queue.clear();
+        s.queue.push(source as u32);
+        let mut head = 0;
+        let mut found = false;
+        'bfs: while head < s.queue.len() {
+            let v = s.queue[head] as usize;
+            head += 1;
+            for ai in csr.arc_range(v) {
+                if s.residual[ai] > 0 {
+                    let to = csr.arc_head[ai] as usize;
+                    if s.level[to] == UNVISITED {
+                        s.level[to] = 0;
+                        s.pred[to] = ai as u32;
+                        if to == target {
+                            found = true;
+                            break 'bfs;
+                        }
+                        s.queue.push(to as u32);
+                    }
+                }
+            }
+        }
+        if !found {
+            break;
+        }
+        let mut bottleneck = u128::MAX;
+        let mut v = target;
+        while v != source {
+            let ai = s.pred[v] as usize;
+            bottleneck = bottleneck.min(s.residual[ai]);
+            v = csr.arc_head[csr.arc_twin[ai] as usize] as usize;
+        }
+        let mut v = target;
+        while v != source {
+            let ai = s.pred[v] as usize;
+            s.residual[ai] -= bottleneck;
+            s.residual[csr.arc_twin[ai] as usize] += bottleneck;
+            v = csr.arc_head[csr.arc_twin[ai] as usize] as usize;
+        }
+        total += bottleneck;
+    }
+    total
+}
+
+/// Push–relabel (FIFO selection, gap heuristic) over the frozen CSR arrays —
+/// the same algorithm as `crate::push_relabel`, with heights/excess/queues
+/// living in the scratch.
+fn push_relabel(csr: &CsrFlow, s: &mut FlowScratch) -> u128 {
+    let n = csr.num_vertices;
+    let source = csr.source as usize;
+    let target = csr.target as usize;
+
+    s.height[source] = n as u32;
+    s.height_count[0] = n.saturating_sub(1) as u32;
+    s.height_count[n] += 1;
+
+    // Saturate all source arcs (reverse arcs start with zero residual, so
+    // only genuine forward arcs push).
+    for ai in csr.arc_range(source) {
+        let d = s.residual[ai];
+        if d > 0 {
+            let to = csr.arc_head[ai] as usize;
+            s.residual[ai] -= d;
+            s.residual[csr.arc_twin[ai] as usize] += d;
+            s.excess[to] += d;
+            if to != target && to != source && !s.in_queue[to] {
+                s.active.push_back(to as u32);
+                s.in_queue[to] = true;
+            }
+        }
+    }
+
+    while let Some(v) = s.active.pop_front() {
+        let v = v as usize;
+        s.in_queue[v] = false;
+        if v == source || v == target {
+            continue;
+        }
+        let begin = csr.adj_start[v] as usize;
+        let end = csr.adj_start[v + 1] as usize;
+        let mut ai = begin;
+        while s.excess[v] > 0 {
+            if ai == end {
+                // Relabel: 1 + the minimum height over residual arcs.
+                let old_height = s.height[v] as usize;
+                let mut min_height = usize::MAX;
+                for a in begin..end {
+                    if s.residual[a] > 0 {
+                        min_height = min_height.min(s.height[csr.arc_head[a] as usize] as usize);
+                    }
+                }
+                if min_height == usize::MAX {
+                    break; // no residual arc: the remaining excess is stuck (cannot happen)
+                }
+                let new_height = (min_height + 1).min(2 * n);
+                s.height_count[old_height] -= 1;
+                // Gap heuristic: if no vertex remains at `old_height`, every
+                // vertex strictly above it (up to `n`) can no longer reach
+                // the target and is lifted past `n` in one go.
+                if s.height_count[old_height] == 0 && old_height < n {
+                    for u in 0..n {
+                        if u == source || u == target {
+                            continue;
+                        }
+                        let h = s.height[u] as usize;
+                        if h > old_height && h <= n {
+                            s.height_count[h] -= 1;
+                            s.height[u] = (n + 1) as u32;
+                            s.height_count[n + 1] += 1;
+                        }
+                    }
+                }
+                s.height[v] = new_height as u32;
+                s.height_count[new_height] += 1;
+                ai = begin;
+                continue;
+            }
+            let to = csr.arc_head[ai] as usize;
+            if s.residual[ai] > 0 && s.height[v] == s.height[to] + 1 {
+                let d = s.excess[v].min(s.residual[ai]);
+                s.residual[ai] -= d;
+                s.residual[csr.arc_twin[ai] as usize] += d;
+                s.excess[v] -= d;
+                s.excess[to] += d;
+                if to != source && to != target && !s.in_queue[to] {
+                    s.active.push_back(to as u32);
+                    s.in_queue[to] = true;
+                }
+            } else {
+                ai += 1;
+            }
+        }
+    }
+
+    s.excess[target]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mincut::min_cut_with;
+    use std::collections::BTreeSet;
+
+    fn simple_network(edges: &[(u32, u32, u64)], n: u32, s: u32, t: u32) -> FlowNetwork {
+        let mut net = FlowNetwork::new();
+        net.add_vertices(n as usize);
+        net.set_source(VertexId(s));
+        net.set_target(VertexId(t));
+        for &(a, b, c) in edges {
+            net.add_edge(VertexId(a), VertexId(b), Capacity::Finite(c as u128));
+        }
+        net
+    }
+
+    fn instances() -> Vec<FlowNetwork> {
+        let mut nets = vec![
+            simple_network(&[(0, 1, 5)], 2, 0, 1),
+            simple_network(&[], 2, 0, 1),
+            simple_network(&[(1, 0, 4)], 2, 0, 1),
+            simple_network(&[(0, 1, 5), (1, 2, 3), (2, 3, 7)], 4, 0, 3),
+            simple_network(&[(0, 1, 2), (1, 3, 2), (0, 2, 3), (2, 3, 3)], 4, 0, 3),
+            simple_network(&[(0, 1, 0), (0, 1, 3)], 2, 0, 1),
+            simple_network(&[(0, 1, 2), (0, 1, 3)], 2, 0, 1),
+            simple_network(&[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 2), (1, 3, 1)], 4, 0, 3),
+            simple_network(&[(0, 1, 2), (0, 2, 3), (1, 3, 4), (2, 3, 1), (1, 2, 1)], 4, 0, 3),
+            simple_network(&[(0, 1, u64::MAX), (1, 2, u64::MAX), (0, 2, u64::MAX)], 3, 0, 2),
+            simple_network(
+                &[
+                    (0, 1, 16),
+                    (0, 2, 13),
+                    (1, 2, 10),
+                    (2, 1, 4),
+                    (1, 3, 12),
+                    (3, 2, 9),
+                    (2, 4, 14),
+                    (4, 3, 7),
+                    (3, 5, 20),
+                    (4, 5, 4),
+                ],
+                6,
+                0,
+                5,
+            ),
+        ];
+        // Infinite routes, bottlenecked and not.
+        let mut inf = FlowNetwork::new();
+        let s = inf.add_vertex();
+        let m = inf.add_vertex();
+        let t = inf.add_vertex();
+        inf.set_source(s);
+        inf.set_target(t);
+        inf.add_edge(s, m, Capacity::Infinite);
+        inf.add_edge(m, t, Capacity::Infinite);
+        nets.push(inf);
+        let mut capped = FlowNetwork::new();
+        let s = capped.add_vertex();
+        let m = capped.add_vertex();
+        let t = capped.add_vertex();
+        capped.set_source(s);
+        capped.set_target(t);
+        capped.add_edge(s, m, Capacity::Infinite);
+        capped.add_edge(m, t, Capacity::Finite(4));
+        nets.push(capped);
+        nets
+    }
+
+    #[test]
+    fn csr_backends_match_legacy_solvers_on_value_and_cut_validity() {
+        let mut scratch = FlowScratch::new();
+        for net in instances() {
+            let csr = CsrFlow::from_network(&net);
+            for algorithm in FlowAlgorithm::ALL {
+                let legacy = min_cut_with(&net, algorithm);
+                let cut = csr.min_cut(algorithm, &mut scratch);
+                assert_eq!(cut.value, legacy.value, "{algorithm} value");
+                if let Capacity::Finite(_) = cut.value {
+                    let set: BTreeSet<EdgeId> = cut.cut_edges.iter().copied().collect();
+                    assert!(net.is_cut(&set), "{algorithm}: CSR cut must disconnect");
+                    assert_eq!(net.cost(&set), cut.value, "{algorithm}: CSR cut cost");
+                } else {
+                    assert!(cut.cut_edges.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn auto_matches_concrete_backends_everywhere() {
+        let mut scratch = FlowScratch::new();
+        for net in instances() {
+            let csr = CsrFlow::from_network(&net);
+            let auto_value = csr.min_cut(FlowAlgorithm::Auto, &mut scratch).value;
+            let dinic_value = csr.min_cut(FlowAlgorithm::Dinic, &mut scratch).value;
+            assert_eq!(auto_value, dinic_value);
+        }
+    }
+
+    #[test]
+    fn exhaustive_cross_check_on_small_networks() {
+        // Brute force all edge subsets and compare against every CSR backend.
+        let nets = vec![
+            simple_network(&[(0, 1, 2), (0, 2, 3), (1, 3, 4), (2, 3, 1), (1, 2, 1)], 4, 0, 3),
+            simple_network(&[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 3, 2), (1, 3, 1)], 4, 0, 3),
+            simple_network(&[(0, 1, 3), (1, 2, 2), (0, 2, 1), (2, 3, 3), (1, 3, 1)], 4, 0, 3),
+        ];
+        let mut scratch = FlowScratch::new();
+        for net in nets {
+            let m = net.num_edges();
+            let mut best = Capacity::Infinite;
+            for mask in 0..(1u32 << m) {
+                let set: BTreeSet<EdgeId> =
+                    (0..m).filter(|i| mask & (1 << i) != 0).map(|i| EdgeId(i as u32)).collect();
+                if net.is_cut(&set) {
+                    best = best.min(net.cost(&set));
+                }
+            }
+            let csr = CsrFlow::from_network(&net);
+            for algorithm in FlowAlgorithm::ALL {
+                assert_eq!(csr.min_cut(algorithm, &mut scratch).value, best, "{algorithm}");
+            }
+        }
+    }
+
+    #[test]
+    fn arena_reuse_after_clear_keeps_results_correct() {
+        let mut csr = CsrFlow::new();
+        let mut scratch = FlowScratch::new();
+        for net in instances() {
+            csr.clear();
+            csr.add_vertices(net.num_vertices());
+            csr.set_source(net.source());
+            csr.set_target(net.target());
+            for (_, e) in net.edges() {
+                csr.add_edge(e.from, e.to, e.capacity);
+            }
+            csr.freeze();
+            let expected = min_cut_with(&net, FlowAlgorithm::Dinic).value;
+            assert_eq!(csr.min_cut(FlowAlgorithm::Dinic, &mut scratch).value, expected);
+        }
+    }
+
+    #[test]
+    fn scratch_is_not_reallocated_across_repeated_solves() {
+        let net = simple_network(
+            &[(0, 1, 16), (0, 2, 13), (1, 2, 10), (1, 3, 12), (2, 4, 14), (3, 5, 20), (4, 5, 4)],
+            6,
+            0,
+            5,
+        );
+        let csr = CsrFlow::from_network(&net);
+        let mut scratch = FlowScratch::new();
+        // Warm-up sizes every buffer (one solve per backend, since they touch
+        // different buffers).
+        for algorithm in FlowAlgorithm::ALL {
+            csr.min_cut(algorithm, &mut scratch);
+        }
+        let signature = scratch.capacity_signature();
+        for _ in 0..8 {
+            for algorithm in FlowAlgorithm::ALL {
+                csr.min_cut(algorithm, &mut scratch);
+            }
+            assert_eq!(scratch.capacity_signature(), signature);
+        }
+    }
+}

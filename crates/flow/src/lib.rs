@@ -11,13 +11,25 @@
 //! * [`dinic`] — Dinic's max-flow algorithm;
 //! * [`mincut`] — min-cut values and cut-edge extraction via residual
 //!   reachability, with certification that the returned cut is finite and
-//!   actually disconnects the network.
+//!   actually disconnects the network;
+//! * [`csr`] + [`scratch`] — the hot-path representation: networks frozen
+//!   into contiguous CSR arrays inside a reusable arena, solved over
+//!   [`scratch::FlowScratch`] buffers that are reset, never reallocated,
+//!   across solves (this is what the resilience engine's batch path uses);
+//! * [`auto`] — measured size/density thresholds backing
+//!   [`mincut::FlowAlgorithm::Auto`], which picks the winning backend per
+//!   instance (Dinic on small networks, push–relabel on large ones).
 
+pub mod auto;
+pub mod csr;
 pub mod dinic;
 pub mod edmonds_karp;
 pub mod mincut;
 pub mod network;
 pub mod push_relabel;
+pub mod scratch;
 
+pub use csr::{CsrCut, CsrFlow};
 pub use mincut::{min_cut, min_cut_with, FlowAlgorithm, MinCut};
 pub use network::{Capacity, EdgeId, FlowNetwork, VertexId};
+pub use scratch::FlowScratch;

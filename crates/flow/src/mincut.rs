@@ -11,8 +11,11 @@ use std::collections::{BTreeSet, VecDeque};
 
 /// Which maximum-flow algorithm to use for a min-cut computation.
 ///
-/// All three produce the same cut value (they are exact algorithms); they are
-/// kept side by side for cross-checking and for the `flow_ablation` bench.
+/// The three concrete backends produce the same cut value (they are exact
+/// algorithms); they are kept side by side for cross-checking and for the
+/// `flow_ablation` bench. [`FlowAlgorithm::Auto`] is not a fourth algorithm:
+/// it resolves per instance to the measured winner (Dinic on small networks,
+/// push–relabel on large ones — see [`crate::auto`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum FlowAlgorithm {
     /// Dinic's algorithm (the default used by the resilience reductions).
@@ -22,19 +25,42 @@ pub enum FlowAlgorithm {
     EdmondsKarp,
     /// Push–relabel with FIFO selection and the gap heuristic.
     PushRelabel,
+    /// Pick the backend per instance from the measured size/density
+    /// thresholds of [`crate::auto`].
+    Auto,
 }
 
 impl FlowAlgorithm {
-    /// All available algorithms (useful for cross-checking loops).
+    /// The concrete algorithms (useful for cross-checking loops; excludes
+    /// [`FlowAlgorithm::Auto`], which always agrees with one of these).
     pub const ALL: [FlowAlgorithm; 3] =
         [FlowAlgorithm::Dinic, FlowAlgorithm::EdmondsKarp, FlowAlgorithm::PushRelabel];
 
-    /// Runs the selected maximum-flow algorithm.
-    pub fn max_flow(&self, network: &FlowNetwork) -> MaxFlow {
+    /// Every selectable mode, as accepted by [`FlowAlgorithm::from_str`]
+    /// (the concrete algorithms plus `auto`).
+    pub const SELECTABLE: [FlowAlgorithm; 4] = [
+        FlowAlgorithm::Dinic,
+        FlowAlgorithm::EdmondsKarp,
+        FlowAlgorithm::PushRelabel,
+        FlowAlgorithm::Auto,
+    ];
+
+    /// Resolves `Auto` to the measured-winner backend for an instance of the
+    /// given dimensions; concrete backends resolve to themselves.
+    pub fn resolve(self, num_vertices: usize, num_edges: usize) -> FlowAlgorithm {
         match self {
+            FlowAlgorithm::Auto => crate::auto::select(num_vertices, num_edges),
+            concrete => concrete,
+        }
+    }
+
+    /// Runs the selected maximum-flow algorithm (`Auto` resolves first).
+    pub fn max_flow(&self, network: &FlowNetwork) -> MaxFlow {
+        match self.resolve(network.num_vertices(), network.num_edges()) {
             FlowAlgorithm::Dinic => crate::dinic::max_flow(network),
             FlowAlgorithm::EdmondsKarp => crate::edmonds_karp::max_flow(network),
             FlowAlgorithm::PushRelabel => crate::push_relabel::max_flow(network),
+            FlowAlgorithm::Auto => unreachable!("Auto resolves to a concrete backend"),
         }
     }
 
@@ -45,6 +71,7 @@ impl FlowAlgorithm {
             FlowAlgorithm::Dinic => "dinic",
             FlowAlgorithm::EdmondsKarp => "edmonds-karp",
             FlowAlgorithm::PushRelabel => "push-relabel",
+            FlowAlgorithm::Auto => "auto",
         }
     }
 }
@@ -53,7 +80,7 @@ impl std::str::FromStr for FlowAlgorithm {
     type Err = String;
 
     fn from_str(name: &str) -> Result<Self, Self::Err> {
-        FlowAlgorithm::ALL
+        FlowAlgorithm::SELECTABLE
             .into_iter()
             .find(|a| a.name() == name)
             .ok_or_else(|| format!("unknown flow algorithm `{name}`"))
@@ -171,11 +198,26 @@ mod tests {
 
     #[test]
     fn flow_algorithm_names_round_trip() {
-        for algorithm in FlowAlgorithm::ALL {
+        for algorithm in FlowAlgorithm::SELECTABLE {
             assert_eq!(algorithm.name().parse::<FlowAlgorithm>().unwrap(), algorithm);
             assert_eq!(algorithm.to_string(), algorithm.name());
         }
+        assert_eq!("auto".parse::<FlowAlgorithm>().unwrap(), FlowAlgorithm::Auto);
         assert!("bogus".parse::<FlowAlgorithm>().is_err());
+    }
+
+    #[test]
+    fn auto_resolves_to_a_concrete_backend_and_agrees() {
+        let net = simple_network(&[(0, 1, 1), (1, 3, 5), (0, 2, 5), (2, 3, 1)], 4, 0, 3);
+        let resolved = FlowAlgorithm::Auto.resolve(net.num_vertices(), net.num_edges());
+        assert_ne!(resolved, FlowAlgorithm::Auto);
+        assert_eq!(
+            min_cut_with(&net, FlowAlgorithm::Auto).value,
+            min_cut_with(&net, resolved).value
+        );
+        for concrete in FlowAlgorithm::ALL {
+            assert_eq!(concrete.resolve(net.num_vertices(), net.num_edges()), concrete);
+        }
     }
 
     #[test]

@@ -45,10 +45,10 @@ pub struct GraphDb {
     /// relations" setting discussed in Sections 2 and 8 of the paper.
     exogenous: Vec<bool>,
     fact_index: BTreeMap<Fact, FactId>,
-    /// Outgoing adjacency: node -> facts leaving it.
-    out_edges: BTreeMap<NodeId, Vec<FactId>>,
-    /// Incoming adjacency: node -> facts entering it.
-    in_edges: BTreeMap<NodeId, Vec<FactId>>,
+    /// Outgoing adjacency, indexed by node id (`NodeId`s are dense u32s).
+    out_edges: Vec<Vec<FactId>>,
+    /// Incoming adjacency, indexed by node id.
+    in_edges: Vec<Vec<FactId>>,
 }
 
 impl GraphDb {
@@ -65,6 +65,8 @@ impl GraphDb {
         let id = NodeId(self.node_names.len() as u32);
         self.node_names.push(name.to_string());
         self.node_index.insert(name.to_string(), id);
+        self.out_edges.push(Vec::new());
+        self.in_edges.push(Vec::new());
         id
     }
 
@@ -132,8 +134,8 @@ impl GraphDb {
         self.multiplicities.push(multiplicity);
         self.exogenous.push(false);
         self.fact_index.insert(fact, id);
-        self.out_edges.entry(source).or_default().push(id);
-        self.in_edges.entry(target).or_default().push(id);
+        self.out_edges[source.0 as usize].push(id);
+        self.in_edges[target.0 as usize].push(id);
         id
     }
 
@@ -214,12 +216,12 @@ impl GraphDb {
 
     /// The facts leaving a node.
     pub fn out_facts(&self, node: NodeId) -> impl Iterator<Item = FactId> + '_ {
-        self.out_edges.get(&node).into_iter().flatten().copied()
+        self.out_edges[node.0 as usize].iter().copied()
     }
 
     /// The facts entering a node.
     pub fn in_facts(&self, node: NodeId) -> impl Iterator<Item = FactId> + '_ {
-        self.in_edges.get(&node).into_iter().flatten().copied()
+        self.in_edges[node.0 as usize].iter().copied()
     }
 
     /// The alphabet of labels occurring on facts.
@@ -233,6 +235,8 @@ impl GraphDb {
         let mut out = GraphDb {
             node_names: self.node_names.clone(),
             node_index: self.node_index.clone(),
+            out_edges: vec![Vec::new(); self.node_names.len()],
+            in_edges: vec![Vec::new(); self.node_names.len()],
             ..GraphDb::default()
         };
         for (id, fact) in self.facts() {
@@ -256,6 +260,8 @@ impl GraphDb {
         let mut out = GraphDb {
             node_names: self.node_names.clone(),
             node_index: self.node_index.clone(),
+            out_edges: vec![Vec::new(); self.node_names.len()],
+            in_edges: vec![Vec::new(); self.node_names.len()],
             ..GraphDb::default()
         };
         for (id, fact) in self.facts() {

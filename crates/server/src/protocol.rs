@@ -268,6 +268,11 @@ mod tests {
                     jobs: Some(2),
                 },
             },
+            // `auto` is a selectable backend: per-request overrides can ask
+            // for the measured per-instance choice.
+            Request::Prepare {
+                query: QuerySpec { flow: Some(FlowAlgorithm::Auto), ..QuerySpec::new("ax*b") },
+            },
             Request::Solve { query: QuerySpec::new("ab"), db: "u a v\nv b w\n".into() },
             Request::SolveBatch {
                 query: QuerySpec::new("ab"),

@@ -1,5 +1,6 @@
 //! Witness soundness across every backend: whenever any `Algorithm` ×
-//! `FlowAlgorithm` combination returns a `contingency_set`, that set must be
+//! `FlowAlgorithm` combination (including the `Auto` flow selector) returns a
+//! `contingency_set`, that set must be
 //! a genuine contingency set (`Rpq::is_contingency_set`) whose cost equals
 //! the reported value — for the approximation backends, the certified upper
 //! bound. The corpus covers every dispatch family of `common::FAMILIES`,
@@ -53,7 +54,7 @@ fn every_backend_combination_returns_sound_witnesses_on_the_corpus() {
                     }
                     let exact = resilience_exact(&query, &db).value;
                     for algorithm in Algorithm::ALL {
-                        for flow_backend in FlowAlgorithm::ALL {
+                        for flow_backend in FlowAlgorithm::SELECTABLE {
                             let engine = Engine::with_options(SolveOptions {
                                 flow_backend,
                                 ..Default::default()
