@@ -11,10 +11,12 @@
 //! ```
 //!
 //! `serve` starts the `rpq-server` daemon: a newline-delimited JSON protocol
-//! (`prepare`, `solve`, `solve_batch`, `stats`, `shutdown`) over TCP — or
-//! stdin/stdout with `--pipe` — backed by a worker pool and a prepared-query
-//! cache keyed by canonicalized language. `client` is the matching one-shot
-//! front end; see the repository README for the wire format.
+//! (`prepare`, `solve`, `solve_batch`, the `db_*` hosted-database verbs,
+//! `stats`, `shutdown`) over TCP — or stdin/stdout with `--pipe` — backed by
+//! a worker pool, a prepared-query cache keyed by canonicalized language, and
+//! a snapshot-database store (`rpq-store`) patched in place by incremental
+//! solves. `client` is the matching one-shot front end; see the repository
+//! README for the wire format.
 //!
 //! All resilience computations go through the prepared-query engine
 //! ([`rpq_resilience::engine::Engine`]): the query is classified **once**
@@ -39,7 +41,9 @@ use rpq_resilience::classify::{classify, figure1_rows};
 use rpq_resilience::engine::{Engine, SolveOptions};
 use rpq_resilience::gadgets::families::find_gadget;
 use rpq_resilience::rpq::Rpq;
-use rpq_server::{run_pipe, Client, Json, QuerySpec, Request, Server, ServerConfig, ServerState};
+use rpq_server::{
+    run_pipe, Client, Json, QuerySpec, Request, Server, ServerConfig, ServerState, SnapshotSel,
+};
 
 const USAGE: &str = "\
 usage:
@@ -50,8 +54,15 @@ usage:
   rpq-cli figure1
   rpq-cli serve [--port <p>] [--pipe] [--threads <n>] [--cache-capacity <n>]
           [--cache-shards <n>] [--jobs <n>] [--flow <name>] [--enumeration-limit <n>]
+          [--store-capacity <n>] [--store-body-limit <bytes>]
   rpq-cli client [--addr <host:port>] prepare '<regex>' [query options]
   rpq-cli client [--addr <host:port>] solve '<regex>' <db.txt>... [query options]
+  rpq-cli client [--addr <host:port>] db-put <name> <db.txt>
+  rpq-cli client [--addr <host:port>] db-patch <name> <patch.txt>
+  rpq-cli client [--addr <host:port>] db-snapshot <name> <snapshot-name> [--at <ref>]
+  rpq-cli client [--addr <host:port>] db-solve <name> '<regex>' [--snapshot <ref>]...
+          [query options]
+  rpq-cli client [--addr <host:port>] db-list | db-drop <name>
   rpq-cli client [--addr <host:port>] stats | shutdown | raw '<json>'
 
 algorithms: local (Thm 3.13), chain (Prp 7.6), one-dangling (Prp 7.9),
@@ -61,7 +72,7 @@ flow backends: dinic (default), edmonds-karp, push-relabel,
                auto (per-instance choice from measured size thresholds)
 database format: one fact per line, `source label target [multiplicity] [!]`\n(a trailing `!` declares the fact exogenous / un-removable)
 with several database files, the query plan is prepared once and reused
-serve: NDJSON protocol (prepare/solve/solve_batch/stats/shutdown) on 127.0.0.1,
+serve: NDJSON protocol (prepare/solve/solve_batch/db_*/stats/shutdown) on 127.0.0.1,
        default port 7878; --pipe serves stdin/stdout instead of TCP.
        Connections are multiplexed: workers pick up one request at a time, so
        idle persistent connections never starve new clients. The prepared-query
@@ -77,7 +88,17 @@ no-cut: value-only solving (skips witness extraction; with --show-cut, the
 client query options: [--bag] [--algorithm <name>] [--flow <name>] [--enumeration-limit <n>]
                       [--no-cut] (value-only response: sends want_cut=false)
                       [--jobs <n>] (parallel per-database solving server-side)
-client: `solve` with several databases sends one solve_batch request";
+client: `solve` with several databases sends one solve_batch request
+db-*: server-hosted snapshot databases. `db-put` uploads under a name,
+      `db-patch` appends a delta (`+ u a v [mult] [!]` / `- u a v` per line);
+      both print the new snapshot id (the fact-log offset). A snapshot <ref>
+      is an integer offset or a name pinned with `db-snapshot`. `db-solve`
+      binds to (name, snapshot) — no --snapshot means the current head, one
+      answers inline, several return per-snapshot results; consecutive head
+      solves of the same query reuse the server's incrementally patched flow
+      network. --store-capacity bounds hosted databases and cached snapshot
+      materializations (named snapshots and heads are never evicted);
+      --store-body-limit rejects larger db-put/db-patch bodies";
 
 /// Prints one line to stdout, exiting quietly when the consumer closed the
 /// pipe — `rpq-cli figure1 | head` must not panic with a broken-pipe error.
@@ -339,6 +360,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
                 config.options.enumeration_limit =
                     parse_number("--enumeration-limit", iter.next())?;
             }
+            "--store-capacity" => {
+                config.store.capacity = parse_number("--store-capacity", iter.next())?;
+            }
+            "--store-body-limit" => {
+                config.store.max_body_bytes = parse_number("--store-body-limit", iter.next())?;
+            }
             other => return Err(format!("unknown serve option `{other}`")),
         }
     }
@@ -362,11 +389,33 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// The parsed client command line: the shared query settings, the snapshot
+/// references of the `db-*` verbs, and the leftover positionals.
+struct ClientArgs {
+    spec: QuerySpec,
+    /// `--snapshot <ref>` occurrences (db-solve only).
+    snapshots: Vec<SnapshotSel>,
+    /// `--at <ref>` (db-snapshot only).
+    at: Option<SnapshotSel>,
+    positional: Vec<String>,
+}
+
+/// A snapshot reference from the command line: an integer is a log offset,
+/// anything else a snapshot name.
+fn parse_snapshot_sel(value: &str) -> SnapshotSel {
+    match value.parse::<usize>() {
+        Ok(offset) => SnapshotSel::Offset(offset),
+        Err(_) => SnapshotSel::Named(value.to_string()),
+    }
+}
+
 /// Parses the shared query options (`--bag`, `--flow`, `--algorithm`,
-/// `--enumeration-limit`, `--no-cut`, `--jobs`) out of `args`, returning the
-/// leftover positionals.
-fn parse_query_options(args: &[String]) -> Result<(QuerySpec, Vec<String>), String> {
+/// `--enumeration-limit`, `--no-cut`, `--jobs`) plus the snapshot options of
+/// the `db-*` verbs out of `args`.
+fn parse_query_options(args: &[String]) -> Result<ClientArgs, String> {
     let mut spec = QuerySpec::default();
+    let mut snapshots = Vec::new();
+    let mut at = None;
     let mut positional = Vec::new();
     let mut iter = args.iter();
     while let Some(option) = iter.next() {
@@ -385,13 +434,21 @@ fn parse_query_options(args: &[String]) -> Result<(QuerySpec, Vec<String>), Stri
             }
             "--no-cut" => spec.want_cut = Some(false),
             "--jobs" => spec.jobs = Some(parse_number("--jobs", iter.next())?),
+            "--snapshot" => {
+                let value = iter.next().ok_or("--snapshot requires a value")?;
+                snapshots.push(parse_snapshot_sel(value));
+            }
+            "--at" => {
+                let value = iter.next().ok_or("--at requires a value")?;
+                at = Some(parse_snapshot_sel(value));
+            }
             other if other.starts_with("--") => {
                 return Err(format!("unknown client option `{other}`"));
             }
             _ => positional.push(option.clone()),
         }
     }
-    Ok((spec, positional))
+    Ok(ClientArgs { spec, snapshots, at, positional })
 }
 
 /// One-shot protocol client: builds the request, sends it to a running
@@ -409,7 +466,17 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
         }
     }
     let verb = rest.first().cloned().ok_or("missing client verb")?;
-    let (spec_options, positional) = parse_query_options(&rest[1..])?;
+    let ClientArgs { spec: spec_options, snapshots, at, positional } =
+        parse_query_options(&rest[1..])?;
+    if !snapshots.is_empty() && verb != "db-solve" {
+        return Err("--snapshot is only valid with `client db-solve`".to_string());
+    }
+    if at.is_some() && verb != "db-snapshot" {
+        return Err("--at is only valid with `client db-snapshot`".to_string());
+    }
+    let read_file = |path: &String| {
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
+    };
 
     let line = match verb.as_str() {
         "prepare" => {
@@ -424,12 +491,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             if paths.is_empty() {
                 return Err("client solve requires at least one database file".to_string());
             }
-            let dbs = paths
-                .iter()
-                .map(|path| {
-                    std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))
-                })
-                .collect::<Result<Vec<_>, _>>()?;
+            let dbs = paths.iter().map(read_file).collect::<Result<Vec<_>, _>>()?;
             let query = QuerySpec { pattern: pattern.clone(), ..spec_options };
             if dbs.len() == 1 {
                 Request::Solve { query, db: dbs.into_iter().next().expect("one database") }
@@ -438,6 +500,51 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             }
             .to_json()
             .to_string()
+        }
+        "db-put" => {
+            let [name, path] = positional.as_slice() else {
+                return Err("client db-put requires a database name and a database file".into());
+            };
+            Request::DbPut { name: name.clone(), db: read_file(path)? }.to_json().to_string()
+        }
+        "db-patch" => {
+            let [name, path] = positional.as_slice() else {
+                return Err("client db-patch requires a database name and a patch file".into());
+            };
+            Request::DbPatch { name: name.clone(), patch: read_file(path)? }.to_json().to_string()
+        }
+        "db-snapshot" => {
+            let [name, snapshot_name] = positional.as_slice() else {
+                return Err(
+                    "client db-snapshot requires a database name and a snapshot name".to_string()
+                );
+            };
+            Request::DbSnapshot { name: name.clone(), snapshot_name: snapshot_name.clone(), at }
+                .to_json()
+                .to_string()
+        }
+        "db-solve" => {
+            let [name, pattern] = positional.as_slice() else {
+                return Err(
+                    "client db-solve requires a database name and a regular expression".into()
+                );
+            };
+            let query = QuerySpec { pattern: pattern.clone(), ..spec_options };
+            // One `--snapshot` is answered inline, several as a results
+            // array; none binds to the current head.
+            let (snapshot, snapshots) = match snapshots.len() {
+                0 => (None, None),
+                1 => (snapshots.into_iter().next(), None),
+                _ => (None, Some(snapshots)),
+            };
+            Request::DbSolve { query, name: name.clone(), snapshot, snapshots }
+                .to_json()
+                .to_string()
+        }
+        "db-list" => Request::DbList.to_json().to_string(),
+        "db-drop" => {
+            let name = positional.first().ok_or("client db-drop requires a database name")?;
+            Request::DbDrop { name: name.clone() }.to_json().to_string()
         }
         "stats" => Request::Stats.to_json().to_string(),
         "shutdown" => Request::Shutdown.to_json().to_string(),
@@ -672,6 +779,29 @@ mod tests {
         assert!(client(&["raw", r#"{"op":"stats"}"#]).is_ok());
         // A server-side failure surfaces as a CLI error.
         assert!(client(&["prepare", "(("]).unwrap_err().contains("cannot parse"));
+
+        // The hosted-database verbs: upload, patch, solve at two snapshots,
+        // pin, list, drop.
+        let patch = dir.join("rpq_cli_client_patch.txt");
+        std::fs::write(&patch, "- u x v\n").unwrap();
+        assert!(client(&["db-put", "g", &db1.to_string_lossy()]).is_ok());
+        assert!(client(&["db-patch", "g", &patch.to_string_lossy()]).is_ok());
+        assert!(client(&["db-snapshot", "g", "before", "--at", "3"]).is_ok());
+        assert!(client(&["db-solve", "g", "ax*b"]).is_ok());
+        assert!(
+            client(&["db-solve", "g", "ax*b", "--snapshot", "before", "--snapshot", "4"]).is_ok()
+        );
+        assert!(client(&["db-list"]).is_ok());
+        assert!(client(&["db-drop", "g"]).is_ok());
+        // Store errors surface typed through the CLI too.
+        assert!(client(&["db-patch", "ghost", &patch.to_string_lossy()])
+            .unwrap_err()
+            .contains("unknown database"));
+        // Misplaced snapshot options are rejected client-side.
+        assert!(client(&["stats", "--snapshot", "1"]).unwrap_err().contains("db-solve"));
+        assert!(client(&["db-solve", "g", "ax*b", "--at", "1"])
+            .unwrap_err()
+            .contains("db-snapshot"));
         assert!(client(&["shutdown"]).is_ok());
         running.join().unwrap();
     }

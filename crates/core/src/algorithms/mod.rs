@@ -67,6 +67,7 @@
 //! be swapped without touching call sites.
 
 pub mod chain;
+pub(crate) mod incremental;
 pub mod local;
 pub mod one_dangling;
 
@@ -112,6 +113,13 @@ pub struct SolveScratch {
     /// (`u8::MAX` = pruned), laid out as `node * num_states + state`. States
     /// merged by ε-contraction share a slot.
     pub(crate) node_slot: Vec<u8>,
+    /// Retained network + flow of the incremental local solver (`None` until
+    /// a [`crate::engine::PreparedQuery::solve_incremental`] call builds it).
+    /// Boxed so plain solves don't pay for it; **plain solves clobber the
+    /// `csr` arena this state describes**, which is why incremental solves
+    /// run on a dedicated [`crate::engine::IncrementalSolver`]-owned scratch
+    /// rather than the pooled ones.
+    pub(crate) incremental: Option<Box<incremental::IncrementalLocalState>>,
 }
 
 impl SolveScratch {
@@ -123,7 +131,7 @@ impl SolveScratch {
     /// The capacities of every internal buffer. Used to assert the reuse
     /// contract: once warmed up on a batch's shape, further solves must not
     /// change the signature (zero reallocations).
-    pub fn capacity_signature(&self) -> ([usize; 9], [usize; 13], [usize; 6]) {
+    pub fn capacity_signature(&self) -> ([usize; 10], [usize; 13], [usize; 6]) {
         (
             self.csr.capacity_signature(),
             self.flow.capacity_signature(),

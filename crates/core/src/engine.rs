@@ -41,7 +41,8 @@
 use crate::algorithms::chain::ChainPlan;
 use crate::algorithms::one_dangling::OneDanglingPlan;
 use crate::algorithms::{
-    local, normalize_approximation, Algorithm, ResilienceError, ResilienceOutcome, SolveScratch,
+    incremental, local, normalize_approximation, Algorithm, ResilienceError, ResilienceOutcome,
+    SolveScratch,
 };
 use crate::approx::{resilience_greedy, resilience_k_approximation};
 use crate::exact::{
@@ -52,7 +53,7 @@ use crate::rpq::{ResilienceValue, Rpq};
 use rpq_automata::local::is_local;
 use rpq_automata::ro_enfa::RoEnfa;
 use rpq_flow::FlowAlgorithm;
-use rpq_graphdb::GraphDb;
+use rpq_graphdb::{FactChange, GraphDb};
 use std::fmt;
 use std::sync::Mutex;
 
@@ -210,6 +211,39 @@ impl ScratchPool {
                 pool.push(scratch);
             }
         }
+    }
+}
+
+/// How a [`PreparedQuery::solve_incremental`] call was satisfied: by patching
+/// the retained flow network of the previous snapshot, or by a full
+/// per-database build (first solve, unsupported plan family, oversized or
+/// missing delta, fallback guards). Surfaced so callers — the store's
+/// `stats`, the benchmarks, the tests — can tell the paths apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMode {
+    /// The retained network was patched and the min-cut warm-started.
+    Incremental,
+    /// The solve rebuilt from the database (equivalent to a fresh
+    /// [`PreparedQuery::solve`]).
+    Full,
+}
+
+/// Drives [`PreparedQuery::solve_incremental`]: owns the [`SolveScratch`]
+/// whose retained flow network survives between solves. A dedicated owner —
+/// rather than the plan's pool — because pooled scratches are clobbered by
+/// ordinary solves, which would silently invalidate the retained per-edge
+/// flows. One solver tracks one database timeline; interleaving snapshots of
+/// unrelated databases through a single solver stays correct (the lineage
+/// guards force full rebuilds) but forfeits the incremental speedup.
+#[derive(Debug, Default)]
+pub struct IncrementalSolver {
+    scratch: SolveScratch,
+}
+
+impl IncrementalSolver {
+    /// A fresh solver with no retained state.
+    pub fn new() -> IncrementalSolver {
+        IncrementalSolver::default()
     }
 }
 
@@ -578,6 +612,56 @@ impl PreparedQuery {
         results.into_iter().map(|r| r.expect("every chunk slot is filled")).collect()
     }
 
+    /// A fresh [`IncrementalSolver`] for this plan (see
+    /// [`PreparedQuery::solve_incremental`]).
+    pub fn incremental_solver(&self) -> IncrementalSolver {
+        IncrementalSolver::new()
+    }
+
+    /// Solves `db` — the materialization of the *current* snapshot — reusing
+    /// the flow network and maximum flow the `solver` retained from the
+    /// previous snapshot when possible.
+    ///
+    /// `delta` is the fact-change log between the previously solved snapshot
+    /// and this one (`None` when unknown, e.g. on the first solve or after a
+    /// snapshot rollback). When the plan is the Theorem 3.13 local reduction
+    /// and the delta is small relative to the database, the solve applies the
+    /// changes as edge-capacity patches and warm-starts the min-cut from the
+    /// retained flow ([`SolveMode::Incremental`]); otherwise it falls back to
+    /// a full build ([`SolveMode::Full`]) — same outcome, batch-path speed.
+    /// Outcomes always match a fresh [`PreparedQuery::solve_with_cut`] on the
+    /// same database.
+    pub fn solve_incremental(
+        &self,
+        solver: &mut IncrementalSolver,
+        db: &GraphDb,
+        delta: Option<&[FactChange]>,
+        want_cut: bool,
+    ) -> Result<(ResilienceOutcome, SolveMode), ResilienceError> {
+        match &self.strategy {
+            Strategy::EpsilonInfinite { tag } => Ok((
+                ResilienceOutcome::new(ResilienceValue::Infinite, *tag, None),
+                SolveMode::Incremental,
+            )),
+            Strategy::Local { ro } => Ok(incremental::solve_incremental_local(
+                ro,
+                &self.rpq,
+                db,
+                delta,
+                self.options.flow_backend,
+                want_cut,
+                &mut solver.scratch,
+            )),
+            _ => {
+                // Non-local plans rebuild per database; drop any retained
+                // state so the scratch is safe to reuse as a plain one.
+                solver.scratch.incremental = None;
+                let outcome = self.solve_with_cut_using(db, want_cut, &mut solver.scratch)?;
+                Ok((outcome, SolveMode::Full))
+            }
+        }
+    }
+
     fn solve_exact_branch_and_bound(&self, db: &GraphDb, want_cut: bool) -> ResilienceOutcome {
         let exact = resilience_exact(&self.rpq, db);
         ResilienceOutcome::new(
@@ -840,5 +924,167 @@ mod tests {
         // Automatic dispatch: falls back to the exact solver, like `solve`.
         let outcome = engine.solve(&query, &db).unwrap();
         assert_eq!(outcome.algorithm, Algorithm::ExactBranchAndBound);
+    }
+
+    #[test]
+    fn incremental_solves_patch_and_match_fresh_solves() {
+        use rpq_graphdb::delta::{materialize, parse_patch};
+        let engine = Engine::new();
+        let prepared = engine.prepare(&Rpq::parse("ax*b").unwrap()).unwrap();
+        let mut solver = prepared.incremental_solver();
+        let mut log = parse_patch("+ s a u\n+ u x v\n+ v x w\n+ w b t\n").unwrap();
+        let db = materialize(&log);
+        // First solve: nothing retained yet, full build.
+        let (out, mode) = prepared.solve_incremental(&mut solver, &db, None, true).unwrap();
+        assert_eq!(mode, SolveMode::Full);
+        assert_eq!(out.value, ResilienceValue::Finite(1));
+        // Single-fact deltas ride the incremental path and agree with a
+        // fresh solve, contingency set included.
+        for patch in ["+ u x w", "- u x v", "+ s a v", "- w b t", "+ w b t", "+ v b z"] {
+            let delta = parse_patch(patch).unwrap();
+            log.extend(delta.iter().cloned());
+            let db = materialize(&log);
+            let (out, mode) =
+                prepared.solve_incremental(&mut solver, &db, Some(&delta), true).unwrap();
+            assert_eq!(mode, SolveMode::Incremental, "{patch}");
+            let fresh = prepared.solve(&db).unwrap();
+            assert_eq!(out.value, fresh.value, "{patch}");
+            let cut: std::collections::BTreeSet<_> =
+                out.contingency_set.expect("cut requested").into_iter().collect();
+            assert!(prepared.rpq().is_contingency_set(&db, &cut), "{patch}");
+            assert_eq!(
+                ResilienceValue::Finite(prepared.rpq().cost(&db, &cut)),
+                out.value,
+                "{patch}"
+            );
+        }
+        // A delta past the fallback threshold cedes to the batch path (the
+        // pruned build-and-solve beats rebuilding the retained network) and
+        // drops the retained flows — same answer, Full mode.
+        let big: String =
+            (0..12).map(|i| format!("+ a{i} a b{i}\n+ b{i} x c{i}\n+ c{i} b d{i}\n")).collect();
+        let delta = parse_patch(&big).unwrap();
+        log.extend(delta.iter().cloned());
+        let db = materialize(&log);
+        let (out, mode) =
+            prepared.solve_incremental(&mut solver, &db, Some(&delta), false).unwrap();
+        assert_eq!(mode, SolveMode::Full);
+        assert_eq!(out.value, prepared.solve(&db).unwrap().value);
+        assert!(out.contingency_set.is_none());
+        // The next small delta bootstraps a fresh retained network (Full)...
+        let delta = parse_patch("- a3 x a4").unwrap();
+        log.extend(delta.iter().cloned());
+        let db = materialize(&log);
+        let (out, mode) = prepared.solve_incremental(&mut solver, &db, Some(&delta), true).unwrap();
+        assert_eq!(mode, SolveMode::Full);
+        assert_eq!(out.value, prepared.solve(&db).unwrap().value);
+        // ...and the one after that patches it incrementally again.
+        let delta = parse_patch("- a5 x a6\n+ a5 x a6").unwrap();
+        log.extend(delta.iter().cloned());
+        let db = materialize(&log);
+        let (out, mode) = prepared.solve_incremental(&mut solver, &db, Some(&delta), true).unwrap();
+        assert_eq!(mode, SolveMode::Incremental);
+        assert_eq!(out.value, prepared.solve(&db).unwrap().value);
+    }
+
+    #[test]
+    fn incremental_solves_handle_exogenous_bag_and_infinite_cases() {
+        use rpq_graphdb::delta::{materialize, parse_patch};
+        let engine = Engine::new();
+        // Bag semantics: multiplicities are capacities; exogenous facts can
+        // never be cut, so a fully exogenous path means +∞.
+        let prepared = engine.prepare(&Rpq::parse("ax*b").unwrap().with_bag_semantics()).unwrap();
+        let mut solver = prepared.incremental_solver();
+        let mut log = parse_patch("+ s a u 5\n+ u x v 3\n+ v b t 7\n").unwrap();
+        let db = materialize(&log);
+        let (out, _) = prepared.solve_incremental(&mut solver, &db, None, true).unwrap();
+        assert_eq!(out.value, ResilienceValue::Finite(3));
+        for (patch, expected) in [
+            ("+ u x v 9", ResilienceValue::Finite(5)),
+            ("+ s a u 2 !", ResilienceValue::Finite(7)),
+            ("+ u x v 9 !\n", ResilienceValue::Finite(7)),
+            ("+ v b t 7 !", ResilienceValue::Infinite),
+            ("+ v b t 4", ResilienceValue::Finite(4)),
+            ("- u x v", ResilienceValue::Finite(0)),
+        ] {
+            let delta = parse_patch(patch).unwrap();
+            log.extend(delta.iter().cloned());
+            let db = materialize(&log);
+            let (out, mode) =
+                prepared.solve_incremental(&mut solver, &db, Some(&delta), true).unwrap();
+            assert_eq!(mode, SolveMode::Incremental, "{patch}");
+            assert_eq!(out.value, expected, "{patch}");
+            assert_eq!(out.value, prepared.solve(&db).unwrap().value, "{patch}");
+        }
+        // ε ∈ L: constant +∞, no network at all.
+        let prepared = engine.prepare(&Rpq::parse("x*").unwrap()).unwrap();
+        let mut solver = prepared.incremental_solver();
+        let (out, mode) = prepared.solve_incremental(&mut solver, &db, None, true).unwrap();
+        assert_eq!(mode, SolveMode::Incremental);
+        assert!(out.value.is_infinite());
+        // Non-local plans run the batch path and report Full.
+        let prepared = engine.prepare(&Rpq::parse("ab|bc").unwrap()).unwrap();
+        let mut solver = prepared.incremental_solver();
+        let db = materialize(&parse_patch("+ 1 a 2\n+ 2 b 3\n+ 3 c 4\n").unwrap());
+        let (out, mode) = prepared.solve_incremental(&mut solver, &db, None, true).unwrap();
+        assert_eq!(mode, SolveMode::Full);
+        assert_eq!(out.algorithm, Algorithm::BipartiteChain);
+        assert_eq!(out.value, prepared.solve(&db).unwrap().value);
+    }
+
+    #[test]
+    fn incremental_churn_agrees_with_fresh_solves() {
+        use rpq_automata::alphabet::Letter;
+        use rpq_graphdb::delta::materialize;
+        use rpq_graphdb::FactChange;
+        fn xorshift(state: &mut u64) -> u64 {
+            *state ^= *state << 13;
+            *state ^= *state >> 7;
+            *state ^= *state << 17;
+            *state
+        }
+        let engine = Engine::new();
+        for (pattern, bag) in [("ax*b", false), ("ab|ad", false), ("ax*b", true)] {
+            let mut q = Rpq::parse(pattern).unwrap();
+            if bag {
+                q = q.with_bag_semantics();
+            }
+            let prepared = engine.prepare(&q).unwrap();
+            let mut solver = prepared.incremental_solver();
+            let mut rng = 0x0DDB1A5E5BAD5EEDu64 ^ pattern.len() as u64 ^ (bag as u64) << 32;
+            let labels = ['a', 'x', 'b', 'd'];
+            let mut log: Vec<FactChange> = Vec::new();
+            let mut incremental_seen = 0usize;
+            for round in 0..80 {
+                let node = |r: u64| format!("n{}", r % 9);
+                let change = if xorshift(&mut rng) % 10 < 7 || log.is_empty() {
+                    FactChange::Put {
+                        source: node(xorshift(&mut rng)),
+                        label: Letter(labels[(xorshift(&mut rng) % 4) as usize]),
+                        target: node(xorshift(&mut rng)),
+                        multiplicity: 1 + xorshift(&mut rng) % 3,
+                        exogenous: xorshift(&mut rng).is_multiple_of(8),
+                    }
+                } else {
+                    // Delete a random earlier key (maybe already deleted).
+                    let (s, l, t) = log[(xorshift(&mut rng) as usize) % log.len()].key();
+                    FactChange::Delete { source: s.to_string(), label: l, target: t.to_string() }
+                };
+                let delta = [change];
+                log.extend(delta.iter().cloned());
+                let db = materialize(&log);
+                let (out, mode) =
+                    prepared.solve_incremental(&mut solver, &db, Some(&delta), true).unwrap();
+                incremental_seen += (mode == SolveMode::Incremental) as usize;
+                let fresh = prepared.solve(&db).unwrap();
+                assert_eq!(out.value, fresh.value, "{pattern} bag={bag} round {round}");
+                if let Some(cut) = out.contingency_set {
+                    let cut: std::collections::BTreeSet<_> = cut.into_iter().collect();
+                    assert!(q.is_contingency_set(&db, &cut), "{pattern} round {round}");
+                    assert_eq!(ResilienceValue::Finite(q.cost(&db, &cut)), out.value);
+                }
+            }
+            assert!(incremental_seen > 40, "{pattern} bag={bag}: {incremental_seen}");
+        }
     }
 }

@@ -71,7 +71,9 @@ pub mod prelude {
         solve, solve_mirrored, solve_with, Algorithm, ResilienceError, ResilienceOutcome,
     };
     pub use crate::classify::{classify, Classification};
-    pub use crate::engine::{Engine, PlanReport, PreparedQuery, SolveOptions};
+    pub use crate::engine::{
+        Engine, IncrementalSolver, PlanReport, PreparedQuery, SolveMode, SolveOptions,
+    };
     pub use crate::rpq::{ResilienceValue, Rpq, Semantics};
     pub use rpq_flow::FlowAlgorithm;
     pub use rpq_graphdb::{Fact, FactId, GraphDb, NodeId};

@@ -63,6 +63,10 @@ pub struct CsrFlow {
     arc_twin: Vec<u32>,
     arc_edge: Vec<u32>,
     arc_cap: Vec<u128>,
+    /// Edge → forward-arc index of the current freeze ([`NO_ARC`] for
+    /// zero-capacity edges, which produce no arcs). Lets the incremental
+    /// solver map persistent per-edge flows onto the residual arrays.
+    edge_arc: Vec<u32>,
     infinite_cap: u128,
     frozen: bool,
 }
@@ -95,10 +99,13 @@ impl CsrFlow {
         self.frozen = false;
     }
 
-    /// Adds `n` vertices, returning the identifier of the first one.
+    /// Adds `n` vertices, returning the identifier of the first one. Adding
+    /// vertices to a frozen network unfreezes it (a new
+    /// [`freeze`](CsrFlow::freeze) is required before the next solve).
     pub fn add_vertices(&mut self, n: usize) -> VertexId {
         let first = VertexId(self.num_vertices as u32);
         self.num_vertices += n;
+        self.frozen = false;
         first
     }
 
@@ -115,6 +122,13 @@ impl CsrFlow {
     /// Number of arena edges.
     pub fn num_edges(&self) -> usize {
         self.edge_from.len()
+    }
+
+    /// Whether the CSR adjacency is current (no mutation since the last
+    /// [`freeze`](CsrFlow::freeze)). Incremental callers use this to decide
+    /// between a warm resume and a full residual reload.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
     }
 
     /// The size `|N| = |V| + |E|` (the measure used by the auto-selection
@@ -149,12 +163,31 @@ impl CsrFlow {
         self.edge_from.push(from.0);
         self.edge_to.push(to.0);
         self.edge_cap.push(cap);
+        self.frozen = false;
         id
+    }
+
+    /// Overwrites the capacity of an existing arena edge (the incremental
+    /// solver's delete = capacity 0, re-insert = capacity restored). The
+    /// network unfreezes: call [`freeze`](CsrFlow::freeze) again before the
+    /// next solve — and [`cancel_flow`](CsrFlow::cancel_flow) **before** this
+    /// when lowering a capacity below the edge's retained flow, since
+    /// cancellation walks the still-frozen adjacency.
+    pub fn set_edge_capacity(&mut self, edge: EdgeId, capacity: Capacity) {
+        let cap = match capacity {
+            Capacity::Finite(c) => {
+                assert!(c < INFINITE, "finite capacity too large");
+                c
+            }
+            Capacity::Infinite => INFINITE,
+        };
+        self.edge_cap[edge.index()] = cap;
+        self.frozen = false;
     }
 
     /// The capacities of every internal buffer, for asserting that reuse
     /// never reallocates (see [`FlowScratch::capacity_signature`]).
-    pub fn capacity_signature(&self) -> [usize; 9] {
+    pub fn capacity_signature(&self) -> [usize; 10] {
         [
             self.edge_from.capacity(),
             self.edge_to.capacity(),
@@ -165,6 +198,7 @@ impl CsrFlow {
             self.arc_twin.capacity(),
             self.arc_edge.capacity(),
             self.arc_cap.capacity(),
+            self.edge_arc.capacity(),
         ]
     }
 
@@ -176,12 +210,52 @@ impl CsrFlow {
         }
     }
 
+    /// Overwrites the capacity of an existing arena edge **without
+    /// unfreezing** when the current freeze gave the edge residual arcs: the
+    /// forward arc's capacity is rewritten in place and the internal infinity
+    /// bound adjusted, so the next solve needs no re-freeze. Lowering a
+    /// capacity to zero leaves a zero-capacity arc behind — harmless to the
+    /// solvers (no residual) and consistent with the cut contract, which
+    /// already includes zero-cost separator edges. The call degrades to
+    /// [`set_edge_capacity`](CsrFlow::set_edge_capacity) (unfreeze) when the
+    /// edge has no arcs (it was zero-capacity at freeze time) or either
+    /// capacity is infinite.
+    pub fn patch_edge_capacity(&mut self, edge: EdgeId, capacity: Capacity) {
+        let cap = match capacity {
+            Capacity::Finite(c) => {
+                assert!(c < INFINITE, "finite capacity too large");
+                c
+            }
+            Capacity::Infinite => INFINITE,
+        };
+        let e = edge.index();
+        let old = self.edge_cap[e];
+        if old == cap {
+            return;
+        }
+        if self.frozen && cap != INFINITE && old != INFINITE {
+            let a = self.edge_arc[e];
+            if a != NO_ARC {
+                self.edge_cap[e] = cap;
+                self.arc_cap[a as usize] = cap;
+                self.infinite_cap = self.infinite_cap.saturating_sub(old).saturating_add(cap);
+                return;
+            }
+        }
+        self.edge_cap[e] = cap;
+        self.frozen = false;
+    }
+
     /// Compiles the arena into CSR residual adjacency (counting sort by arc
     /// tail). Must be called after construction and before
     /// [`min_cut`](CsrFlow::min_cut); adding more edges requires a new
     /// `freeze`. Zero-capacity edges stay in the arena (they participate in
-    /// cut extraction) but produce no residual arcs.
+    /// cut extraction) but produce no residual arcs. A no-op on an already
+    /// frozen network (every mutation clears the frozen bit).
     pub fn freeze(&mut self) {
+        if self.frozen {
+            return;
+        }
         assert!(self.source != NO_ARC, "source vertex not set");
         assert!(self.target != NO_ARC, "target vertex not set");
         assert_ne!(self.source, self.target, "source and target must differ");
@@ -219,6 +293,8 @@ impl CsrFlow {
         self.arc_edge.resize(num_arcs, NO_EDGE);
         self.arc_cap.clear();
         self.arc_cap.resize(num_arcs, 0);
+        self.edge_arc.clear();
+        self.edge_arc.resize(self.edge_from.len(), NO_ARC);
 
         for i in 0..self.edge_from.len() {
             let cap = self.edge_cap[i];
@@ -239,6 +315,7 @@ impl CsrFlow {
             self.arc_cap[reverse] = 0;
             self.arc_edge[reverse] = NO_EDGE;
             self.arc_twin[reverse] = forward as u32;
+            self.edge_arc[i] = forward as u32;
         }
         self.frozen = true;
     }
@@ -279,15 +356,315 @@ impl CsrFlow {
         scratch.residual.extend_from_slice(&self.arc_cap);
 
         let flow = match algorithm {
-            FlowAlgorithm::Dinic => dinic(self, scratch),
-            FlowAlgorithm::EdmondsKarp => edmonds_karp(self, scratch),
+            FlowAlgorithm::Dinic => dinic(self, scratch, None),
+            FlowAlgorithm::EdmondsKarp => edmonds_karp(self, scratch, None),
             FlowAlgorithm::PushRelabel => {
                 scratch.prepare_push_relabel(self.num_vertices);
                 push_relabel(self, scratch)
             }
             FlowAlgorithm::Auto => unreachable!("Auto resolves to a concrete backend"),
         };
+        self.extract_cut(scratch, flow, self.infinite_cap)
+    }
 
+    /// Computes a minimum cut **warm-started** from a retained feasible flow:
+    /// `edge_flows[e]` is the flow the previous solve left on arena edge `e`
+    /// (0 for freshly added edges) and `total_flow` its value. The residuals
+    /// are loaded as `capacity − flow` instead of from zero, the solver only
+    /// augments the *difference* to the new maximum, and both outputs are
+    /// updated in place for the next resume.
+    ///
+    /// Infinite-capacity certification is the caller's: the value is reported
+    /// `Infinite` when the total flow reaches `infinite_threshold` (the
+    /// internal `total_finite + 1` cap recomputed by each freeze cannot serve
+    /// here, since it may shrink below a retained flow after deletions — the
+    /// incremental solver instead encodes structural edges as a fixed huge
+    /// finite capacity and passes that).
+    ///
+    /// Preflow-push cannot start from a feasible flow, so `PushRelabel` (and
+    /// `Auto` resolutions picking it) run Dinic instead.
+    ///
+    /// When `want_cut` is `false` the residual-reachability pass and cut-edge
+    /// scan are skipped — the returned `cut_edges` slice is empty and only
+    /// the value (the max flow, `Infinite` past the threshold) is meaningful.
+    ///
+    /// `dirty` selects how the residual arrays are (re)loaded:
+    ///
+    /// * `None` — full reload from `edge_flows`, `O(E)`. Always correct.
+    /// * `Some(edges)` — **warm resume**: `scratch.residual` is assumed to
+    ///   still hold the state this method left on its previous return (same
+    ///   scratch, same freeze, untouched by other solves), and only the
+    ///   listed edges are repaired from `edge_flows`. The caller must list
+    ///   every edge whose capacity was patched since the last resume;
+    ///   [`cancel_flow`](CsrFlow::cancel_flow) keeps the residuals of the
+    ///   paths it drains consistent on its own.
+    #[allow(clippy::too_many_arguments)]
+    pub fn min_cut_resume<'s>(
+        &self,
+        algorithm: FlowAlgorithm,
+        scratch: &'s mut FlowScratch,
+        edge_flows: &mut [u128],
+        total_flow: &mut u128,
+        infinite_threshold: u128,
+        want_cut: bool,
+        dirty: Option<&[EdgeId]>,
+    ) -> CsrCut<'s> {
+        assert!(self.frozen, "CsrFlow::min_cut_resume requires freeze()");
+        assert_eq!(edge_flows.len(), self.num_edges(), "one retained flow per arena edge");
+        let algorithm = match algorithm.resolve(self.num_vertices, self.num_edges()) {
+            FlowAlgorithm::PushRelabel => FlowAlgorithm::Dinic,
+            resolved => resolved,
+        };
+        scratch.prepare(self.num_vertices);
+        match dirty {
+            None => {
+                scratch.residual.clear();
+                scratch.residual.resize(self.arc_head.len(), 0);
+                for (e, &flow) in edge_flows.iter().enumerate() {
+                    let a = self.edge_arc[e];
+                    if a == NO_ARC {
+                        debug_assert_eq!(flow, 0, "zero-capacity edge retaining flow");
+                        continue;
+                    }
+                    let a = a as usize;
+                    let cap = self.arc_cap[a];
+                    debug_assert!(flow <= cap, "retained flow exceeds edge capacity");
+                    scratch.residual[a] = cap - flow;
+                    scratch.residual[self.arc_twin[a] as usize] = flow;
+                }
+            }
+            Some(dirty) => {
+                assert_eq!(
+                    scratch.residual.len(),
+                    self.arc_head.len(),
+                    "warm resume requires the previous resume's residual"
+                );
+                for &edge in dirty {
+                    let e = edge.index();
+                    let a = self.edge_arc[e];
+                    if a == NO_ARC {
+                        debug_assert_eq!(edge_flows[e], 0, "zero-capacity edge retaining flow");
+                        continue;
+                    }
+                    let a = a as usize;
+                    let flow = edge_flows[e];
+                    debug_assert!(flow <= self.arc_cap[a], "retained flow exceeds edge capacity");
+                    scratch.residual[a] = self.arc_cap[a] - flow;
+                    scratch.residual[self.arc_twin[a] as usize] = flow;
+                }
+                #[cfg(debug_assertions)]
+                for (e, &flow) in edge_flows.iter().enumerate() {
+                    let a = self.edge_arc[e];
+                    if a != NO_ARC {
+                        let a = a as usize;
+                        debug_assert_eq!(
+                            scratch.residual[a],
+                            self.arc_cap[a] - flow,
+                            "stale residual on edge {e} in a warm resume"
+                        );
+                        debug_assert_eq!(scratch.residual[self.arc_twin[a] as usize], flow);
+                    }
+                }
+            }
+        }
+        let added = match algorithm {
+            FlowAlgorithm::Dinic => dinic(self, scratch, Some(edge_flows)),
+            FlowAlgorithm::EdmondsKarp => edmonds_karp(self, scratch, Some(edge_flows)),
+            _ => unreachable!("resume runs an augmenting-path backend"),
+        };
+        *total_flow += added;
+        if !want_cut {
+            scratch.cut_edges.clear();
+            let value = if *total_flow >= infinite_threshold {
+                Capacity::Infinite
+            } else {
+                Capacity::Finite(*total_flow)
+            };
+            return CsrCut { value, cut_edges: &scratch.cut_edges };
+        }
+        self.extract_cut(scratch, *total_flow, infinite_threshold)
+    }
+
+    /// Cancels flow on `edge` down to `keep` units, rerouting the excess so
+    /// the remaining assignment is again a feasible flow (of possibly smaller
+    /// value, tracked in `total_flow`). This is the incremental delete path:
+    /// lower a capacity below the retained flow, cancel the difference, then
+    /// [`set_edge_capacity`](CsrFlow::set_edge_capacity) + re-freeze + resume.
+    ///
+    /// The surplus at the edge's tail is drained backward along
+    /// flow-carrying arcs to the source (a genuine value decrease) or to the
+    /// edge's head (a cycle cancellation); any remaining deficit at the head
+    /// is then drained forward to the target. Each drained path zeroes at
+    /// least one arc's flow, so the walk terminates in `O(E)` path searches.
+    ///
+    /// Returns `false` when the retained flow bookkeeping turns out
+    /// inconsistent (no drain path found) — callers should fall back to a
+    /// full rebuild; the flow arrays are not usable for a resume afterwards.
+    #[must_use]
+    pub fn cancel_flow(
+        &self,
+        edge: EdgeId,
+        keep: u128,
+        scratch: &mut FlowScratch,
+        edge_flows: &mut [u128],
+        total_flow: &mut u128,
+    ) -> bool {
+        assert!(self.frozen, "CsrFlow::cancel_flow requires freeze()");
+        let e = edge.index();
+        let flow = edge_flows[e];
+        if flow <= keep {
+            return true;
+        }
+        let drain = flow - keep;
+        edge_flows[e] = keep;
+        let u = self.edge_from[e] as usize;
+        let v = self.edge_to[e] as usize;
+        let source = self.source as usize;
+        let target = self.target as usize;
+        scratch.prepare(self.num_vertices);
+
+        let mut surplus = drain; // unmatched outflow at u
+        let mut deficit = drain; // unmatched inflow at v
+        let mut to_source: u128 = 0; // units drained all the way back: value decrease
+        if u == source {
+            to_source = drain;
+            surplus = 0;
+        }
+        // Safety net: each successful drain zeroes an arc or finishes, so
+        // 2·arcs + 2 searches always suffice; exceeding this means a bug.
+        let mut guard = 2 * self.arc_head.len() + 2;
+        while surplus > 0 {
+            guard = guard.saturating_sub(1);
+            if guard == 0 {
+                return false;
+            }
+            match self.drain_path(u, true, source, v, surplus, scratch, edge_flows) {
+                Some((stop, amount)) => {
+                    surplus -= amount;
+                    if stop == v {
+                        deficit -= amount; // cycle through the canceled edge
+                    } else {
+                        to_source += amount;
+                    }
+                }
+                None => return false,
+            }
+        }
+        if v == target {
+            deficit = 0; // absorbed directly by the flow value
+        }
+        while deficit > 0 {
+            guard = guard.saturating_sub(1);
+            if guard == 0 {
+                return false;
+            }
+            match self.drain_path(v, false, target, target, deficit, scratch, edge_flows) {
+                Some((_, amount)) => deficit -= amount,
+                None => return false,
+            }
+        }
+        debug_assert!(*total_flow >= to_source, "cancellation exceeds the flow value");
+        *total_flow = total_flow.saturating_sub(to_source);
+        true
+    }
+
+    /// One cancellation path search for [`cancel_flow`](CsrFlow::cancel_flow):
+    /// BFS from `start` over flow-carrying arcs — against their direction
+    /// when `backward` — until `stop_a` or `stop_b` is reached, then cancels
+    /// the path's bottleneck (capped at `limit`) and returns the stop vertex
+    /// and the amount. `None` when no stop vertex is reachable.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_path(
+        &self,
+        start: usize,
+        backward: bool,
+        stop_a: usize,
+        stop_b: usize,
+        limit: u128,
+        scratch: &mut FlowScratch,
+        edge_flows: &mut [u128],
+    ) -> Option<(usize, u128)> {
+        let n = self.num_vertices;
+        for l in scratch.level[..n].iter_mut() {
+            *l = UNVISITED;
+        }
+        scratch.queue.clear();
+        scratch.level[start] = 0;
+        scratch.queue.push(start as u32);
+        let mut head = 0;
+        let mut found: Option<usize> = None;
+        'bfs: while head < scratch.queue.len() {
+            let w = scratch.queue[head] as usize;
+            head += 1;
+            for b in self.arc_range(w) {
+                // Walking backward, the twin of each arc out of `w` is an arc
+                // *into* `w`; either way only forward arcs with positive
+                // retained flow qualify.
+                let via = if backward { self.arc_twin[b] as usize } else { b };
+                let ex = self.arc_edge[via];
+                if ex == NO_EDGE || edge_flows[ex as usize] == 0 {
+                    continue;
+                }
+                let next = self.arc_head[b] as usize;
+                if scratch.level[next] != UNVISITED {
+                    continue;
+                }
+                scratch.level[next] = 0;
+                scratch.pred[next] = via as u32;
+                if next == stop_a || next == stop_b {
+                    found = Some(next);
+                    break 'bfs;
+                }
+                scratch.queue.push(next as u32);
+            }
+        }
+        let stop = found?;
+        // Walk the predecessor chain back to `start`, collecting path arcs.
+        scratch.path.clear();
+        let mut bottleneck = limit;
+        let mut w = stop;
+        while w != start {
+            let via = scratch.pred[w] as usize;
+            let ex = self.arc_edge[via] as usize;
+            bottleneck = bottleneck.min(edge_flows[ex]);
+            scratch.path.push(via as u32);
+            // `via` runs w→pred-side when backward (tail is w itself), and
+            // pred-side→w when forward; either way the other endpoint is the
+            // next vertex toward `start`.
+            w = if backward {
+                self.arc_head[via] as usize
+            } else {
+                self.arc_head[self.arc_twin[via] as usize] as usize
+            };
+        }
+        debug_assert!(bottleneck > 0);
+        // Keep `scratch.residual` in sync for warm resumes whenever it still
+        // belongs to this freeze (saturating: a stale buffer of the right
+        // size gets garbage either way and is fully reloaded next resume).
+        let FlowScratch { path, residual, .. } = &mut *scratch;
+        let track = residual.len() == self.arc_head.len();
+        for &via in path.iter() {
+            let via = via as usize;
+            let ex = self.arc_edge[via] as usize;
+            edge_flows[ex] -= bottleneck;
+            if track {
+                residual[via] = residual[via].saturating_add(bottleneck);
+                let twin = self.arc_twin[via] as usize;
+                residual[twin] = residual[twin].saturating_sub(bottleneck);
+            }
+        }
+        Some((stop, bottleneck))
+    }
+
+    /// Residual-reachability BFS plus cut extraction, shared by
+    /// [`min_cut`](CsrFlow::min_cut) and
+    /// [`min_cut_resume`](CsrFlow::min_cut_resume).
+    fn extract_cut<'s>(
+        &self,
+        scratch: &'s mut FlowScratch,
+        flow: u128,
+        infinite_threshold: u128,
+    ) -> CsrCut<'s> {
         // Vertices reachable from the source in the residual graph.
         scratch.queue.clear();
         scratch.reachable[self.source as usize] = true;
@@ -307,7 +684,7 @@ impl CsrFlow {
             }
         }
 
-        if flow >= self.infinite_cap {
+        if flow >= infinite_threshold {
             scratch.cut_edges.clear();
             return CsrCut { value: Capacity::Infinite, cut_edges: &scratch.cut_edges };
         }
@@ -331,7 +708,7 @@ impl CsrFlow {
 /// Dinic's algorithm over the frozen CSR arrays: BFS level graph, then an
 /// iterative blocking-flow DFS driven by an explicit arc-path stack and the
 /// per-vertex current-arc pointers.
-fn dinic(csr: &CsrFlow, s: &mut FlowScratch) -> u128 {
+fn dinic(csr: &CsrFlow, s: &mut FlowScratch, mut edge_flows: Option<&mut [u128]>) -> u128 {
     let n = csr.num_vertices;
     let source = csr.source as usize;
     let target = csr.target as usize;
@@ -380,6 +757,9 @@ fn dinic(csr: &CsrFlow, s: &mut FlowScratch) -> u128 {
                     s.residual[ai] -= bottleneck;
                     s.residual[csr.arc_twin[ai] as usize] += bottleneck;
                 }
+                if let Some(flows) = edge_flows.as_deref_mut() {
+                    apply_augment(csr, &s.path, bottleneck, flows);
+                }
                 total += bottleneck;
                 // Restart from the tail of the first saturated arc.
                 let mut keep = 0;
@@ -424,7 +804,7 @@ fn dinic(csr: &CsrFlow, s: &mut FlowScratch) -> u128 {
 
 /// Edmonds–Karp over the frozen CSR arrays: repeated BFS augmenting paths,
 /// with `pred` holding the arc used to reach each vertex.
-fn edmonds_karp(csr: &CsrFlow, s: &mut FlowScratch) -> u128 {
+fn edmonds_karp(csr: &CsrFlow, s: &mut FlowScratch, mut edge_flows: Option<&mut [u128]>) -> u128 {
     let n = csr.num_vertices;
     let source = csr.source as usize;
     let target = csr.target as usize;
@@ -474,11 +854,30 @@ fn edmonds_karp(csr: &CsrFlow, s: &mut FlowScratch) -> u128 {
             let ai = s.pred[v] as usize;
             s.residual[ai] -= bottleneck;
             s.residual[csr.arc_twin[ai] as usize] += bottleneck;
+            if let Some(flows) = edge_flows.as_deref_mut() {
+                apply_augment(csr, &[ai as u32], bottleneck, flows);
+            }
             v = csr.arc_head[csr.arc_twin[ai] as usize] as usize;
         }
         total += bottleneck;
     }
     total
+}
+
+/// Folds one augmenting path's `bottleneck` units into the per-edge flow
+/// array (the retained state a resumable solve keeps): a forward arc carries
+/// its arena edge directly, a reverse arc cancels flow on its twin's edge.
+fn apply_augment(csr: &CsrFlow, path_arcs: &[u32], bottleneck: u128, flows: &mut [u128]) {
+    for &ai in path_arcs {
+        let ai = ai as usize;
+        let ex = csr.arc_edge[ai];
+        if ex != NO_EDGE {
+            flows[ex as usize] += bottleneck;
+        } else {
+            let ex = csr.arc_edge[csr.arc_twin[ai] as usize] as usize;
+            flows[ex] -= bottleneck;
+        }
+    }
 }
 
 /// Push–relabel (FIFO selection, gap heuristic) over the frozen CSR arrays —
@@ -716,6 +1115,257 @@ mod tests {
             let expected = min_cut_with(&net, FlowAlgorithm::Dinic).value;
             assert_eq!(csr.min_cut(FlowAlgorithm::Dinic, &mut scratch).value, expected);
         }
+    }
+
+    #[test]
+    fn resume_from_zero_flow_matches_cold_solve() {
+        let mut scratch = FlowScratch::new();
+        for net in instances() {
+            let csr = CsrFlow::from_network(&net);
+            let cold = csr.min_cut(FlowAlgorithm::Dinic, &mut scratch).value;
+            let mut flows = vec![0u128; csr.num_edges()];
+            let mut total = 0u128;
+            let warm = csr
+                .min_cut_resume(
+                    FlowAlgorithm::Auto,
+                    &mut scratch,
+                    &mut flows,
+                    &mut total,
+                    csr.infinite_cap,
+                    true,
+                    None,
+                )
+                .value;
+            assert_eq!(warm, cold);
+            if let Capacity::Finite(f) = cold {
+                assert_eq!(total, f);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_capacity_churn_matches_cold_solves() {
+        // Deterministic xorshift so the churn is reproducible.
+        let mut rng: u64 = 0x9E3779B97F4A7C15;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let mut scratch = FlowScratch::new();
+        // Cold cross-checks use their own scratch so the resume scratch keeps
+        // its residual state and the warm path is genuinely exercised.
+        let mut cold_scratch = FlowScratch::new();
+        for round in 0..40 {
+            // A layered random network with only finite capacities.
+            let layers = 3 + (next() % 3) as usize;
+            let width = 2 + (next() % 3) as usize;
+            let mut csr = CsrFlow::new();
+            let n = layers * width + 2;
+            csr.add_vertices(n);
+            let source = VertexId((n - 2) as u32);
+            let target = VertexId((n - 1) as u32);
+            csr.set_source(source);
+            csr.set_target(target);
+            let mut edges = Vec::new();
+            for w in 0..width {
+                edges.push(csr.add_edge(
+                    source,
+                    VertexId(w as u32),
+                    Capacity::Finite((1 + next() % 8) as u128),
+                ));
+                let last = ((layers - 1) * width + w) as u32;
+                edges.push(csr.add_edge(
+                    VertexId(last),
+                    target,
+                    Capacity::Finite((1 + next() % 8) as u128),
+                ));
+            }
+            for l in 0..layers - 1 {
+                for a in 0..width {
+                    for b in 0..width {
+                        if next() % 3 == 0 {
+                            let from = VertexId((l * width + a) as u32);
+                            let to = VertexId(((l + 1) * width + b) as u32);
+                            edges.push(csr.add_edge(
+                                from,
+                                to,
+                                Capacity::Finite((1 + next() % 8) as u128),
+                            ));
+                        }
+                    }
+                }
+            }
+            csr.freeze();
+            let mut flows = vec![0u128; csr.num_edges()];
+            let mut total = 0u128;
+            csr.min_cut_resume(
+                FlowAlgorithm::Dinic,
+                &mut scratch,
+                &mut flows,
+                &mut total,
+                u128::MAX,
+                true,
+                None,
+            );
+
+            // Churn: raise, lower, zero, and restore capacities; occasionally
+            // append a brand-new edge. Cross-check each warm resume against a
+            // cold solve of the same (post-edit) network.
+            for step in 0..12 {
+                let mut dirty: Vec<EdgeId> = Vec::new();
+                let edit = next() % 4;
+                if edit == 3 {
+                    let from = VertexId((next() % n as u64) as u32);
+                    let to = VertexId((next() % n as u64) as u32);
+                    if from != to && to.0 != source.0 && from.0 != target.0 {
+                        edges.push(csr.add_edge(
+                            from,
+                            to,
+                            Capacity::Finite((1 + next() % 8) as u128),
+                        ));
+                        flows.push(0);
+                    }
+                } else {
+                    let e = edges[(next() % edges.len() as u64) as usize];
+                    let new_cap = if edit == 0 { 0u128 } else { (next() % 9) as u128 };
+                    if new_cap < flows[e.index()] {
+                        assert!(
+                            csr.cancel_flow(e, new_cap, &mut scratch, &mut flows, &mut total),
+                            "round {round} step {step}: cancellation must succeed"
+                        );
+                    }
+                    // Alternate between the unfreezing write and the in-place
+                    // frozen patch so both paths face the cold cross-check.
+                    if next() % 2 == 0 {
+                        csr.set_edge_capacity(e, Capacity::Finite(new_cap));
+                    } else {
+                        csr.patch_edge_capacity(e, Capacity::Finite(new_cap));
+                    }
+                    dirty.push(e);
+                }
+                // A patch that kept the freeze intact allows a warm resume
+                // repairing only the dirty edges; any unfreeze (new edge, or
+                // `set_edge_capacity`) forces the full residual reload.
+                let warm_ok = csr.is_frozen();
+                csr.freeze();
+                let warm = csr
+                    .min_cut_resume(
+                        FlowAlgorithm::Auto,
+                        &mut scratch,
+                        &mut flows,
+                        &mut total,
+                        u128::MAX,
+                        step % 2 == 0, // both resume paths: with and without cut extraction
+                        if warm_ok { Some(&dirty) } else { None },
+                    )
+                    .value;
+                // The retained flows must stay feasible and sum to `total`.
+                let cold = csr.min_cut(FlowAlgorithm::Dinic, &mut cold_scratch).value;
+                assert_eq!(warm, cold, "round {round} step {step}");
+                assert_eq!(warm, Capacity::Finite(total), "round {round} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_flow_handles_source_and_target_adjacent_edges() {
+        // s -> m -> t plus a parallel s -> t edge; cancel each in turn.
+        let mut csr = CsrFlow::new();
+        csr.add_vertices(3);
+        let (s, m, t) = (VertexId(0), VertexId(1), VertexId(2));
+        csr.set_source(s);
+        csr.set_target(t);
+        let sm = csr.add_edge(s, m, Capacity::Finite(5));
+        let mt = csr.add_edge(m, t, Capacity::Finite(5));
+        let st = csr.add_edge(s, t, Capacity::Finite(3));
+        csr.freeze();
+        let mut scratch = FlowScratch::new();
+        let mut flows = vec![0u128; 3];
+        let mut total = 0u128;
+        assert_eq!(
+            csr.min_cut_resume(
+                FlowAlgorithm::Dinic,
+                &mut scratch,
+                &mut flows,
+                &mut total,
+                u128::MAX,
+                true,
+                None
+            )
+            .value,
+            Capacity::Finite(8)
+        );
+        // Deleting the direct s->t edge: pure value decrease on both sides.
+        assert!(csr.cancel_flow(st, 0, &mut scratch, &mut flows, &mut total));
+        csr.set_edge_capacity(st, Capacity::Finite(0));
+        csr.freeze();
+        let cut = csr.min_cut_resume(
+            FlowAlgorithm::Dinic,
+            &mut scratch,
+            &mut flows,
+            &mut total,
+            u128::MAX,
+            true,
+            None,
+        );
+        assert_eq!(cut.value, Capacity::Finite(5));
+        // Lowering the source-adjacent edge below its flow.
+        assert!(csr.cancel_flow(sm, 2, &mut scratch, &mut flows, &mut total));
+        csr.set_edge_capacity(sm, Capacity::Finite(2));
+        csr.freeze();
+        let cut = csr.min_cut_resume(
+            FlowAlgorithm::Dinic,
+            &mut scratch,
+            &mut flows,
+            &mut total,
+            u128::MAX,
+            true,
+            None,
+        );
+        assert_eq!(cut.value, Capacity::Finite(2));
+        // And the target-adjacent edge all the way to zero.
+        assert!(csr.cancel_flow(mt, 0, &mut scratch, &mut flows, &mut total));
+        csr.set_edge_capacity(mt, Capacity::Finite(0));
+        csr.freeze();
+        let cut = csr.min_cut_resume(
+            FlowAlgorithm::Dinic,
+            &mut scratch,
+            &mut flows,
+            &mut total,
+            u128::MAX,
+            true,
+            None,
+        );
+        assert_eq!(cut.value, Capacity::Finite(0));
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn resume_reports_infinite_at_the_caller_threshold() {
+        let mut csr = CsrFlow::new();
+        csr.add_vertices(2);
+        csr.set_source(VertexId(0));
+        csr.set_target(VertexId(1));
+        // "Structural" capacity encoded as a huge finite value.
+        const BIG: u128 = 1 << 80;
+        csr.add_edge(VertexId(0), VertexId(1), Capacity::Finite(BIG));
+        csr.freeze();
+        let mut scratch = FlowScratch::new();
+        let mut flows = vec![0u128];
+        let mut total = 0u128;
+        let cut = csr.min_cut_resume(
+            FlowAlgorithm::Dinic,
+            &mut scratch,
+            &mut flows,
+            &mut total,
+            BIG,
+            true,
+            None,
+        );
+        assert_eq!(cut.value, Capacity::Infinite);
+        assert!(cut.cut_edges.is_empty());
     }
 
     #[test]

@@ -16,9 +16,11 @@
 //! * a small text format ([`text`]) for examples and tests.
 
 pub mod db;
+pub mod delta;
 pub mod eval;
 pub mod generate;
 pub mod text;
 
 pub use db::{Fact, FactId, GraphDb, NodeId};
+pub use delta::FactChange;
 pub use eval::{enumerate_matches, find_witness_walk, satisfies, satisfies_excluding};

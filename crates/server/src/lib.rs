@@ -47,5 +47,5 @@ pub mod server;
 pub use cache::{CacheStats, QueryCache};
 pub use client::Client;
 pub use json::{Json, JsonError};
-pub use protocol::{QuerySpec, Request};
+pub use protocol::{QuerySpec, Request, SnapshotSel};
 pub use server::{run_pipe, Server, ServerConfig, ServerState, SpawnedServer};

@@ -8,8 +8,27 @@
 //! | `prepare`     | `query`, and optional query settings (below)   |
 //! | `solve`       | `query`, `db` (graph text format), settings    |
 //! | `solve_batch` | `query`, `dbs` (array of graph texts), settings|
+//! | `db_put`      | `name`, `db` (graph text format)               |
+//! | `db_patch`    | `name`, `patch` (patch text format)            |
+//! | `db_snapshot` | `name`, `snapshot_name`, optional `at`         |
+//! | `db_solve`    | `name`, `query`, settings, optional `snapshot` *or* `snapshots` |
+//! | `db_list`     | —                                              |
+//! | `db_drop`     | `name`                                         |
 //! | `stats`       | —                                              |
 //! | `shutdown`    | —                                              |
+//!
+//! The `db_*` verbs operate on **server-hosted databases** (see `rpq-store`):
+//! `db_put` uploads a database under a name, `db_patch` appends a delta in
+//! the patch text format (`+ u a v [mult] [!]` / `- u a v`), and every
+//! append returns the new snapshot id (the fact-log offset). A snapshot
+//! reference is either an integer offset or a string naming a pinned
+//! snapshot created with `db_snapshot`; `db_solve` binds its answer to
+//! `(name, snapshot)` — omitting the reference solves the current head. The
+//! single-`snapshot` form answers inline, the array `snapshots` form
+//! returns a `results` array with one entry per reference (per-snapshot
+//! failures carry their resolved `snapshot` id instead of failing the whole
+//! request). Store failures carry a machine-readable `code` next to the
+//! human-readable `error`.
 //!
 //! Query settings (all optional): `bag` (bool, bag semantics), `flow`
 //! (MinCut backend name, see [`FlowAlgorithm`]), `enumeration_limit` (facts
@@ -64,6 +83,37 @@ impl QuerySpec {
     }
 }
 
+/// A reference to a snapshot of a hosted database: an integer fact-log
+/// offset, or the name of a pinned snapshot (`db_snapshot`). The head of a
+/// database is referenced by omitting the field, so there is no `Head`
+/// variant on the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotSel {
+    /// A fact-log offset (a snapshot id as returned by `db_put`/`db_patch`).
+    Offset(usize),
+    /// A named snapshot pinned with `db_snapshot`.
+    Named(String),
+}
+
+impl SnapshotSel {
+    fn parse(value: &Json, field: &str) -> Result<SnapshotSel, String> {
+        if let Some(offset) = value.as_usize() {
+            return Ok(SnapshotSel::Offset(offset));
+        }
+        if let Some(name) = value.as_str() {
+            return Ok(SnapshotSel::Named(name.to_string()));
+        }
+        Err(format!("`{field}` entries must be integer offsets or snapshot-name strings"))
+    }
+
+    fn to_json(&self) -> Json {
+        match self {
+            SnapshotSel::Offset(offset) => Json::Int(*offset as i128),
+            SnapshotSel::Named(name) => Json::Str(name.clone()),
+        }
+    }
+}
+
 /// A parsed protocol request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -85,6 +135,49 @@ pub enum Request {
         query: QuerySpec,
         /// The databases, each in the graph text format.
         dbs: Vec<String>,
+    },
+    /// Upload (or replace) a hosted database under a name.
+    DbPut {
+        /// The database name.
+        name: String,
+        /// The database, in the graph text format.
+        db: String,
+    },
+    /// Append a delta to a hosted database's fact log.
+    DbPatch {
+        /// The database name.
+        name: String,
+        /// The delta, in the patch text format.
+        patch: String,
+    },
+    /// Pin a snapshot of a hosted database under a name.
+    DbSnapshot {
+        /// The database name.
+        name: String,
+        /// The name to pin the snapshot under.
+        snapshot_name: String,
+        /// The snapshot to pin (`None` pins the current head).
+        at: Option<SnapshotSel>,
+    },
+    /// Compute the resilience on one or more snapshots of a hosted database.
+    DbSolve {
+        /// The query to solve.
+        query: QuerySpec,
+        /// The database name.
+        name: String,
+        /// One snapshot reference, answered inline (`None` together with an
+        /// empty `snapshots` means the current head).
+        snapshot: Option<SnapshotSel>,
+        /// Several snapshot references, answered as a `results` array.
+        /// Mutually exclusive with `snapshot`.
+        snapshots: Option<Vec<SnapshotSel>>,
+    },
+    /// List the hosted databases with their snapshot state.
+    DbList,
+    /// Drop a hosted database (idempotent).
+    DbDrop {
+        /// The database name.
+        name: String,
     },
     /// Report server and cache counters.
     Stats,
@@ -124,10 +217,72 @@ impl Request {
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(Request::SolveBatch { query: parse_query_spec(&json)?, dbs })
             }
+            "db_put" => {
+                let db = json
+                    .get("db")
+                    .and_then(Json::as_str)
+                    .ok_or("`db_put` requires a string `db` field (graph text format)")?
+                    .to_string();
+                Ok(Request::DbPut { name: parse_name(&json, "db_put")?, db })
+            }
+            "db_patch" => {
+                let patch = json
+                    .get("patch")
+                    .and_then(Json::as_str)
+                    .ok_or("`db_patch` requires a string `patch` field (patch text format)")?
+                    .to_string();
+                Ok(Request::DbPatch { name: parse_name(&json, "db_patch")?, patch })
+            }
+            "db_snapshot" => {
+                let snapshot_name = json
+                    .get("snapshot_name")
+                    .and_then(Json::as_str)
+                    .ok_or("`db_snapshot` requires a string `snapshot_name` field")?
+                    .to_string();
+                let at = match json.get("at") {
+                    None => None,
+                    Some(v) => Some(SnapshotSel::parse(v, "at")?),
+                };
+                Ok(Request::DbSnapshot {
+                    name: parse_name(&json, "db_snapshot")?,
+                    snapshot_name,
+                    at,
+                })
+            }
+            "db_solve" => {
+                let snapshot = match json.get("snapshot") {
+                    None => None,
+                    Some(v) => Some(SnapshotSel::parse(v, "snapshot")?),
+                };
+                let snapshots = match json.get("snapshots") {
+                    None => None,
+                    Some(v) => Some(
+                        v.as_array()
+                            .ok_or("`snapshots` must be an array of snapshot references")?
+                            .iter()
+                            .map(|item| SnapshotSel::parse(item, "snapshots"))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    ),
+                };
+                if snapshot.is_some() && snapshots.is_some() {
+                    return Err(
+                        "`db_solve` takes either `snapshot` or `snapshots`, not both".to_string()
+                    );
+                }
+                Ok(Request::DbSolve {
+                    query: parse_query_spec(&json)?,
+                    name: parse_name(&json, "db_solve")?,
+                    snapshot,
+                    snapshots,
+                })
+            }
+            "db_list" => Ok(Request::DbList),
+            "db_drop" => Ok(Request::DbDrop { name: parse_name(&json, "db_drop")? }),
             "stats" => Ok(Request::Stats),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
-                "unknown op `{other}` (expected prepare, solve, solve_batch, stats or shutdown)"
+                "unknown op `{other}` (expected prepare, solve, solve_batch, db_put, db_patch, \
+                 db_snapshot, db_solve, db_list, db_drop, stats or shutdown)"
             )),
         }
     }
@@ -143,10 +298,57 @@ impl Request {
                 let dbs = dbs.iter().map(|d| Json::Str(d.clone())).collect();
                 query_spec_json("solve_batch", query, vec![("dbs", Json::Array(dbs))])
             }
+            Request::DbPut { name, db } => Json::object([
+                ("op", Json::Str("db_put".into())),
+                ("name", Json::Str(name.clone())),
+                ("db", Json::Str(db.clone())),
+            ]),
+            Request::DbPatch { name, patch } => Json::object([
+                ("op", Json::Str("db_patch".into())),
+                ("name", Json::Str(name.clone())),
+                ("patch", Json::Str(patch.clone())),
+            ]),
+            Request::DbSnapshot { name, snapshot_name, at } => {
+                let mut pairs = vec![
+                    ("op", Json::Str("db_snapshot".into())),
+                    ("name", Json::Str(name.clone())),
+                    ("snapshot_name", Json::Str(snapshot_name.clone())),
+                ];
+                if let Some(at) = at {
+                    pairs.push(("at", at.to_json()));
+                }
+                Json::object(pairs)
+            }
+            Request::DbSolve { query, name, snapshot, snapshots } => {
+                let mut extra = vec![("name", Json::Str(name.clone()))];
+                if let Some(snapshot) = snapshot {
+                    extra.push(("snapshot", snapshot.to_json()));
+                }
+                if let Some(snapshots) = snapshots {
+                    extra.push((
+                        "snapshots",
+                        Json::Array(snapshots.iter().map(SnapshotSel::to_json).collect()),
+                    ));
+                }
+                query_spec_json("db_solve", query, extra)
+            }
+            Request::DbList => Json::object([("op", Json::Str("db_list".into()))]),
+            Request::DbDrop { name } => Json::object([
+                ("op", Json::Str("db_drop".into())),
+                ("name", Json::Str(name.clone())),
+            ]),
             Request::Stats => Json::object([("op", Json::Str("stats".into()))]),
             Request::Shutdown => Json::object([("op", Json::Str("shutdown".into()))]),
         }
     }
+}
+
+/// Parses the mandatory `name` field of a `db_*` request.
+fn parse_name(json: &Json, op: &str) -> Result<String, String> {
+    json.get("name")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or(format!("`{op}` requires a string `name` field (the database name)"))
 }
 
 fn parse_query_spec(json: &Json) -> Result<QuerySpec, String> {
@@ -210,6 +412,17 @@ fn query_spec_json(op: &'static str, query: &QuerySpec, extra: Vec<(&'static str
 /// The uniform failure response: `{"ok":false,"error":"…"}`.
 pub fn error_response(message: impl Into<String>) -> Json {
     Json::object([("ok", Json::Bool(false)), ("error", Json::Str(message.into()))])
+}
+
+/// A failure response with a machine-readable `code` field (store errors:
+/// `store_full`, `body_too_large`, `unknown_database`, `unknown_snapshot`,
+/// `parse`).
+pub fn coded_error_response(message: impl Into<String>, code: &'static str) -> Json {
+    Json::object([
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str(message.into())),
+        ("code", Json::Str(code.into())),
+    ])
 }
 
 /// Renders a resilience value: a JSON integer, or the string `"infinite"`.
@@ -278,6 +491,38 @@ mod tests {
                 query: QuerySpec::new("ab"),
                 dbs: vec!["u a v\n".into(), "u b v\n".into()],
             },
+            Request::DbPut { name: "corpus".into(), db: "u a v\nv b w\n".into() },
+            Request::DbPatch { name: "corpus".into(), patch: "+ v b x 3 !\n- u a v\n".into() },
+            Request::DbSnapshot {
+                name: "corpus".into(),
+                snapshot_name: "release".into(),
+                at: None,
+            },
+            Request::DbSnapshot {
+                name: "corpus".into(),
+                snapshot_name: "v2".into(),
+                at: Some(SnapshotSel::Offset(4)),
+            },
+            Request::DbSolve {
+                query: QuerySpec::new("ab"),
+                name: "corpus".into(),
+                snapshot: None,
+                snapshots: None,
+            },
+            Request::DbSolve {
+                query: QuerySpec::new("ab"),
+                name: "corpus".into(),
+                snapshot: Some(SnapshotSel::Named("release".into())),
+                snapshots: None,
+            },
+            Request::DbSolve {
+                query: QuerySpec { bag: true, ..QuerySpec::new("ax*b") },
+                name: "corpus".into(),
+                snapshot: None,
+                snapshots: Some(vec![SnapshotSel::Offset(2), SnapshotSel::Named("release".into())]),
+            },
+            Request::DbList,
+            Request::DbDrop { name: "corpus".into() },
             Request::Stats,
             Request::Shutdown,
         ];
@@ -304,6 +549,20 @@ mod tests {
             (r#"{"op":"solve","query":"ab","db":"u a v\n","want_cut":1}"#, "`want_cut`"),
             (r#"{"op":"solve_batch","query":"ab","dbs":[],"jobs":-2}"#, "`jobs`"),
             (r#"{"op":"solve_batch","query":"ab","dbs":[],"jobs":true}"#, "`jobs`"),
+            (r#"{"op":"db_put","db":"u a v\n"}"#, "`db_put` requires a string `name`"),
+            (r#"{"op":"db_put","name":"g"}"#, "`db_put` requires a string `db`"),
+            (r#"{"op":"db_patch","name":"g"}"#, "`db_patch` requires a string `patch`"),
+            (r#"{"op":"db_snapshot","name":"g"}"#, "`snapshot_name`"),
+            (r#"{"op":"db_snapshot","name":"g","snapshot_name":"s","at":true}"#, "`at`"),
+            (r#"{"op":"db_solve","name":"g"}"#, "missing string `query`"),
+            (r#"{"op":"db_solve","query":"ab"}"#, "`db_solve` requires a string `name`"),
+            (r#"{"op":"db_solve","query":"ab","name":"g","snapshot":1.5}"#, "`snapshot`"),
+            (r#"{"op":"db_solve","query":"ab","name":"g","snapshots":3}"#, "array"),
+            (
+                r#"{"op":"db_solve","query":"ab","name":"g","snapshot":1,"snapshots":[2]}"#,
+                "not both",
+            ),
+            (r#"{"op":"db_drop"}"#, "`db_drop` requires a string `name`"),
         ] {
             let err = Request::parse(line).unwrap_err();
             assert!(err.contains(fragment), "{line}: {err}");

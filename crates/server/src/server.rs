@@ -31,11 +31,14 @@
 
 use crate::cache::{CacheLookup, CacheStats, QueryCache};
 use crate::json::Json;
-use crate::protocol::{error_response, outcome_json, QuerySpec, Request};
+use crate::protocol::{
+    coded_error_response, error_response, outcome_json, QuerySpec, Request, SnapshotSel,
+};
 use rpq_automata::Language;
 use rpq_graphdb::{text, GraphDb};
-use rpq_resilience::engine::{Engine, SolveOptions};
+use rpq_resilience::engine::{Engine, SolveMode, SolveOptions};
 use rpq_resilience::rpq::Rpq;
+use rpq_store::{SnapshotRef, Store, StoreConfig, StoreError, StoreStats};
 use std::io::{self, BufRead, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -61,6 +64,9 @@ pub struct ServerConfig {
     pub jobs: usize,
     /// Default solve options; the baseline for per-request overrides.
     pub options: SolveOptions,
+    /// Hosted-database store geometry: database/materialization capacity and
+    /// the `db_put`/`db_patch` body-size limit (see [`StoreConfig`]).
+    pub store: StoreConfig,
 }
 
 impl Default for ServerConfig {
@@ -71,6 +77,7 @@ impl Default for ServerConfig {
             cache_shards: crate::cache::DEFAULT_SHARDS,
             jobs: 1,
             options: SolveOptions::default(),
+            store: StoreConfig::default(),
         }
     }
 }
@@ -101,6 +108,7 @@ pub struct ServerState {
     threads: usize,
     jobs: usize,
     cache: QueryCache,
+    store: Store,
     requests: AtomicU64,
     errors: AtomicU64,
     shutdown: AtomicBool,
@@ -118,6 +126,7 @@ impl ServerState {
             threads: config.threads.max(1),
             jobs: config.jobs.clamp(1, MAX_BATCH_JOBS),
             cache: QueryCache::with_shards(config.cache_capacity, config.cache_shards),
+            store: Store::new(config.store),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
@@ -129,6 +138,11 @@ impl ServerState {
     /// The shared prepared-query cache.
     pub fn cache(&self) -> &QueryCache {
         &self.cache
+    }
+
+    /// The hosted-database store.
+    pub fn store(&self) -> &Store {
+        &self.store
     }
 
     /// Whether a shutdown has been requested.
@@ -183,6 +197,16 @@ impl ServerState {
             Request::Prepare { query } => self.handle_prepare(query),
             Request::Solve { query, db } => self.handle_solve(query, db),
             Request::SolveBatch { query, dbs } => self.handle_solve_batch(query, dbs),
+            Request::DbPut { name, db } => self.handle_db_put(name, db),
+            Request::DbPatch { name, patch } => self.handle_db_patch(name, patch),
+            Request::DbSnapshot { name, snapshot_name, at } => {
+                self.handle_db_snapshot(name, snapshot_name, at.as_ref())
+            }
+            Request::DbSolve { query, name, snapshot, snapshots } => {
+                self.handle_db_solve(query, name, snapshot.as_ref(), snapshots.as_deref())
+            }
+            Request::DbList => self.handle_db_list(),
+            Request::DbDrop { name } => self.handle_db_drop(name),
             Request::Stats => self.handle_stats(),
             Request::Shutdown => Json::object([("ok", Json::Bool(true))]),
         }
@@ -313,8 +337,164 @@ impl ServerState {
         ])
     }
 
+    fn handle_db_put(&self, name: &str, body: &str) -> Json {
+        match self.store.put(name, body) {
+            Ok(appended) => Json::object([
+                ("ok", Json::Bool(true)),
+                ("name", Json::Str(name.to_string())),
+                ("snapshot", Json::Int(appended.snapshot as i128)),
+                ("facts", Json::Int(appended.entries as i128)),
+            ]),
+            Err(e) => store_error(&e),
+        }
+    }
+
+    fn handle_db_patch(&self, name: &str, body: &str) -> Json {
+        match self.store.patch(name, body) {
+            Ok(appended) => Json::object([
+                ("ok", Json::Bool(true)),
+                ("name", Json::Str(name.to_string())),
+                ("snapshot", Json::Int(appended.snapshot as i128)),
+                ("applied", Json::Int(appended.entries as i128)),
+            ]),
+            Err(e) => store_error(&e),
+        }
+    }
+
+    fn handle_db_snapshot(
+        &self,
+        name: &str,
+        snapshot_name: &str,
+        at: Option<&SnapshotSel>,
+    ) -> Json {
+        match self.store.snapshot(name, snapshot_name, at.map(|sel| snapshot_ref(Some(sel)))) {
+            Ok(offset) => Json::object([
+                ("ok", Json::Bool(true)),
+                ("name", Json::Str(name.to_string())),
+                ("snapshot_name", Json::Str(snapshot_name.to_string())),
+                ("snapshot", Json::Int(offset as i128)),
+            ]),
+            Err(e) => store_error(&e),
+        }
+    }
+
+    /// `db_solve`: one snapshot answered inline, or a `snapshots` array
+    /// answered as per-snapshot `results` entries. Per-snapshot failures
+    /// (engine errors, unresolvable references) become entries naming the
+    /// offending snapshot instead of failing the whole request.
+    fn handle_db_solve(
+        &self,
+        spec: &QuerySpec,
+        name: &str,
+        snapshot: Option<&SnapshotSel>,
+        snapshots: Option<&[SnapshotSel]>,
+    ) -> Json {
+        let CacheLookup { prepared, hit: cached, .. } = match self.prepare(spec) {
+            Ok(p) => p,
+            Err(message) => return error_response(message),
+        };
+        let want_cut = self.want_cut_for(spec);
+        let Some(refs) = snapshots else {
+            // The inline form: the solve result fields merge into the
+            // response envelope, like a plain `solve`.
+            return match self.store.solve(name, &snapshot_ref(snapshot), &prepared, want_cut) {
+                Ok(solve) => {
+                    let entry = db_solve_entry(&solve);
+                    if solve.result.is_err() {
+                        return entry; // already `"ok": false` with the snapshot id
+                    }
+                    let mut fields = vec![
+                        ("ok".to_string(), Json::Bool(true)),
+                        ("cached".to_string(), Json::Bool(cached)),
+                        ("name".to_string(), Json::Str(name.to_string())),
+                    ];
+                    if let Json::Object(rest) = entry {
+                        fields.extend(rest);
+                    }
+                    Json::Object(fields)
+                }
+                Err(e) => store_error(&e),
+            };
+        };
+        let mut failures: u64 = 0;
+        let results: Vec<Json> = refs
+            .iter()
+            .map(|sel| {
+                match self.store.solve(name, &snapshot_ref(Some(sel)), &prepared, want_cut) {
+                    Ok(solve) => {
+                        if solve.result.is_err() {
+                            failures += 1;
+                        }
+                        db_solve_entry(&solve)
+                    }
+                    Err(e) => {
+                        failures += 1;
+                        store_error(&e)
+                    }
+                }
+            })
+            .collect();
+        // Like `solve_batch`: per-snapshot failures ride inside an
+        // `"ok": true` envelope, so count them into the errors stat here.
+        if failures > 0 {
+            self.errors.fetch_add(failures, Ordering::Relaxed);
+        }
+        Json::object([
+            ("ok", Json::Bool(true)),
+            ("cached", Json::Bool(cached)),
+            ("name", Json::Str(name.to_string())),
+            ("results", Json::Array(results)),
+        ])
+    }
+
+    fn handle_db_list(&self) -> Json {
+        let databases: Vec<Json> = self
+            .store
+            .list()
+            .into_iter()
+            .map(|info| {
+                let named = info
+                    .named
+                    .into_iter()
+                    .map(|(n, offset)| (n, Json::Int(offset as i128)))
+                    .collect();
+                Json::object([
+                    ("name", Json::Str(info.name)),
+                    ("snapshot", Json::Int(info.snapshot as i128)),
+                    ("facts", Json::Int(info.facts as i128)),
+                    ("log_entries", Json::Int(info.log_entries as i128)),
+                    ("log_bytes", Json::Int(info.log_bytes as i128)),
+                    ("named", Json::Object(named)),
+                    ("materialized", Json::Int(info.materialized as i128)),
+                ])
+            })
+            .collect();
+        Json::object([("ok", Json::Bool(true)), ("databases", Json::Array(databases))])
+    }
+
+    fn handle_db_drop(&self, name: &str) -> Json {
+        let dropped = self.store.drop_database(name);
+        Json::object([
+            ("ok", Json::Bool(true)),
+            ("name", Json::Str(name.to_string())),
+            ("dropped", Json::Bool(dropped)),
+        ])
+    }
+
     fn handle_stats(&self) -> Json {
         let CacheStats { hits, misses, evictions, entries, capacity, shards } = self.cache.stats();
+        let StoreStats {
+            databases,
+            named_snapshots,
+            materialized,
+            log_entries,
+            log_bytes,
+            incremental_solves,
+            full_solves,
+            evictions: store_evictions,
+            capacity: store_capacity,
+            max_body_bytes,
+        } = self.store.stats();
         let connections = &self.connections;
         Json::object([
             ("ok", Json::Bool(true)),
@@ -349,6 +529,21 @@ impl ServerState {
                     ("shards", Json::Int(shards as i128)),
                 ]),
             ),
+            (
+                "store",
+                Json::object([
+                    ("databases", Json::Int(databases as i128)),
+                    ("named_snapshots", Json::Int(named_snapshots as i128)),
+                    ("materialized", Json::Int(materialized as i128)),
+                    ("log_entries", Json::Int(log_entries as i128)),
+                    ("log_bytes", Json::Int(log_bytes as i128)),
+                    ("incremental_solves", Json::Int(incremental_solves as i128)),
+                    ("full_solves", Json::Int(full_solves as i128)),
+                    ("evictions", Json::Int(store_evictions as i128)),
+                    ("capacity", Json::Int(store_capacity as i128)),
+                    ("max_body_bytes", Json::Int(max_body_bytes as i128)),
+                ]),
+            ),
         ])
     }
 
@@ -371,6 +566,44 @@ pub const MAX_BATCH_JOBS: usize = 64;
 
 fn parse_db(db_text: &str) -> Result<GraphDb, String> {
     text::parse(db_text).map_err(|e| format!("cannot parse database: {e}"))
+}
+
+/// Maps a wire snapshot reference onto the store's (`None` = head).
+fn snapshot_ref(sel: Option<&SnapshotSel>) -> SnapshotRef {
+    match sel {
+        None => SnapshotRef::Head,
+        Some(SnapshotSel::Offset(offset)) => SnapshotRef::Offset(*offset),
+        Some(SnapshotSel::Named(name)) => SnapshotRef::Named(name.clone()),
+    }
+}
+
+/// A store failure as a typed error response (`code` from
+/// [`StoreError::code`]).
+fn store_error(e: &StoreError) -> Json {
+    coded_error_response(e.to_string(), e.code())
+}
+
+/// One per-snapshot `db_solve` result: the resolved snapshot id, the
+/// `incremental` marker and the outcome fields — or, for an engine failure,
+/// an `"ok": false` entry that still names the offending snapshot.
+fn db_solve_entry(solve: &rpq_store::StoreSolve) -> Json {
+    match &solve.result {
+        Ok((outcome, mode)) => {
+            let mut fields = vec![
+                ("snapshot".to_string(), Json::Int(solve.snapshot as i128)),
+                ("incremental".to_string(), Json::Bool(*mode == SolveMode::Incremental)),
+            ];
+            if let Json::Object(rest) = outcome_json(outcome, &solve.graph) {
+                fields.extend(rest);
+            }
+            Json::Object(fields)
+        }
+        Err(e) => Json::object([
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str(e.to_string())),
+            ("snapshot", Json::Int(solve.snapshot as i128)),
+        ]),
+    }
 }
 
 /// One accepted TCP connection: the (non-blocking while parked) stream, the
@@ -908,6 +1141,113 @@ mod tests {
         );
         let results = batch.get("results").unwrap().as_array().unwrap();
         assert!(results[0].get("contingency_set").is_none());
+    }
+
+    #[test]
+    fn db_verbs_round_trip_with_incremental_solves() {
+        let state = state();
+        let put = request(&state, r#"{"op":"db_put","name":"g","db":"s a u\nu x v\nv b t\n"}"#);
+        assert_eq!(put.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(put.get("snapshot"), Some(&Json::Int(3)));
+        assert_eq!(put.get("facts"), Some(&Json::Int(3)));
+        // First solve at the head: a full build, bound to snapshot 3.
+        let first = request(&state, r#"{"op":"db_solve","name":"g","query":"ax*b"}"#);
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)), "{first}");
+        assert_eq!(first.get("snapshot"), Some(&Json::Int(3)));
+        assert_eq!(first.get("value"), Some(&Json::Int(1)));
+        assert_eq!(first.get("incremental"), Some(&Json::Bool(false)));
+        assert_eq!(first.get("contingency_set").unwrap().as_array().unwrap().len(), 1);
+        // Patch out the only x-path; the follow-up solve rides the
+        // incremental path and sees the new value.
+        let patch = request(&state, r#"{"op":"db_patch","name":"g","patch":"- u x v\n"}"#);
+        assert_eq!(patch.get("snapshot"), Some(&Json::Int(4)));
+        assert_eq!(patch.get("applied"), Some(&Json::Int(1)));
+        let second = request(&state, r#"{"op":"db_solve","name":"g","query":"ax*b"}"#);
+        assert_eq!(second.get("snapshot"), Some(&Json::Int(4)));
+        assert_eq!(second.get("value"), Some(&Json::Int(0)));
+        assert_eq!(second.get("incremental"), Some(&Json::Bool(true)));
+        // Name the pre-patch snapshot and solve both in one request.
+        let named =
+            request(&state, r#"{"op":"db_snapshot","name":"g","snapshot_name":"before","at":3}"#);
+        assert_eq!(named.get("snapshot"), Some(&Json::Int(3)));
+        let both = request(
+            &state,
+            r#"{"op":"db_solve","name":"g","query":"ax*b","snapshots":["before",4]}"#,
+        );
+        assert_eq!(both.get("ok"), Some(&Json::Bool(true)));
+        let results = both.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results[0].get("snapshot"), Some(&Json::Int(3)));
+        assert_eq!(results[0].get("value"), Some(&Json::Int(1)));
+        assert_eq!(results[1].get("snapshot"), Some(&Json::Int(4)));
+        assert_eq!(results[1].get("value"), Some(&Json::Int(0)));
+        // The listing shows the log, the pin and the head snapshot.
+        let list = request(&state, r#"{"op":"db_list"}"#);
+        let dbs = list.get("databases").unwrap().as_array().unwrap();
+        assert_eq!(dbs.len(), 1);
+        assert_eq!(dbs[0].get("name").and_then(Json::as_str), Some("g"));
+        assert_eq!(dbs[0].get("snapshot"), Some(&Json::Int(4)));
+        assert_eq!(dbs[0].get("named").unwrap().get("before"), Some(&Json::Int(3)));
+        // Stats expose the store metrics, including the solve-mode split.
+        let stats = request(&state, r#"{"op":"stats"}"#);
+        let store = stats.get("store").unwrap();
+        assert_eq!(store.get("databases"), Some(&Json::Int(1)));
+        assert_eq!(store.get("log_entries"), Some(&Json::Int(4)));
+        assert!(store.get("incremental_solves").unwrap().as_int().unwrap() >= 1);
+        assert!(store.get("full_solves").unwrap().as_int().unwrap() >= 1);
+        // Dropping is idempotent and reported.
+        let drop = request(&state, r#"{"op":"db_drop","name":"g"}"#);
+        assert_eq!(drop.get("dropped"), Some(&Json::Bool(true)));
+        let drop = request(&state, r#"{"op":"db_drop","name":"g"}"#);
+        assert_eq!(drop.get("dropped"), Some(&Json::Bool(false)));
+    }
+
+    #[test]
+    fn db_solve_batches_carry_per_snapshot_errors_without_failing_the_request() {
+        let state = state();
+        request(&state, r#"{"op":"db_put","name":"g","db":"1 a 2\n2 a 3\n3 a 4\n"}"#);
+        // Forced enumeration with a tiny limit fails per snapshot — but a
+        // shorter historical snapshot still answers, and each failure entry
+        // names its resolved snapshot id.
+        let response = request(
+            &state,
+            r#"{"op":"db_solve","name":"g","query":"aa","algorithm":"enumeration","enumeration_limit":2,"snapshots":[1,3,"ghost"]}"#,
+        );
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response}");
+        let results = response.get("results").unwrap().as_array().unwrap();
+        assert_eq!(results[0].get("value"), Some(&Json::Int(0)));
+        assert_eq!(results[1].get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(results[1].get("snapshot"), Some(&Json::Int(3)), "{response}");
+        assert!(results[1].get("error").and_then(Json::as_str).unwrap().contains("limit"));
+        assert_eq!(results[2].get("code").and_then(Json::as_str), Some("unknown_snapshot"));
+        let stats = request(&state, r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("errors"), Some(&Json::Int(2)), "{stats}");
+        // The inline form reports the same failures as a plain error (typed
+        // for store problems, snapshot-stamped for engine ones).
+        let missing = request(&state, r#"{"op":"db_solve","name":"nope","query":"aa"}"#);
+        assert_eq!(missing.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(missing.get("code").and_then(Json::as_str), Some("unknown_database"));
+        let failed = request(
+            &state,
+            r#"{"op":"db_solve","name":"g","query":"aa","algorithm":"enumeration","enumeration_limit":2}"#,
+        );
+        assert_eq!(failed.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(failed.get("snapshot"), Some(&Json::Int(3)));
+    }
+
+    #[test]
+    fn oversized_db_bodies_are_rejected_with_a_typed_error() {
+        let config = ServerConfig {
+            store: rpq_store::StoreConfig { capacity: 64, max_body_bytes: 24 },
+            ..ServerConfig::default()
+        };
+        let state = ServerState::new(config);
+        let response = request(
+            &state,
+            r#"{"op":"db_put","name":"g","db":"s a u\nu x v\nv b t\nmore facts beyond the cap\n"}"#,
+        );
+        assert_eq!(response.get("ok"), Some(&Json::Bool(false)));
+        assert_eq!(response.get("code").and_then(Json::as_str), Some("body_too_large"));
+        assert!(response.get("error").and_then(Json::as_str).unwrap().contains("24-byte limit"));
     }
 
     #[test]

@@ -1,0 +1,740 @@
+//! # `rpq-store`: server-hosted snapshot databases with incremental solves
+//!
+//! `rpq-server`'s original protocol ships the whole database inside every
+//! request — fine for one-shot experiments, hopeless for the monitoring
+//! workload the resilience-under-updates story needs (solve after every small
+//! edit). This crate hosts **named databases** server-side:
+//!
+//! * a database is an **append-only log** of [`FactChange`] entries
+//!   ([`rpq_graphdb::delta`]); `db_put` seeds the log from a full database
+//!   text, `db_patch` appends parsed changes;
+//! * a **snapshot is a log offset** — taking one is O(1), every snapshot is
+//!   immutable by construction, and `db_snapshot` merely names an offset so
+//!   it can be referred to (and pinned) later;
+//! * concrete [`GraphDb`] **materializations are derived state**, built
+//!   lazily per requested snapshot and cached with LRU eviction — *named*
+//!   snapshots and each database's head are pinned, unnamed historical
+//!   materializations are evicted first;
+//! * `db_solve` binds a query to `(name, snapshot)` and reuses the
+//!   [`IncrementalSolver`] retained per database: consecutive solves at
+//!   advancing snapshots hand the engine exactly the fact delta between
+//!   them, so the flow network is patched and the min-cut warm-started
+//!   instead of rebuilt (see `rpq_resilience::engine`'s incremental path).
+//!
+//! The store is thread-safe: a short-lived registry lock hands out per-
+//! database handles, and each database serializes its own operations, so
+//! solves on different databases run concurrently. Lock order is always
+//! registry → database, never the reverse.
+
+use rpq_graphdb::delta::{changes_from_db, materialize, parse_patch, FactChange};
+use rpq_graphdb::text::{self, ParseError};
+use rpq_graphdb::GraphDb;
+use rpq_resilience::algorithms::{ResilienceError, ResilienceOutcome};
+use rpq_resilience::engine::{IncrementalSolver, PreparedQuery, SolveMode};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Configuration of a [`Store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreConfig {
+    /// The maximum number of hosted databases (`db_put` of a *new* name past
+    /// this fails with [`StoreError::StoreFull`]) — also the budget of cached
+    /// materializations across the store, above which unpinned ones are
+    /// evicted LRU-first.
+    pub capacity: usize,
+    /// The maximum `db_put` / `db_patch` body size in bytes; larger bodies
+    /// fail with [`StoreError::BodyTooLarge`] before parsing.
+    pub max_body_bytes: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { capacity: 64, max_body_bytes: 8 * 1024 * 1024 }
+    }
+}
+
+/// A reference to a snapshot of a hosted database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotRef {
+    /// The database's current head (its log length).
+    Head,
+    /// An explicit log offset, as returned by `db_put` / `db_patch`.
+    Offset(usize),
+    /// A name registered via `db_snapshot`.
+    Named(String),
+}
+
+/// Errors raised by store operations. [`StoreError::code`] gives the stable
+/// machine-readable error code the wire protocol attaches to each of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The store already hosts `capacity` databases.
+    StoreFull {
+        /// The configured database capacity.
+        capacity: usize,
+    },
+    /// A `db_put` / `db_patch` body exceeded the configured size limit.
+    BodyTooLarge {
+        /// The offending body size.
+        bytes: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+    /// No database of this name is hosted.
+    UnknownDatabase {
+        /// The requested name.
+        name: String,
+    },
+    /// The snapshot reference does not resolve on this database.
+    UnknownSnapshot {
+        /// The database the reference was resolved against.
+        database: String,
+        /// A rendering of the offending reference (offset or name).
+        snapshot: String,
+    },
+    /// A database or patch body failed to parse.
+    Parse(ParseError),
+}
+
+impl StoreError {
+    /// The stable machine-readable error code (`"code"` on the wire).
+    pub fn code(&self) -> &'static str {
+        match self {
+            StoreError::StoreFull { .. } => "store_full",
+            StoreError::BodyTooLarge { .. } => "body_too_large",
+            StoreError::UnknownDatabase { .. } => "unknown_database",
+            StoreError::UnknownSnapshot { .. } => "unknown_snapshot",
+            StoreError::Parse(_) => "parse",
+        }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::StoreFull { capacity } => {
+                write!(f, "the store already hosts {capacity} databases")
+            }
+            StoreError::BodyTooLarge { bytes, limit } => {
+                write!(f, "body of {bytes} bytes exceeds the {limit}-byte limit")
+            }
+            StoreError::UnknownDatabase { name } => write!(f, "unknown database {name:?}"),
+            StoreError::UnknownSnapshot { database, snapshot } => {
+                write!(f, "unknown snapshot {snapshot:?} of database {database:?}")
+            }
+            StoreError::Parse(e) => write!(f, "parse error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<ParseError> for StoreError {
+    fn from(e: ParseError) -> Self {
+        StoreError::Parse(e)
+    }
+}
+
+/// The incremental-solve state one database retains between `db_solve`s.
+struct SolveSession {
+    /// The plan the retained state was built under; compared by pointer
+    /// identity, so a plan evicted and re-prepared by the server's query
+    /// cache simply forces a (correct) full rebuild.
+    plan: Arc<PreparedQuery>,
+    /// The snapshot the retained flow network describes.
+    offset: usize,
+    /// The engine-side retained network + flow.
+    solver: IncrementalSolver,
+}
+
+/// A cached materialization of one snapshot.
+struct Materialization {
+    offset: usize,
+    graph: Arc<GraphDb>,
+    last_used: u64,
+}
+
+/// One hosted database: the append-only fact log plus derived state.
+#[derive(Default)]
+struct Database {
+    log: Vec<FactChange>,
+    /// Summed [`FactChange::log_bytes`] of the log.
+    log_bytes: usize,
+    /// Named snapshots (name → pinned offset).
+    named: BTreeMap<String, usize>,
+    /// Cached materializations, at most one per offset.
+    materialized: Vec<Materialization>,
+    session: Option<SolveSession>,
+}
+
+impl Database {
+    fn resolve(&self, db_name: &str, snapshot: &SnapshotRef) -> Result<usize, StoreError> {
+        match snapshot {
+            SnapshotRef::Head => Ok(self.log.len()),
+            SnapshotRef::Offset(o) if *o <= self.log.len() => Ok(*o),
+            SnapshotRef::Offset(o) => Err(StoreError::UnknownSnapshot {
+                database: db_name.to_string(),
+                snapshot: o.to_string(),
+            }),
+            SnapshotRef::Named(n) => self.named.get(n).copied().ok_or_else(|| {
+                StoreError::UnknownSnapshot { database: db_name.to_string(), snapshot: n.clone() }
+            }),
+        }
+    }
+
+    fn materialize_at(&mut self, offset: usize, tick: u64) -> Arc<GraphDb> {
+        if let Some(m) = self.materialized.iter_mut().find(|m| m.offset == offset) {
+            m.last_used = tick;
+            return Arc::clone(&m.graph);
+        }
+        let graph = Arc::new(materialize(&self.log[..offset]));
+        self.materialized.push(Materialization {
+            offset,
+            graph: Arc::clone(&graph),
+            last_used: tick,
+        });
+        graph
+    }
+
+    /// The number of facts alive at the head, without materializing.
+    fn live_facts(&self) -> usize {
+        let mut alive = HashSet::new();
+        for change in &self.log {
+            match change {
+                FactChange::Put { .. } => {
+                    alive.insert(change.key());
+                }
+                FactChange::Delete { .. } => {
+                    alive.remove(&change.key());
+                }
+            }
+        }
+        alive.len()
+    }
+}
+
+/// The result of a [`Store::put`] or [`Store::patch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendResult {
+    /// The snapshot id (log offset) after the operation.
+    pub snapshot: usize,
+    /// `put`: facts in the database; `patch`: changes appended.
+    pub entries: usize,
+}
+
+/// The result of a [`Store::solve`]: per-snapshot engine errors are carried
+/// *inside* (with the resolved snapshot id), so a batch over several
+/// snapshots can report each failure against the snapshot that caused it.
+pub struct StoreSolve {
+    /// The resolved snapshot id the solve bound to.
+    pub snapshot: usize,
+    /// The materialized database the solve ran against (needed to render
+    /// contingency-set facts).
+    pub graph: Arc<GraphDb>,
+    /// The engine outcome, or the engine error for this snapshot.
+    pub result: Result<(ResilienceOutcome, SolveMode), ResilienceError>,
+}
+
+/// Per-database summary returned by [`Store::list`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatabaseInfo {
+    /// The database name.
+    pub name: String,
+    /// The head snapshot id.
+    pub snapshot: usize,
+    /// Facts alive at the head.
+    pub facts: usize,
+    /// Total log entries (including overwritten / deleted ones).
+    pub log_entries: usize,
+    /// Estimated heap bytes retained by the log.
+    pub log_bytes: usize,
+    /// Named snapshots, in name order.
+    pub named: Vec<(String, usize)>,
+    /// Cached materializations.
+    pub materialized: usize,
+}
+
+/// Aggregate store metrics (see [`Store::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Hosted databases.
+    pub databases: usize,
+    /// Named snapshots across all databases.
+    pub named_snapshots: usize,
+    /// Cached materializations across all databases.
+    pub materialized: usize,
+    /// Log entries across all databases.
+    pub log_entries: usize,
+    /// Estimated log heap bytes across all databases.
+    pub log_bytes: usize,
+    /// `db_solve`s answered by the incremental (patch + warm-start) path.
+    pub incremental_solves: u64,
+    /// `db_solve`s answered by a full build.
+    pub full_solves: u64,
+    /// Materializations evicted to respect the capacity.
+    pub evictions: u64,
+    /// The configured database / materialization capacity.
+    pub capacity: usize,
+    /// The configured body-size limit.
+    pub max_body_bytes: usize,
+}
+
+/// A thread-safe registry of named snapshot databases (see the
+/// [module docs](self)).
+pub struct Store {
+    config: StoreConfig,
+    databases: Mutex<HashMap<String, Arc<Mutex<Database>>>>,
+    tick: AtomicU64,
+    incremental_solves: AtomicU64,
+    full_solves: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Store {
+    /// An empty store.
+    pub fn new(config: StoreConfig) -> Store {
+        Store {
+            config,
+            databases: Mutex::new(HashMap::new()),
+            tick: AtomicU64::new(0),
+            incremental_solves: AtomicU64::new(0),
+            full_solves: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The store's configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.config
+    }
+
+    fn next_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn database(&self, name: &str) -> Result<Arc<Mutex<Database>>, StoreError> {
+        self.databases
+            .lock()
+            .expect("store registry lock")
+            .get(name)
+            .map(Arc::clone)
+            .ok_or_else(|| StoreError::UnknownDatabase { name: name.to_string() })
+    }
+
+    fn check_body(&self, bytes: usize) -> Result<(), StoreError> {
+        if bytes > self.config.max_body_bytes {
+            return Err(StoreError::BodyTooLarge { bytes, limit: self.config.max_body_bytes });
+        }
+        Ok(())
+    }
+
+    /// Creates (or fully replaces) the database `name` from a database text
+    /// body, seeding a fresh log of `Put` entries. Replacing drops named
+    /// snapshots, cached materializations and any retained solve state.
+    pub fn put(&self, name: &str, body: &str) -> Result<AppendResult, StoreError> {
+        self.check_body(body.len())?;
+        let graph = text::parse(body)?;
+        let log = changes_from_db(&graph);
+        let handle = {
+            let mut registry = self.databases.lock().expect("store registry lock");
+            if !registry.contains_key(name) && registry.len() >= self.config.capacity {
+                return Err(StoreError::StoreFull { capacity: self.config.capacity });
+            }
+            Arc::clone(registry.entry(name.to_string()).or_default())
+        };
+        let tick = self.next_tick();
+        let facts = graph.num_facts();
+        let snapshot = log.len();
+        {
+            let mut db = handle.lock().expect("database lock");
+            db.log_bytes = log.iter().map(FactChange::log_bytes).sum();
+            db.log = log;
+            db.named.clear();
+            db.materialized =
+                vec![Materialization { offset: snapshot, graph: Arc::new(graph), last_used: tick }];
+            db.session = None;
+        }
+        self.evict_materializations();
+        Ok(AppendResult { snapshot, entries: facts })
+    }
+
+    /// Appends a parsed patch body to `name`'s log, returning the new head
+    /// snapshot. Existing snapshots (named or not) are unaffected — they
+    /// simply keep pointing below the new head.
+    pub fn patch(&self, name: &str, body: &str) -> Result<AppendResult, StoreError> {
+        self.check_body(body.len())?;
+        let changes = parse_patch(body)?;
+        let handle = self.database(name)?;
+        let mut db = handle.lock().expect("database lock");
+        db.log_bytes += changes.iter().map(FactChange::log_bytes).sum::<usize>();
+        let applied = changes.len();
+        db.log.extend(changes);
+        Ok(AppendResult { snapshot: db.log.len(), entries: applied })
+    }
+
+    /// Names the snapshot `at` (default: the current head) of database
+    /// `name`, pinning its materialization against eviction. Returns the
+    /// pinned offset. Re-registering an existing snapshot name repoints it.
+    pub fn snapshot(
+        &self,
+        name: &str,
+        snapshot_name: &str,
+        at: Option<SnapshotRef>,
+    ) -> Result<usize, StoreError> {
+        let handle = self.database(name)?;
+        let mut db = handle.lock().expect("database lock");
+        let offset = db.resolve(name, &at.unwrap_or(SnapshotRef::Head))?;
+        db.named.insert(snapshot_name.to_string(), offset);
+        Ok(offset)
+    }
+
+    /// Resolves and materializes a snapshot of `name`, returning the
+    /// resolved offset and the (cached) concrete database.
+    pub fn materialize(
+        &self,
+        name: &str,
+        snapshot: &SnapshotRef,
+    ) -> Result<(usize, Arc<GraphDb>), StoreError> {
+        let handle = self.database(name)?;
+        let tick = self.next_tick();
+        let (offset, graph) = {
+            let mut db = handle.lock().expect("database lock");
+            let offset = db.resolve(name, snapshot)?;
+            (offset, db.materialize_at(offset, tick))
+        };
+        self.evict_materializations();
+        Ok((offset, graph))
+    }
+
+    /// Solves `prepared` against one snapshot of `name`, riding the
+    /// database's retained incremental state when the solve continues the
+    /// same plan at the same or a later snapshot. Engine errors come back
+    /// *inside* the [`StoreSolve`] together with the resolved snapshot id;
+    /// only store-level problems (unknown database / snapshot) are `Err`.
+    pub fn solve(
+        &self,
+        name: &str,
+        snapshot: &SnapshotRef,
+        prepared: &Arc<PreparedQuery>,
+        want_cut: bool,
+    ) -> Result<StoreSolve, StoreError> {
+        let handle = self.database(name)?;
+        let tick = self.next_tick();
+        let (offset, graph, result) = {
+            let mut db = handle.lock().expect("database lock");
+            let offset = db.resolve(name, snapshot)?;
+            let graph = db.materialize_at(offset, tick);
+            let Database { log, session, .. } = &mut *db;
+            let result = match session {
+                Some(s) if Arc::ptr_eq(&s.plan, prepared) && s.offset <= offset => {
+                    let delta = &log[s.offset..offset];
+                    let result =
+                        prepared.solve_incremental(&mut s.solver, &graph, Some(delta), want_cut);
+                    if result.is_ok() {
+                        s.offset = offset;
+                    }
+                    result
+                }
+                Some(s) if Arc::ptr_eq(&s.plan, prepared) => {
+                    // A solve *behind* the session's frontier (an old
+                    // snapshot): answer one-shot, keep the retained state
+                    // parked at its frontier for the next forward solve.
+                    prepared.solve_with_cut(&graph, want_cut).map(|o| (o, SolveMode::Full))
+                }
+                _ => {
+                    let mut s = SolveSession {
+                        plan: Arc::clone(prepared),
+                        offset,
+                        solver: IncrementalSolver::new(),
+                    };
+                    let result = prepared.solve_incremental(&mut s.solver, &graph, None, want_cut);
+                    *session = Some(s);
+                    result
+                }
+            };
+            (offset, graph, result)
+        };
+        self.evict_materializations();
+        match &result {
+            Ok((_, SolveMode::Incremental)) => {
+                self.incremental_solves.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok((_, SolveMode::Full)) | Err(_) => {
+                self.full_solves.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(StoreSolve { snapshot: offset, graph, result })
+    }
+
+    /// Summaries of every hosted database, in name order.
+    pub fn list(&self) -> Vec<DatabaseInfo> {
+        let handles: Vec<(String, Arc<Mutex<Database>>)> = {
+            let registry = self.databases.lock().expect("store registry lock");
+            registry.iter().map(|(n, h)| (n.clone(), Arc::clone(h))).collect()
+        };
+        let mut infos: Vec<DatabaseInfo> = handles
+            .into_iter()
+            .map(|(name, handle)| {
+                let db = handle.lock().expect("database lock");
+                DatabaseInfo {
+                    facts: db
+                        .materialized
+                        .iter()
+                        .find(|m| m.offset == db.log.len())
+                        .map(|m| m.graph.num_facts())
+                        .unwrap_or_else(|| db.live_facts()),
+                    name,
+                    snapshot: db.log.len(),
+                    log_entries: db.log.len(),
+                    log_bytes: db.log_bytes,
+                    named: db.named.iter().map(|(n, &o)| (n.clone(), o)).collect(),
+                    materialized: db.materialized.len(),
+                }
+            })
+            .collect();
+        infos.sort_by(|a, b| a.name.cmp(&b.name));
+        infos
+    }
+
+    /// Drops the database `name` (idempotent). Returns whether it existed.
+    pub fn drop_database(&self, name: &str) -> bool {
+        self.databases.lock().expect("store registry lock").remove(name).is_some()
+    }
+
+    /// Aggregate metrics over all hosted databases.
+    pub fn stats(&self) -> StoreStats {
+        let infos = self.list();
+        StoreStats {
+            databases: infos.len(),
+            named_snapshots: infos.iter().map(|i| i.named.len()).sum(),
+            materialized: infos.iter().map(|i| i.materialized).sum(),
+            log_entries: infos.iter().map(|i| i.log_entries).sum(),
+            log_bytes: infos.iter().map(|i| i.log_bytes).sum(),
+            incremental_solves: self.incremental_solves.load(Ordering::Relaxed),
+            full_solves: self.full_solves.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            capacity: self.config.capacity,
+            max_body_bytes: self.config.max_body_bytes,
+        }
+    }
+
+    /// Evicts least-recently-used **unpinned** materializations until the
+    /// store-wide count fits the capacity. Named snapshots and every
+    /// database's head are pinned and never evicted; databases locked by
+    /// concurrent operations are skipped (their caches are in use anyway).
+    fn evict_materializations(&self) {
+        let budget = self.config.capacity.max(1);
+        loop {
+            let handles: Vec<Arc<Mutex<Database>>> = {
+                let registry = self.databases.lock().expect("store registry lock");
+                registry.values().map(Arc::clone).collect()
+            };
+            let mut total = 0usize;
+            let mut victim: Option<(Arc<Mutex<Database>>, usize, u64)> = None;
+            for handle in &handles {
+                let Ok(db) = handle.try_lock() else { continue };
+                let head = db.log.len();
+                for m in &db.materialized {
+                    total += 1;
+                    let pinned = m.offset == head || db.named.values().any(|&o| o == m.offset);
+                    if !pinned && victim.as_ref().is_none_or(|v| m.last_used < v.2) {
+                        victim = Some((Arc::clone(handle), m.offset, m.last_used));
+                    }
+                }
+            }
+            if total <= budget {
+                return;
+            }
+            let Some((handle, offset, _)) = victim else { return };
+            let Ok(mut db) = handle.try_lock() else { return };
+            let before = db.materialized.len();
+            db.materialized.retain(|m| m.offset != offset);
+            if db.materialized.len() < before {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            } else {
+                return; // raced with a drop; avoid spinning
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rpq_resilience::engine::Engine;
+    use rpq_resilience::rpq::{ResilienceValue, Rpq};
+
+    fn prepared(pattern: &str) -> Arc<PreparedQuery> {
+        Arc::new(Engine::new().prepare(&Rpq::parse(pattern).unwrap()).unwrap())
+    }
+
+    fn value(store: &Store, name: &str, at: SnapshotRef, plan: &Arc<PreparedQuery>) -> u128 {
+        let solve = store.solve(name, &at, plan, false).unwrap();
+        match solve.result.unwrap().0.value {
+            ResilienceValue::Finite(v) => v,
+            ResilienceValue::Infinite => u128::MAX,
+        }
+    }
+
+    #[test]
+    fn put_patch_snapshot_solve_round_trip() {
+        let store = Store::new(StoreConfig::default());
+        let plan = prepared("ax*b");
+        let put = store.put("g", "s a u\nu x v\nv b t\n").unwrap();
+        assert_eq!((put.snapshot, put.entries), (3, 3));
+        store.snapshot("g", "before", None).unwrap();
+        assert_eq!(value(&store, "g", SnapshotRef::Head, &plan), 1);
+
+        let patched = store.patch("g", "+ u x w\n+ w b t\n").unwrap();
+        assert_eq!((patched.snapshot, patched.entries), (5, 2));
+        // Two disjoint x-paths now: resilience 1 still (cut `s a u`)… verify
+        // against both the head and the historical snapshots.
+        assert_eq!(value(&store, "g", SnapshotRef::Head, &plan), 1);
+        let removed = store.patch("g", "- s a u\n").unwrap();
+        assert_eq!(removed.snapshot, 6);
+        assert_eq!(value(&store, "g", SnapshotRef::Head, &plan), 0);
+        // Historical snapshots still answer with their own value.
+        assert_eq!(value(&store, "g", SnapshotRef::Named("before".into()), &plan), 1);
+        assert_eq!(value(&store, "g", SnapshotRef::Offset(3), &plan), 1);
+        assert_eq!(value(&store, "g", SnapshotRef::Head, &plan), 0);
+
+        // The forward solves after the first ride the incremental path.
+        let stats = store.stats();
+        assert!(stats.incremental_solves >= 2, "{stats:?}");
+        assert!(stats.full_solves >= 1);
+    }
+
+    #[test]
+    fn incremental_sessions_survive_across_patches() {
+        let store = Store::new(StoreConfig::default());
+        let plan = prepared("ax*b");
+        store.put("g", "s a u\nu x v\nv b t\n").unwrap();
+        assert_eq!(value(&store, "g", SnapshotRef::Head, &plan), 1);
+        let full_after_first = store.stats().full_solves;
+        for i in 0..10 {
+            store.patch("g", &format!("+ u x m{i}\n+ m{i} b t\n")).unwrap();
+            assert_eq!(value(&store, "g", SnapshotRef::Head, &plan), 1);
+        }
+        let stats = store.stats();
+        assert_eq!(stats.full_solves, full_after_first, "patch solves must stay incremental");
+        assert_eq!(stats.incremental_solves, 10);
+        // A different plan replaces the session (full solve), then resumes
+        // incrementally.
+        let other = prepared("ab|ad");
+        store.solve("g", &SnapshotRef::Head, &other, false).unwrap();
+        store.patch("g", "+ s a z\n").unwrap();
+        let solve = store.solve("g", &SnapshotRef::Head, &other, false).unwrap();
+        assert_eq!(solve.result.unwrap().1, SolveMode::Incremental);
+    }
+
+    #[test]
+    fn body_limits_and_capacity_are_enforced_with_codes() {
+        let store = Store::new(StoreConfig { capacity: 1, max_body_bytes: 16 });
+        let err = store.put("g", "a b c # a long oversized body\n").unwrap_err();
+        assert_eq!(err.code(), "body_too_large");
+        store.put("g", "s a t\n").unwrap();
+        let err = store.put("h", "s a t\n").unwrap_err();
+        assert_eq!(err.code(), "store_full");
+        assert!(err.to_string().contains("1 databases"));
+        // Replacing an existing database is always allowed.
+        store.put("g", "s b t\n").unwrap();
+        let err = store.patch("g", "+ s a t # padded far past the body limit\n").unwrap_err();
+        assert_eq!(err.code(), "body_too_large");
+        let err = store.patch("nope", "+ s a t\n").unwrap_err();
+        assert_eq!(err.code(), "unknown_database");
+        let err = store.put("g", "not a fact line\n").unwrap_err();
+        assert_eq!(err.code(), "parse");
+        let err = store.patch("g", "* bad op\n").unwrap_err();
+        assert_eq!(err.code(), "parse");
+    }
+
+    #[test]
+    fn snapshots_resolve_and_unknown_ones_are_named_in_errors() {
+        let store = Store::new(StoreConfig::default());
+        store.put("g", "s a t\n").unwrap();
+        store.patch("g", "+ s b t\n").unwrap();
+        assert_eq!(store.snapshot("g", "v1", Some(SnapshotRef::Offset(1))).unwrap(), 1);
+        assert_eq!(store.snapshot("g", "v2", None).unwrap(), 2);
+        let (offset, graph) = store.materialize("g", &SnapshotRef::Named("v1".into())).unwrap();
+        assert_eq!((offset, graph.num_facts()), (1, 1));
+        let err = store.materialize("g", &SnapshotRef::Offset(9)).unwrap_err();
+        assert_eq!(err.code(), "unknown_snapshot");
+        assert!(err.to_string().contains('9') && err.to_string().contains("\"g\""));
+        let err = store.snapshot("g", "v3", Some(SnapshotRef::Named("ghost".into()))).unwrap_err();
+        assert_eq!(err.code(), "unknown_snapshot");
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn list_drop_and_stats_report_the_hosted_state() {
+        let store = Store::new(StoreConfig::default());
+        store.put("b", "s a t\n").unwrap();
+        store.put("a", "s a t\ns b t\n").unwrap();
+        store.patch("a", "- s b t\n").unwrap();
+        store.snapshot("a", "v0", Some(SnapshotRef::Offset(2))).unwrap();
+        let infos = store.list();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].name, "a"); // sorted
+        assert_eq!(infos[0].snapshot, 3);
+        assert_eq!(infos[0].facts, 1); // delete applied
+        assert_eq!(infos[0].log_entries, 3);
+        assert_eq!(infos[0].named, vec![("v0".to_string(), 2)]);
+        assert!(infos[0].log_bytes > 0);
+        let stats = store.stats();
+        assert_eq!((stats.databases, stats.named_snapshots), (2, 1));
+        assert_eq!(stats.log_entries, 4);
+        assert!(store.drop_database("b"));
+        assert!(!store.drop_database("b"));
+        assert_eq!(store.stats().databases, 1);
+    }
+
+    #[test]
+    fn unnamed_materializations_are_evicted_lru_but_pins_hold() {
+        let store = Store::new(StoreConfig { capacity: 3, max_body_bytes: 1 << 20 });
+        store.put("g", "s a t\n").unwrap();
+        store.patch("g", "+ s b t\n").unwrap();
+        store.snapshot("g", "pinned", Some(SnapshotRef::Offset(1))).unwrap();
+        // Touch many distinct snapshots: offsets 1 (named) and head stay,
+        // unnamed older ones get evicted.
+        for i in 0..4 {
+            store.patch("g", &format!("+ s c t{i}\n")).unwrap();
+            store.materialize("g", &SnapshotRef::Head).unwrap();
+        }
+        store.materialize("g", &SnapshotRef::Named("pinned".into())).unwrap();
+        store.materialize("g", &SnapshotRef::Offset(2)).unwrap();
+        let stats = store.stats();
+        assert!(stats.materialized <= 3, "{stats:?}");
+        assert!(stats.evictions > 0);
+        // The pinned snapshot's cache entry survived every eviction pass.
+        let info = &store.list()[0];
+        assert_eq!(info.named, vec![("pinned".to_string(), 1)]);
+    }
+
+    #[test]
+    fn store_is_usable_across_threads() {
+        let store = Arc::new(Store::new(StoreConfig::default()));
+        let plan = prepared("ax*b");
+        store.put("g", "s a u\nu x v\nv b t\n").unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let store = Arc::clone(&store);
+                let plan = Arc::clone(&plan);
+                std::thread::spawn(move || {
+                    let name = format!("t{i}");
+                    store.put(&name, "s a u\nu x v\nv b t\n").unwrap();
+                    store.patch(&name, "- u x v\n").unwrap();
+                    let solve = store.solve(&name, &SnapshotRef::Head, &plan, true).unwrap();
+                    let (outcome, _) = solve.result.unwrap();
+                    assert_eq!(outcome.value, ResilienceValue::Finite(0));
+                    assert_eq!(value(&store, "g", SnapshotRef::Head, &plan), 1);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.stats().databases, 5);
+    }
+}
