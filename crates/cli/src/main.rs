@@ -12,7 +12,8 @@
 //!
 //! `serve` starts the `rpq-server` daemon: a newline-delimited JSON protocol
 //! (`prepare`, `solve`, `solve_batch`, the `db_*` hosted-database verbs,
-//! `stats`, `shutdown`) over TCP — or stdin/stdout with `--pipe` — backed by
+//! `stats`, `metrics`, `shutdown`) over TCP — or stdin/stdout with `--pipe`
+//! — backed by
 //! a worker pool, a prepared-query cache keyed by canonicalized language, and
 //! a snapshot-database store (`rpq-store`) patched in place by incremental
 //! solves. `client` is the matching one-shot front end; see the repository
@@ -54,7 +55,7 @@ usage:
   rpq-cli figure1
   rpq-cli serve [--port <p>] [--pipe] [--threads <n>] [--cache-capacity <n>]
           [--cache-shards <n>] [--jobs <n>] [--flow <name>] [--enumeration-limit <n>]
-          [--store-capacity <n>] [--store-body-limit <bytes>]
+          [--store-capacity <n>] [--store-body-limit <bytes>] [--slow-query-log <us>]
   rpq-cli client [--addr <host:port>] prepare '<regex>' [query options]
   rpq-cli client [--addr <host:port>] solve '<regex>' <db.txt>... [query options]
   rpq-cli client [--addr <host:port>] db-put <name> <db.txt>
@@ -63,7 +64,7 @@ usage:
   rpq-cli client [--addr <host:port>] db-solve <name> '<regex>' [--snapshot <ref>]...
           [query options]
   rpq-cli client [--addr <host:port>] db-list | db-drop <name>
-  rpq-cli client [--addr <host:port>] stats | shutdown | raw '<json>'
+  rpq-cli client [--addr <host:port>] stats | metrics | shutdown | raw '<json>'
 
 algorithms: local (Thm 3.13), chain (Prp 7.6), one-dangling (Prp 7.9),
             exact (branch & bound), enumeration (subset oracle, tiny inputs),
@@ -72,12 +73,14 @@ flow backends: dinic (default), edmonds-karp, push-relabel,
                auto (per-instance choice from measured size thresholds)
 database format: one fact per line, `source label target [multiplicity] [!]`\n(a trailing `!` declares the fact exogenous / un-removable)
 with several database files, the query plan is prepared once and reused
-serve: NDJSON protocol (prepare/solve/solve_batch/db_*/stats/shutdown) on 127.0.0.1,
-       default port 7878; --pipe serves stdin/stdout instead of TCP.
+serve: NDJSON protocol (prepare/solve/solve_batch/db_*/stats/metrics/shutdown)
+       on 127.0.0.1, default port 7878; --pipe serves stdin/stdout instead of TCP.
        Connections are multiplexed: workers pick up one request at a time, so
        idle persistent connections never starve new clients. The prepared-query
        cache is keyed by canonicalized language (equivalent regex spellings
        share one cached plan) and striped over --cache-shards locks.
+       --slow-query-log <us> logs solve-family requests slower than the
+       threshold to stderr with their per-phase breakdown
 jobs: worker threads for the per-database half of a batch (default 1);
       on `serve` the default for requests without a `jobs` field, on `client`
       sent with the request, on `resilience` used across the database files
@@ -88,7 +91,11 @@ no-cut: value-only solving (skips witness extraction; with --show-cut, the
 client query options: [--bag] [--algorithm <name>] [--flow <name>] [--enumeration-limit <n>]
                       [--no-cut] (value-only response: sends want_cut=false)
                       [--jobs <n>] (parallel per-database solving server-side)
+                      [--trace] (per-phase timings in the response: sends trace=true)
 client: `solve` with several databases sends one solve_batch request
+client metrics: prints the server's Prometheus text exposition (latency
+        histograms by verb/family/tier/backend, cache, store and connection
+        counters); every solve response also carries `elapsed_us`
 db-*: server-hosted snapshot databases. `db-put` uploads under a name,
       `db-patch` appends a delta (`+ u a v [mult] [!]` / `- u a v` per line);
       both print the new snapshot id (the fact-log offset). A snapshot <ref>
@@ -366,6 +373,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--store-body-limit" => {
                 config.store.max_body_bytes = parse_number("--store-body-limit", iter.next())?;
             }
+            "--slow-query-log" => {
+                config.slow_query_log_us = Some(parse_number("--slow-query-log", iter.next())?);
+            }
             other => return Err(format!("unknown serve option `{other}`")),
         }
     }
@@ -433,6 +443,7 @@ fn parse_query_options(args: &[String]) -> Result<ClientArgs, String> {
                 spec.enumeration_limit = Some(parse_number("--enumeration-limit", iter.next())?);
             }
             "--no-cut" => spec.want_cut = Some(false),
+            "--trace" => spec.trace = Some(true),
             "--jobs" => spec.jobs = Some(parse_number("--jobs", iter.next())?),
             "--snapshot" => {
                 let value = iter.next().ok_or("--snapshot requires a value")?;
@@ -547,6 +558,7 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
             Request::DbDrop { name: name.clone() }.to_json().to_string()
         }
         "stats" => Request::Stats.to_json().to_string(),
+        "metrics" => Request::Metrics.to_json().to_string(),
         "shutdown" => Request::Shutdown.to_json().to_string(),
         "raw" => positional.first().ok_or("client raw requires a JSON line")?.clone(),
         other => Err(format!("unknown client verb `{other}`"))?,
@@ -555,8 +567,16 @@ fn cmd_client(args: &[String]) -> Result<(), String> {
     let mut client =
         Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let response = client.request_line(&line).map_err(|e| format!("request failed: {e}"))?;
-    outln!("{response}");
-    match Json::parse(&response) {
+    let json = Json::parse(&response);
+    // `metrics` prints the Prometheus text itself (ready to scrape or pipe to
+    // a file); every other verb prints the raw JSON response line.
+    match &json {
+        Ok(parsed) if verb == "metrics" && parsed.get("metrics").is_some() => {
+            outln!("{}", parsed.get("metrics").and_then(Json::as_str).unwrap_or("").trim_end());
+        }
+        _ => outln!("{response}"),
+    }
+    match json {
         Ok(json) if json.get("ok").and_then(Json::as_bool) == Some(false) => {
             Err(json.get("error").and_then(Json::as_str).unwrap_or("request failed").to_string())
         }
@@ -712,6 +732,7 @@ mod tests {
         assert!(run(&["resilience".into(), "aa".into()]).is_err());
         assert!(run(&["resilience".into(), "aa".into(), "/nonexistent/file".into()]).is_err());
         assert!(run(&["serve".into(), "--bogus".into()]).is_err());
+        assert!(run(&["serve".into(), "--slow-query-log".into(), "soon".into()]).is_err());
         assert!(run(&["client".into()]).is_err());
         assert!(run(&["client".into(), "fly".into()]).is_err());
         assert!(run(&["client".into(), "--addr".into(), "127.0.0.1:1".into(), "stats".into()])
@@ -777,6 +798,9 @@ mod tests {
         .is_ok());
         assert!(client(&["stats"]).is_ok());
         assert!(client(&["raw", r#"{"op":"stats"}"#]).is_ok());
+        // The observability surface: traced solves and the metrics scrape.
+        assert!(client(&["solve", "ax*b", &db1.to_string_lossy(), "--trace"]).is_ok());
+        assert!(client(&["metrics"]).is_ok());
         // A server-side failure surfaces as a CLI error.
         assert!(client(&["prepare", "(("]).unwrap_err().contains("cannot parse"));
 

@@ -17,6 +17,7 @@ use rpq_automata::word::Word;
 use rpq_automata::Language;
 use rpq_flow::{Capacity, FlowAlgorithm, VertexId};
 use rpq_graphdb::{FactId, GraphDb};
+use rpq_obs::Trace;
 use std::collections::BTreeSet;
 
 /// The query-only half of the Proposition 7.6 reduction: everything derived
@@ -105,6 +106,7 @@ impl ChainPlan {
     /// network of Proposition 7.6 for one database, inside `scratch`'s CSR
     /// arena (fact edges first, so arena ids index the dense `edge_fact`
     /// provenance; per-fact vertices live in the dense `fact_vertex` lookup).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn solve(
         &self,
         rpq: &Rpq,
@@ -112,12 +114,14 @@ impl ChainPlan {
         flow: FlowAlgorithm,
         want_cut: bool,
         scratch: &mut SolveScratch,
+        trace: &mut Trace,
     ) -> ResilienceOutcome {
         let infinite =
             || ResilienceOutcome::new(ResilienceValue::Infinite, Algorithm::BipartiteChain, None);
         if self.epsilon {
             return infinite();
         }
+        let build_timer = trace.begin();
 
         // Preprocessing: single-letter words force the removal of every fact
         // with that label.
@@ -213,8 +217,19 @@ impl ChainPlan {
             }
         }
 
+        trace.end(build_timer, "product_build");
+        let freeze_timer = trace.begin();
         csr.freeze();
-        let cut = csr.min_cut(flow, flow_scratch);
+        trace.end(freeze_timer, "csr_freeze");
+        let cut = if trace.is_enabled() {
+            let (cut, timings) = csr.min_cut_timed(flow, flow_scratch);
+            trace.add(super::flow_phase(timings.backend), timings.solve_us);
+            trace.add("cut_extract", timings.extract_us);
+            cut
+        } else {
+            csr.min_cut(flow, flow_scratch)
+        };
+        let witness_timer = trace.begin();
         let value = match cut.value {
             Capacity::Infinite => ResilienceValue::Infinite,
             Capacity::Finite(v) => ResilienceValue::Finite(v + base_cost),
@@ -226,6 +241,7 @@ impl ChainPlan {
                 .filter(|e| e.index() < edge_fact.len())
                 .map(|e| FactId(edge_fact[e.index()])),
         );
+        trace.end(witness_timer, "witness_extract");
         debug_assert!(
             value.is_infinite()
                 || rpq.is_contingency_set(db, &contingency.iter().copied().collect()),
@@ -247,7 +263,14 @@ pub fn resilience_bipartite_chain(
     db: &GraphDb,
 ) -> Result<ResilienceOutcome, ResilienceError> {
     let plan = ChainPlan::from_infix_free(&rpq.infix_free_language(), rpq.language())?;
-    Ok(plan.solve(rpq, db, FlowAlgorithm::default(), true, &mut SolveScratch::new()))
+    Ok(plan.solve(
+        rpq,
+        db,
+        FlowAlgorithm::default(),
+        true,
+        &mut SolveScratch::new(),
+        &mut Trace::disabled(),
+    ))
 }
 
 #[cfg(test)]

@@ -53,6 +53,7 @@ use rpq_automata::ro_enfa::RoEnfa;
 use rpq_flow::{Capacity, CsrFlow, EdgeId, FlowAlgorithm, FlowScratch, VertexId};
 use rpq_graphdb::delta::FactChange;
 use rpq_graphdb::{FactId, GraphDb};
+use rpq_obs::Trace;
 use std::collections::HashMap;
 
 /// The capacity of structural and exogenous edges in the incremental network
@@ -372,6 +373,7 @@ impl IncrementalLocalState {
 /// retained network with `delta` (the changes since the previous solved
 /// snapshot) when one is available and small enough, rebuilding otherwise.
 /// Returns the outcome and whether the patch path ran.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_incremental_local(
     ro: &RoEnfa,
     rpq: &Rpq,
@@ -380,6 +382,7 @@ pub(crate) fn solve_incremental_local(
     flow: FlowAlgorithm,
     want_cut: bool,
     scratch: &mut SolveScratch,
+    trace: &mut Trace,
 ) -> (ResilienceOutcome, SolveMode) {
     let semantics = rpq.semantics();
 
@@ -389,6 +392,7 @@ pub(crate) fn solve_incremental_local(
 
     let mut mode = SolveMode::Full;
     {
+        let patch_timer = trace.begin();
         let SolveScratch { csr, flow: flow_scratch, incremental, .. } = &mut *scratch;
         let state = incremental.get_or_insert_with(Default::default);
         let patched = match delta {
@@ -408,6 +412,7 @@ pub(crate) fn solve_incremental_local(
         };
         if patched {
             mode = SolveMode::Incremental;
+            trace.end(patch_timer, "patch_apply");
         } else if delta.is_some_and(|d| {
             d.len() > (expected_live / INCREMENTAL_FALLBACK_DIVISOR).max(INCREMENTAL_FALLBACK_FLOOR)
         }) {
@@ -419,11 +424,12 @@ pub(crate) fn solve_incremental_local(
             state.edge_flows.clear();
             state.residual_warm = false;
             return (
-                super::local::solve_prepared(ro, rpq, db, flow, want_cut, scratch),
+                super::local::solve_prepared(ro, rpq, db, flow, want_cut, scratch, trace),
                 SolveMode::Full,
             );
         } else {
             state.build(csr, ro, semantics, db);
+            trace.end(patch_timer, "rebuild");
         }
     }
     if scratch.incremental.as_ref().is_some_and(|s| s.total_finite >= INCR_INF / 2) {
@@ -432,7 +438,7 @@ pub(crate) fn solve_incremental_local(
         // certifies its infinity bound against the actual capacity total.
         scratch.incremental = None;
         return (
-            super::local::solve_prepared(ro, rpq, db, flow, want_cut, scratch),
+            super::local::solve_prepared(ro, rpq, db, flow, want_cut, scratch, trace),
             SolveMode::Full,
         );
     }
@@ -444,7 +450,10 @@ pub(crate) fn solve_incremental_local(
     // just the patched edges. Anything that unfroze the network — a rebuild,
     // fresh blocks, inserted edges — reloads the residuals in full.
     let warm = mode == SolveMode::Incremental && csr.is_frozen() && state.residual_warm;
+    let freeze_timer = trace.begin();
     csr.freeze(); // no-op unless the delta appended blocks or fresh edges
+    trace.end(freeze_timer, "csr_freeze");
+    let resume_timer = trace.begin();
     let cut = csr.min_cut_resume(
         flow,
         flow_scratch,
@@ -456,11 +465,14 @@ pub(crate) fn solve_incremental_local(
     );
     state.residual_warm = true;
     let value = ResilienceValue::from(cut.value);
+    trace.end(resume_timer, "flow_resume");
+    let witness_timer = trace.begin();
     let facts = if want_cut && !value.is_infinite() {
         Some(state.cut_to_facts(cut.cut_edges, db))
     } else {
         None
     };
+    trace.end(witness_timer, "witness_extract");
     debug_assert!(
         value.is_infinite()
             || facts.is_none()

@@ -23,6 +23,7 @@ use rpq_automata::ro_enfa::RoEnfa;
 use rpq_automata::Language;
 use rpq_flow::{Capacity, FlowAlgorithm, VertexId};
 use rpq_graphdb::{FactId, GraphDb};
+use rpq_obs::Trace;
 
 /// Computes the resilience of a query whose infix-free sublanguage is local
 /// (Theorem 3.13). Errors with [`ResilienceError::NotApplicable`] otherwise.
@@ -38,7 +39,15 @@ pub fn resilience_local(rpq: &Rpq, db: &GraphDb) -> Result<ResilienceOutcome, Re
         return Ok(ResilienceOutcome::new(ResilienceValue::Infinite, Algorithm::Local, None));
     }
     let ro = RoEnfa::for_local_language(&language)?;
-    Ok(solve_prepared(&ro, rpq, db, FlowAlgorithm::default(), true, &mut SolveScratch::new()))
+    Ok(solve_prepared(
+        &ro,
+        rpq,
+        db,
+        FlowAlgorithm::default(),
+        true,
+        &mut SolveScratch::new(),
+        &mut Trace::disabled(),
+    ))
 }
 
 /// Runs the Theorem 3.13 reduction for an already-prepared RO-εNFA: the
@@ -46,6 +55,7 @@ pub fn resilience_local(rpq: &Rpq, db: &GraphDb) -> Result<ResilienceOutcome, Re
 /// been done by the caller, so this is the per-database half of the algorithm.
 /// Used by [`crate::engine::PreparedQuery`] to solve batches without
 /// re-deriving the plan.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_prepared(
     ro: &RoEnfa,
     rpq: &Rpq,
@@ -53,8 +63,10 @@ pub(crate) fn solve_prepared(
     flow: FlowAlgorithm,
     want_cut: bool,
     scratch: &mut SolveScratch,
+    trace: &mut Trace,
 ) -> ResilienceOutcome {
-    let (value, cut) = resilience_via_ro_enfa(ro, db, rpq.semantics(), flow, scratch, |_| true);
+    let (value, cut) =
+        resilience_via_ro_enfa(ro, db, rpq.semantics(), flow, scratch, trace, |_| true);
     debug_assert!(
         value.is_infinite() || rpq.is_contingency_set(db, &cut.iter().copied().collect()),
         "the extracted cut must be a contingency set"
@@ -105,14 +117,17 @@ pub(crate) fn solve_prepared(
 /// the locality construction produces (entry/exit state pairs linked by ε),
 /// this collapses most product nodes to a single vertex, roughly halving the
 /// network again on top of the mask pruning.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn resilience_via_ro_enfa(
     ro: &RoEnfa,
     db: &GraphDb,
     semantics: Semantics,
     flow: FlowAlgorithm,
     scratch: &mut SolveScratch,
+    trace: &mut Trace,
     fact_filter: impl Fn(FactId) -> bool,
 ) -> (ResilienceValue, Vec<FactId>) {
+    let build_timer = trace.begin();
     let SolveScratch {
         csr,
         flow: flow_scratch,
@@ -382,14 +397,26 @@ pub(crate) fn resilience_via_ro_enfa(
         }
     }
 
+    trace.end(build_timer, "product_build");
+    let freeze_timer = trace.begin();
     csr.freeze();
-    let cut = csr.min_cut(flow, flow_scratch);
+    trace.end(freeze_timer, "csr_freeze");
+    let cut = if trace.is_enabled() {
+        let (cut, timings) = csr.min_cut_timed(flow, flow_scratch);
+        trace.add(super::flow_phase(timings.backend), timings.solve_us);
+        trace.add("cut_extract", timings.extract_us);
+        cut
+    } else {
+        csr.min_cut(flow, flow_scratch)
+    };
+    let witness_timer = trace.begin();
     let facts: Vec<FactId> = cut
         .cut_edges
         .iter()
         .filter(|e| e.index() < edge_fact.len())
         .map(|e| FactId(edge_fact[e.index()]))
         .collect();
+    trace.end(witness_timer, "witness_extract");
     (ResilienceValue::from(cut.value), facts)
 }
 

@@ -256,6 +256,28 @@ impl Algorithm {
     pub fn is_exact(self) -> bool {
         !matches!(self, Algorithm::ApproxGreedy | Algorithm::ApproxKDisjoint)
     }
+
+    /// The complexity tier of the backend, used as a metrics label: the
+    /// polynomial algorithms of the paper are `"poly"`, the exponential ground
+    /// truths `"exact"`, and the certified approximations `"approx"`.
+    pub fn tier(self) -> &'static str {
+        match self {
+            Algorithm::Local | Algorithm::BipartiteChain | Algorithm::OneDangling => "poly",
+            Algorithm::ExactBranchAndBound | Algorithm::ExactEnumeration => "exact",
+            Algorithm::ApproxGreedy | Algorithm::ApproxKDisjoint => "approx",
+        }
+    }
+}
+
+/// The trace phase name for a resolved flow backend (see
+/// [`rpq_flow::CutTimings`]).
+pub(crate) fn flow_phase(backend: rpq_flow::FlowAlgorithm) -> &'static str {
+    match backend {
+        rpq_flow::FlowAlgorithm::Dinic => "flow_solve_dinic",
+        rpq_flow::FlowAlgorithm::EdmondsKarp => "flow_solve_edmonds_karp",
+        rpq_flow::FlowAlgorithm::PushRelabel => "flow_solve_push_relabel",
+        rpq_flow::FlowAlgorithm::Auto => "flow_solve",
+    }
 }
 
 impl std::str::FromStr for Algorithm {

@@ -55,6 +55,7 @@ use rpq_automata::ro_enfa::RoEnfa;
 use rpq_automata::Language;
 use rpq_flow::FlowAlgorithm;
 use rpq_graphdb::{FactId, GraphDb, NodeId};
+use rpq_obs::Trace;
 use std::collections::BTreeSet;
 
 /// The query-only half of the Proposition 7.9 rewriting: the one-dangling
@@ -136,6 +137,7 @@ impl OneDanglingPlan {
     /// with [`ResilienceError::NotApplicable`] on databases with exogenous
     /// facts (the κ-offset rewriting assumes finite fact weights); callers
     /// decide whether to fall back to an exact solver.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn solve(
         &self,
         rpq: &Rpq,
@@ -143,6 +145,7 @@ impl OneDanglingPlan {
         flow: FlowAlgorithm,
         want_cut: bool,
         scratch: &mut SolveScratch,
+        trace: &mut Trace,
     ) -> Result<ResilienceOutcome, ResilienceError> {
         let Some(ro) = &self.ro else {
             return Ok(ResilienceOutcome::new(
@@ -162,6 +165,7 @@ impl OneDanglingPlan {
         // semantics, so that the rewriting below can always reason in bag
         // terms. Fact identifiers are preserved by the copy (and by
         // `reversed` below), so witness facts need no id translation.
+        let rewrite_timer = trace.begin();
         let bag_db = match rpq.semantics() {
             Semantics::Bag => db.clone(),
             Semantics::Set => {
@@ -179,9 +183,10 @@ impl OneDanglingPlan {
         #[cfg(debug_assertions)]
         let original_bag_db = bag_db.clone();
         let bag_db = if self.mirrored { bag_db.reversed() } else { bag_db };
+        trace.end(rewrite_timer, "rewrite");
 
         let (value, witness) =
-            rewrite_and_solve(&self.decomposition, ro, &bag_db, flow, want_cut, scratch)?;
+            rewrite_and_solve(&self.decomposition, ro, &bag_db, flow, want_cut, scratch, trace)?;
         #[cfg(debug_assertions)]
         debug_assert!(
             {
@@ -222,7 +227,14 @@ pub fn resilience_one_dangling(
     db: &GraphDb,
 ) -> Result<ResilienceOutcome, ResilienceError> {
     let plan = OneDanglingPlan::from_infix_free(&rpq.infix_free_language(), rpq.language())?;
-    plan.solve(rpq, db, FlowAlgorithm::default(), true, &mut SolveScratch::new())
+    plan.solve(
+        rpq,
+        db,
+        FlowAlgorithm::default(),
+        true,
+        &mut SolveScratch::new(),
+        &mut Trace::disabled(),
+    )
 }
 
 /// What a fact of the rewritten database stands for in the original one.
@@ -239,6 +251,7 @@ enum Provenance {
 /// local part is recognized by the prepared RO-εNFA `ro`. Returns the value
 /// and, when `want_cut` is set and the value is finite, an optimal
 /// contingency set in `db`'s fact identifiers.
+#[allow(clippy::too_many_arguments)]
 fn rewrite_and_solve(
     decomposition: &OneDanglingDecomposition,
     ro: &RoEnfa,
@@ -246,7 +259,9 @@ fn rewrite_and_solve(
     flow: FlowAlgorithm,
     want_cut: bool,
     scratch: &mut SolveScratch,
+    trace: &mut Trace,
 ) -> Result<(ResilienceValue, Option<BTreeSet<FactId>>), ResilienceError> {
+    let rewrite_timer = trace.begin();
     let x = decomposition.x;
     let y = decomposition.y;
     let local_part = &decomposition.local_part;
@@ -347,8 +362,16 @@ fn rewrite_and_solve(
 
     // Solve the rewritten (positive-multiplicity) instance with the local
     // algorithm in bag semantics.
-    let (local_value, cut) =
-        resilience_via_ro_enfa(&ro_rewritten, &rewritten, Semantics::Bag, flow, scratch, |_| true);
+    trace.end(rewrite_timer, "rewrite");
+    let (local_value, cut) = resilience_via_ro_enfa(
+        &ro_rewritten,
+        &rewritten,
+        Semantics::Bag,
+        flow,
+        scratch,
+        trace,
+        |_| true,
+    );
     let local_value = match local_value {
         ResilienceValue::Infinite => return Ok((ResilienceValue::Infinite, None)),
         ResilienceValue::Finite(v) => v as i128,
@@ -364,6 +387,7 @@ fn rewrite_and_solve(
     // nodes whose exchange is taken: their y-facts survive, their x-facts go.
     // Every finite-capacity edge of the rewritten network is a rewritten
     // fact, and all of them were recorded above, so indexing cannot miss.
+    let witness_timer = trace.begin();
     let mut witness: BTreeSet<FactId> = BTreeSet::new();
     for rewritten_fact in cut {
         match provenance[rewritten_fact.index()] {
@@ -383,6 +407,7 @@ fn rewrite_and_solve(
             witness.insert(id);
         }
     }
+    trace.end(witness_timer, "witness_extract");
     Ok((value, Some(witness)))
 }
 
@@ -596,8 +621,16 @@ mod tests {
         let q = Rpq::parse("abc|be").unwrap();
         let plan =
             OneDanglingPlan::from_infix_free(&q.infix_free_language(), q.language()).unwrap();
-        let out =
-            plan.solve(&q, &db, FlowAlgorithm::default(), false, &mut SolveScratch::new()).unwrap();
+        let out = plan
+            .solve(
+                &q,
+                &db,
+                FlowAlgorithm::default(),
+                false,
+                &mut SolveScratch::new(),
+                &mut Trace::disabled(),
+            )
+            .unwrap();
         assert_eq!(out.value, ResilienceValue::Finite(1));
         assert!(out.contingency_set.is_none());
     }

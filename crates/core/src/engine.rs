@@ -54,6 +54,7 @@ use rpq_automata::local::is_local;
 use rpq_automata::ro_enfa::RoEnfa;
 use rpq_flow::FlowAlgorithm;
 use rpq_graphdb::{FactChange, GraphDb};
+use rpq_obs::Trace;
 use std::fmt;
 use std::sync::Mutex;
 
@@ -301,8 +302,23 @@ impl Engine {
     /// 5. otherwise → exponential exact branch and bound, unless
     ///    [`SolveOptions::exact_fallback`] is disabled.
     pub fn prepare(&self, rpq: &Rpq) -> Result<PreparedQuery, ResilienceError> {
+        self.prepare_traced(rpq, &mut Trace::disabled())
+    }
+
+    /// [`Engine::prepare`] with phase tracing: when `trace` is enabled the
+    /// analysis records `canonicalize` (infix-free sublanguage derivation),
+    /// `classify` (ε-check and locality test) and `plan` (automaton /
+    /// decomposition construction) spans. A disabled trace makes this
+    /// identical to [`Engine::prepare`].
+    pub fn prepare_traced(
+        &self,
+        rpq: &Rpq,
+        trace: &mut Trace,
+    ) -> Result<PreparedQuery, ResilienceError> {
+        let canon_timer = trace.begin();
         let if_language = rpq.infix_free_language();
         let infix_free = if_language.description().to_string();
+        trace.end(canon_timer, "canonicalize");
         let prepared = |strategy: Strategy, algorithm: Algorithm, reason: String| PreparedQuery {
             rpq: rpq.clone(),
             options: self.options,
@@ -311,15 +327,21 @@ impl Engine {
             scratch: ScratchPool::default(),
         };
 
-        if if_language.contains_epsilon() {
+        let classify_timer = trace.begin();
+        let has_epsilon = if_language.contains_epsilon();
+        let local = !has_epsilon && is_local(&if_language);
+        trace.end(classify_timer, "classify");
+        if has_epsilon {
             return Ok(prepared(
                 Strategy::EpsilonInfinite { tag: Algorithm::Local },
                 Algorithm::Local,
                 "ε ∈ IF(L): the query holds on every sub-database, resilience is +∞".to_string(),
             ));
         }
-        if is_local(&if_language) {
+        let plan_timer = trace.begin();
+        if local {
             let ro = RoEnfa::for_local_language(&if_language)?;
+            trace.end(plan_timer, "plan");
             return Ok(prepared(
                 Strategy::Local { ro },
                 Algorithm::Local,
@@ -334,6 +356,7 @@ impl Engine {
                      (Proposition 7.6)",
                     plan.num_words()
                 );
+                trace.end(plan_timer, "plan");
                 return Ok(prepared(Strategy::Chain { plan }, Algorithm::BipartiteChain, reason));
             }
             Err(ResilienceError::NotApplicable { .. }) => {}
@@ -346,6 +369,7 @@ impl Engine {
                      over extended bag semantics (Proposition 7.9)",
                     plan.dangling_word()
                 );
+                trace.end(plan_timer, "plan");
                 return Ok(prepared(
                     Strategy::OneDangling { plan, fallback_to_exact: true },
                     Algorithm::OneDangling,
@@ -360,6 +384,7 @@ impl Engine {
                 query: rpq.language().to_string(),
             });
         }
+        trace.end(plan_timer, "plan");
         Ok(prepared(
             Strategy::ExactBranchAndBound,
             Algorithm::ExactBranchAndBound,
@@ -470,8 +495,22 @@ impl PreparedQuery {
         db: &GraphDb,
         want_cut: bool,
     ) -> Result<ResilienceOutcome, ResilienceError> {
+        self.solve_with_cut_traced(db, want_cut, &mut Trace::disabled())
+    }
+
+    /// [`PreparedQuery::solve_with_cut`] with phase tracing: when `trace` is
+    /// enabled the solve records per-phase spans (`product_build`,
+    /// `csr_freeze`, the flow backend, `cut_extract`, `witness_extract`, …).
+    /// A disabled trace skips every clock read, making this identical to
+    /// [`PreparedQuery::solve_with_cut`].
+    pub fn solve_with_cut_traced(
+        &self,
+        db: &GraphDb,
+        want_cut: bool,
+        trace: &mut Trace,
+    ) -> Result<ResilienceOutcome, ResilienceError> {
         let mut scratch = self.scratch.take();
-        let result = self.solve_with_cut_using(db, want_cut, &mut scratch);
+        let result = self.solve_with_cut_using(db, want_cut, &mut scratch, trace);
         self.scratch.put(scratch);
         result
     }
@@ -485,6 +524,7 @@ impl PreparedQuery {
         db: &GraphDb,
         want_cut: bool,
         scratch: &mut SolveScratch,
+        trace: &mut Trace,
     ) -> Result<ResilienceOutcome, ResilienceError> {
         let options = &self.options;
         match &self.strategy {
@@ -498,31 +538,42 @@ impl PreparedQuery {
                 options.flow_backend,
                 want_cut,
                 scratch,
+                trace,
             )),
             Strategy::Chain { plan } => {
-                Ok(plan.solve(&self.rpq, db, options.flow_backend, want_cut, scratch))
+                Ok(plan.solve(&self.rpq, db, options.flow_backend, want_cut, scratch, trace))
             }
             Strategy::OneDangling { plan, fallback_to_exact } => {
                 if db.has_exogenous_facts() {
                     // The κ-offset rewriting assumes finite fact weights
                     // (Proposition 7.9): route around it or report why not.
                     if !fallback_to_exact {
-                        return plan.solve(&self.rpq, db, options.flow_backend, want_cut, scratch);
+                        return plan.solve(
+                            &self.rpq,
+                            db,
+                            options.flow_backend,
+                            want_cut,
+                            scratch,
+                            trace,
+                        );
                     }
                     if !options.exact_fallback {
                         return Err(ResilienceError::ExactFallbackDisabled {
                             query: self.rpq.language().to_string(),
                         });
                     }
-                    return Ok(self.solve_exact_branch_and_bound(db, want_cut));
+                    return Ok(self.solve_exact_branch_and_bound(db, want_cut, trace));
                 }
-                plan.solve(&self.rpq, db, options.flow_backend, want_cut, scratch)
+                plan.solve(&self.rpq, db, options.flow_backend, want_cut, scratch, trace)
             }
-            Strategy::ExactBranchAndBound => Ok(self.solve_exact_branch_and_bound(db, want_cut)),
+            Strategy::ExactBranchAndBound => {
+                Ok(self.solve_exact_branch_and_bound(db, want_cut, trace))
+            }
             Strategy::ExactEnumeration => {
                 // Clamp so the reported limit matches what was enforced.
                 let limit = options.enumeration_limit.min(MAX_ENUMERATION_LIMIT);
-                match resilience_by_enumeration_limited(&self.rpq, db, limit) {
+                let timer = trace.begin();
+                let outcome = match resilience_by_enumeration_limited(&self.rpq, db, limit) {
                     Some(value) => {
                         Ok(ResilienceOutcome::new(value, Algorithm::ExactEnumeration, None))
                     }
@@ -530,17 +581,30 @@ impl PreparedQuery {
                         facts: db.endogenous_facts().count(),
                         limit,
                     }),
-                }
+                };
+                trace.end(timer, "enumeration");
+                outcome
             }
             Strategy::ApproxGreedy => {
-                normalize_approximation(Algorithm::ApproxGreedy, resilience_greedy(&self.rpq, db))
-                    .map(|o| strip_cut(o, want_cut))
+                let timer = trace.begin();
+                let outcome = normalize_approximation(
+                    Algorithm::ApproxGreedy,
+                    resilience_greedy(&self.rpq, db),
+                )
+                .map(|o| strip_cut(o, want_cut));
+                trace.end(timer, "approx_solve");
+                outcome
             }
-            Strategy::ApproxKDisjoint => normalize_approximation(
-                Algorithm::ApproxKDisjoint,
-                resilience_k_approximation(&self.rpq, db),
-            )
-            .map(|o| strip_cut(o, want_cut)),
+            Strategy::ApproxKDisjoint => {
+                let timer = trace.begin();
+                let outcome = normalize_approximation(
+                    Algorithm::ApproxKDisjoint,
+                    resilience_k_approximation(&self.rpq, db),
+                )
+                .map(|o| strip_cut(o, want_cut));
+                trace.end(timer, "approx_solve");
+                outcome
+            }
         }
     }
 
@@ -550,9 +614,12 @@ impl PreparedQuery {
     /// (warm-up) database the flow core allocates nothing.
     pub fn solve_batch(&self, dbs: &[GraphDb]) -> Vec<Result<ResilienceOutcome, ResilienceError>> {
         let mut scratch = self.scratch.take();
+        let mut trace = Trace::disabled();
         let results = dbs
             .iter()
-            .map(|db| self.solve_with_cut_using(db, self.options.want_cut, &mut scratch))
+            .map(|db| {
+                self.solve_with_cut_using(db, self.options.want_cut, &mut scratch, &mut trace)
+            })
             .collect();
         self.scratch.put(scratch);
         results
@@ -582,33 +649,63 @@ impl PreparedQuery {
         want_cut: bool,
         jobs: usize,
     ) -> Vec<Result<ResilienceOutcome, ResilienceError>> {
+        self.solve_batch_parallel_with_cut_traced(dbs, want_cut, jobs, &mut Trace::disabled())
+    }
+
+    /// [`PreparedQuery::solve_batch_parallel_with_cut`] with phase tracing.
+    /// Each worker thread records into its own trace; the per-chunk traces
+    /// are merged into `trace` after the batch, so with more than one job the
+    /// phase totals are summed CPU time across workers (they can exceed the
+    /// batch's wall-clock). A disabled trace skips every clock read.
+    pub fn solve_batch_parallel_with_cut_traced(
+        &self,
+        dbs: &[GraphDb],
+        want_cut: bool,
+        jobs: usize,
+        trace: &mut Trace,
+    ) -> Vec<Result<ResilienceOutcome, ResilienceError>> {
         let jobs = jobs.max(1).min(dbs.len().max(1));
         if jobs <= 1 {
             let mut scratch = self.scratch.take();
             let results = dbs
                 .iter()
-                .map(|db| self.solve_with_cut_using(db, want_cut, &mut scratch))
+                .map(|db| self.solve_with_cut_using(db, want_cut, &mut scratch, trace))
                 .collect();
             self.scratch.put(scratch);
             return results;
         }
         let chunk_size = dbs.len().div_ceil(jobs);
+        let num_chunks = dbs.len().div_ceil(chunk_size);
+        let mut worker_traces: Vec<Trace> = (0..num_chunks)
+            .map(|_| if trace.is_enabled() { Trace::enabled() } else { Trace::disabled() })
+            .collect();
         let mut results: Vec<Option<Result<ResilienceOutcome, ResilienceError>>> =
             (0..dbs.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
-            for (db_chunk, out_chunk) in dbs.chunks(chunk_size).zip(results.chunks_mut(chunk_size))
+            for ((db_chunk, out_chunk), worker_trace) in dbs
+                .chunks(chunk_size)
+                .zip(results.chunks_mut(chunk_size))
+                .zip(worker_traces.iter_mut())
             {
                 // Each worker checks one scratch out of the plan's pool and
                 // reuses it across every database of its chunk.
                 scope.spawn(move || {
                     let mut scratch = self.scratch.take();
                     for (db, out) in db_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *out = Some(self.solve_with_cut_using(db, want_cut, &mut scratch));
+                        *out = Some(self.solve_with_cut_using(
+                            db,
+                            want_cut,
+                            &mut scratch,
+                            worker_trace,
+                        ));
                     }
                     self.scratch.put(scratch);
                 });
             }
         });
+        for worker_trace in &worker_traces {
+            trace.merge(worker_trace);
+        }
         results.into_iter().map(|r| r.expect("every chunk slot is filled")).collect()
     }
 
@@ -638,6 +735,21 @@ impl PreparedQuery {
         delta: Option<&[FactChange]>,
         want_cut: bool,
     ) -> Result<(ResilienceOutcome, SolveMode), ResilienceError> {
+        self.solve_incremental_traced(solver, db, delta, want_cut, &mut Trace::disabled())
+    }
+
+    /// [`PreparedQuery::solve_incremental`] with phase tracing: the patch
+    /// path records `patch_apply` / `rebuild`, `csr_freeze`, `flow_resume`
+    /// and `witness_extract` spans; fallbacks record the batch-path phases.
+    /// A disabled trace skips every clock read.
+    pub fn solve_incremental_traced(
+        &self,
+        solver: &mut IncrementalSolver,
+        db: &GraphDb,
+        delta: Option<&[FactChange]>,
+        want_cut: bool,
+        trace: &mut Trace,
+    ) -> Result<(ResilienceOutcome, SolveMode), ResilienceError> {
         match &self.strategy {
             Strategy::EpsilonInfinite { tag } => Ok((
                 ResilienceOutcome::new(ResilienceValue::Infinite, *tag, None),
@@ -651,24 +763,34 @@ impl PreparedQuery {
                 self.options.flow_backend,
                 want_cut,
                 &mut solver.scratch,
+                trace,
             )),
             _ => {
                 // Non-local plans rebuild per database; drop any retained
                 // state so the scratch is safe to reuse as a plain one.
                 solver.scratch.incremental = None;
-                let outcome = self.solve_with_cut_using(db, want_cut, &mut solver.scratch)?;
+                let outcome =
+                    self.solve_with_cut_using(db, want_cut, &mut solver.scratch, trace)?;
                 Ok((outcome, SolveMode::Full))
             }
         }
     }
 
-    fn solve_exact_branch_and_bound(&self, db: &GraphDb, want_cut: bool) -> ResilienceOutcome {
+    fn solve_exact_branch_and_bound(
+        &self,
+        db: &GraphDb,
+        want_cut: bool,
+        trace: &mut Trace,
+    ) -> ResilienceOutcome {
+        let timer = trace.begin();
         let exact = resilience_exact(&self.rpq, db);
-        ResilienceOutcome::new(
+        let outcome = ResilienceOutcome::new(
             exact.value,
             Algorithm::ExactBranchAndBound,
             want_cut.then(|| exact.contingency_set.into_iter().collect()),
-        )
+        );
+        trace.end(timer, "exact_solve");
+        outcome
     }
 }
 
@@ -807,15 +929,16 @@ mod tests {
         let prepared = engine.prepare(&Rpq::parse("ax*b").unwrap()).unwrap();
         let dbs: Vec<GraphDb> = (0..32).map(|seed| flow_instance(4, 4, 2, 3, seed)).collect();
         let mut scratch = SolveScratch::new();
+        let mut trace = Trace::disabled();
         // Warm-up pass: sizes every buffer to the batch's shape.
         for db in &dbs {
-            prepared.solve_with_cut_using(db, true, &mut scratch).unwrap();
+            prepared.solve_with_cut_using(db, true, &mut scratch, &mut trace).unwrap();
         }
         let signature = scratch.capacity_signature();
         // Post-warmup: one PreparedQuery solving 32 databases must perform
         // zero scratch reallocations (the capacities stay bit-identical).
         for db in &dbs {
-            prepared.solve_with_cut_using(db, true, &mut scratch).unwrap();
+            prepared.solve_with_cut_using(db, true, &mut scratch, &mut trace).unwrap();
         }
         assert_eq!(
             scratch.capacity_signature(),
@@ -833,6 +956,60 @@ mod tests {
             let outcome = engine.solve(&query, &db).unwrap();
             assert_eq!(outcome.value, ResilienceValue::Finite(1), "{flow_backend}");
         }
+    }
+
+    #[test]
+    fn traced_solves_record_phase_spans_that_sum_to_the_sealed_total() {
+        let engine = Engine::new();
+        let db = word_path(&Word::from_str_word("axxb"));
+        // One pattern per strategy family: local, chain, one-dangling, exact.
+        for pattern in ["ax*b", "ab|bc", "abc|be", "aa"] {
+            let mut trace = Trace::enabled();
+            let prepared =
+                engine.prepare_traced(&Rpq::parse(pattern).unwrap(), &mut trace).unwrap();
+            let phases: Vec<&str> = trace.spans().iter().map(|(p, _)| *p).collect();
+            assert!(phases.contains(&"canonicalize"), "{pattern}: {phases:?}");
+            assert!(phases.contains(&"classify"), "{pattern}: {phases:?}");
+            assert!(phases.contains(&"plan"), "{pattern}: {phases:?}");
+
+            let mut trace = Trace::enabled();
+            let traced = prepared.solve_with_cut_traced(&db, true, &mut trace).unwrap();
+            let untraced = prepared.solve_with_cut(&db, true).unwrap();
+            assert_eq!(traced.value, untraced.value, "{pattern}");
+            assert!(!trace.spans().is_empty(), "{pattern}: a traced solve must record phases");
+            let accounted: u64 = trace.spans().iter().map(|(_, us)| *us).sum();
+            let total = trace.seal();
+            let sealed: u64 = trace.spans().iter().map(|(_, us)| *us).sum();
+            assert!(accounted <= total, "{pattern}: phases cannot exceed the total");
+            assert_eq!(sealed, total, "{pattern}: seal() must account for the remainder");
+        }
+        // Disabled traces record nothing and seal to zero.
+        let mut trace = Trace::disabled();
+        let prepared = engine.prepare(&Rpq::parse("ax*b").unwrap()).unwrap();
+        prepared.solve_with_cut_traced(&db, true, &mut trace).unwrap();
+        assert!(trace.spans().is_empty());
+        assert_eq!(trace.seal(), 0);
+    }
+
+    #[test]
+    fn traced_parallel_batches_merge_worker_spans() {
+        use rpq_graphdb::generate::flow_instance;
+        let engine = Engine::new();
+        let prepared = engine.prepare(&Rpq::parse("ax*b").unwrap()).unwrap();
+        let dbs: Vec<GraphDb> = (0..8).map(|seed| flow_instance(4, 4, 2, 3, seed)).collect();
+        let mut trace = Trace::enabled();
+        let results = prepared.solve_batch_parallel_with_cut_traced(&dbs, false, 4, &mut trace);
+        assert_eq!(results.len(), dbs.len());
+        for result in results {
+            result.unwrap();
+        }
+        let phases: Vec<&str> = trace.spans().iter().map(|(p, _)| *p).collect();
+        assert!(phases.contains(&"product_build"), "{phases:?}");
+        assert!(phases.contains(&"csr_freeze"), "{phases:?}");
+        assert!(
+            phases.iter().any(|p| p.starts_with("flow_solve")),
+            "{phases:?} must include a flow backend phase"
+        );
     }
 
     #[test]

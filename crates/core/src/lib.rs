@@ -80,3 +80,4 @@ pub mod prelude {
 }
 
 pub use rpq::{ResilienceValue, Rpq, Semantics};
+pub use rpq_obs as obs;

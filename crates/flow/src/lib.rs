@@ -29,7 +29,7 @@ pub mod network;
 pub mod push_relabel;
 pub mod scratch;
 
-pub use csr::{CsrCut, CsrFlow};
+pub use csr::{CsrCut, CsrFlow, CutTimings};
 pub use mincut::{min_cut, min_cut_with, FlowAlgorithm, MinCut};
 pub use network::{Capacity, EdgeId, FlowNetwork, VertexId};
 pub use scratch::FlowScratch;

@@ -30,6 +30,7 @@
 //! cache does. `QueryCache::with_shards(capacity, 1)` recovers exact global
 //! LRU when determinism matters more than throughput.
 
+use rpq_obs::Trace;
 use rpq_resilience::algorithms::{Algorithm, ResilienceError};
 use rpq_resilience::engine::{Engine, PreparedQuery, SolveOptions};
 use rpq_resilience::rpq::{Rpq, Semantics};
@@ -171,16 +172,39 @@ impl QueryCache {
         rpq: &Rpq,
         forced: Option<Algorithm>,
     ) -> Result<CacheLookup, ResilienceError> {
+        self.get_or_prepare_traced(engine, rpq, forced, &mut Trace::disabled())
+    }
+
+    /// [`QueryCache::get_or_prepare`] with phase tracing: a hit records one
+    /// `cache_lookup` span (canonicalization plus the stripe probe); a miss
+    /// records the engine's own `canonicalize`/`classify`/`plan` spans (or a
+    /// single `plan` span when the algorithm is forced, since forced plans
+    /// skip classification).
+    pub fn get_or_prepare_traced(
+        &self,
+        engine: &Engine,
+        rpq: &Rpq,
+        forced: Option<Algorithm>,
+        trace: &mut Trace,
+    ) -> Result<CacheLookup, ResilienceError> {
+        let lookup_timer = trace.begin();
         let key = CacheKey::new(rpq, engine.options(), forced);
         let fingerprint = rpq_automata::Language::fingerprint_of_canonical_form(&key.canonical);
         if let Some(prepared) = self.lookup(fingerprint, &key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            trace.end(lookup_timer, "cache_lookup");
             return Ok(CacheLookup { prepared, hit: true, fingerprint });
         }
+        trace.end(lookup_timer, "cache_lookup");
         self.misses.fetch_add(1, Ordering::Relaxed);
         let prepared = Arc::new(match forced {
-            Some(algorithm) => engine.prepare_with(algorithm, rpq)?,
-            None => engine.prepare(rpq)?,
+            Some(algorithm) => {
+                let plan_timer = trace.begin();
+                let prepared = engine.prepare_with(algorithm, rpq)?;
+                trace.end(plan_timer, "plan");
+                prepared
+            }
+            None => engine.prepare_traced(rpq, trace)?,
         });
         Ok(CacheLookup {
             prepared: self.insert(fingerprint, key, prepared),

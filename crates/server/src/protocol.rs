@@ -15,6 +15,7 @@
 //! | `db_list`     | —                                              |
 //! | `db_drop`     | `name`                                         |
 //! | `stats`       | —                                              |
+//! | `metrics`     | —                                              |
 //! | `shutdown`    | —                                              |
 //!
 //! The `db_*` verbs operate on **server-hosted databases** (see `rpq-store`):
@@ -37,9 +38,16 @@
 //! default `true`: extract an optimal contingency set alongside the value;
 //! set `false` for value-only responses), `jobs` (int, worker threads for
 //! the per-database half of a `solve_batch`; defaults to the server's
-//! `--jobs` setting). All settings except `want_cut` and `jobs` participate
-//! in the prepared-query cache key — cut extraction and batch parallelism
-//! are solve-time choices, so their variants share one cached plan.
+//! `--jobs` setting), `trace` (bool, default `false`: time the solve phases
+//! and attach a `timings` object to the response). All settings except
+//! `want_cut`, `jobs` and `trace` participate in the prepared-query cache
+//! key — cut extraction, batch parallelism and tracing are solve-time
+//! choices, so their variants share one cached plan.
+//!
+//! Every `solve`, `solve_batch` and `db_solve` response carries an
+//! `elapsed_us` field (whole-request wall-clock in microseconds, always on).
+//! The `metrics` verb returns the server's latency histograms and counters
+//! as a Prometheus text-exposition string in the `metrics` field.
 //!
 //! Successful responses carry `"ok": true`; failures carry `"ok": false` and
 //! an `error` string. Databases travel in the line-based text format of
@@ -74,6 +82,10 @@ pub struct QuerySpec {
     /// defers to the server default). Like `want_cut`, a solve-time setting:
     /// never part of the cache key.
     pub jobs: Option<usize>,
+    /// Whether to record per-phase timings and return them in a `timings`
+    /// object on the response (`None`/`false` skips the instrumentation
+    /// entirely). A solve-time setting: never part of the cache key.
+    pub trace: Option<bool>,
 }
 
 impl QuerySpec {
@@ -181,6 +193,8 @@ pub enum Request {
     },
     /// Report server and cache counters.
     Stats,
+    /// Export latency histograms and counters as Prometheus text exposition.
+    Metrics,
     /// Stop accepting connections and exit once open connections drain.
     Shutdown,
 }
@@ -279,10 +293,11 @@ impl Request {
             "db_list" => Ok(Request::DbList),
             "db_drop" => Ok(Request::DbDrop { name: parse_name(&json, "db_drop")? }),
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(format!(
                 "unknown op `{other}` (expected prepare, solve, solve_batch, db_put, db_patch, \
-                 db_snapshot, db_solve, db_list, db_drop, stats or shutdown)"
+                 db_snapshot, db_solve, db_list, db_drop, stats, metrics or shutdown)"
             )),
         }
     }
@@ -338,6 +353,7 @@ impl Request {
                 ("name", Json::Str(name.clone())),
             ]),
             Request::Stats => Json::object([("op", Json::Str("stats".into()))]),
+            Request::Metrics => Json::object([("op", Json::Str("metrics".into()))]),
             Request::Shutdown => Json::object([("op", Json::Str("shutdown".into()))]),
         }
     }
@@ -381,7 +397,11 @@ fn parse_query_spec(json: &Json) -> Result<QuerySpec, String> {
         None => None,
         Some(v) => Some(v.as_usize().ok_or("`jobs` must be a non-negative integer")?),
     };
-    Ok(QuerySpec { pattern, bag, flow, enumeration_limit, algorithm, want_cut, jobs })
+    let trace = match json.get("trace") {
+        None => None,
+        Some(v) => Some(v.as_bool().ok_or("`trace` must be a boolean")?),
+    };
+    Ok(QuerySpec { pattern, bag, flow, enumeration_limit, algorithm, want_cut, jobs, trace })
 }
 
 fn query_spec_json(op: &'static str, query: &QuerySpec, extra: Vec<(&'static str, Json)>) -> Json {
@@ -404,6 +424,9 @@ fn query_spec_json(op: &'static str, query: &QuerySpec, extra: Vec<(&'static str
     }
     if let Some(jobs) = query.jobs {
         pairs.push(("jobs", Json::Int(jobs as i128)));
+    }
+    if let Some(trace) = query.trace {
+        pairs.push(("trace", Json::Bool(trace)));
     }
     pairs.extend(extra);
     Json::object(pairs)
@@ -479,6 +502,7 @@ mod tests {
                     algorithm: Some(Algorithm::ExactEnumeration),
                     want_cut: Some(false),
                     jobs: Some(2),
+                    trace: Some(true),
                 },
             },
             // `auto` is a selectable backend: per-request overrides can ask
@@ -524,6 +548,7 @@ mod tests {
             Request::DbList,
             Request::DbDrop { name: "corpus".into() },
             Request::Stats,
+            Request::Metrics,
             Request::Shutdown,
         ];
         for request in requests {
@@ -547,6 +572,7 @@ mod tests {
             (r#"{"op":"prepare","query":"ab","enumeration_limit":-3}"#, "non-negative"),
             (r#"{"op":"prepare","query":"ab","bag":"yes"}"#, "boolean"),
             (r#"{"op":"solve","query":"ab","db":"u a v\n","want_cut":1}"#, "`want_cut`"),
+            (r#"{"op":"solve","query":"ab","db":"u a v\n","trace":"yes"}"#, "`trace`"),
             (r#"{"op":"solve_batch","query":"ab","dbs":[],"jobs":-2}"#, "`jobs`"),
             (r#"{"op":"solve_batch","query":"ab","dbs":[],"jobs":true}"#, "`jobs`"),
             (r#"{"op":"db_put","db":"u a v\n"}"#, "`db_put` requires a string `name`"),

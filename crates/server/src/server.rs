@@ -36,7 +36,8 @@ use crate::protocol::{
 };
 use rpq_automata::Language;
 use rpq_graphdb::{text, GraphDb};
-use rpq_resilience::engine::{Engine, SolveMode, SolveOptions};
+use rpq_obs::{prom, MetricsRegistry, Trace};
+use rpq_resilience::engine::{Engine, PreparedQuery, SolveMode, SolveOptions};
 use rpq_resilience::rpq::Rpq;
 use rpq_store::{SnapshotRef, Store, StoreConfig, StoreError, StoreStats};
 use std::io::{self, BufRead, Read, Write};
@@ -45,6 +46,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{self, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Server configuration: worker pool size, cache geometry, batch parallelism
 /// and the default [`SolveOptions`] (per-request settings override them, see
@@ -67,6 +69,11 @@ pub struct ServerConfig {
     /// Hosted-database store geometry: database/materialization capacity and
     /// the `db_put`/`db_patch` body-size limit (see [`StoreConfig`]).
     pub store: StoreConfig,
+    /// Log solve-family requests slower than this many microseconds to
+    /// stderr, with their phase breakdown (`None` disables the log — and
+    /// with it the per-request tracing the breakdown needs, so the default
+    /// hot path takes zero clock reads beyond the whole-request stopwatch).
+    pub slow_query_log_us: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +85,7 @@ impl Default for ServerConfig {
             jobs: 1,
             options: SolveOptions::default(),
             store: StoreConfig::default(),
+            slow_query_log_us: None,
         }
     }
 }
@@ -111,6 +119,15 @@ pub struct ServerState {
     store: Store,
     requests: AtomicU64,
     errors: AtomicU64,
+    /// Monotone per-verb request totals, indexed like [`VERBS`]. Bumped on
+    /// every successfully parsed request (including `shutdown`).
+    by_verb: [AtomicU64; VERBS.len()],
+    /// Latency histograms for the solve-family verbs, keyed by
+    /// `(verb, family, tier, backend)`.
+    metrics: MetricsRegistry,
+    /// When the state was created — the base of `uptime_secs`.
+    started: Instant,
+    slow_query_log_us: Option<u64>,
     shutdown: AtomicBool,
     connections: ConnectionMetrics,
     /// The bound address, once known — used to self-connect and wake the
@@ -129,6 +146,10 @@ impl ServerState {
             store: Store::new(config.store),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            by_verb: std::array::from_fn(|_| AtomicU64::new(0)),
+            metrics: MetricsRegistry::default(),
+            started: Instant::now(),
+            slow_query_log_us: config.slow_query_log_us,
             shutdown: AtomicBool::new(false),
             connections: ConnectionMetrics::default(),
             addr: Mutex::new(None),
@@ -176,8 +197,11 @@ impl ServerState {
     pub fn handle_line(&self, line: &str) -> (String, bool) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         match Request::parse(line) {
-            Ok(Request::Shutdown) => (Json::object([("ok", Json::Bool(true))]).to_string(), true),
             Ok(request) => {
+                self.by_verb[verb_slot(verb_of(&request))].fetch_add(1, Ordering::Relaxed);
+                if matches!(request, Request::Shutdown) {
+                    return (Json::object([("ok", Json::Bool(true))]).to_string(), true);
+                }
                 let response = self.handle_request(&request);
                 if response.get("ok").and_then(Json::as_bool) != Some(true) {
                     self.errors.fetch_add(1, Ordering::Relaxed);
@@ -208,6 +232,7 @@ impl ServerState {
             Request::DbList => self.handle_db_list(),
             Request::DbDrop { name } => self.handle_db_drop(name),
             Request::Stats => self.handle_stats(),
+            Request::Metrics => self.handle_metrics(),
             Request::Shutdown => Json::object([("ok", Json::Bool(true))]),
         }
     }
@@ -241,9 +266,72 @@ impl ServerState {
     }
 
     fn prepare(&self, spec: &QuerySpec) -> Result<CacheLookup, String> {
+        self.prepare_traced(spec, &mut Trace::disabled())
+    }
+
+    fn prepare_traced(&self, spec: &QuerySpec, trace: &mut Trace) -> Result<CacheLookup, String> {
         let rpq = self.parse_query(spec)?;
         let engine = self.engine_for(spec);
-        self.cache.get_or_prepare(&engine, &rpq, spec.algorithm).map_err(|e| e.to_string())
+        self.cache
+            .get_or_prepare_traced(&engine, &rpq, spec.algorithm, trace)
+            .map_err(|e| e.to_string())
+    }
+
+    /// The trace to run a solve-family request under: enabled when the
+    /// request opted in (`trace: true`) or when the slow-query log needs a
+    /// phase breakdown, disabled (zero clock reads) otherwise.
+    fn trace_for(&self, spec: &QuerySpec) -> Trace {
+        if spec.trace == Some(true) || self.slow_query_log_us.is_some() {
+            Trace::enabled()
+        } else {
+            Trace::disabled()
+        }
+    }
+
+    /// Stamps a finished solve-family request: seals the trace, appends the
+    /// always-on `elapsed_us` (and, when the request asked to trace, the
+    /// `timings` phase object) to the response fields, records the latency
+    /// histogram under `(verb, family, tier, backend)`, and writes the
+    /// slow-query log line if the request was over threshold.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_solve(
+        &self,
+        verb: &'static str,
+        spec: &QuerySpec,
+        prepared: &PreparedQuery,
+        fingerprint: u64,
+        started: Instant,
+        mut trace: Trace,
+        fields: &mut Vec<(String, Json)>,
+    ) {
+        trace.seal();
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        let algorithm = prepared.plan().algorithm;
+        let family = algorithm.name();
+        let tier = algorithm.tier();
+        let backend = spec.flow.unwrap_or(self.options.flow_backend).name();
+        self.metrics.histogram([verb, family, tier, backend]).record(elapsed_us);
+        fields.push(("elapsed_us".to_string(), Json::Int(elapsed_us as i128)));
+        if spec.trace == Some(true) {
+            let timings: Vec<(String, Json)> = trace
+                .spans()
+                .iter()
+                .map(|&(phase, us)| (phase.to_string(), Json::Int(us as i128)))
+                .collect();
+            fields.push(("timings".to_string(), Json::Object(timings)));
+        }
+        if let Some(threshold) = self.slow_query_log_us {
+            if elapsed_us >= threshold {
+                let phases: Vec<String> =
+                    trace.spans().iter().map(|&(phase, us)| format!("{phase}={us}us")).collect();
+                eprintln!(
+                    "rpq-server: slow query: verb={verb} query={fingerprint:016x} \
+                     family={family} tier={tier} backend={backend} elapsed={elapsed_us}us \
+                     phases=[{}]",
+                    phases.join(" ")
+                );
+            }
+        }
     }
 
     fn handle_prepare(&self, spec: &QuerySpec) -> Json {
@@ -262,15 +350,20 @@ impl ServerState {
     }
 
     fn handle_solve(&self, spec: &QuerySpec, db_text: &str) -> Json {
-        let CacheLookup { prepared, hit: cached, .. } = match self.prepare(spec) {
-            Ok(p) => p,
-            Err(message) => return error_response(message),
-        };
+        let started = Instant::now();
+        let mut trace = self.trace_for(spec);
+        let CacheLookup { prepared, hit: cached, fingerprint } =
+            match self.prepare_traced(spec, &mut trace) {
+                Ok(p) => p,
+                Err(message) => return with_elapsed(error_response(message), started),
+            };
+        let parse_timer = trace.begin();
         let db = match parse_db(db_text) {
             Ok(db) => db,
-            Err(message) => return error_response(message),
+            Err(message) => return with_elapsed(error_response(message), started),
         };
-        match prepared.solve_with_cut(&db, self.want_cut_for(spec)) {
+        trace.end(parse_timer, "parse_db");
+        match prepared.solve_with_cut_traced(&db, self.want_cut_for(spec), &mut trace) {
             Ok(outcome) => {
                 let mut fields = vec![
                     ("ok".to_string(), Json::Bool(true)),
@@ -279,17 +372,29 @@ impl ServerState {
                 if let Json::Object(rest) = outcome_json(&outcome, &db) {
                     fields.extend(rest);
                 }
+                self.finish_solve(
+                    "solve",
+                    spec,
+                    &prepared,
+                    fingerprint,
+                    started,
+                    trace,
+                    &mut fields,
+                );
                 Json::Object(fields)
             }
-            Err(e) => error_response(e.to_string()),
+            Err(e) => with_elapsed(error_response(e.to_string()), started),
         }
     }
 
     fn handle_solve_batch(&self, spec: &QuerySpec, dbs: &[String]) -> Json {
-        let CacheLookup { prepared, hit: cached, .. } = match self.prepare(spec) {
-            Ok(p) => p,
-            Err(message) => return error_response(message),
-        };
+        let started = Instant::now();
+        let mut trace = self.trace_for(spec);
+        let CacheLookup { prepared, hit: cached, fingerprint } =
+            match self.prepare_traced(spec, &mut trace) {
+                Ok(p) => p,
+                Err(message) => return with_elapsed(error_response(message), started),
+            };
         let want_cut = self.want_cut_for(spec);
         // The per-request override is untrusted input: clamp it, or one
         // request could ask for an OS thread per database.
@@ -297,6 +402,7 @@ impl ServerState {
         // Parse every database up front (cheap, per-entry failures recorded),
         // then run the per-database solves through the engine's scoped-thread
         // batch path — `jobs` worker threads over the parsed databases.
+        let parse_timer = trace.begin();
         let mut parsed: Vec<GraphDb> = Vec::with_capacity(dbs.len());
         let slots: Vec<Result<usize, String>> = dbs
             .iter()
@@ -307,7 +413,9 @@ impl ServerState {
                 })
             })
             .collect();
-        let outcomes = prepared.solve_batch_parallel_with_cut(&parsed, want_cut, jobs);
+        trace.end(parse_timer, "parse_db");
+        let outcomes =
+            prepared.solve_batch_parallel_with_cut_traced(&parsed, want_cut, jobs, &mut trace);
         let mut failures: u64 = 0;
         let results: Vec<Json> = slots
             .into_iter()
@@ -330,11 +438,13 @@ impl ServerState {
         if failures > 0 {
             self.errors.fetch_add(failures, Ordering::Relaxed);
         }
-        Json::object([
-            ("ok", Json::Bool(true)),
-            ("cached", Json::Bool(cached)),
-            ("results", Json::Array(results)),
-        ])
+        let mut fields = vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("cached".to_string(), Json::Bool(cached)),
+            ("results".to_string(), Json::Array(results)),
+        ];
+        self.finish_solve("solve_batch", spec, &prepared, fingerprint, started, trace, &mut fields);
+        Json::Object(fields)
     }
 
     fn handle_db_put(&self, name: &str, body: &str) -> Json {
@@ -389,19 +499,29 @@ impl ServerState {
         snapshot: Option<&SnapshotSel>,
         snapshots: Option<&[SnapshotSel]>,
     ) -> Json {
-        let CacheLookup { prepared, hit: cached, .. } = match self.prepare(spec) {
-            Ok(p) => p,
-            Err(message) => return error_response(message),
-        };
+        let started = Instant::now();
+        let mut trace = self.trace_for(spec);
+        let CacheLookup { prepared, hit: cached, fingerprint } =
+            match self.prepare_traced(spec, &mut trace) {
+                Ok(p) => p,
+                Err(message) => return with_elapsed(error_response(message), started),
+            };
         let want_cut = self.want_cut_for(spec);
         let Some(refs) = snapshots else {
             // The inline form: the solve result fields merge into the
             // response envelope, like a plain `solve`.
-            return match self.store.solve(name, &snapshot_ref(snapshot), &prepared, want_cut) {
+            return match self.store.solve_traced(
+                name,
+                &snapshot_ref(snapshot),
+                &prepared,
+                want_cut,
+                &mut trace,
+            ) {
                 Ok(solve) => {
                     let entry = db_solve_entry(&solve);
                     if solve.result.is_err() {
-                        return entry; // already `"ok": false` with the snapshot id
+                        // Already `"ok": false` with the snapshot id.
+                        return with_elapsed(entry, started);
                     }
                     let mut fields = vec![
                         ("ok".to_string(), Json::Bool(true)),
@@ -411,16 +531,31 @@ impl ServerState {
                     if let Json::Object(rest) = entry {
                         fields.extend(rest);
                     }
+                    self.finish_solve(
+                        "db_solve",
+                        spec,
+                        &prepared,
+                        fingerprint,
+                        started,
+                        trace,
+                        &mut fields,
+                    );
                     Json::Object(fields)
                 }
-                Err(e) => store_error(&e),
+                Err(e) => with_elapsed(store_error(&e), started),
             };
         };
         let mut failures: u64 = 0;
         let results: Vec<Json> = refs
             .iter()
             .map(|sel| {
-                match self.store.solve(name, &snapshot_ref(Some(sel)), &prepared, want_cut) {
+                match self.store.solve_traced(
+                    name,
+                    &snapshot_ref(Some(sel)),
+                    &prepared,
+                    want_cut,
+                    &mut trace,
+                ) {
                     Ok(solve) => {
                         if solve.result.is_err() {
                             failures += 1;
@@ -439,12 +574,14 @@ impl ServerState {
         if failures > 0 {
             self.errors.fetch_add(failures, Ordering::Relaxed);
         }
-        Json::object([
-            ("ok", Json::Bool(true)),
-            ("cached", Json::Bool(cached)),
-            ("name", Json::Str(name.to_string())),
-            ("results", Json::Array(results)),
-        ])
+        let mut fields = vec![
+            ("ok".to_string(), Json::Bool(true)),
+            ("cached".to_string(), Json::Bool(cached)),
+            ("name".to_string(), Json::Str(name.to_string())),
+            ("results".to_string(), Json::Array(results)),
+        ];
+        self.finish_solve("db_solve", spec, &prepared, fingerprint, started, trace, &mut fields);
+        Json::Object(fields)
     }
 
     fn handle_db_list(&self) -> Json {
@@ -491,6 +628,7 @@ impl ServerState {
             log_bytes,
             incremental_solves,
             full_solves,
+            materializations,
             evictions: store_evictions,
             capacity: store_capacity,
             max_body_bytes,
@@ -500,8 +638,21 @@ impl ServerState {
             ("ok", Json::Bool(true)),
             ("requests", Json::Int(self.requests.load(Ordering::Relaxed) as i128)),
             ("errors", Json::Int(self.errors.load(Ordering::Relaxed) as i128)),
+            ("uptime_secs", Json::Int(self.started.elapsed().as_secs() as i128)),
             ("threads", Json::Int(self.threads as i128)),
             ("jobs", Json::Int(self.jobs as i128)),
+            (
+                "requests_by_verb",
+                Json::Object(
+                    VERBS
+                        .iter()
+                        .zip(self.by_verb.iter())
+                        .map(|(verb, count)| {
+                            (verb.to_string(), Json::Int(count.load(Ordering::Relaxed) as i128))
+                        })
+                        .collect(),
+                ),
+            ),
             (
                 "connections",
                 Json::object([
@@ -539,12 +690,143 @@ impl ServerState {
                     ("log_bytes", Json::Int(log_bytes as i128)),
                     ("incremental_solves", Json::Int(incremental_solves as i128)),
                     ("full_solves", Json::Int(full_solves as i128)),
+                    ("materializations", Json::Int(materializations as i128)),
                     ("evictions", Json::Int(store_evictions as i128)),
                     ("capacity", Json::Int(store_capacity as i128)),
                     ("max_body_bytes", Json::Int(max_body_bytes as i128)),
                 ]),
             ),
         ])
+    }
+
+    /// Renders every counter, gauge and latency histogram as Prometheus text
+    /// exposition, returned in the `metrics` field of the response.
+    fn handle_metrics(&self) -> Json {
+        let mut out = String::new();
+        prom::header(&mut out, "rpq_uptime_seconds", "Seconds since the server started.", "gauge");
+        prom::sample(&mut out, "rpq_uptime_seconds", "", self.started.elapsed().as_secs());
+        prom::header(&mut out, "rpq_requests_total", "Requests received (any verb).", "counter");
+        prom::sample(&mut out, "rpq_requests_total", "", self.requests.load(Ordering::Relaxed));
+        prom::header(&mut out, "rpq_errors_total", "Requests answered with an error.", "counter");
+        prom::sample(&mut out, "rpq_errors_total", "", self.errors.load(Ordering::Relaxed));
+        prom::header(
+            &mut out,
+            "rpq_requests_by_verb_total",
+            "Successfully parsed requests, by wire verb.",
+            "counter",
+        );
+        for (verb, count) in VERBS.iter().zip(self.by_verb.iter()) {
+            prom::sample(
+                &mut out,
+                "rpq_requests_by_verb_total",
+                &format!("verb=\"{verb}\""),
+                count.load(Ordering::Relaxed),
+            );
+        }
+        let cache = self.cache.stats();
+        for (name, help, value) in [
+            ("rpq_cache_hits_total", "Prepared-query cache hits.", cache.hits),
+            ("rpq_cache_misses_total", "Prepared-query cache misses.", cache.misses),
+            ("rpq_cache_evictions_total", "Prepared-query cache evictions.", cache.evictions),
+        ] {
+            prom::header(&mut out, name, help, "counter");
+            prom::sample(&mut out, name, "", value);
+        }
+        prom::header(&mut out, "rpq_cache_entries", "Prepared-query plans cached.", "gauge");
+        prom::sample(&mut out, "rpq_cache_entries", "", cache.entries as u64);
+        let store = self.store.stats();
+        for (name, help, value) in [
+            ("rpq_store_databases", "Hosted databases.", store.databases as u64),
+            ("rpq_store_named_snapshots", "Pinned named snapshots.", store.named_snapshots as u64),
+            ("rpq_store_materialized", "Materialized snapshots held.", store.materialized as u64),
+            (
+                "rpq_store_log_entries",
+                "Fact-log entries across databases.",
+                store.log_entries as u64,
+            ),
+            ("rpq_store_log_bytes", "Fact-log bytes across databases.", store.log_bytes as u64),
+        ] {
+            prom::header(&mut out, name, help, "gauge");
+            prom::sample(&mut out, name, "", value);
+        }
+        for (name, help, value) in [
+            (
+                "rpq_store_incremental_solves_total",
+                "Hosted solves answered incrementally.",
+                store.incremental_solves,
+            ),
+            ("rpq_store_full_solves_total", "Hosted solves built from scratch.", store.full_solves),
+            (
+                "rpq_store_materializations_total",
+                "Snapshot materializations replayed from the log.",
+                store.materializations,
+            ),
+            ("rpq_store_evictions_total", "Materialized snapshots evicted.", store.evictions),
+        ] {
+            prom::header(&mut out, name, help, "counter");
+            prom::sample(&mut out, name, "", value);
+        }
+        let connections = &self.connections;
+        for (name, help, value) in [
+            (
+                "rpq_connections_open",
+                "Currently open TCP connections.",
+                connections.open.load(Ordering::Relaxed),
+            ),
+            (
+                "rpq_ready_queue_depth",
+                "Requests extracted from connections, not yet picked up by a worker.",
+                connections.queue_depth.load(Ordering::Relaxed),
+            ),
+        ] {
+            prom::header(&mut out, name, help, "gauge");
+            prom::sample(&mut out, name, "", value);
+        }
+        prom::header(
+            &mut out,
+            "rpq_connections_accepted_total",
+            "TCP connections accepted.",
+            "counter",
+        );
+        prom::sample(
+            &mut out,
+            "rpq_connections_accepted_total",
+            "",
+            connections.accepted.load(Ordering::Relaxed),
+        );
+        let latency = self.metrics.snapshot();
+        prom::header(
+            &mut out,
+            "rpq_solve_latency_us",
+            "Whole-request solve latency in microseconds, by verb, algorithm family, \
+             complexity tier and flow backend.",
+            "histogram",
+        );
+        for (key, snapshot) in &latency {
+            prom::histogram(&mut out, "rpq_solve_latency_us", &latency_labels(key), snapshot);
+        }
+        for (suffix, q) in [("p50", 0.50), ("p95", 0.95), ("p99", 0.99)] {
+            let name = format!("rpq_solve_latency_us_{suffix}");
+            prom::header(
+                &mut out,
+                &name,
+                "Latency quantile upper bound derived from the histogram buckets.",
+                "gauge",
+            );
+            for (key, snapshot) in &latency {
+                prom::sample(&mut out, &name, &latency_labels(key), snapshot.quantile(q));
+            }
+        }
+        prom::header(
+            &mut out,
+            "rpq_solve_latency_us_max",
+            "Largest observed solve latency.",
+            "gauge",
+        );
+        for (key, snapshot) in &latency {
+            prom::sample(&mut out, "rpq_solve_latency_us_max", &latency_labels(key), snapshot.max);
+        }
+        Json::object([("ok", Json::Bool(true)), ("metrics", Json::Str(out))])
     }
 
     /// Sets the shutdown flag and wakes the accept loop with a self-connect.
@@ -563,6 +845,62 @@ impl ServerState {
 /// whatever the request's `jobs` field says (threads beyond the physical
 /// core count only add overhead anyway).
 pub const MAX_BATCH_JOBS: usize = 64;
+
+/// Every wire verb, in the order the `requests_by_verb` stats object and the
+/// `rpq_requests_by_verb_total` metric report them.
+pub const VERBS: [&str; 12] = [
+    "prepare",
+    "solve",
+    "solve_batch",
+    "db_put",
+    "db_patch",
+    "db_snapshot",
+    "db_solve",
+    "db_list",
+    "db_drop",
+    "stats",
+    "metrics",
+    "shutdown",
+];
+
+/// The wire verb of a parsed request (a [`VERBS`] entry).
+fn verb_of(request: &Request) -> &'static str {
+    match request {
+        Request::Prepare { .. } => "prepare",
+        Request::Solve { .. } => "solve",
+        Request::SolveBatch { .. } => "solve_batch",
+        Request::DbPut { .. } => "db_put",
+        Request::DbPatch { .. } => "db_patch",
+        Request::DbSnapshot { .. } => "db_snapshot",
+        Request::DbSolve { .. } => "db_solve",
+        Request::DbList => "db_list",
+        Request::DbDrop { .. } => "db_drop",
+        Request::Stats => "stats",
+        Request::Metrics => "metrics",
+        Request::Shutdown => "shutdown",
+    }
+}
+
+/// The [`VERBS`] index of a verb name.
+fn verb_slot(verb: &str) -> usize {
+    VERBS.iter().position(|v| *v == verb).expect("every verb is listed in VERBS")
+}
+
+/// The Prometheus label list of one latency-histogram key.
+fn latency_labels(key: &rpq_obs::MetricsKey) -> String {
+    let [verb, family, tier, backend] = key;
+    format!("verb=\"{verb}\",family=\"{family}\",tier=\"{tier}\",backend=\"{backend}\"")
+}
+
+/// Appends the always-on `elapsed_us` field to a response object (error
+/// paths of the solve-family verbs; success paths go through
+/// `ServerState::finish_solve`).
+fn with_elapsed(mut json: Json, started: Instant) -> Json {
+    if let Json::Object(fields) = &mut json {
+        fields.push(("elapsed_us".to_string(), Json::Int(started.elapsed().as_micros() as i128)));
+    }
+    json
+}
 
 fn parse_db(db_text: &str) -> Result<GraphDb, String> {
     text::parse(db_text).map_err(|e| format!("cannot parse database: {e}"))
@@ -1270,6 +1608,125 @@ mod tests {
         assert_eq!(connections.get("open"), Some(&Json::Int(0)));
         assert_eq!(connections.get("accepted"), Some(&Json::Int(0)));
         assert_eq!(connections.get("queue_depth"), Some(&Json::Int(0)));
+    }
+
+    #[test]
+    fn solve_responses_always_carry_elapsed_us() {
+        let state = state();
+        let ok = request(&state, r#"{"op":"solve","query":"ab","db":"u a v\nv b w\n"}"#);
+        assert_eq!(ok.get("ok"), Some(&Json::Bool(true)));
+        assert!(ok.get("elapsed_us").unwrap().as_int().is_some(), "{ok}");
+        // No tracing was requested: no timings object rides along.
+        assert!(ok.get("timings").is_none());
+        // Error responses carry the stopwatch too.
+        let err = request(&state, r#"{"op":"solve","query":"ab","db":"!!"}"#);
+        assert_eq!(err.get("ok"), Some(&Json::Bool(false)));
+        assert!(err.get("elapsed_us").unwrap().as_int().is_some(), "{err}");
+        // Batches and hosted solves as well.
+        let batch = request(&state, r#"{"op":"solve_batch","query":"ab","dbs":["u a v\n"]}"#);
+        assert!(batch.get("elapsed_us").unwrap().as_int().is_some(), "{batch}");
+        request(&state, r#"{"op":"db_put","name":"g","db":"u a v\nv b w\n"}"#);
+        let hosted = request(&state, r#"{"op":"db_solve","name":"g","query":"ab"}"#);
+        assert!(hosted.get("elapsed_us").unwrap().as_int().is_some(), "{hosted}");
+    }
+
+    #[test]
+    fn traced_solves_return_phase_timings_consistent_with_elapsed() {
+        let state = state();
+        let response = request(
+            &state,
+            r#"{"op":"solve","query":"ax*b","trace":true,"db":"s a u\nu x v\nv b t\n"}"#,
+        );
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        let elapsed = response.get("elapsed_us").unwrap().as_int().unwrap();
+        let Json::Object(timings) = response.get("timings").unwrap() else {
+            panic!("timings must be an object: {response}");
+        };
+        let phases: Vec<&str> = timings.iter().map(|(phase, _)| phase.as_str()).collect();
+        for expected in ["cache_lookup", "plan", "parse_db", "product_build", "other"] {
+            assert!(phases.contains(&expected), "missing {expected} in {phases:?}");
+        }
+        // The sealed spans cover the request end to end: their sum (which
+        // includes the `other` remainder) reaches at least 95% of the
+        // whole-request stopwatch.
+        let sum: i128 = timings.iter().map(|(_, us)| us.as_int().unwrap()).sum();
+        assert!(sum <= elapsed, "span sum {sum} exceeds elapsed {elapsed}");
+        assert!(sum * 100 >= elapsed * 95, "span sum {sum} covers <95% of elapsed {elapsed}");
+        // A repeat solve hits the cache and still traces.
+        let hit = request(
+            &state,
+            r#"{"op":"solve","query":"ax*b","trace":true,"db":"s a u\nu x v\nv b t\n"}"#,
+        );
+        assert_eq!(hit.get("cached"), Some(&Json::Bool(true)));
+        assert!(hit.get("timings").is_some());
+    }
+
+    #[test]
+    fn slow_query_log_threshold_enables_tracing_without_wire_timings() {
+        // A zero threshold logs every solve; the response stays untraced
+        // (timings are opt-in per request) but still carries `elapsed_us`.
+        let config = ServerConfig { slow_query_log_us: Some(0), ..ServerConfig::default() };
+        let state = ServerState::new(config);
+        let response = request(&state, r#"{"op":"solve","query":"ab","db":"u a v\nv b w\n"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert!(response.get("elapsed_us").is_some());
+        assert!(response.get("timings").is_none());
+    }
+
+    #[test]
+    fn stats_report_uptime_and_per_verb_request_counts() {
+        let state = state();
+        request(&state, r#"{"op":"prepare","query":"ab"}"#);
+        request(&state, r#"{"op":"solve","query":"ab","db":"u a v\n"}"#);
+        request(&state, r#"{"op":"solve","query":"ab","db":"u a v\n"}"#);
+        request(&state, "garbage"); // parse failures count under no verb
+        let stats = request(&state, r#"{"op":"stats"}"#);
+        assert!(stats.get("uptime_secs").unwrap().as_int().is_some());
+        let by_verb = stats.get("requests_by_verb").unwrap();
+        assert_eq!(by_verb.get("prepare"), Some(&Json::Int(1)));
+        assert_eq!(by_verb.get("solve"), Some(&Json::Int(2)));
+        assert_eq!(by_verb.get("stats"), Some(&Json::Int(1)));
+        assert_eq!(by_verb.get("shutdown"), Some(&Json::Int(0)));
+        // Every verb is present, so dashboards can rely on the full set.
+        if let Json::Object(fields) = by_verb {
+            assert_eq!(fields.len(), VERBS.len());
+        } else {
+            panic!("requests_by_verb must be an object");
+        }
+        // The verb totals sum to the parsed-request count (requests minus
+        // the one parse failure).
+        let total: i128 = VERBS.iter().map(|v| by_verb.get(v).unwrap().as_int().unwrap()).sum();
+        assert_eq!(total, stats.get("requests").unwrap().as_int().unwrap() - 1);
+    }
+
+    #[test]
+    fn metrics_verb_exports_prometheus_text() {
+        let state = state();
+        request(&state, r#"{"op":"solve","query":"ax*b","db":"s a u\nu x v\nv b t\n"}"#);
+        request(&state, r#"{"op":"solve","query":"ax*b","db":"s a u\nu x v\nv b t\n"}"#);
+        request(&state, r#"{"op":"solve_batch","query":"ab","dbs":["u a v\nv b w\n"]}"#);
+        let response = request(&state, r#"{"op":"metrics"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        let text = response.get("metrics").and_then(Json::as_str).unwrap();
+        assert!(text.contains("# TYPE rpq_requests_total counter"), "{text}");
+        assert!(text.contains("rpq_requests_total 4"), "{text}");
+        assert!(text.contains("rpq_requests_by_verb_total{verb=\"solve\"} 2"), "{text}");
+        assert!(text.contains("# TYPE rpq_solve_latency_us histogram"), "{text}");
+        let solve_key = "verb=\"solve\",family=\"local\",tier=\"poly\",backend=\"dinic\"";
+        assert!(text.contains(&format!("rpq_solve_latency_us_count{{{solve_key}}} 2")), "{text}");
+        let batch_key = "verb=\"solve_batch\",family=\"local\",tier=\"poly\",backend=\"dinic\"";
+        assert!(text.contains(&format!("rpq_solve_latency_us_count{{{batch_key}}} 1")), "{text}");
+        assert!(text.contains(&format!("rpq_solve_latency_us_p99{{{solve_key}}}")), "{text}");
+        assert!(text.contains("rpq_cache_misses_total 2"), "{text}");
+        assert!(text.contains("le=\"+Inf\""), "{text}");
+        // Per-request flow overrides split the backend label.
+        request(
+            &state,
+            r#"{"op":"solve","query":"ax*b","flow":"push-relabel","db":"s a u\nu x v\nv b t\n"}"#,
+        );
+        let response = request(&state, r#"{"op":"metrics"}"#);
+        let text = response.get("metrics").and_then(Json::as_str).unwrap();
+        assert!(text.contains("backend=\"push-relabel\""), "{text}");
     }
 
     #[test]

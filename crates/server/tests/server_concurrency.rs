@@ -213,6 +213,7 @@ fn stress_many_clients_with_batches_agree_with_the_engine_and_stats_stay_monoton
     // never exceed the capacity, and the error counter stays at zero.
     let mut observer = connect(addr);
     let mut last_lookups: i128 = -1;
+    let mut last_by_verb: i128 = -1;
     while workers.iter().any(|w| !w.is_finished()) {
         let stats = observer.request(&Request::Stats).expect("stats under load");
         assert_eq!(stats.get("ok"), Some(&Json::Bool(true)));
@@ -225,6 +226,17 @@ fn stress_many_clients_with_batches_agree_with_the_engine_and_stats_stay_monoton
         let entries = cache.get("entries").unwrap().as_int().unwrap();
         let capacity = cache.get("capacity").unwrap().as_int().unwrap();
         assert!(entries <= capacity, "{stats}");
+        // Per-verb counters never decrease and never exceed the total, even
+        // while 8 clients hammer the counters from worker threads.
+        let by_verb = stats.get("requests_by_verb").unwrap();
+        let batches = by_verb.get("solve_batch").unwrap().as_int().unwrap();
+        let prepares = by_verb.get("prepare").unwrap().as_int().unwrap();
+        assert!(batches >= last_by_verb, "per-verb counts must be monotone: {stats}");
+        last_by_verb = batches;
+        assert!(
+            batches + prepares <= stats.get("requests").unwrap().as_int().unwrap(),
+            "verb totals cannot exceed the request total: {stats}"
+        );
         std::thread::sleep(Duration::from_millis(2));
     }
     for worker in workers {
@@ -244,6 +256,49 @@ fn stress_many_clients_with_batches_agree_with_the_engine_and_stats_stay_monoton
     assert_eq!(hits + misses, 64, "8 clients × 4 rounds × 2 lookups: {stats}");
     assert!(cache.get("shards").unwrap().as_int().unwrap() > 1, "{stats}");
     assert_eq!(stats.get("errors"), Some(&Json::Int(0)), "{stats}");
+    // Exactly 8 clients × 4 rounds of `solve_batch` (and as many prepares)
+    // were served, and the per-verb counters saw every one — no torn or
+    // lost increments under the concurrent load.
+    let by_verb = stats.get("requests_by_verb").unwrap();
+    assert_eq!(by_verb.get("solve_batch"), Some(&Json::Int(32)), "{stats}");
+    assert_eq!(by_verb.get("prepare"), Some(&Json::Int(32)), "{stats}");
+
+    // The latency histograms agree: the `solve_batch` histogram recorded
+    // exactly one observation per batch served, and the whole exposition
+    // parses as Prometheus text (headers + `name[{labels}] value` samples).
+    let metrics = observer.request(&Request::Metrics).expect("metrics response");
+    assert_eq!(metrics.get("ok"), Some(&Json::Bool(true)));
+    let text = metrics.get("metrics").and_then(Json::as_str).unwrap();
+    let mut batch_count: Option<u64> = None;
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix("# ") {
+            assert!(
+                comment.starts_with("HELP ") || comment.starts_with("TYPE "),
+                "unexpected comment line: {line}"
+            );
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample lines carry a value");
+        assert!(value.parse::<u64>().is_ok(), "non-numeric sample value: {line}");
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        assert!(
+            !name.is_empty()
+                && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                && !name.starts_with(|c: char| c.is_ascii_digit()),
+            "invalid metric name: {line}"
+        );
+        if name_end < series.len() {
+            assert!(series.ends_with('}'), "unterminated label list: {line}");
+        }
+        if series.starts_with("rpq_solve_latency_us_count{verb=\"solve_batch\"") {
+            batch_count = Some(value.parse().unwrap());
+        }
+    }
+    assert_eq!(batch_count, Some(32), "histogram count must equal batches served");
 
     observer.request(&Request::Shutdown).unwrap();
     running.join().unwrap();

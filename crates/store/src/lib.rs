@@ -29,6 +29,7 @@
 use rpq_graphdb::delta::{changes_from_db, materialize, parse_patch, FactChange};
 use rpq_graphdb::text::{self, ParseError};
 use rpq_graphdb::GraphDb;
+use rpq_obs::Trace;
 use rpq_resilience::algorithms::{ResilienceError, ResilienceOutcome};
 use rpq_resilience::engine::{IncrementalSolver, PreparedQuery, SolveMode};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -184,10 +185,12 @@ impl Database {
         }
     }
 
-    fn materialize_at(&mut self, offset: usize, tick: u64) -> Arc<GraphDb> {
+    /// Returns the (cached) materialization at `offset`, and whether this
+    /// call had to build it (a cache miss — counted by the store).
+    fn materialize_at(&mut self, offset: usize, tick: u64) -> (Arc<GraphDb>, bool) {
         if let Some(m) = self.materialized.iter_mut().find(|m| m.offset == offset) {
             m.last_used = tick;
-            return Arc::clone(&m.graph);
+            return (Arc::clone(&m.graph), false);
         }
         let graph = Arc::new(materialize(&self.log[..offset]));
         self.materialized.push(Materialization {
@@ -195,7 +198,7 @@ impl Database {
             graph: Arc::clone(&graph),
             last_used: tick,
         });
-        graph
+        (graph, true)
     }
 
     /// The number of facts alive at the head, without materializing.
@@ -273,6 +276,8 @@ pub struct StoreStats {
     pub incremental_solves: u64,
     /// `db_solve`s answered by a full build.
     pub full_solves: u64,
+    /// Snapshot materializations built from the log (cache misses).
+    pub materializations: u64,
     /// Materializations evicted to respect the capacity.
     pub evictions: u64,
     /// The configured database / materialization capacity.
@@ -289,6 +294,7 @@ pub struct Store {
     tick: AtomicU64,
     incremental_solves: AtomicU64,
     full_solves: AtomicU64,
+    materializations: AtomicU64,
     evictions: AtomicU64,
 }
 
@@ -301,6 +307,7 @@ impl Store {
             tick: AtomicU64::new(0),
             incremental_solves: AtomicU64::new(0),
             full_solves: AtomicU64::new(0),
+            materializations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
     }
@@ -399,11 +406,15 @@ impl Store {
     ) -> Result<(usize, Arc<GraphDb>), StoreError> {
         let handle = self.database(name)?;
         let tick = self.next_tick();
-        let (offset, graph) = {
+        let (offset, graph, built) = {
             let mut db = handle.lock().expect("database lock");
             let offset = db.resolve(name, snapshot)?;
-            (offset, db.materialize_at(offset, tick))
+            let (graph, built) = db.materialize_at(offset, tick);
+            (offset, graph, built)
         };
+        if built {
+            self.materializations.fetch_add(1, Ordering::Relaxed);
+        }
         self.evict_materializations();
         Ok((offset, graph))
     }
@@ -420,18 +431,40 @@ impl Store {
         prepared: &Arc<PreparedQuery>,
         want_cut: bool,
     ) -> Result<StoreSolve, StoreError> {
+        self.solve_traced(name, snapshot, prepared, want_cut, &mut Trace::disabled())
+    }
+
+    /// [`Store::solve`] with phase tracing: when `trace` is enabled the
+    /// snapshot resolution + materialization is recorded as a `materialize`
+    /// span and the engine records its own solve phases. A disabled trace
+    /// makes this identical to [`Store::solve`].
+    pub fn solve_traced(
+        &self,
+        name: &str,
+        snapshot: &SnapshotRef,
+        prepared: &Arc<PreparedQuery>,
+        want_cut: bool,
+        trace: &mut Trace,
+    ) -> Result<StoreSolve, StoreError> {
         let handle = self.database(name)?;
         let tick = self.next_tick();
-        let (offset, graph, result) = {
+        let (offset, graph, built, result) = {
+            let materialize_timer = trace.begin();
             let mut db = handle.lock().expect("database lock");
             let offset = db.resolve(name, snapshot)?;
-            let graph = db.materialize_at(offset, tick);
+            let (graph, built) = db.materialize_at(offset, tick);
+            trace.end(materialize_timer, "materialize");
             let Database { log, session, .. } = &mut *db;
             let result = match session {
                 Some(s) if Arc::ptr_eq(&s.plan, prepared) && s.offset <= offset => {
                     let delta = &log[s.offset..offset];
-                    let result =
-                        prepared.solve_incremental(&mut s.solver, &graph, Some(delta), want_cut);
+                    let result = prepared.solve_incremental_traced(
+                        &mut s.solver,
+                        &graph,
+                        Some(delta),
+                        want_cut,
+                        trace,
+                    );
                     if result.is_ok() {
                         s.offset = offset;
                     }
@@ -441,7 +474,9 @@ impl Store {
                     // A solve *behind* the session's frontier (an old
                     // snapshot): answer one-shot, keep the retained state
                     // parked at its frontier for the next forward solve.
-                    prepared.solve_with_cut(&graph, want_cut).map(|o| (o, SolveMode::Full))
+                    prepared
+                        .solve_with_cut_traced(&graph, want_cut, trace)
+                        .map(|o| (o, SolveMode::Full))
                 }
                 _ => {
                     let mut s = SolveSession {
@@ -449,13 +484,22 @@ impl Store {
                         offset,
                         solver: IncrementalSolver::new(),
                     };
-                    let result = prepared.solve_incremental(&mut s.solver, &graph, None, want_cut);
+                    let result = prepared.solve_incremental_traced(
+                        &mut s.solver,
+                        &graph,
+                        None,
+                        want_cut,
+                        trace,
+                    );
                     *session = Some(s);
                     result
                 }
             };
-            (offset, graph, result)
+            (offset, graph, built, result)
         };
+        if built {
+            self.materializations.fetch_add(1, Ordering::Relaxed);
+        }
         self.evict_materializations();
         match &result {
             Ok((_, SolveMode::Incremental)) => {
@@ -514,6 +558,7 @@ impl Store {
             log_bytes: infos.iter().map(|i| i.log_bytes).sum(),
             incremental_solves: self.incremental_solves.load(Ordering::Relaxed),
             full_solves: self.full_solves.load(Ordering::Relaxed),
+            materializations: self.materializations.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             capacity: self.config.capacity,
             max_body_bytes: self.config.max_body_bytes,

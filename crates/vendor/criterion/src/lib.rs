@@ -16,8 +16,10 @@
 //!   this so `cargo bench` stays usable in CI);
 //! * `CRITERION_SAVE` — path of a JSON file to persist results into: a
 //!   single object mapping each benchmark name to
-//!   `{"min_ns": …, "median_ns": …, "samples": …}` (plus `throughput` when
-//!   annotated). The file is rewritten after every completed benchmark, so
+//!   `{"min_ns": …, "median_ns": …, "p50_ns": …, "p95_ns": …, "p99_ns": …,
+//!   "max_ns": …, "samples": …}` (plus `throughput` when annotated); the
+//!   tail quantiles use the nearest-rank definition over the sorted sample
+//!   vector. The file is rewritten after every completed benchmark, so
 //!   an interrupted run still leaves a valid, machine-readable artifact —
 //!   this is how the committed `BENCH_*.json` files at the workspace root
 //!   are produced (see EXPERIMENTS.md). Relative paths are resolved against
@@ -99,8 +101,20 @@ impl Bencher {
 struct SavedRecord {
     min_ns: u128,
     median_ns: u128,
+    p50_ns: u128,
+    p95_ns: u128,
+    p99_ns: u128,
+    max_ns: u128,
     samples: usize,
     throughput: Option<Throughput>,
+}
+
+/// Nearest-rank quantile of an ascending-sorted sample vector: the smallest
+/// sample whose rank is at least `q` of the total (`q` in `(0, 1]`).
+fn quantile(sorted: &[Duration], q: f64) -> Duration {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// All measurements of the current process, keyed by full benchmark name.
@@ -160,10 +174,15 @@ fn persist_record(name: &str, record: SavedRecord) {
             out.push_str(",\n");
         }
         out.push_str(&format!(
-            "  \"{}\": {{\"min_ns\": {}, \"median_ns\": {}, \"samples\": {}",
+            "  \"{}\": {{\"min_ns\": {}, \"median_ns\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \
+             \"p99_ns\": {}, \"max_ns\": {}, \"samples\": {}",
             escape_json(name),
             r.min_ns,
             r.median_ns,
+            r.p50_ns,
+            r.p95_ns,
+            r.p99_ns,
+            r.max_ns,
             r.samples
         ));
         match r.throughput {
@@ -275,6 +294,10 @@ impl BenchmarkGroup<'_> {
             SavedRecord {
                 min_ns: min.as_nanos(),
                 median_ns: median.as_nanos(),
+                p50_ns: quantile(&samples, 0.50).as_nanos(),
+                p95_ns: quantile(&samples, 0.95).as_nanos(),
+                p99_ns: quantile(&samples, 0.99).as_nanos(),
+                max_ns: samples[samples.len() - 1].as_nanos(),
                 samples: samples.len(),
                 throughput: self.throughput,
             },

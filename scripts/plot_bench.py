@@ -4,17 +4,22 @@
 The vendored Criterion stub persists one JSON object per bench target
 (``CRITERION_SAVE=BENCH_<target>.json cargo bench -p rpq-bench --bench
 <target>``; see EXPERIMENTS.md) mapping each benchmark name to
-``{"min_ns": ..., "median_ns": ..., "samples": ...}``. Benchmark names are
-slash-separated; when the last component is a number it is a swept parameter
-(database facts |D|, jobs, ...), e.g.::
+``{"min_ns": ..., "median_ns": ..., "samples": ...}`` — artifacts produced
+since the stub grew tail-quantile fields additionally carry ``p50_ns`` /
+``p95_ns`` / ``p99_ns`` / ``max_ns``. Benchmark names are slash-separated;
+when the last component is a number it is a swept parameter (database facts
+|D|, jobs, ...), e.g.::
 
     scaling/local/256            -> series "scaling/local", x = 256
     batch_parallel/engine/jobs_2/512 -> series ".../jobs_2", x = 512
 
 This script groups such names into series and renders one log-log SVG chart
-per input file (median ns vs the swept parameter). Names without a numeric
-suffix are listed in the chart footer but not plotted. Standard library
-only — no matplotlib in the offline build image.
+per input file (median ns vs the swept parameter). When a record carries
+``p95_ns`` the series also gets a dashed tail line (the latency-histogram
+summary measured by the stub); older artifacts without quantile fields
+render exactly as before. Names without a numeric suffix are listed in the
+chart footer but not plotted. Standard library only — no matplotlib in the
+offline build image.
 
 Usage:
     python3 scripts/plot_bench.py BENCH_scaling.json [more.json ...] [-o DIR]
@@ -58,7 +63,8 @@ def load_series(path):
         except ValueError:
             leftovers.append(name)
             continue
-        series.setdefault("/".join(parts[:-1]), []).append((x, record["median_ns"]))
+        point = (x, record["median_ns"], record.get("p95_ns"))
+        series.setdefault("/".join(parts[:-1]), []).append(point)
     for points in series.values():
         points.sort()
     return series, leftovers
@@ -92,8 +98,10 @@ def render(title, series, leftovers):
     """One log-log SVG line chart: median time vs the swept parameter."""
     plotted = list(series.items())[: len(SERIES_COLORS)]
     dropped = [name for name, _ in list(series.items())[len(SERIES_COLORS):]]
-    xs = [x for _, pts in plotted for x, _ in pts]
-    ys = [y for _, pts in plotted for _, y in pts]
+    xs = [x for _, pts in plotted for x, _, _ in pts]
+    ys = [y for _, pts in plotted for _, y, _ in pts]
+    ys += [p95 for _, pts in plotted for _, _, p95 in pts if p95 is not None]
+    has_p95 = any(p95 is not None for _, pts in plotted for _, _, p95 in pts)
     x_lo, x_hi = min(xs), max(xs)
     if x_lo <= 0:  # log scale needs positive x; nudge a swept 0 to 0.5
         xs = [max(x, 0.5) for x in xs]
@@ -119,8 +127,12 @@ def render(title, series, leftovers):
         f'<text x="{MARGIN["left"]}" y="26" font-size="15" font-weight="600" '
         f'fill="{TEXT_PRIMARY}">{svg_escape(title)}</text>',
         f'<text x="{MARGIN["left"]}" y="44" font-size="11" '
-        f'fill="{TEXT_SECONDARY}">median wall-clock (log) vs swept parameter '
-        f"(log)</text>",
+        f'fill="{TEXT_SECONDARY}">'
+        + svg_escape(
+            "median wall-clock (log) vs swept parameter (log)"
+            + ("; dashed = p95" if has_p95 else "")
+        )
+        + "</text>",
     ]
     # Recessive grid + tick labels.
     for y in y_ticks:
@@ -153,16 +165,27 @@ def render(title, series, leftovers):
 
     for i, (name, points) in enumerate(plotted):
         color = SERIES_COLORS[i]
-        path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in points)
+        path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y, _ in points)
         out.append(
             f'<polyline points="{path}" fill="none" stroke="{color}" '
             f'stroke-width="2" stroke-linejoin="round"/>'
         )
-        for x, y in points:
+        tail = [(x, p95) for x, _, p95 in points if p95 is not None]
+        if tail:
+            tail_path = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in tail)
+            out.append(
+                f'<polyline points="{tail_path}" fill="none" stroke="{color}" '
+                f'stroke-width="1.5" stroke-dasharray="5 4" opacity="0.65" '
+                f'stroke-linejoin="round"/>'
+            )
+        for x, y, p95 in points:
+            label = f"{svg_escape(name)}: {fmt_x(x)} → {fmt_time(y)}"
+            if p95 is not None:
+                label += f" (p95 {fmt_time(p95)})"
             out.append(
                 f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="4" '
                 f'fill="{color}" stroke="{SURFACE}" stroke-width="2">'
-                f"<title>{svg_escape(name)}: {fmt_x(x)} → {fmt_time(y)}</title>"
+                f"<title>{label}</title>"
                 f"</circle>"
             )
         # Legend row (color chip + name in text ink, never series-colored).
