@@ -1,0 +1,442 @@
+//! A lightweight Rust lexer: just enough token structure for the lints.
+//!
+//! The lexer is deliberately not a full Rust grammar. It produces a flat
+//! stream of identifiers, string literals, and single-character punctuation
+//! with line numbers, and a separate list of line comments (the carrier for
+//! `// lint: allow(...)` annotations). Everything the lints match on —
+//! `.unwrap()` chains, `#[cfg(test)]` regions, `match` arms on verb strings,
+//! guard bindings — is a short token pattern over this stream, which is why
+//! comments, character literals, lifetimes, and raw strings must be consumed
+//! correctly (a `'` mistaken for a char literal would swallow half the file)
+//! but need no structure of their own.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier, keyword, or numeric literal (numbers appear as
+    /// receivers of tuple-field locks, e.g. `self.0.lock()`).
+    Ident(String),
+    /// A string literal (content without quotes, escapes left as written).
+    Str(String),
+    /// Any other single character of punctuation.
+    Punct(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+/// A `//` line comment (doc comments included), without the slashes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based source line the comment starts on.
+    pub line: u32,
+    /// Comment text after the leading slashes.
+    pub text: String,
+    /// Whether the comment is the first thing on its line (`false` for a
+    /// trailing comment after code). Annotation scope depends on this: a
+    /// trailing `lint: allow` covers its own line, an own-line one covers
+    /// the next code line.
+    pub own_line: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// The token stream (comments and whitespace removed).
+    pub tokens: Vec<Token>,
+    /// Line comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+impl Token {
+    fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Whether the token is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.ident() == Some(name)
+    }
+
+    /// Whether the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// The identifier text, or `""` for non-identifiers.
+    pub fn ident_or_empty(&self) -> &str {
+        self.ident().unwrap_or("")
+    }
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated literals
+/// simply consume to end of file (the lints then see fewer tokens, which can
+/// only under-report on files `rustc` would reject anyway).
+pub fn lex(src: &str) -> Lexed {
+    Lexer { chars: src.chars().collect(), pos: 0, line: 1, out: Lexed::default() }.run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+impl Lexer {
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if c.is_whitespace() => self.pos += 1,
+                '/' if self.peek(1) == Some('/') => self.line_comment(),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => self.string_literal(),
+                '\'' => self.char_or_lifetime(),
+                _ if c.is_alphabetic() || c == '_' => self.ident_or_prefixed_literal(),
+                _ if c.is_ascii_digit() => self.number(),
+                _ => {
+                    self.push_punct(c);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn push_punct(&mut self, c: char) {
+        self.out.tokens.push(Token { kind: TokKind::Punct(c), line: self.line });
+    }
+
+    /// Whether any token has been emitted on the current line already.
+    fn line_has_code(&self) -> bool {
+        self.out.tokens.last().is_some_and(|t| t.line == self.line)
+    }
+
+    fn line_comment(&mut self) {
+        let start_line = self.line;
+        let own_line = !self.line_has_code();
+        self.pos += 2;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment { line: start_line, text, own_line });
+    }
+
+    fn block_comment(&mut self) {
+        self.pos += 2;
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (Some('\n'), _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                (Some(_), _) => self.pos += 1,
+                (None, _) => return,
+            }
+        }
+    }
+
+    /// A `"…"` literal with escapes; multi-line strings keep the line count
+    /// honest. The token records the content with escapes unprocessed, which
+    /// is exact for the verb literals the protocol lint compares.
+    fn string_literal(&mut self) {
+        let start_line = self.line;
+        self.pos += 1;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => {
+                    text.push(c);
+                    if let Some(escaped) = self.peek(1) {
+                        if escaped == '\n' {
+                            self.line += 1;
+                        }
+                        text.push(escaped);
+                    }
+                    self.pos += 2;
+                }
+                '"' => {
+                    self.pos += 1;
+                    break;
+                }
+                '\n' => {
+                    self.line += 1;
+                    text.push(c);
+                    self.pos += 1;
+                }
+                _ => {
+                    text.push(c);
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out.tokens.push(Token { kind: TokKind::Str(text), line: start_line });
+    }
+
+    /// `r"…"` / `r#"…"#` (any number of `#`s), already positioned past the
+    /// optional `b`/`r` prefix handling in the caller.
+    fn raw_string(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.pos += 1;
+        }
+        let start_line = self.line;
+        debug_assert_eq!(self.peek(0), Some('"'));
+        self.pos += 1;
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '"' && (0..hashes).all(|i| self.peek(1 + i) == Some('#')) {
+                self.pos += 1 + hashes;
+                self.out.tokens.push(Token { kind: TokKind::Str(text), line: start_line });
+                return;
+            }
+            if c == '\n' {
+                self.line += 1;
+            }
+            text.push(c);
+            self.pos += 1;
+        }
+        self.out.tokens.push(Token { kind: TokKind::Str(text), line: start_line });
+    }
+
+    /// Distinguishes `'a'` (char literal, consumed silently) from `'a`
+    /// (lifetime, consumed silently) — both are invisible to the lints, but
+    /// mis-lexing either would derail everything after it.
+    fn char_or_lifetime(&mut self) {
+        let next = self.peek(1);
+        let is_lifetime =
+            matches!(next, Some(c) if c.is_alphabetic() || c == '_') && self.peek(2) != Some('\'');
+        if is_lifetime {
+            self.pos += 1;
+            while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                self.pos += 1;
+            }
+            return;
+        }
+        // Char literal: consume to the closing quote, honoring escapes.
+        self.pos += 1;
+        while let Some(c) = self.peek(0) {
+            match c {
+                '\\' => self.pos += 2,
+                '\'' => {
+                    self.pos += 1;
+                    return;
+                }
+                '\n' => {
+                    // Stray quote (e.g. inside a macro). Do not swallow the
+                    // rest of the file.
+                    return;
+                }
+                _ => self.pos += 1,
+            }
+        }
+    }
+
+    /// Identifiers, with the raw-string / byte-string / raw-identifier
+    /// prefixes (`r"`, `r#"`, `b"`, `br"`, `r#ident`) peeled off first.
+    fn ident_or_prefixed_literal(&mut self) {
+        let c = self.peek(0).unwrap_or(' ');
+        if c == 'r' || c == 'b' {
+            let mut ahead = 1;
+            if c == 'b' && self.peek(1) == Some('r') {
+                ahead = 2;
+            }
+            let mut probe = ahead;
+            while self.peek(probe) == Some('#') {
+                probe += 1;
+            }
+            if self.peek(probe) == Some('"') && (c != 'b' || ahead == 2 || probe == ahead) {
+                if probe == ahead && ahead == 1 && c == 'b' {
+                    // b"…": an escaped string, not a raw one.
+                    self.pos += 1;
+                    self.string_literal();
+                } else {
+                    self.pos += ahead;
+                    self.raw_string();
+                }
+                return;
+            }
+            if c == 'r' && self.peek(1) == Some('#') {
+                // Raw identifier r#ident.
+                self.pos += 2;
+            }
+        }
+        let line = self.line;
+        let mut name = String::new();
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            name.push(self.chars[self.pos]);
+            self.pos += 1;
+        }
+        self.out.tokens.push(Token { kind: TokKind::Ident(name), line });
+    }
+
+    /// Numbers become `Ident` tokens: the lints only care that `self.0` has
+    /// a "name" before `.lock()`. `0.lock()` must lex as `0` `.` `lock`, so
+    /// a `.` is only folded into the number when a digit follows it.
+    fn number(&mut self) {
+        let line = self.line;
+        let mut text = String::new();
+        while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+            text.push(self.chars[self.pos]);
+            self.pos += 1;
+        }
+        if self.peek(0) == Some('.') && matches!(self.peek(1), Some(c) if c.is_ascii_digit()) {
+            text.push('.');
+            self.pos += 1;
+            while matches!(self.peek(0), Some(c) if c.is_alphanumeric() || c == '_') {
+                text.push(self.chars[self.pos]);
+                self.pos += 1;
+            }
+        }
+        self.out.tokens.push(Token { kind: TokKind::Ident(text), line });
+    }
+}
+
+/// Returns the index of the matching close delimiter for the open delimiter
+/// at `open` (which must be `(`, `[`, or `{`), or `None` when unbalanced.
+pub fn matching_close(tokens: &[Token], open: usize) -> Option<usize> {
+    let (open_c, close_c) = match tokens.get(open)?.kind {
+        TokKind::Punct('(') => ('(', ')'),
+        TokKind::Punct('[') => ('[', ']'),
+        TokKind::Punct('{') => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (i, tok) in tokens.iter().enumerate().skip(open) {
+        if tok.is_punct(open_c) {
+            depth += 1;
+        } else if tok.is_punct(close_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+/// Returns the index of the matching open delimiter for the close delimiter
+/// at `close`, scanning backwards.
+pub fn matching_open(tokens: &[Token], close: usize) -> Option<usize> {
+    let (open_c, close_c) = match tokens.get(close)?.kind {
+        TokKind::Punct(')') => ('(', ')'),
+        TokKind::Punct(']') => ('[', ']'),
+        TokKind::Punct('}') => ('{', '}'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for i in (0..=close).rev() {
+        if tokens[i].is_punct(close_c) {
+            depth += 1;
+        } else if tokens[i].is_punct(open_c) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(i);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_strings_and_lifetimes_are_consumed() {
+        let src = r##"
+            // a comment with .unwrap() inside
+            /* block /* nested */ still comment .expect( */
+            fn f<'a>(x: &'a str) -> char { 'x' }
+            let s = "quoted .unwrap() text";
+            let r = r#"raw "string" body"#;
+            let b = b"bytes \" here";
+        "##;
+        let names = idents(src);
+        assert!(!names.contains(&"unwrap".to_string()));
+        assert!(!names.contains(&"expect".to_string()));
+        assert!(names.contains(&"char".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let s = \"a\nb\";\nfoo();\n";
+        let lexed = lex(src);
+        let foo = lexed.tokens.iter().find(|t| t.is_ident("foo")).expect("foo token");
+        assert_eq!(foo.line, 3);
+    }
+
+    #[test]
+    fn tuple_field_receiver_lexes_as_parts() {
+        let lexed = lex("self.0.lock()");
+        let names: Vec<_> = lexed.tokens.iter().map(|t| t.ident_or_empty().to_string()).collect();
+        assert_eq!(names, vec!["self", "", "0", "", "lock", "", ""]);
+    }
+
+    #[test]
+    fn char_literal_quote_does_not_swallow_file() {
+        let names = idents("let c = '\"'; target.unwrap()");
+        assert!(names.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let lexed = lex("fn f() {}\n// lint: allow(panic-freedom, ok)\nfn g() {}\n");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 2);
+        assert!(lexed.comments[0].text.contains("lint: allow"));
+    }
+
+    #[test]
+    fn delimiter_matching() {
+        // Only the requested delimiter kind is counted: `f(a[b], g(c))`
+        // closes its outer paren at index 11.
+        let lexed = lex("f(a[b], g(c))");
+        assert_eq!(matching_close(&lexed.tokens, 1), Some(11));
+        assert_eq!(matching_open(&lexed.tokens, 11), Some(1));
+        assert_eq!(matching_close(&lexed.tokens, 3), Some(5));
+    }
+}

@@ -1,0 +1,141 @@
+//! Lint 3 — atomic-ordering audit.
+//!
+//! `Ordering::Relaxed` is correct for pure counters: increments whose result
+//! nobody reads back, aggregated later by `load`. The moment a relaxed
+//! read-modify-write's *return value* feeds program logic (a ticket, an id,
+//! a CAS decision), the ordering becomes part of the synchronization
+//! protocol and deserves either a stronger ordering or an explicit
+//! `relaxed-ok` annotation explaining why relaxed still works.
+
+use crate::lexer::{matching_close, TokKind, Token};
+use crate::lints::chain_start;
+use crate::{Finding, Rule};
+
+const RMW_METHODS: [&str; 12] = [
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_nand",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Runs the atomic-ordering lint over one file's tokens.
+pub fn check(path: &str, tokens: &[Token], masked: &[bool]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (i, tok) in tokens.iter().enumerate() {
+        if masked[i] || !tok.is_punct('.') {
+            continue;
+        }
+        let Some(method) = tokens.get(i + 1).map(|t| t.ident_or_empty()) else { continue };
+        if !RMW_METHODS.contains(&method) {
+            continue;
+        }
+        let Some(open) = (i + 2 < tokens.len() && tokens[i + 2].is_punct('(')).then_some(i + 2)
+        else {
+            continue;
+        };
+        let Some(close) = matching_close(tokens, open) else { continue };
+        let orderings: Vec<&str> = tokens[open + 1..close]
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(name) if ORDERINGS.contains(&name.as_str()) => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        if orderings.is_empty() || orderings.iter().any(|o| *o != "Relaxed") {
+            continue;
+        }
+        if result_is_discarded(tokens, i, close) {
+            continue;
+        }
+        findings.push(Finding::new(
+            path,
+            tokens[i + 1].line,
+            Rule::AtomicOrdering,
+            format!(
+                "relaxed `{method}` result is consumed — this is synchronization, not a \
+                 counter; use a stronger ordering or annotate `relaxed-ok` with a proof"
+            ),
+        ));
+    }
+    findings
+}
+
+/// A pure counter bump is a whole statement of the form
+/// `receiver.chain.fetch_add(…);` — the statement starts at the receiver and
+/// the call's value falls off the end. Anything else (a `let`, an enclosing
+/// expression, arithmetic on the result) consumes the result.
+fn result_is_discarded(tokens: &[Token], dot: usize, close: usize) -> bool {
+    if !tokens.get(close + 1).is_some_and(|t| t.is_punct(';')) {
+        return false;
+    }
+    if dot == 0 {
+        return true;
+    }
+    let start = chain_start(tokens, dot - 1);
+    start == 0
+        || matches!(
+            tokens[start - 1].kind,
+            TokKind::Punct(';') | TokKind::Punct('{') | TokKind::Punct('}')
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        let masked = vec![false; lexed.tokens.len()];
+        check("f.rs", &lexed.tokens, &masked)
+    }
+
+    #[test]
+    fn discarded_counter_bump_is_fine() {
+        assert!(run("fn f() { self.hits.fetch_add(1, Ordering::Relaxed); }").is_empty());
+        assert!(run("fn f() { self.buckets[idx(us)].fetch_add(1, Ordering::Relaxed); }").is_empty());
+        assert!(run("fn f() { self.max.fetch_max(us, Ordering::Relaxed); }").is_empty());
+    }
+
+    #[test]
+    fn consumed_results_fire() {
+        let in_expr = "fn f() -> u64 { self.tick.fetch_add(1, Ordering::Relaxed) + 1 }";
+        assert_eq!(run(in_expr).len(), 1);
+        let in_let = "fn f() { let t = self.tick.fetch_add(1, Ordering::Relaxed); use_it(t); }";
+        assert_eq!(run(in_let).len(), 1);
+        let as_arg = "fn f() { g(self.tick.fetch_add(1, Ordering::Relaxed)); }";
+        assert_eq!(run(as_arg).len(), 1);
+    }
+
+    #[test]
+    fn stronger_orderings_are_fine() {
+        assert!(
+            run("fn f() { let t = self.tick.fetch_add(1, Ordering::AcqRel); g(t); }").is_empty()
+        );
+        let cas = "fn f() { let r = x.compare_exchange(a, b, Ordering::AcqRel, \
+                   Ordering::Relaxed); g(r); }";
+        assert!(run(cas).is_empty(), "mixed orderings are not all-relaxed");
+    }
+
+    #[test]
+    fn relaxed_cas_fires() {
+        let cas = "fn f() -> bool { x.compare_exchange(a, b, Ordering::Relaxed, \
+                   Ordering::Relaxed).is_ok() }";
+        assert_eq!(run(cas).len(), 1);
+    }
+
+    #[test]
+    fn non_atomic_methods_without_ordering_are_ignored() {
+        assert!(run("fn f() { let x = map.swap(a, b); g(x); }").is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! The four lint passes and their shared token-walking helpers.
+
+pub mod atomics;
+pub mod locks;
+pub mod panics;
+pub mod protocol;
+
+use crate::lexer::{matching_open, TokKind, Token};
+
+/// Walks left from `end` (the last token of a receiver expression, i.e. the
+/// token just before a `.method` dot) to the first token of the whole chain:
+/// `self.tick.fetch_add` → index of `self`, `registry.get(name).lock` →
+/// index of `registry`, `Foo::bar().baz` → index of `Foo`.
+pub(crate) fn chain_start(tokens: &[Token], end: usize) -> usize {
+    let mut j = end;
+    loop {
+        // Step over the current chain segment.
+        match tokens[j].kind {
+            TokKind::Punct(')') | TokKind::Punct(']') => {
+                let Some(open) = matching_open(tokens, j) else { return j };
+                j = open;
+                // A call's callee / an indexed receiver sits directly left.
+                if j > 0 && matches!(tokens[j - 1].kind, TokKind::Ident(_)) {
+                    j -= 1;
+                }
+            }
+            TokKind::Ident(_) => {}
+            _ => return j,
+        }
+        // Continue through `.` or `::` connectors, else the chain starts here.
+        if j >= 2 && tokens[j - 1].is_punct('.') {
+            j -= 2;
+        } else if j >= 3 && tokens[j - 1].is_punct(':') && tokens[j - 2].is_punct(':') {
+            j -= 3;
+        } else {
+            return j;
+        }
+    }
+}
+
+/// The receiver identifier of a `.method()` call whose `.` is at `dot`:
+/// the plain identifier (`databases`, `handle`, `0`), the callee of a call
+/// (`stripe` in `self.stripe(k).lock()`), or the indexed collection
+/// (`shards` in `self.shards[i].lock()`). `None` when the receiver is not
+/// nameable (e.g. a parenthesized expression).
+pub(crate) fn receiver_name(tokens: &[Token], dot: usize) -> Option<String> {
+    if dot == 0 {
+        return None;
+    }
+    let j = dot - 1;
+    match &tokens[j].kind {
+        TokKind::Ident(name) => Some(name.clone()),
+        TokKind::Punct(')') | TokKind::Punct(']') => {
+            let open = matching_open(tokens, j)?;
+            match open.checked_sub(1).map(|k| &tokens[k].kind) {
+                Some(TokKind::Ident(name)) => Some(name.clone()),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn dot_before(src: &str, method: &str) -> (Vec<Token>, usize) {
+        let tokens = lex(src).tokens;
+        let at = tokens.iter().position(|t| t.is_ident(method)).unwrap();
+        (tokens, at - 1)
+    }
+
+    #[test]
+    fn receiver_of_plain_field() {
+        let (tokens, dot) = dot_before("self.databases.lock()", "lock");
+        assert_eq!(receiver_name(&tokens, dot).as_deref(), Some("databases"));
+    }
+
+    #[test]
+    fn receiver_of_accessor_call_and_index() {
+        let (tokens, dot) = dot_before("self.stripe(fp).lock()", "lock");
+        assert_eq!(receiver_name(&tokens, dot).as_deref(), Some("stripe"));
+        let (tokens, dot) = dot_before("self.shards[i].lock()", "lock");
+        assert_eq!(receiver_name(&tokens, dot).as_deref(), Some("shards"));
+    }
+
+    #[test]
+    fn chain_start_walks_calls_and_paths() {
+        let (tokens, dot) = dot_before("let x = self.tick.fetch_add(1)", "fetch_add");
+        assert!(tokens[chain_start(&tokens, dot - 1)].is_ident("self"));
+        let (tokens, dot) = dot_before("y = Foo::bar(a, b).baz()", "baz");
+        assert!(tokens[chain_start(&tokens, dot - 1)].is_ident("Foo"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Lint 4 — wire-protocol exhaustiveness.
+//!
+//! The NDJSON protocol has one source of truth: the verb match in
+//! `Request::parse` (`crates/server/src/protocol.rs`). Everything else must
+//! track it. For every verb parsed there, this lint requires:
+//!
+//! - a README mention (a backticked `` `verb` `` or an `"op":"verb"`
+//!   example) so the protocol section cannot silently fall behind; and
+//! - an entry in the server's `VERBS` table, which drives the
+//!   `requests_by_verb` stats counters and the Prometheus per-verb series.
+//!
+//! The reverse direction is checked too: a `VERBS` entry without a parse arm
+//! is a stats row that can never tick.
+
+use crate::lexer::{lex, matching_close, TokKind, Token};
+use crate::{Finding, Rule};
+
+/// A verb extracted from a match arm, with its source line.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Verb {
+    /// The wire-level op name.
+    pub name: String,
+    /// 1-based line of the match arm in protocol.rs.
+    pub line: u32,
+}
+
+/// Extracts the verbs matched by `pub fn parse` in protocol.rs source:
+/// string literals in arm position (`"verb" =>` or `"a" | "b" =>`).
+pub fn parse_verbs(protocol_src: &str) -> Vec<Verb> {
+    let tokens = lex(protocol_src).tokens;
+    let Some(body) = parse_fn_body(&tokens) else { return Vec::new() };
+    let mut verbs = Vec::new();
+    for i in body.clone() {
+        let TokKind::Str(value) = &tokens[i].kind else { continue };
+        let arm = match tokens.get(i + 1).map(|t| &t.kind) {
+            Some(TokKind::Punct('|')) => true,
+            Some(TokKind::Punct('=')) => tokens.get(i + 2).is_some_and(|t| t.is_punct('>')),
+            _ => false,
+        };
+        if arm && !verbs.iter().any(|v: &Verb| v.name == *value) {
+            verbs.push(Verb { name: value.clone(), line: tokens[i].line });
+        }
+    }
+    verbs
+}
+
+/// The token index range of the body of `pub fn parse`.
+fn parse_fn_body(tokens: &[Token]) -> Option<std::ops::Range<usize>> {
+    for i in 0..tokens.len().saturating_sub(2) {
+        if tokens[i].is_ident("pub")
+            && tokens[i + 1].is_ident("fn")
+            && tokens[i + 2].is_ident("parse")
+        {
+            let open = (i + 3..tokens.len()).find(|&j| tokens[j].is_punct('{'))?;
+            let close = matching_close(tokens, open)?;
+            return Some(open + 1..close);
+        }
+    }
+    None
+}
+
+/// Extracts the string entries of the `const VERBS` table in server.rs.
+pub fn verbs_table(server_src: &str) -> Vec<Verb> {
+    let tokens = lex(server_src).tokens;
+    for i in 0..tokens.len().saturating_sub(1) {
+        if !(tokens[i].is_ident("const") && tokens[i + 1].is_ident("VERBS")) {
+            continue;
+        }
+        let Some(open) = (i + 2..tokens.len()).find(|&j| {
+            tokens[j].is_punct('[')
+                && tokens.get(j + 1).is_some_and(|t| matches!(t.kind, TokKind::Str(_)))
+        }) else {
+            continue;
+        };
+        let Some(close) = matching_close(&tokens, open) else { continue };
+        return tokens[open + 1..close]
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Str(value) => Some(Verb { name: value.clone(), line: t.line }),
+                _ => None,
+            })
+            .collect();
+    }
+    Vec::new()
+}
+
+/// Runs the exhaustiveness check given the three artifacts' contents.
+/// `readme`/`server_src` are `None` when the file is missing entirely.
+pub fn check(
+    protocol_path: &str,
+    protocol_src: &str,
+    readme: Option<&str>,
+    server_path: &str,
+    server_src: Option<&str>,
+) -> Vec<Finding> {
+    let verbs = parse_verbs(protocol_src);
+    let mut findings = Vec::new();
+    if verbs.is_empty() {
+        return findings;
+    }
+    for verb in &verbs {
+        let documented = readme.is_some_and(|text| {
+            text.contains(&format!("`{}`", verb.name))
+                || text.contains(&format!("\"op\":\"{}\"", verb.name))
+                || text.contains(&format!("\"op\": \"{}\"", verb.name))
+        });
+        if !documented {
+            findings.push(Finding::new(
+                protocol_path,
+                verb.line,
+                Rule::WireProtocol,
+                format!("verb `{}` has no README protocol section", verb.name),
+            ));
+        }
+    }
+    let table = server_src.map(verbs_table).unwrap_or_default();
+    for verb in &verbs {
+        if !table.iter().any(|t| t.name == verb.name) {
+            findings.push(Finding::new(
+                protocol_path,
+                verb.line,
+                Rule::WireProtocol,
+                format!(
+                    "verb `{}` is missing from the server `VERBS` table (requests_by_verb)",
+                    verb.name
+                ),
+            ));
+        }
+    }
+    for entry in &table {
+        if !verbs.iter().any(|v| v.name == entry.name) {
+            findings.push(Finding::new(
+                server_path,
+                entry.line,
+                Rule::WireProtocol,
+                format!("`VERBS` lists `{}` but Request::parse has no arm for it", entry.name),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROTOCOL: &str = r#"
+        impl Request {
+            pub fn parse(line: &str) -> Result<Request, String> {
+                match op {
+                    "prepare" => Ok(Request::Prepare),
+                    "solve" | "solve_batch" => todo(),
+                    other => Err(format!("unknown op `{other}`")),
+                }
+            }
+        }
+        fn parse_name(json: &Json) -> Result<String, String> {
+            match kind { "nested" => here, _ => there }
+        }
+    "#;
+
+    #[test]
+    fn verbs_come_only_from_pub_fn_parse() {
+        let verbs: Vec<String> = parse_verbs(PROTOCOL).into_iter().map(|v| v.name).collect();
+        assert_eq!(verbs, vec!["prepare", "solve", "solve_batch"]);
+    }
+
+    #[test]
+    fn verbs_table_extraction() {
+        let src = "const VERBS: [&str; 2] = [\"prepare\", \"solve\"];";
+        let names: Vec<String> = verbs_table(src).into_iter().map(|v| v.name).collect();
+        assert_eq!(names, vec!["prepare", "solve"]);
+    }
+
+    #[test]
+    fn missing_readme_and_table_entries_fire() {
+        let readme = "Use `prepare` first, then send {\"op\":\"solve\"} lines.";
+        let server = "const VERBS: [&str; 2] = [\"prepare\", \"retired_verb\"];";
+        let findings = check("p.rs", PROTOCOL, Some(readme), "s.rs", Some(server));
+        let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(findings.len(), 4);
+        assert!(messages.iter().any(|m| m.contains("`solve_batch` has no README")));
+        assert!(messages.iter().any(|m| m.contains("`solve_batch` is missing")));
+        assert!(messages.iter().any(|m| m.contains("`solve` is missing")));
+        assert!(messages.iter().any(|m| m.contains("`retired_verb`")));
+    }
+
+    #[test]
+    fn consistent_artifacts_are_clean() {
+        let readme = "`prepare`, `solve`, `solve_batch` are documented here.";
+        let server = "const VERBS: [&str; 3] = [\"prepare\", \"solve\", \"solve_batch\"];";
+        assert!(check("p.rs", PROTOCOL, Some(readme), "s.rs", Some(server)).is_empty());
+    }
+}

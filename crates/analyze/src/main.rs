@@ -1,0 +1,40 @@
+#![forbid(unsafe_code)]
+//! CLI for the workspace lints: `cargo run -p rpq-analyze [root]`.
+//!
+//! Exit codes: `0` clean (suppressed findings allowed), `1` findings,
+//! `2` usage or I/O error.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let root = match rpq_analyze::root_from_args(&args) {
+        Ok(root) => root,
+        Err(usage) => {
+            eprintln!("{usage}");
+            return ExitCode::from(2);
+        }
+    };
+    match rpq_analyze::analyze_workspace(&root) {
+        Ok(report) => {
+            for finding in &report.findings {
+                println!("{finding}");
+            }
+            println!(
+                "rpq-analyze: {} files, {} findings ({} suppressed by `lint: allow`)",
+                report.files,
+                report.findings.len(),
+                report.suppressed
+            );
+            if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("rpq-analyze: cannot analyze {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,11 @@
+// Clean fixture: every parsed verb is documented and counted.
+
+impl Request {
+    pub fn parse(line: &str) -> Result<Request, String> {
+        match op {
+            "solve" => Ok(Request::Solve),
+            "stats" => Ok(Request::Stats),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+}

@@ -1,0 +1,3 @@
+// Clean fixture: the VERBS table matches the parse arms exactly.
+
+const VERBS: [&str; 2] = ["solve", "stats"];

@@ -1,0 +1,7 @@
+// Clean fixture: one would-be finding, suppressed by a reasoned allow —
+// proves suppression counts without tripping the exit code.
+
+pub fn head(v: &[u8]) -> u8 {
+    // lint: allow(panic-freedom, fixture proves reasoned suppression works)
+    v.first().copied().unwrap()
+}

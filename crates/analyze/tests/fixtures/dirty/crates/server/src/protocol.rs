@@ -1,0 +1,12 @@
+// Seeded-violation fixture: `mystery` is parsed but neither documented in
+// the fixture README nor listed in the fixture `VERBS` table.
+
+impl Request {
+    pub fn parse(line: &str) -> Result<Request, String> {
+        match op {
+            "solve" => Ok(Request::Solve),
+            "mystery" => Ok(Request::Mystery),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+}

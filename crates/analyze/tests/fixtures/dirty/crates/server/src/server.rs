@@ -1,0 +1,3 @@
+// Seeded-violation fixture: `ghost` has a stats slot but no parse arm.
+
+const VERBS: [&str; 2] = ["solve", "ghost"];

@@ -1,0 +1,24 @@
+// Seeded-violation fixture for the per-file lints. Expected findings:
+// panic-freedom (unwrap + two indexings), lock-discipline (recv while
+// holding the ready-queue lock), atomic-ordering (consumed relaxed RMW),
+// and annotation (an allow with no reason).
+
+impl Worker {
+    pub fn run(&self) {
+        let guard = self.ready.lock().unwrap();
+        guard.recv();
+    }
+
+    pub fn ticket(&self) -> u64 {
+        self.count.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    pub fn head(v: &[u8]) -> u8 {
+        v[0]
+    }
+
+    // lint: allow(panic-freedom)
+    pub fn oops(v: &[u8]) -> u8 {
+        v[1]
+    }
+}

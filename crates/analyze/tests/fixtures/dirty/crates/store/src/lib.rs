@@ -1,0 +1,18 @@
+// Seeded-violation fixture: the two functions acquire the registry and a
+// database handle in opposite orders, producing a lock-order cycle
+// (store.registry -> store.database -> store.registry). The unwraps are
+// additional panic-freedom findings.
+
+impl Store {
+    fn forward(&self) {
+        let databases = self.databases.lock().unwrap();
+        let handle = self.handle.lock().unwrap();
+        databases.touch(&handle);
+    }
+
+    fn backward(&self) {
+        let handle = self.handle.lock().unwrap();
+        let databases = self.databases.lock().unwrap();
+        handle.touch(&databases);
+    }
+}

@@ -37,6 +37,7 @@
 //! assert!(!rpq_automata::local::is_local(&aa));
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod alphabet;
 pub mod derivative;
 pub mod dfa;

@@ -6,6 +6,7 @@
 //! under `crates/bench/benches/`; this library hosts the instance generators
 //! so that the same workloads can also be regenerated from tests.
 
+#![forbid(unsafe_code)]
 pub mod workloads;
 
 pub use workloads::*;

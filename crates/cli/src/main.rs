@@ -31,6 +31,7 @@
 //! per line, `source label target [multiplicity] [!]` (a trailing `!` marks
 //! the fact exogenous, i.e. un-removable), `#` for comments.
 
+#![forbid(unsafe_code)]
 use std::io::Write;
 use std::process::ExitCode;
 

@@ -76,7 +76,7 @@ impl ChainPlan {
         let mut reversed_digrams: BTreeSet<(Letter, Letter)> = BTreeSet::new();
         let mut relevant_letters: BTreeSet<Letter> = BTreeSet::new();
         for word in &words {
-            let first = word.first().expect("words have length ≥ 2");
+            let Some(first) = word.first() else { continue };
             relevant_letters.extend(word.iter());
             let digrams = word.letters().windows(2).map(|p| (p[0], p[1]));
             if source_letters.contains(&first) {
@@ -85,8 +85,8 @@ impl ChainPlan {
                 reversed_digrams.extend(digrams);
             }
         }
-        let endpoint_first: BTreeSet<Letter> = words.iter().map(|w| w.first().unwrap()).collect();
-        let endpoint_last: BTreeSet<Letter> = words.iter().map(|w| w.last().unwrap()).collect();
+        let endpoint_first: BTreeSet<Letter> = words.iter().filter_map(|w| w.first()).collect();
+        let endpoint_last: BTreeSet<Letter> = words.iter().filter_map(|w| w.last()).collect();
 
         Ok(ChainPlan {
             epsilon,

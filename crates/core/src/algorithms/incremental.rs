@@ -115,6 +115,19 @@ pub(crate) struct IncrementalLocalState {
     residual_warm: bool,
 }
 
+/// Verifies the retained incremental flow against the scratch's network:
+/// `Ok` when no incremental state is retained yet, otherwise the full
+/// residual-consistency walk of [`CsrFlow::check_flow_consistency`]. Exposed
+/// through [`crate::engine::IncrementalSolver::check_consistency`] for churn
+/// tests; `debug_assert!`ed after every incremental resume.
+pub(crate) fn check_consistency(scratch: &SolveScratch) -> Result<(), String> {
+    let Some(state) = &scratch.incremental else { return Ok(()) };
+    if !scratch.csr.is_frozen() {
+        return Err("incremental state retained on an unfrozen network".to_string());
+    }
+    scratch.csr.check_flow_consistency(&state.edge_flows, state.total_flow)
+}
+
 /// The per-fact capacity in the incremental network.
 fn fact_cap(semantics: Semantics, multiplicity: u64, exogenous: bool) -> u128 {
     if exogenous {
@@ -171,6 +184,7 @@ impl IncrementalLocalState {
 
     /// Appends a fresh fact edge (capacity > 0) for `key`.
     fn push_fact(&mut self, csr: &mut CsrFlow, ro: &RoEnfa, key: (u32, Letter, u32), cap: u128) {
+        // lint: allow(panic-freedom, facts are only staged for letters the automaton reads)
         let (s, s_prime) = ro.letter_transition(key.1).expect("fact label has a transition");
         let e = csr.add_edge(
             self.product(key.0, s),
@@ -304,6 +318,7 @@ impl IncrementalLocalState {
                 Some(&e) => {
                     let old_cap = match csr.edge_capacity(e) {
                         Capacity::Finite(c) => c,
+                        // lint: allow(panic-freedom, push_fact only creates finite capacities)
                         Capacity::Infinite => unreachable!("incremental edges are finite"),
                     };
                     if old_cap == new_cap {
@@ -444,6 +459,7 @@ pub(crate) fn solve_incremental_local(
     }
 
     let SolveScratch { csr, flow: flow_scratch, incremental, .. } = scratch;
+    // lint: allow(panic-freedom, the branch above just built or patched the state)
     let state = incremental.as_mut().expect("state was just built or patched");
     // A delta that only patched capacities leaves the freeze (and the
     // residual arrays of the previous resume) intact: resume warm, repairing
@@ -464,6 +480,11 @@ pub(crate) fn solve_incremental_local(
         if warm { Some(&state.dirty) } else { None },
     );
     state.residual_warm = true;
+    debug_assert_eq!(
+        csr.check_flow_consistency(&state.edge_flows, state.total_flow),
+        Ok(()),
+        "incremental resume left an infeasible retained flow"
+    );
     let value = ResilienceValue::from(cut.value);
     trace.end(resume_timer, "flow_resume");
     let witness_timer = trace.begin();
@@ -476,6 +497,7 @@ pub(crate) fn solve_incremental_local(
     debug_assert!(
         value.is_infinite()
             || facts.is_none()
+            // lint: allow(panic-freedom, debug-only assertion guarded by the is_none disjunct)
             || rpq.is_contingency_set(db, &facts.as_ref().unwrap().iter().copied().collect()),
         "the incremental cut must map to a contingency set"
     );

@@ -208,6 +208,7 @@ pub fn classify_with_neutral_letter(language: &Language) -> Option<Classificatio
                 .iter()
                 .map(|x| Word::from_letters([x, x]))
                 .find(|w| if_language.contains(w))
+                // lint: allow(panic-freedom, Lemma 5.8 proves the witness word exists in this branch)
                 .expect("Lemma 5.8: a non-local, non-four-legged IF(L) with a neutral letter contains xx");
             Some(Classification::NpHard(HardnessReason::RepeatedLetter { witness_word: xx }))
         }
@@ -265,6 +266,7 @@ pub fn figure1_rows() -> Vec<Figure1Row> {
         .map(|(pattern, expected)| Figure1Row {
             pattern,
             expected,
+            // lint: allow(panic-freedom, the Figure 1 pattern table is static and covered by tests)
             computed: classify(&Language::parse(pattern).expect("Figure 1 patterns parse")),
         })
         .collect()

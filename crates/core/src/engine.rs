@@ -246,6 +246,16 @@ impl IncrementalSolver {
     pub fn new() -> IncrementalSolver {
         IncrementalSolver::default()
     }
+
+    /// Verifies the retained incremental state against the flow network it
+    /// describes: capacity bounds per edge, conservation at every interior
+    /// vertex, and source/target net flow matching the recorded value.
+    /// `Ok(())` when nothing is retained yet (fresh solver, or a plan that
+    /// fell back to full solves). Debug builds run the same walk after every
+    /// incremental resume; tests call this between churn rounds.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        crate::algorithms::incremental::check_consistency(&self.scratch)
+    }
 }
 
 /// A query whose full plan (classification, automata, decompositions, chosen
@@ -706,6 +716,7 @@ impl PreparedQuery {
         for worker_trace in &worker_traces {
             trace.merge(worker_trace);
         }
+        // lint: allow(panic-freedom, the scoped workers above fill every chunk slot before joining)
         results.into_iter().map(|r| r.expect("every chunk slot is filled")).collect()
     }
 

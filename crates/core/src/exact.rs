@@ -122,6 +122,7 @@ fn branch(
 /// property-based tests.
 pub fn resilience_by_enumeration(rpq: &Rpq, db: &GraphDb) -> ResilienceValue {
     resilience_by_enumeration_limited(rpq, db, DEFAULT_ENUMERATION_LIMIT)
+        // lint: allow(panic-freedom, test oracle documented to require at most 24 facts)
         .expect("subset enumeration is limited to 24 facts")
 }
 

@@ -219,7 +219,9 @@ pub fn theorem_5_3_case_1_gadget(witness: &CartesianViolation) -> Result<PreGadg
     let beta_prime = &witness.beta;
     let gamma_prime = &witness.gamma;
     let delta_prime = &witness.delta;
-    let endpoint_letter = alpha_prime.first().expect("non-empty leg");
+    let endpoint_letter = alpha_prime
+        .first()
+        .ok_or_else(|| GadgetError("Theorem 5.3 requires non-empty legs".into()))?;
     let alpha_tail = alpha_prime.slice(1, alpha_prime.len());
 
     let mut sketch = Sketch::new();
@@ -385,6 +387,7 @@ fn prop_7_11_db() -> (GraphDb, rpq_graphdb::NodeId, rpq_graphdb::NodeId) {
 /// figure (7 edges).
 pub fn gadget_abcd_be_ef() -> PreGadget {
     let (db, t_in, t_out) = prop_7_11_db();
+    // lint: allow(panic-freedom, the static Figure 15 database is verified by tests)
     PreGadget::new(db, t_in, t_out, Letter('a')).expect("Figure 15 pre-gadget is well-formed")
 }
 

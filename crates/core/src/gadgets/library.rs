@@ -47,6 +47,7 @@ pub fn gadget_aa_with_letter(a: Letter) -> PreGadget {
     db.add_fact(n1, a, n2);
     db.add_fact(n2, a, n3);
     db.add_fact(t_out, a, n2);
+    // lint: allow(panic-freedom, the static Figure 3b database is verified by tests)
     PreGadget::new(db, t_in, t_out, a).expect("Figure 3b pre-gadget is well-formed")
 }
 
@@ -87,6 +88,7 @@ pub fn gadget_axb_cxd() -> PreGadget {
         let t = db.node(dst);
         db.add_fact(s, Letter(label), t);
     }
+    // lint: allow(panic-freedom, the static Figure 4a database is verified by tests)
     PreGadget::new(db, t_in, t_out, Letter('a')).expect("Figure 4a pre-gadget is well-formed")
 }
 
@@ -111,6 +113,7 @@ pub fn gadget_ab_bc_ca() -> PreGadget {
         let t = db.node(dst);
         db.add_fact(s, Letter(label), t);
     }
+    // lint: allow(panic-freedom, the static Figure 13 database is verified by tests)
     PreGadget::new(db, t_in, t_out, Letter('a')).expect("Figure 13 pre-gadget is well-formed")
 }
 

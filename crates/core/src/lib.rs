@@ -55,6 +55,7 @@
 //! assert_eq!(result.value, ResilienceValue::Finite(1));
 //! ```
 
+#![forbid(unsafe_code)]
 pub mod algorithms;
 pub mod approx;
 pub mod classify;

@@ -373,6 +373,7 @@ impl CsrFlow {
                 scratch.prepare_push_relabel(self.num_vertices);
                 push_relabel(self, scratch)
             }
+            // lint: allow(panic-freedom, resolve never returns Auto)
             FlowAlgorithm::Auto => unreachable!("Auto resolves to a concrete backend"),
         };
         self.extract_cut(scratch, flow, self.infinite_cap)
@@ -401,6 +402,7 @@ impl CsrFlow {
                 scratch.prepare_push_relabel(self.num_vertices);
                 push_relabel(self, scratch)
             }
+            // lint: allow(panic-freedom, resolve never returns Auto)
             FlowAlgorithm::Auto => unreachable!("Auto resolves to a concrete backend"),
         };
         let solve_us = solve_start.elapsed().as_micros() as u64;
@@ -408,6 +410,71 @@ impl CsrFlow {
         let cut = self.extract_cut(scratch, flow, self.infinite_cap);
         let extract_us = extract_start.elapsed().as_micros() as u64;
         (cut, CutTimings { backend, solve_us, extract_us })
+    }
+
+    /// Verifies that a persistent flow assignment (as maintained by
+    /// [`min_cut_resume`](CsrFlow::min_cut_resume) callers) is a feasible
+    /// flow of value `total_flow` on the frozen network: every edge carries
+    /// at most its capacity (`Infinite` maps to the freeze's finite proxy),
+    /// tombstoned zero-capacity edges carry nothing, interior vertices
+    /// conserve flow, and the source's net outflow — which must equal the
+    /// target's net inflow — is exactly `total_flow`.
+    ///
+    /// Returns a description of the first violated invariant. The walk is
+    /// `O(V + E)`; it is meant for `debug_assert!` hooks and churn tests,
+    /// not hot paths.
+    pub fn check_flow_consistency(
+        &self,
+        edge_flows: &[u128],
+        total_flow: u128,
+    ) -> Result<(), String> {
+        if !self.frozen {
+            return Err("network is not frozen".to_string());
+        }
+        if edge_flows.len() != self.edge_from.len() {
+            return Err(format!(
+                "{} retained flows for {} arena edges",
+                edge_flows.len(),
+                self.edge_from.len()
+            ));
+        }
+        let mut inflow = vec![0u128; self.num_vertices];
+        let mut outflow = vec![0u128; self.num_vertices];
+        for (e, &flow) in edge_flows.iter().enumerate() {
+            if self.edge_arc[e] == NO_ARC {
+                if flow != 0 {
+                    return Err(format!("zero-capacity edge {e} carries flow {flow}"));
+                }
+                continue;
+            }
+            let cap =
+                if self.edge_cap[e] == INFINITE { self.infinite_cap } else { self.edge_cap[e] };
+            if flow > cap {
+                return Err(format!("edge {e} carries flow {flow} above its capacity {cap}"));
+            }
+            let (from, to) = (self.edge_from[e] as usize, self.edge_to[e] as usize);
+            outflow[from] = outflow[from].saturating_add(flow);
+            inflow[to] = inflow[to].saturating_add(flow);
+        }
+        let (source, target) = (self.source as usize, self.target as usize);
+        for v in 0..self.num_vertices {
+            if v == source || v == target {
+                continue;
+            }
+            if inflow[v] != outflow[v] {
+                return Err(format!("vertex {v} receives {} but sends {}", inflow[v], outflow[v]));
+            }
+        }
+        let source_net = outflow[source].checked_sub(inflow[source]);
+        let target_net = inflow[target].checked_sub(outflow[target]);
+        match (source_net, target_net) {
+            (Some(s), Some(t)) if s == total_flow && t == total_flow => Ok(()),
+            _ => Err(format!(
+                "net source outflow {:?} / target inflow {:?} do not match the \
+                 recorded total flow {total_flow}",
+                source_net, target_net
+            )),
+        }
     }
 
     /// Computes a minimum cut **warm-started** from a retained feasible flow:
@@ -513,6 +580,7 @@ impl CsrFlow {
         let added = match algorithm {
             FlowAlgorithm::Dinic => dinic(self, scratch, Some(edge_flows)),
             FlowAlgorithm::EdmondsKarp => edmonds_karp(self, scratch, Some(edge_flows)),
+            // lint: allow(panic-freedom, resume_policy only returns augmenting-path backends)
             _ => unreachable!("resume runs an augmenting-path backend"),
         };
         *total_flow += added;
@@ -1409,6 +1477,50 @@ mod tests {
         );
         assert_eq!(cut.value, Capacity::Infinite);
         assert!(cut.cut_edges.is_empty());
+    }
+
+    #[test]
+    fn flow_consistency_checker_accepts_and_rejects() {
+        // Path 0 -> 1 -> 2 with capacities 5 and 3: max flow 3.
+        let net = simple_network(&[(0, 1, 5), (1, 2, 3)], 3, 0, 2);
+        let mut csr = CsrFlow::from_network(&net);
+        csr.freeze();
+        assert_eq!(csr.check_flow_consistency(&[3, 3], 3), Ok(()));
+        // Value 0 with no flow is also feasible.
+        assert_eq!(csr.check_flow_consistency(&[0, 0], 0), Ok(()));
+        // Wrong vector length.
+        assert!(csr.check_flow_consistency(&[3], 3).is_err());
+        // Over capacity on the second edge.
+        assert!(csr.check_flow_consistency(&[4, 4], 4).is_err());
+        // Conservation broken at vertex 1.
+        assert!(csr.check_flow_consistency(&[3, 2], 3).is_err());
+        // Feasible flow, wrong recorded total.
+        assert!(csr.check_flow_consistency(&[3, 3], 2).is_err());
+        // Unfrozen networks cannot be checked (`from_network` freezes, so
+        // build by hand).
+        let mut unfrozen = CsrFlow::new();
+        let a = unfrozen.add_vertices(2);
+        unfrozen.set_source(a);
+        unfrozen.set_target(VertexId(1));
+        unfrozen.add_edge(a, VertexId(1), Capacity::Finite(1));
+        assert!(unfrozen.check_flow_consistency(&[0], 0).is_err());
+    }
+
+    #[test]
+    fn flow_consistency_checker_handles_zero_capacity_edges() {
+        let mut csr = CsrFlow::new();
+        let v = csr.add_vertices(3);
+        let (a, b, c) = (v, VertexId(1), VertexId(2));
+        csr.set_source(a);
+        csr.set_target(c);
+        csr.add_edge(a, b, Capacity::Finite(2));
+        let dead = csr.add_edge(b, c, Capacity::Finite(0)); // tombstone: no arcs
+        csr.add_edge(b, c, Capacity::Infinite);
+        csr.freeze();
+        assert_eq!(csr.edge_arc[dead.index()], NO_ARC);
+        assert_eq!(csr.check_flow_consistency(&[2, 0, 2], 2), Ok(()));
+        // A tombstoned edge must carry no flow.
+        assert!(csr.check_flow_consistency(&[2, 2, 0], 2).is_err());
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub fn max_flow(network: &FlowNetwork) -> MaxFlow {
         let mut bottleneck = u128::MAX;
         let mut v = target;
         while v != source {
+            // lint: allow(panic-freedom, BFS reached the target so the predecessor chain is set)
             let ai = pred[v].expect("path exists");
             bottleneck = bottleneck.min(arcs[ai].residual());
             v = arcs[ai ^ 1].to;
@@ -74,6 +75,7 @@ pub fn max_flow(network: &FlowNetwork) -> MaxFlow {
         // Augment.
         let mut v = target;
         while v != source {
+            // lint: allow(panic-freedom, BFS reached the target so the predecessor chain is set)
             let ai = pred[v].expect("path exists");
             arcs[ai].flow += bottleneck;
             arcs[ai ^ 1].capacity += bottleneck;

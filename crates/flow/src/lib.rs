@@ -20,6 +20,7 @@
 //!   [`mincut::FlowAlgorithm::Auto`], which picks the winning backend per
 //!   instance (Dinic on small networks, push–relabel on large ones).
 
+#![forbid(unsafe_code)]
 pub mod auto;
 pub mod csr;
 pub mod dinic;

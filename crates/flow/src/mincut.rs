@@ -60,6 +60,7 @@ impl FlowAlgorithm {
             FlowAlgorithm::Dinic => crate::dinic::max_flow(network),
             FlowAlgorithm::EdmondsKarp => crate::edmonds_karp::max_flow(network),
             FlowAlgorithm::PushRelabel => crate::push_relabel::max_flow(network),
+            // lint: allow(panic-freedom, resolve never returns Auto)
             FlowAlgorithm::Auto => unreachable!("Auto resolves to a concrete backend"),
         }
     }

@@ -168,11 +168,13 @@ impl FlowNetwork {
 
     /// The source vertex (panics if unset).
     pub fn source(&self) -> VertexId {
+        // lint: allow(panic-freedom, documented panicking accessor; callers set endpoints first)
         self.source.expect("source vertex not set")
     }
 
     /// The target vertex (panics if unset).
     pub fn target(&self) -> VertexId {
+        // lint: allow(panic-freedom, documented panicking accessor; callers set endpoints first)
         self.target.expect("target vertex not set")
     }
 

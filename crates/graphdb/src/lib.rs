@@ -15,6 +15,7 @@
 //!   one-dangling instances);
 //! * a small text format ([`text`]) for examples and tests.
 
+#![forbid(unsafe_code)]
 pub mod db;
 pub mod delta;
 pub mod eval;

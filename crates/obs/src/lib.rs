@@ -20,8 +20,9 @@
 //! * [`prom`] — helpers emitting the Prometheus text exposition format
 //!   (`# HELP` / `# TYPE` headers, labeled samples, histogram series).
 
+#![forbid(unsafe_code)]
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Number of histogram buckets: upper bounds `1, 2, 4, …, 2^26` µs (≈ 67 s)
@@ -281,7 +282,10 @@ impl MetricsRegistry {
     /// The histogram of `key`, created on first use. The returned handle
     /// records lock-free and may be cached by the caller.
     pub fn histogram(&self, key: MetricsKey) -> Arc<Histogram> {
-        let mut shard = self.shards[self.shard_of(&key)].lock().unwrap();
+        // Recording never panics while holding the shard lock, but recover
+        // from poisoning anyway: metrics must not take down a worker.
+        let mut shard =
+            self.shards[self.shard_of(&key)].lock().unwrap_or_else(PoisonError::into_inner);
         if let Some((_, h)) = shard.iter().find(|(k, _)| *k == key) {
             return Arc::clone(h);
         }
@@ -294,7 +298,7 @@ impl MetricsRegistry {
     pub fn snapshot(&self) -> Vec<(MetricsKey, HistogramSnapshot)> {
         let mut all: Vec<(MetricsKey, HistogramSnapshot)> = Vec::new();
         for stripe in &self.shards {
-            let shard = stripe.lock().unwrap();
+            let shard = stripe.lock().unwrap_or_else(PoisonError::into_inner);
             all.extend(shard.iter().map(|(k, h)| (*k, h.snapshot())));
         }
         all.sort_by_key(|(key, _)| *key);

@@ -36,7 +36,7 @@ use rpq_resilience::engine::{Engine, PreparedQuery, SolveOptions};
 use rpq_resilience::rpq::{Rpq, Semantics};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// The collision-free cache key: canonical language + everything else the
 /// plan depends on.
@@ -158,6 +158,7 @@ impl QueryCache {
     /// share a stripe regardless of options, so a hot language contends on
     /// exactly one lock and different languages spread over all of them.
     fn stripe(&self, fingerprint: u64) -> &Mutex<Inner> {
+        // lint: allow(panic-freedom, modulo of the stripe count is always in range)
         &self.stripes[(fingerprint % self.stripes.len() as u64) as usize]
     }
 
@@ -214,7 +215,9 @@ impl QueryCache {
     }
 
     fn lookup(&self, fingerprint: u64, key: &CacheKey) -> Option<Arc<PreparedQuery>> {
-        let mut inner = self.stripe(fingerprint).lock().expect("cache stripe lock");
+        // A poisoned stripe still holds a structurally valid map (every
+        // mutation below is panic-free), so recover instead of unwinding.
+        let mut inner = self.stripe(fingerprint).lock().unwrap_or_else(PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         inner.entries.get_mut(key).map(|entry| {
@@ -229,7 +232,7 @@ impl QueryCache {
         key: CacheKey,
         prepared: Arc<PreparedQuery>,
     ) -> Arc<PreparedQuery> {
-        let mut inner = self.stripe(fingerprint).lock().expect("cache stripe lock");
+        let mut inner = self.stripe(fingerprint).lock().unwrap_or_else(PoisonError::into_inner);
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(existing) = inner.entries.get_mut(&key) {
@@ -239,12 +242,9 @@ impl QueryCache {
             return Arc::clone(&existing.prepared);
         }
         while inner.entries.len() >= self.stripe_capacity {
-            let oldest = inner
-                .entries
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-                .expect("non-empty stripe above capacity");
+            let oldest =
+                inner.entries.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone());
+            let Some(oldest) = oldest else { break };
             inner.entries.remove(&oldest);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -254,8 +254,11 @@ impl QueryCache {
 
     /// The current counters (entries summed over all stripes).
     pub fn stats(&self) -> CacheStats {
-        let entries =
-            self.stripes.iter().map(|s| s.lock().expect("cache stripe lock").entries.len()).sum();
+        let entries = self
+            .stripes
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).entries.len())
+            .sum();
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),

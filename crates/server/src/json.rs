@@ -216,7 +216,7 @@ impl Parser<'_> {
     }
 
     fn parse_literal(&mut self, literal: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+        if self.bytes.get(self.pos..).is_some_and(|tail| tail.starts_with(literal.as_bytes())) {
             self.pos += literal.len();
             Ok(value)
         } else {
@@ -272,7 +272,11 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        let text = self
+            .bytes
+            .get(start..self.pos)
+            .and_then(|digits| std::str::from_utf8(digits).ok())
+            .ok_or_else(|| self.error("invalid number"))?;
         if !is_float {
             if let Ok(i) = text.parse::<i128>() {
                 return Ok(Json::Int(i));
@@ -309,7 +313,11 @@ impl Parser<'_> {
                             let high = self.parse_hex4()?;
                             let c = if (0xD800..0xDC00).contains(&high) {
                                 // Surrogate pair: expect a `\uXXXX` low half.
-                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                if self
+                                    .bytes
+                                    .get(self.pos..)
+                                    .is_some_and(|tail| tail.starts_with(b"\\u"))
+                                {
                                     self.pos += 2;
                                     let low = self.parse_hex4()?;
                                     if !(0xDC00..0xE000).contains(&low) {
@@ -350,8 +358,10 @@ impl Parser<'_> {
                         _ => 4,
                     };
                     let end = (self.pos + len).min(self.bytes.len());
-                    let c = std::str::from_utf8(&self.bytes[self.pos..end])
-                        .ok()
+                    let c = self
+                        .bytes
+                        .get(self.pos..end)
+                        .and_then(|b| std::str::from_utf8(b).ok())
                         .and_then(|s| s.chars().next())
                         .ok_or_else(|| self.error("invalid UTF-8"))?;
                     out.push(c);
@@ -366,6 +376,7 @@ impl Parser<'_> {
         if end > self.bytes.len() {
             return Err(self.error("truncated \\u escape"));
         }
+        // lint: allow(panic-freedom, the range is length-checked just above)
         let digits = std::str::from_utf8(&self.bytes[self.pos..end])
             .map_err(|_| self.error("invalid \\u escape"))?;
         let value =

@@ -38,6 +38,7 @@
 //! repository README; `rpq-cli serve` / `rpq-cli client` are the command-line
 //! front ends.
 
+#![forbid(unsafe_code)]
 pub mod cache;
 pub mod client;
 pub mod json;

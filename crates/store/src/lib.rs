@@ -26,6 +26,7 @@
 //! solves on different databases run concurrently. Lock order is always
 //! registry → database, never the reverse.
 
+#![forbid(unsafe_code)]
 use rpq_graphdb::delta::{changes_from_db, materialize, parse_patch, FactChange};
 use rpq_graphdb::text::{self, ParseError};
 use rpq_graphdb::GraphDb;
@@ -35,7 +36,7 @@ use rpq_resilience::engine::{IncrementalSolver, PreparedQuery, SolveMode};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Configuration of a [`Store`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +98,13 @@ pub enum StoreError {
     },
     /// A database or patch body failed to parse.
     Parse(ParseError),
+    /// The store's own invariants broke mid-request (for example a database
+    /// lock poisoned by a panicking writer). The request fails with a typed
+    /// error instead of unwinding the worker.
+    Internal {
+        /// What broke, for the error message.
+        detail: &'static str,
+    },
 }
 
 impl StoreError {
@@ -108,6 +116,7 @@ impl StoreError {
             StoreError::UnknownDatabase { .. } => "unknown_database",
             StoreError::UnknownSnapshot { .. } => "unknown_snapshot",
             StoreError::Parse(_) => "parse",
+            StoreError::Internal { .. } => "internal",
         }
     }
 }
@@ -126,6 +135,7 @@ impl fmt::Display for StoreError {
                 write!(f, "unknown snapshot {snapshot:?} of database {database:?}")
             }
             StoreError::Parse(e) => write!(f, "parse error: {e}"),
+            StoreError::Internal { detail } => write!(f, "internal store error: {detail}"),
         }
     }
 }
@@ -192,6 +202,7 @@ impl Database {
             m.last_used = tick;
             return (Arc::clone(&m.graph), false);
         }
+        // lint: allow(panic-freedom, resolve checks every offset against the log length)
         let graph = Arc::new(materialize(&self.log[..offset]));
         self.materialized.push(Materialization {
             offset,
@@ -318,13 +329,19 @@ impl Store {
     }
 
     fn next_tick(&self) -> u64 {
+        // Ticks only order LRU stamps; uniqueness comes from the atomic RMW
+        // itself and cross-thread visibility rides the database locks.
+        // lint: allow(relaxed-ok, ticks are LRU stamps with no synchronization role)
         self.tick.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     fn database(&self, name: &str) -> Result<Arc<Mutex<Database>>, StoreError> {
+        // The registry map itself stays valid across a poisoning panic
+        // (insert/remove of Arc handles cannot leave it half-updated), so
+        // recover rather than fail every subsequent request.
         self.databases
             .lock()
-            .expect("store registry lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .get(name)
             .map(Arc::clone)
             .ok_or_else(|| StoreError::UnknownDatabase { name: name.to_string() })
@@ -345,7 +362,7 @@ impl Store {
         let graph = text::parse(body)?;
         let log = changes_from_db(&graph);
         let handle = {
-            let mut registry = self.databases.lock().expect("store registry lock");
+            let mut registry = self.databases.lock().unwrap_or_else(PoisonError::into_inner);
             if !registry.contains_key(name) && registry.len() >= self.config.capacity {
                 return Err(StoreError::StoreFull { capacity: self.config.capacity });
             }
@@ -355,7 +372,9 @@ impl Store {
         let facts = graph.num_facts();
         let snapshot = log.len();
         {
-            let mut db = handle.lock().expect("database lock");
+            let mut db = handle
+                .lock()
+                .map_err(|_| StoreError::Internal { detail: "database lock poisoned" })?;
             db.log_bytes = log.iter().map(FactChange::log_bytes).sum();
             db.log = log;
             db.named.clear();
@@ -374,7 +393,8 @@ impl Store {
         self.check_body(body.len())?;
         let changes = parse_patch(body)?;
         let handle = self.database(name)?;
-        let mut db = handle.lock().expect("database lock");
+        let mut db =
+            handle.lock().map_err(|_| StoreError::Internal { detail: "database lock poisoned" })?;
         db.log_bytes += changes.iter().map(FactChange::log_bytes).sum::<usize>();
         let applied = changes.len();
         db.log.extend(changes);
@@ -391,7 +411,8 @@ impl Store {
         at: Option<SnapshotRef>,
     ) -> Result<usize, StoreError> {
         let handle = self.database(name)?;
-        let mut db = handle.lock().expect("database lock");
+        let mut db =
+            handle.lock().map_err(|_| StoreError::Internal { detail: "database lock poisoned" })?;
         let offset = db.resolve(name, &at.unwrap_or(SnapshotRef::Head))?;
         db.named.insert(snapshot_name.to_string(), offset);
         Ok(offset)
@@ -407,7 +428,9 @@ impl Store {
         let handle = self.database(name)?;
         let tick = self.next_tick();
         let (offset, graph, built) = {
-            let mut db = handle.lock().expect("database lock");
+            let mut db = handle
+                .lock()
+                .map_err(|_| StoreError::Internal { detail: "database lock poisoned" })?;
             let offset = db.resolve(name, snapshot)?;
             let (graph, built) = db.materialize_at(offset, tick);
             (offset, graph, built)
@@ -450,14 +473,18 @@ impl Store {
         let tick = self.next_tick();
         let (offset, graph, built, result) = {
             let materialize_timer = trace.begin();
-            let mut db = handle.lock().expect("database lock");
+            let mut db = handle
+                .lock()
+                .map_err(|_| StoreError::Internal { detail: "database lock poisoned" })?;
             let offset = db.resolve(name, snapshot)?;
             let (graph, built) = db.materialize_at(offset, tick);
             trace.end(materialize_timer, "materialize");
             let Database { log, session, .. } = &mut *db;
             let result = match session {
                 Some(s) if Arc::ptr_eq(&s.plan, prepared) && s.offset <= offset => {
+                    // lint: allow(panic-freedom, session offsets never pass the resolve-checked head)
                     let delta = &log[s.offset..offset];
+                    // lint: allow(lock-discipline, solves serialize per database under its own lock by design)
                     let result = prepared.solve_incremental_traced(
                         &mut s.solver,
                         &graph,
@@ -484,6 +511,7 @@ impl Store {
                         offset,
                         solver: IncrementalSolver::new(),
                     };
+                    // lint: allow(lock-discipline, solves serialize per database under its own lock by design)
                     let result = prepared.solve_incremental_traced(
                         &mut s.solver,
                         &graph,
@@ -515,13 +543,13 @@ impl Store {
     /// Summaries of every hosted database, in name order.
     pub fn list(&self) -> Vec<DatabaseInfo> {
         let handles: Vec<(String, Arc<Mutex<Database>>)> = {
-            let registry = self.databases.lock().expect("store registry lock");
+            let registry = self.databases.lock().unwrap_or_else(PoisonError::into_inner);
             registry.iter().map(|(n, h)| (n.clone(), Arc::clone(h))).collect()
         };
         let mut infos: Vec<DatabaseInfo> = handles
             .into_iter()
             .map(|(name, handle)| {
-                let db = handle.lock().expect("database lock");
+                let db = handle.lock().unwrap_or_else(PoisonError::into_inner);
                 DatabaseInfo {
                     facts: db
                         .materialized
@@ -544,7 +572,7 @@ impl Store {
 
     /// Drops the database `name` (idempotent). Returns whether it existed.
     pub fn drop_database(&self, name: &str) -> bool {
-        self.databases.lock().expect("store registry lock").remove(name).is_some()
+        self.databases.lock().unwrap_or_else(PoisonError::into_inner).remove(name).is_some()
     }
 
     /// Aggregate metrics over all hosted databases.
@@ -573,7 +601,7 @@ impl Store {
         let budget = self.config.capacity.max(1);
         loop {
             let handles: Vec<Arc<Mutex<Database>>> = {
-                let registry = self.databases.lock().expect("store registry lock");
+                let registry = self.databases.lock().unwrap_or_else(PoisonError::into_inner);
                 registry.values().map(Arc::clone).collect()
             };
             let mut total = 0usize;

@@ -28,6 +28,7 @@
 //! * a positional command-line argument filters benchmarks by substring, as
 //!   with real Criterion.
 
+#![forbid(unsafe_code)]
 use std::collections::BTreeMap;
 use std::fmt::Display;
 use std::sync::Mutex;

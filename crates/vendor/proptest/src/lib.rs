@@ -17,6 +17,7 @@
 //! * `prop_assert!` family delegates to the standard `assert!` family (a
 //!   failure is a panic, which the libtest harness reports normally).
 
+#![forbid(unsafe_code)]
 pub mod strategy;
 
 pub mod test_runner {

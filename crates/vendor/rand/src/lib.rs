@@ -8,6 +8,7 @@
 //! rely on per-seed reproducibility, not on matching upstream `rand` streams)
 //! and statistically solid for test and benchmark instance generation.
 
+#![forbid(unsafe_code)]
 /// A source of randomness: the object-safe core of [`Rng`].
 pub trait RngCore {
     /// Returns the next 64 uniformly distributed bits.

@@ -5,6 +5,8 @@
 //! - [`graphdb`]: edge-labeled graph databases with bag semantics
 //! - [`flow`]: max-flow / min-cut
 //! - [`resilience`]: resilience algorithms, hardness gadgets, and the classifier
+
+#![forbid(unsafe_code)]
 pub use rpq_automata as automata;
 pub use rpq_flow as flow;
 pub use rpq_graphdb as graphdb;

@@ -83,6 +83,11 @@ fn churn(pattern: &str, bag: bool, seed: u64, rounds: usize) -> usize {
         if mode == SolveMode::Incremental {
             incremental_snapshots += 1;
         }
+        // The retained flow must stay feasible after every edit batch:
+        // capacity bounds, conservation, and the recorded total.
+        solver
+            .check_consistency()
+            .unwrap_or_else(|e| panic!("{pattern} round {round}: inconsistent residuals: {e}"));
         let fresh = prepared.solve_with_cut(&db, want_cut).unwrap();
         assert_eq!(
             incremental.value, fresh.value,
