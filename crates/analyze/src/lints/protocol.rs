@@ -11,6 +11,13 @@
 //!
 //! The reverse direction is checked too: a `VERBS` entry without a parse arm
 //! is a stats row that can never tick.
+//!
+//! Beyond the verbs, the per-request **query settings** (the `json.get("…")`
+//! lookups of `parse_query_spec` — `bag`, `flow`, `want_cut`, `deadline_ms`,
+//! `cost_budget_us`, …) and the solve **response fields** (the literal keys
+//! of `outcome_json` / `tiered_outcome_json` — `value`, `bounds`, `tier`,
+//! `degraded`, `route`, …) must each have a backticked README mention, so a
+//! new wire field cannot ship undocumented.
 
 use crate::lexer::{lex, matching_close, TokKind, Token};
 use crate::{Finding, Rule};
@@ -57,6 +64,52 @@ fn parse_fn_body(tokens: &[Token]) -> Option<std::ops::Range<usize>> {
         }
     }
     None
+}
+
+/// The token index range of the body of `fn <name>` (any visibility).
+fn named_fn_body(tokens: &[Token], name: &str) -> Option<std::ops::Range<usize>> {
+    for i in 0..tokens.len().saturating_sub(1) {
+        if tokens[i].is_ident("fn") && tokens[i + 1].is_ident(name) {
+            let open = (i + 2..tokens.len()).find(|&j| tokens[j].is_punct('{'))?;
+            let close = matching_close(tokens, open)?;
+            return Some(open + 1..close);
+        }
+    }
+    None
+}
+
+/// The query settings parsed by `parse_query_spec`: every string literal in
+/// a `json.get("…")` lookup inside its body.
+pub fn query_spec_fields(protocol_src: &str) -> Vec<Verb> {
+    let tokens = lex(protocol_src).tokens;
+    let Some(body) = named_fn_body(&tokens, "parse_query_spec") else { return Vec::new() };
+    let mut fields = Vec::new();
+    for i in body {
+        let TokKind::Str(value) = &tokens[i].kind else { continue };
+        let is_get = i >= 2 && tokens[i - 1].is_punct('(') && tokens[i - 2].is_ident("get");
+        if is_get && !fields.iter().any(|f: &Verb| f.name == *value) {
+            fields.push(Verb { name: value.clone(), line: tokens[i].line });
+        }
+    }
+    fields
+}
+
+/// The solve response fields: every string literal in key position (directly
+/// after `(`, i.e. the first element of a `("key", value)` pair) inside the
+/// bodies of `outcome_json` and `tiered_outcome_json`.
+pub fn response_fields(protocol_src: &str) -> Vec<Verb> {
+    let tokens = lex(protocol_src).tokens;
+    let mut fields: Vec<Verb> = Vec::new();
+    for renderer in ["outcome_json", "tiered_outcome_json"] {
+        let Some(body) = named_fn_body(&tokens, renderer) else { continue };
+        for i in body {
+            let TokKind::Str(value) = &tokens[i].kind else { continue };
+            if i >= 1 && tokens[i - 1].is_punct('(') && !fields.iter().any(|f| f.name == *value) {
+                fields.push(Verb { name: value.clone(), line: tokens[i].line });
+            }
+        }
+    }
+    fields
 }
 
 /// Extracts the string entries of the `const VERBS` table in server.rs.
@@ -113,6 +166,22 @@ pub fn check(
             ));
         }
     }
+    for (fields, kind) in [
+        (query_spec_fields(protocol_src), "query setting"),
+        (response_fields(protocol_src), "response field"),
+    ] {
+        for field in fields {
+            let documented = readme.is_some_and(|text| text.contains(&format!("`{}`", field.name)));
+            if !documented {
+                findings.push(Finding::new(
+                    protocol_path,
+                    field.line,
+                    Rule::WireProtocol,
+                    format!("{kind} `{}` has no backticked README mention", field.name),
+                ));
+            }
+        }
+    }
     let table = server_src.map(verbs_table).unwrap_or_default();
     for verb in &verbs {
         if !table.iter().any(|t| t.name == verb.name) {
@@ -163,6 +232,50 @@ mod tests {
     fn verbs_come_only_from_pub_fn_parse() {
         let verbs: Vec<String> = parse_verbs(PROTOCOL).into_iter().map(|v| v.name).collect();
         assert_eq!(verbs, vec!["prepare", "solve", "solve_batch"]);
+    }
+
+    const FIELDS: &str = r#"
+        fn parse_query_spec(json: &Json) -> Result<QuerySpec, String> {
+            let bag = json.get("bag");
+            let deadline_ms = match json.get("deadline_ms") { _ => None };
+            let oops = format!("not a field: {}", "loose literal");
+            Ok(QuerySpec { bag, deadline_ms })
+        }
+        pub fn outcome_json(outcome: &O) -> Json {
+            let mut pairs = vec![("value", value_json(outcome.value))];
+            pairs.push(("bounds", Json::Array(vec![])));
+            Json::object(pairs)
+        }
+        pub fn tiered_outcome_json(tiered: &T) -> Json {
+            let mut pairs = vec![];
+            pairs.push(("tier".to_string(), Json::Str(tiered.tier.to_string())));
+            Json::Object(pairs)
+        }
+    "#;
+
+    #[test]
+    fn query_settings_and_response_fields_are_extracted() {
+        let fields: Vec<String> = query_spec_fields(FIELDS).into_iter().map(|f| f.name).collect();
+        assert_eq!(fields, vec!["bag", "deadline_ms"]);
+        let fields: Vec<String> = response_fields(FIELDS).into_iter().map(|f| f.name).collect();
+        assert_eq!(fields, vec!["value", "bounds", "tier"]);
+    }
+
+    #[test]
+    fn undocumented_fields_fire_and_documented_ones_stay_clean() {
+        let src = format!("{PROTOCOL}\n{FIELDS}");
+        let server = "const VERBS: [&str; 3] = [\"prepare\", \"solve\", \"solve_batch\"];";
+        let clean = "`prepare`, `solve`, `solve_batch`: settings `bag` and `deadline_ms`; \
+                     responses carry `value`, `bounds` and `tier`.";
+        assert!(check("p.rs", &src, Some(clean), "s.rs", Some(server)).is_empty());
+        // Drop `deadline_ms` and `tier` from the docs: one finding each.
+        let stale = "`prepare`, `solve`, `solve_batch`: settings `bag`; \
+                     responses carry `value` and `bounds`.";
+        let findings = check("p.rs", &src, Some(stale), "s.rs", Some(server));
+        let messages: Vec<&str> = findings.iter().map(|f| f.message.as_str()).collect();
+        assert_eq!(findings.len(), 2, "{messages:?}");
+        assert!(messages.iter().any(|m| m.contains("query setting `deadline_ms`")));
+        assert!(messages.iter().any(|m| m.contains("response field `tier`")));
     }
 
     #[test]

@@ -42,6 +42,7 @@ use rpq_resilience::algorithms::{Algorithm, ResilienceOutcome};
 use rpq_resilience::classify::{classify, figure1_rows};
 use rpq_resilience::engine::{Engine, SolveOptions};
 use rpq_resilience::gadgets::families::find_gadget;
+use rpq_resilience::router::{RouteBudget, Router, TieredOutcome};
 use rpq_resilience::rpq::Rpq;
 use rpq_server::{
     run_pipe, Client, Json, QuerySpec, Request, Server, ServerConfig, ServerState, SnapshotSel,
@@ -52,11 +53,13 @@ usage:
   rpq-cli classify '<regex>'
   rpq-cli resilience '<regex>' <db.txt>... [--bag] [--algorithm <name>] [--flow <name>]
           [--enumeration-limit <n>] [--show-cut] [--no-cut] [--jobs <n>]
+          [--deadline-ms <n>] [--cost-budget-us <n>]
   rpq-cli gadget '<regex>'
   rpq-cli figure1
   rpq-cli serve [--port <p>] [--pipe] [--threads <n>] [--cache-capacity <n>]
           [--cache-shards <n>] [--jobs <n>] [--flow <name>] [--enumeration-limit <n>]
           [--store-capacity <n>] [--store-body-limit <bytes>] [--slow-query-log <us>]
+          [--shed-queue-depth <n>] [--shed-cost-budget <us>]
   rpq-cli client [--addr <host:port>] prepare '<regex>' [query options]
   rpq-cli client [--addr <host:port>] solve '<regex>' <db.txt>... [query options]
   rpq-cli client [--addr <host:port>] db-put <name> <db.txt>
@@ -93,6 +96,16 @@ client query options: [--bag] [--algorithm <name>] [--flow <name>] [--enumeratio
                       [--no-cut] (value-only response: sends want_cut=false)
                       [--jobs <n>] (parallel per-database solving server-side)
                       [--trace] (per-phase timings in the response: sends trace=true)
+                      [--deadline-ms <n>] [--cost-budget-us <n>] (deadline-aware routing:
+                      the server answers exactly when the projected cost fits, else
+                      degrades to certified [lower, upper] bounds; responses report
+                      the answering `tier` and a `route` reason)
+deadline-ms / cost-budget-us: on `resilience`, route locally through the cost
+      model — over-budget solves degrade to certified bounds instead of running
+      the planned backend; the tier line reports which tier answered and why.
+      On `serve`, --shed-queue-depth / --shed-cost-budget tune the overload
+      shedding (a ready-queue deeper than the threshold tightens every solve
+      budget so the backlog drains with certified degraded answers)
 client: `solve` with several databases sends one solve_batch request
 client metrics: prints the server's Prometheus text exposition (latency
         histograms by verb/family/tier/backend, cache, store and connection
@@ -206,6 +219,7 @@ fn cmd_resilience(pattern: &str, args: &[String]) -> Result<(), String> {
     let mut options = SolveOptions::default();
     let mut show_cut = false;
     let mut jobs: usize = 1;
+    let mut budget = RouteBudget::UNLIMITED;
     let mut paths: Vec<&String> = Vec::new();
     let mut iter = args.iter();
     while let Some(option) = iter.next() {
@@ -225,6 +239,12 @@ fn cmd_resilience(pattern: &str, args: &[String]) -> Result<(), String> {
                 options.enumeration_limit = parse_number("--enumeration-limit", iter.next())?;
             }
             "--jobs" => jobs = parse_number("--jobs", iter.next())?,
+            "--deadline-ms" => {
+                budget.deadline_ms = Some(parse_number("--deadline-ms", iter.next())?);
+            }
+            "--cost-budget-us" => {
+                budget.cost_budget_us = Some(parse_number("--cost-budget-us", iter.next())?);
+            }
             other if other.starts_with("--") => return Err(format!("unknown option `{other}`")),
             _ => paths.push(option),
         }
@@ -247,10 +267,22 @@ fn cmd_resilience(pattern: &str, args: &[String]) -> Result<(), String> {
     if options.flow_backend != FlowAlgorithm::default() {
         outln!("flow backend    : {}", options.flow_backend);
     }
-    let report = |path: &str, db: &GraphDb, outcome: &ResilienceOutcome| {
+    let budgeted = budget.deadline_ms.is_some() || budget.cost_budget_us.is_some();
+    let report = |path: &str, db: &GraphDb, tiered: &TieredOutcome| {
+        let outcome = &tiered.outcome;
         outln!();
         outln!("database        : {path} ({} nodes, {} facts)", db.num_nodes(), db.num_facts());
         outln!("algorithm       : {}", outcome.algorithm);
+        // Budget routing is opt-in on the command line; without a budget the
+        // tier lines would repeat the plan on every database.
+        if budgeted {
+            outln!(
+                "tier            : {}{}",
+                tiered.tier,
+                if tiered.degraded { " (degraded)" } else { "" }
+            );
+            outln!("route           : {}", tiered.reason);
+        }
         match outcome.bounds {
             Some((lower, upper)) if lower != upper => {
                 outln!("resilience      : in [{lower}, {upper}] (certified bounds)")
@@ -263,11 +295,12 @@ fn cmd_resilience(pattern: &str, args: &[String]) -> Result<(), String> {
             }
         }
     };
+    let router = Router::new();
     if jobs > 1 {
         // `--jobs n`: load everything, solve the whole batch on scoped
         // threads, then print in file order.
         let dbs = paths.iter().map(|path| load_database(path)).collect::<Result<Vec<_>, _>>()?;
-        let outcomes = prepared.solve_batch_parallel(&dbs, jobs);
+        let outcomes = prepared.route_batch_parallel(&dbs, jobs, &budget, &router);
         for ((path, db), outcome) in paths.iter().zip(&dbs).zip(outcomes) {
             report(path, db, &outcome.map_err(|e| e.to_string())?);
         }
@@ -276,8 +309,10 @@ fn cmd_resilience(pattern: &str, args: &[String]) -> Result<(), String> {
         // solved (earlier results survive a later file failing to load).
         for path in paths {
             let db = load_database(path)?;
-            let outcome = prepared.solve(&db).map_err(|e| e.to_string())?;
-            report(path, &db, &outcome);
+            let tiered = prepared
+                .route_with_cut(&db, options.want_cut, &budget, &router)
+                .map_err(|e| e.to_string())?;
+            report(path, &db, &tiered);
         }
     }
     Ok(())
@@ -377,6 +412,12 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             "--slow-query-log" => {
                 config.slow_query_log_us = Some(parse_number("--slow-query-log", iter.next())?);
             }
+            "--shed-queue-depth" => {
+                config.shed_queue_depth = parse_number("--shed-queue-depth", iter.next())?;
+            }
+            "--shed-cost-budget" => {
+                config.shed_cost_budget_us = parse_number("--shed-cost-budget", iter.next())?;
+            }
             other => return Err(format!("unknown serve option `{other}`")),
         }
     }
@@ -421,8 +462,9 @@ fn parse_snapshot_sel(value: &str) -> SnapshotSel {
 }
 
 /// Parses the shared query options (`--bag`, `--flow`, `--algorithm`,
-/// `--enumeration-limit`, `--no-cut`, `--jobs`) plus the snapshot options of
-/// the `db-*` verbs out of `args`.
+/// `--enumeration-limit`, `--no-cut`, `--jobs`, `--deadline-ms`,
+/// `--cost-budget-us`) plus the snapshot options of the `db-*` verbs out of
+/// `args`.
 fn parse_query_options(args: &[String]) -> Result<ClientArgs, String> {
     let mut spec = QuerySpec::default();
     let mut snapshots = Vec::new();
@@ -446,6 +488,12 @@ fn parse_query_options(args: &[String]) -> Result<ClientArgs, String> {
             "--no-cut" => spec.want_cut = Some(false),
             "--trace" => spec.trace = Some(true),
             "--jobs" => spec.jobs = Some(parse_number("--jobs", iter.next())?),
+            "--deadline-ms" => {
+                spec.deadline_ms = Some(parse_number("--deadline-ms", iter.next())?);
+            }
+            "--cost-budget-us" => {
+                spec.cost_budget_us = Some(parse_number("--cost-budget-us", iter.next())?);
+            }
             "--snapshot" => {
                 let value = iter.next().ok_or("--snapshot requires a value")?;
                 snapshots.push(parse_snapshot_sel(value));
@@ -802,6 +850,12 @@ mod tests {
         // The observability surface: traced solves and the metrics scrape.
         assert!(client(&["solve", "ax*b", &db1.to_string_lossy(), "--trace"]).is_ok());
         assert!(client(&["metrics"]).is_ok());
+        // Deadline-aware routing over the wire: an impossible deadline is
+        // still an `"ok": true` response (certified bounds, tier reported).
+        assert!(client(&["solve", "ax*b", &db1.to_string_lossy(), "--deadline-ms", "0"]).is_ok());
+        assert!(
+            client(&["solve", "ax*b", &db1.to_string_lossy(), "--cost-budget-us", "50000"]).is_ok()
+        );
         // A server-side failure surfaces as a CLI error.
         assert!(client(&["prepare", "(("]).unwrap_err().contains("cannot parse"));
 
@@ -829,6 +883,45 @@ mod tests {
             .contains("db-snapshot"));
         assert!(client(&["shutdown"]).is_ok());
         running.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_routing_is_reachable_from_the_command_line() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("rpq_cli_deadline_db.txt");
+        std::fs::write(&path, "s a u\nu x v\nv b t\n").unwrap();
+        let path = path.to_string_lossy().to_string();
+        // An impossible deadline still answers (certified bounds, no error),
+        // sequentially and through the parallel batch path.
+        assert!(run(&[
+            "resilience".into(),
+            "ax*b".into(),
+            path.clone(),
+            "--deadline-ms".into(),
+            "0".into(),
+        ])
+        .is_ok());
+        assert!(run(&[
+            "resilience".into(),
+            "ax*b".into(),
+            path.clone(),
+            path.clone(),
+            "--jobs".into(),
+            "2".into(),
+            "--cost-budget-us".into(),
+            "0".into(),
+        ])
+        .is_ok());
+        // A generous budget runs the planned backend.
+        assert!(run(&[
+            "resilience".into(),
+            "ax*b".into(),
+            path,
+            "--deadline-ms".into(),
+            "60000".into(),
+        ])
+        .is_ok());
+        assert!(run(&["resilience".into(), "ax*b".into(), "--deadline-ms".into()]).is_err());
     }
 
     #[test]

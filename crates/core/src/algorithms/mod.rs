@@ -224,11 +224,16 @@ pub enum Algorithm {
     /// Disjoint-matches `k`-approximation for finite languages (`k` = maximum
     /// word length of the infix-free sublanguage).
     ApproxKDisjoint,
+    /// The always-applicable certified sandwich of last resort: `0` when the
+    /// query does not hold, `+∞` when even deleting every endogenous fact
+    /// cannot break it, and `[min fact cost, cost(all endogenous facts)]`
+    /// otherwise. Linear time; the router's final degradation tier.
+    TrivialBounds,
 }
 
 impl Algorithm {
     /// Every selectable backend, in dispatcher preference order.
-    pub const ALL: [Algorithm; 7] = [
+    pub const ALL: [Algorithm; 8] = [
         Algorithm::Local,
         Algorithm::BipartiteChain,
         Algorithm::OneDangling,
@@ -236,6 +241,7 @@ impl Algorithm {
         Algorithm::ExactEnumeration,
         Algorithm::ApproxGreedy,
         Algorithm::ApproxKDisjoint,
+        Algorithm::TrivialBounds,
     ];
 
     /// The stable command-line name of the backend (see [`Algorithm::from_str`]).
@@ -248,13 +254,17 @@ impl Algorithm {
             Algorithm::ExactEnumeration => "enumeration",
             Algorithm::ApproxGreedy => "greedy",
             Algorithm::ApproxKDisjoint => "k-approx",
+            Algorithm::TrivialBounds => "trivial-bounds",
         }
     }
 
     /// Whether the backend always returns the exact resilience (as opposed to
     /// a certified upper bound).
     pub fn is_exact(self) -> bool {
-        !matches!(self, Algorithm::ApproxGreedy | Algorithm::ApproxKDisjoint)
+        !matches!(
+            self,
+            Algorithm::ApproxGreedy | Algorithm::ApproxKDisjoint | Algorithm::TrivialBounds
+        )
     }
 
     /// The complexity tier of the backend, used as a metrics label: the
@@ -264,7 +274,9 @@ impl Algorithm {
         match self {
             Algorithm::Local | Algorithm::BipartiteChain | Algorithm::OneDangling => "poly",
             Algorithm::ExactBranchAndBound | Algorithm::ExactEnumeration => "exact",
-            Algorithm::ApproxGreedy | Algorithm::ApproxKDisjoint => "approx",
+            Algorithm::ApproxGreedy | Algorithm::ApproxKDisjoint | Algorithm::TrivialBounds => {
+                "approx"
+            }
         }
     }
 }
@@ -329,6 +341,14 @@ impl ResilienceOutcome {
     }
 
     fn from_approximation(algorithm: Algorithm, approx: ApproximateResilience) -> Self {
+        // Certified means certified: a crossed sandwich would silently
+        // truncate the feasible interval, so reject it outright.
+        assert!(
+            approx.lower_bound <= approx.upper_bound,
+            "`{algorithm}` produced crossed bounds {} > {}",
+            approx.lower_bound,
+            approx.upper_bound
+        );
         ResilienceOutcome {
             value: ResilienceValue::Finite(approx.upper_bound),
             algorithm,

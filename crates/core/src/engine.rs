@@ -49,6 +49,7 @@ use crate::exact::{
     resilience_by_enumeration_limited, resilience_exact, DEFAULT_ENUMERATION_LIMIT,
     MAX_ENUMERATION_LIMIT,
 };
+use crate::router::{trivial_bounds, CostModel, RouteBudget, Router, TieredOutcome};
 use crate::rpq::{ResilienceValue, Rpq};
 use rpq_automata::local::is_local;
 use rpq_automata::ro_enfa::RoEnfa;
@@ -120,6 +121,9 @@ enum Strategy {
     ApproxGreedy,
     /// Certified disjoint-matches `k`-approximation.
     ApproxKDisjoint,
+    /// Always-applicable linear-time certified sandwich (the router's final
+    /// degradation tier; see [`crate::router`]).
+    TrivialBounds,
 }
 
 /// A human- and machine-readable report of a prepared query's plan: which
@@ -135,13 +139,18 @@ pub struct PlanReport {
     /// Whether the algorithm was forced by the caller rather than chosen by
     /// the classification (see [`Engine::prepare_with`]).
     pub forced: bool,
+    /// The structural cost estimate of the chosen backend: growth class and
+    /// coefficients calibrated against the committed benchmark artifacts.
+    /// [`CostModel::estimate_us_for`] projects it onto a concrete database;
+    /// the router compares that projection against the caller's budget.
+    pub cost: CostModel,
 }
 
 impl PlanReport {
     /// A stable machine-readable JSON rendering of the report, e.g.
-    /// `{"algorithm":"local","reason":"…","infix_free":"…","forced":false}`.
+    /// `{"algorithm":"local","reason":"…","infix_free":"…","forced":false,"cost":{…}}`.
     /// Used by server front ends; the output is always a well-formed JSON
-    /// object with exactly these four keys.
+    /// object with exactly these five keys.
     pub fn to_json(&self) -> String {
         fn escape(s: &str, out: &mut String) {
             for c in s.chars() {
@@ -166,6 +175,8 @@ impl PlanReport {
         escape(&self.infix_free, &mut out);
         out.push_str("\",\"forced\":");
         out.push_str(if self.forced { "true" } else { "false" });
+        out.push_str(",\"cost\":");
+        out.push_str(&self.cost.to_json());
         out.push('}');
         out
     }
@@ -333,7 +344,13 @@ impl Engine {
             rpq: rpq.clone(),
             options: self.options,
             strategy,
-            report: PlanReport { algorithm, reason, infix_free: infix_free.clone(), forced: false },
+            report: PlanReport {
+                algorithm,
+                reason,
+                infix_free: infix_free.clone(),
+                forced: false,
+                cost: CostModel::for_plan(algorithm, self.options.flow_backend),
+            },
             scratch: ScratchPool::default(),
         };
 
@@ -422,6 +439,7 @@ impl Engine {
                 reason: format!("algorithm `{algorithm}` requested by the caller"),
                 infix_free: if_language.description().to_string(),
                 forced: true,
+                cost: CostModel::for_plan(algorithm, self.options.flow_backend),
             },
             scratch: ScratchPool::default(),
         };
@@ -451,6 +469,7 @@ impl Engine {
             Algorithm::ExactEnumeration => Strategy::ExactEnumeration,
             Algorithm::ApproxGreedy => Strategy::ApproxGreedy,
             Algorithm::ApproxKDisjoint => Strategy::ApproxKDisjoint,
+            Algorithm::TrivialBounds => Strategy::TrivialBounds,
         };
         Ok(prepared(strategy))
     }
@@ -519,10 +538,166 @@ impl PreparedQuery {
         want_cut: bool,
         trace: &mut Trace,
     ) -> Result<ResilienceOutcome, ResilienceError> {
+        // Every solve dispatches through the router; an unlimited budget
+        // always runs the planned backend, so the answer is bit-identical
+        // to pre-router behavior.
+        self.route_with_cut_traced(db, want_cut, &RouteBudget::UNLIMITED, &Router::new(), trace)
+            .map(|tiered| tiered.outcome)
+    }
+
+    /// Routes one solve under the caller's [`RouteBudget`] with the plan's
+    /// default contingency-set choice and a shed-free [`Router`]: the planned
+    /// backend runs when its projected cost fits (bit-identical to
+    /// [`PreparedQuery::solve`]); otherwise the router degrades to a cheaper
+    /// *certified* tier instead of blowing the budget (see [`crate::router`]).
+    pub fn route(
+        &self,
+        db: &GraphDb,
+        budget: &RouteBudget,
+    ) -> Result<TieredOutcome, ResilienceError> {
+        self.route_with_cut(db, self.options.want_cut, budget, &Router::new())
+    }
+
+    /// [`PreparedQuery::route`] with explicit contingency-set choice and
+    /// router (the server threads its overload-probing router through here).
+    pub fn route_with_cut(
+        &self,
+        db: &GraphDb,
+        want_cut: bool,
+        budget: &RouteBudget,
+        router: &Router,
+    ) -> Result<TieredOutcome, ResilienceError> {
+        self.route_with_cut_traced(db, want_cut, budget, router, &mut Trace::disabled())
+    }
+
+    /// [`PreparedQuery::route_with_cut`] with phase tracing.
+    pub fn route_with_cut_traced(
+        &self,
+        db: &GraphDb,
+        want_cut: bool,
+        budget: &RouteBudget,
+        router: &Router,
+        trace: &mut Trace,
+    ) -> Result<TieredOutcome, ResilienceError> {
         let mut scratch = self.scratch.take();
-        let result = self.solve_with_cut_using(db, want_cut, &mut scratch, trace);
+        let result = self.route_using(db, want_cut, budget, router, &mut scratch, trace);
         self.scratch.put(scratch);
         result
+    }
+
+    /// The routing core every solve entry point funnels through: projects the
+    /// planned backend's cost onto `db`, resolves the effective budget
+    /// (overload shedding included), and either runs the plan or degrades
+    /// down the certified ladder (greedy bounds, then trivial bounds). Never
+    /// refuses: a budget too small for any solver still gets the linear-time
+    /// trivial sandwich.
+    fn route_using(
+        &self,
+        db: &GraphDb,
+        want_cut: bool,
+        budget: &RouteBudget,
+        router: &Router,
+        scratch: &mut SolveScratch,
+        trace: &mut Trace,
+    ) -> Result<TieredOutcome, ResilienceError> {
+        let planned = self.report.algorithm;
+        // ε ∈ IF(L) plans answer in constant time whatever the model says.
+        let estimated = match &self.strategy {
+            Strategy::EpsilonInfinite { .. } => 0,
+            _ => self.report.cost.estimate_us_for(db),
+        };
+        let (limit, shed) = router.effective_limit_us(budget);
+        let fits = limit.is_none_or(|l| estimated <= l);
+        if fits {
+            let outcome = self.solve_with_cut_using(db, want_cut, scratch, trace)?;
+            let reason = match limit {
+                None => "no deadline or cost budget: planned backend ran".to_string(),
+                Some(l) => format!(
+                    "estimated {estimated}µs fits the {l}µs budget{}",
+                    if shed { " (overload-shed)" } else { "" }
+                ),
+            };
+            return Ok(TieredOutcome {
+                tier: outcome.algorithm.tier(),
+                outcome,
+                planned,
+                degraded: false,
+                shed,
+                reason,
+                estimated_cost_us: estimated,
+            });
+        }
+        // lint: allow(panic-freedom, !fits implies the limit is present)
+        let limit_us = limit.expect("a budget the estimate exceeds must be finite");
+        Ok(self.degrade_using(db, want_cut, limit_us, shed, estimated, trace))
+    }
+
+    /// The certified degradation ladder shared by the single-solve, batch and
+    /// incremental routes: the greedy `O(log m)` bounds when the language is
+    /// finite and the approximation itself fits, else the always-applicable
+    /// linear-time trivial sandwich. Infallible — the router never refuses.
+    fn degrade_using(
+        &self,
+        db: &GraphDb,
+        want_cut: bool,
+        limit_us: u64,
+        shed: bool,
+        estimated: u64,
+        trace: &mut Trace,
+    ) -> TieredOutcome {
+        let planned = self.report.algorithm;
+        let shed_note = if shed { " under overload shedding" } else { "" };
+        // Rung 1: certified greedy bounds, when the language is finite and
+        // the approximation itself fits the budget.
+        if !matches!(
+            self.strategy,
+            Strategy::ApproxGreedy | Strategy::ApproxKDisjoint | Strategy::TrivialBounds
+        ) {
+            let greedy = CostModel::for_plan(Algorithm::ApproxGreedy, self.options.flow_backend);
+            if greedy.estimate_us_for(db) <= limit_us {
+                let timer = trace.begin();
+                let result = normalize_approximation(
+                    Algorithm::ApproxGreedy,
+                    resilience_greedy(&self.rpq, db),
+                )
+                .map(|o| strip_cut(o, want_cut));
+                trace.end(timer, "approx_solve");
+                // An infinite language is NotApplicable here; fall through
+                // to the always-applicable trivial sandwich instead.
+                if let Ok(outcome) = result {
+                    debug_assert!(outcome.bounds.is_some() || outcome.value.is_infinite());
+                    return TieredOutcome {
+                        tier: outcome.algorithm.tier(),
+                        outcome,
+                        planned,
+                        degraded: true,
+                        shed,
+                        reason: format!(
+                            "planned `{planned}` estimated at {estimated}µs exceeds the \
+                             {limit_us}µs budget{shed_note}: degraded to certified greedy bounds"
+                        ),
+                        estimated_cost_us: estimated,
+                    };
+                }
+            }
+        }
+        // Rung 2: the linear-time trivial sandwich — always applicable.
+        let timer = trace.begin();
+        let outcome = trivial_bounds(&self.rpq, db, want_cut);
+        trace.end(timer, "trivial_bounds");
+        debug_assert!(outcome.bounds.is_some() || outcome.value.is_infinite());
+        TieredOutcome {
+            tier: outcome.algorithm.tier(),
+            outcome,
+            planned,
+            degraded: true,
+            shed,
+            reason: format!(
+                "planned `{planned}` estimated at {estimated}µs exceeds the {limit_us}µs \
+                 budget{shed_note}: degraded to the trivial certified sandwich"
+            ),
+            estimated_cost_us: estimated,
+        }
     }
 
     /// [`PreparedQuery::solve_with_cut`] over an explicit scratch, so batch
@@ -615,6 +790,12 @@ impl PreparedQuery {
                 trace.end(timer, "approx_solve");
                 outcome
             }
+            Strategy::TrivialBounds => {
+                let timer = trace.begin();
+                let outcome = trivial_bounds(&self.rpq, db, want_cut);
+                trace.end(timer, "trivial_bounds");
+                Ok(outcome)
+            }
         }
     }
 
@@ -623,12 +804,36 @@ impl PreparedQuery {
     /// One scratch is checked out for the whole batch, so after the first
     /// (warm-up) database the flow core allocates nothing.
     pub fn solve_batch(&self, dbs: &[GraphDb]) -> Vec<Result<ResilienceOutcome, ResilienceError>> {
+        self.route_batch(dbs, &RouteBudget::UNLIMITED, &Router::new())
+            .into_iter()
+            .map(|r| r.map(|tiered| tiered.outcome))
+            .collect()
+    }
+
+    /// [`PreparedQuery::solve_batch`] under a [`RouteBudget`]: the budget is
+    /// applied to every database of the batch independently (each database
+    /// gets its own cost projection and, if needed, its own certified
+    /// degradation), so one oversized database degrades without dragging its
+    /// siblings down a tier.
+    pub fn route_batch(
+        &self,
+        dbs: &[GraphDb],
+        budget: &RouteBudget,
+        router: &Router,
+    ) -> Vec<Result<TieredOutcome, ResilienceError>> {
         let mut scratch = self.scratch.take();
         let mut trace = Trace::disabled();
         let results = dbs
             .iter()
             .map(|db| {
-                self.solve_with_cut_using(db, self.options.want_cut, &mut scratch, &mut trace)
+                self.route_using(
+                    db,
+                    self.options.want_cut,
+                    budget,
+                    router,
+                    &mut scratch,
+                    &mut trace,
+                )
             })
             .collect();
         self.scratch.put(scratch);
@@ -674,12 +879,59 @@ impl PreparedQuery {
         jobs: usize,
         trace: &mut Trace,
     ) -> Vec<Result<ResilienceOutcome, ResilienceError>> {
+        self.route_batch_parallel_with_cut_traced(
+            dbs,
+            want_cut,
+            jobs,
+            &RouteBudget::UNLIMITED,
+            &Router::new(),
+            trace,
+        )
+        .into_iter()
+        .map(|r| r.map(|tiered| tiered.outcome))
+        .collect()
+    }
+
+    /// [`PreparedQuery::route_batch`] with worker threads: the parallel-batch
+    /// core every server `solve_batch` funnels through. The budget applies
+    /// per database (see [`PreparedQuery::route_batch`]); the router is
+    /// shared across workers, so an overload probe tightens every in-flight
+    /// chunk as soon as it trips.
+    pub fn route_batch_parallel(
+        &self,
+        dbs: &[GraphDb],
+        jobs: usize,
+        budget: &RouteBudget,
+        router: &Router,
+    ) -> Vec<Result<TieredOutcome, ResilienceError>> {
+        self.route_batch_parallel_with_cut_traced(
+            dbs,
+            self.options.want_cut,
+            jobs,
+            budget,
+            router,
+            &mut Trace::disabled(),
+        )
+    }
+
+    /// [`PreparedQuery::route_batch_parallel`] with explicit contingency-set
+    /// choice and phase tracing (trace semantics as in
+    /// [`PreparedQuery::solve_batch_parallel_with_cut_traced`]).
+    pub fn route_batch_parallel_with_cut_traced(
+        &self,
+        dbs: &[GraphDb],
+        want_cut: bool,
+        jobs: usize,
+        budget: &RouteBudget,
+        router: &Router,
+        trace: &mut Trace,
+    ) -> Vec<Result<TieredOutcome, ResilienceError>> {
         let jobs = jobs.max(1).min(dbs.len().max(1));
         if jobs <= 1 {
             let mut scratch = self.scratch.take();
             let results = dbs
                 .iter()
-                .map(|db| self.solve_with_cut_using(db, want_cut, &mut scratch, trace))
+                .map(|db| self.route_using(db, want_cut, budget, router, &mut scratch, trace))
                 .collect();
             self.scratch.put(scratch);
             return results;
@@ -689,7 +941,7 @@ impl PreparedQuery {
         let mut worker_traces: Vec<Trace> = (0..num_chunks)
             .map(|_| if trace.is_enabled() { Trace::enabled() } else { Trace::disabled() })
             .collect();
-        let mut results: Vec<Option<Result<ResilienceOutcome, ResilienceError>>> =
+        let mut results: Vec<Option<Result<TieredOutcome, ResilienceError>>> =
             (0..dbs.len()).map(|_| None).collect();
         std::thread::scope(|scope| {
             for ((db_chunk, out_chunk), worker_trace) in dbs
@@ -702,9 +954,11 @@ impl PreparedQuery {
                 scope.spawn(move || {
                     let mut scratch = self.scratch.take();
                     for (db, out) in db_chunk.iter().zip(out_chunk.iter_mut()) {
-                        *out = Some(self.solve_with_cut_using(
+                        *out = Some(self.route_using(
                             db,
                             want_cut,
+                            budget,
+                            router,
                             &mut scratch,
                             worker_trace,
                         ));
@@ -754,6 +1008,103 @@ impl PreparedQuery {
     /// and `witness_extract` spans; fallbacks record the batch-path phases.
     /// A disabled trace skips every clock read.
     pub fn solve_incremental_traced(
+        &self,
+        solver: &mut IncrementalSolver,
+        db: &GraphDb,
+        delta: Option<&[FactChange]>,
+        want_cut: bool,
+        trace: &mut Trace,
+    ) -> Result<(ResilienceOutcome, SolveMode), ResilienceError> {
+        self.route_incremental_traced(
+            solver,
+            db,
+            delta,
+            want_cut,
+            &RouteBudget::UNLIMITED,
+            &Router::new(),
+            trace,
+        )
+        .map(|(tiered, mode)| (tiered.outcome, mode))
+    }
+
+    /// [`PreparedQuery::solve_incremental`] under a [`RouteBudget`]. The
+    /// projection is the *full-build* cost of the planned backend — an upper
+    /// bound on the warm-start cost, so a fitting estimate never risks the
+    /// deadline. When the estimate does not fit, the solve degrades down the
+    /// certified ladder **without touching the solver's retained state**: a
+    /// later unlimited solve still warm-starts from the last full answer.
+    pub fn route_incremental(
+        &self,
+        solver: &mut IncrementalSolver,
+        db: &GraphDb,
+        delta: Option<&[FactChange]>,
+        want_cut: bool,
+        budget: &RouteBudget,
+        router: &Router,
+    ) -> Result<(TieredOutcome, SolveMode), ResilienceError> {
+        self.route_incremental_traced(
+            solver,
+            db,
+            delta,
+            want_cut,
+            budget,
+            router,
+            &mut Trace::disabled(),
+        )
+    }
+
+    /// [`PreparedQuery::route_incremental`] with phase tracing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_incremental_traced(
+        &self,
+        solver: &mut IncrementalSolver,
+        db: &GraphDb,
+        delta: Option<&[FactChange]>,
+        want_cut: bool,
+        budget: &RouteBudget,
+        router: &Router,
+        trace: &mut Trace,
+    ) -> Result<(TieredOutcome, SolveMode), ResilienceError> {
+        let planned = self.report.algorithm;
+        // ε ∈ IF(L) plans answer in constant time whatever the model says.
+        let estimated = match &self.strategy {
+            Strategy::EpsilonInfinite { .. } => 0,
+            _ => self.report.cost.estimate_us_for(db),
+        };
+        let (limit, shed) = router.effective_limit_us(budget);
+        let fits = limit.is_none_or(|l| estimated <= l);
+        if fits {
+            let (outcome, mode) =
+                self.solve_incremental_using(solver, db, delta, want_cut, trace)?;
+            let reason = match limit {
+                None => "no deadline or cost budget: planned backend ran".to_string(),
+                Some(l) => format!(
+                    "estimated {estimated}µs fits the {l}µs budget{}",
+                    if shed { " (overload-shed)" } else { "" }
+                ),
+            };
+            return Ok((
+                TieredOutcome {
+                    tier: outcome.algorithm.tier(),
+                    outcome,
+                    planned,
+                    degraded: false,
+                    shed,
+                    reason,
+                    estimated_cost_us: estimated,
+                },
+                mode,
+            ));
+        }
+        // lint: allow(panic-freedom, !fits implies the limit is present)
+        let limit_us = limit.expect("a budget the estimate exceeds must be finite");
+        // The degraded rungs never touch `solver.scratch`, so the retained
+        // flow survives for the next unlimited solve.
+        let tiered = self.degrade_using(db, want_cut, limit_us, shed, estimated, trace);
+        Ok((tiered, SolveMode::Full))
+    }
+
+    fn solve_incremental_using(
         &self,
         solver: &mut IncrementalSolver,
         db: &GraphDb,
@@ -864,11 +1215,15 @@ mod tests {
             reason: "say \"hi\" \\ bye\n".to_string(),
             infix_free: "IF".to_string(),
             forced: true,
+            cost: CostModel::for_plan(Algorithm::Local, rpq_flow::FlowAlgorithm::Dinic),
         };
         assert_eq!(
             report.to_json(),
-            "{\"algorithm\":\"local\",\"reason\":\"say \\\"hi\\\" \\\\ bye\\n\",\
-             \"infix_free\":\"IF\",\"forced\":true}"
+            format!(
+                "{{\"algorithm\":\"local\",\"reason\":\"say \\\"hi\\\" \\\\ bye\\n\",\
+                 \"infix_free\":\"IF\",\"forced\":true,\"cost\":{}}}",
+                report.cost.to_json()
+            )
         );
     }
 

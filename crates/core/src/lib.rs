@@ -64,6 +64,7 @@ pub mod exact;
 pub mod gadgets;
 pub mod hypergraph;
 pub mod reductions;
+pub mod router;
 pub mod rpq;
 
 /// Convenient re-exports of the most commonly used types.

@@ -1,0 +1,420 @@
+//! Deadline-aware tier routing with certified degradation.
+//!
+//! The engine has three answer tiers: the paper's polynomial flow reductions
+//! (`"poly"`), the exponential ground truths (`"exact"`), and the certified
+//! approximations (`"approx"`). This module turns tier choice into a
+//! cost-model decision instead of a per-call flag: every prepared plan
+//! carries a [`CostModel`] calibrated against the committed `BENCH_scaling` /
+//! `BENCH_flow_ablation` artifacts, and
+//! [`route`](crate::engine::PreparedQuery::route) compares the projected cost
+//! of the planned backend against the caller's [`RouteBudget`].
+//!
+//! * The estimate fits (or no budget was given) → the planned backend runs
+//!   and the answer is **bit-identical** to an unrouted solve.
+//! * The estimate does not fit → the router degrades down a ladder of
+//!   *certified* cheaper tiers: the greedy `O(log m)` approximation when the
+//!   language is finite and its estimate fits, then the always-applicable
+//!   [`Algorithm::TrivialBounds`] sandwich. Degraded answers always carry
+//!   valid `lower ≤ RES(Q, D) ≤ upper` bounds (or are exactly `0` / `+∞`);
+//!   the router never refuses a request.
+//!
+//! A [`Router`] additionally carries the server's overload hook: when its
+//! queue-depth probe reports a ready queue at or beyond the shed threshold,
+//! the effective budget is tightened so expensive solves shed to cheaper
+//! tiers *before* the queue grows unboundedly.
+
+use crate::algorithms::{Algorithm, ResilienceOutcome};
+use crate::rpq::{ResilienceValue, Rpq};
+use rpq_flow::FlowAlgorithm;
+use rpq_graphdb::{FactId, GraphDb};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A caller-supplied bound on how much a solve may cost. Both knobs project
+/// onto one scale — estimated microseconds of solve time — and the tighter
+/// one wins. The default ([`RouteBudget::UNLIMITED`]) never degrades.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteBudget {
+    /// Wall-clock deadline in milliseconds: the router only runs backends
+    /// whose projected cost fits inside it.
+    pub deadline_ms: Option<u64>,
+    /// Abstract cost budget in estimated microseconds of solve time
+    /// (`deadline_ms × 1000` on the same scale), for callers that meter cost
+    /// rather than latency.
+    pub cost_budget_us: Option<u64>,
+}
+
+impl RouteBudget {
+    /// No deadline and no cost budget: the planned backend always runs.
+    pub const UNLIMITED: RouteBudget = RouteBudget { deadline_ms: None, cost_budget_us: None };
+
+    /// A budget with only a wall-clock deadline.
+    pub fn with_deadline_ms(deadline_ms: u64) -> RouteBudget {
+        RouteBudget { deadline_ms: Some(deadline_ms), ..RouteBudget::UNLIMITED }
+    }
+
+    /// A budget with only an abstract cost budget (estimated microseconds).
+    pub fn with_cost_budget_us(cost_budget_us: u64) -> RouteBudget {
+        RouteBudget { cost_budget_us: Some(cost_budget_us), ..RouteBudget::UNLIMITED }
+    }
+
+    /// Whether neither knob is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline_ms.is_none() && self.cost_budget_us.is_none()
+    }
+
+    /// The single effective limit in estimated microseconds: the tighter of
+    /// the two knobs, `None` when unlimited.
+    pub fn limit_us(&self) -> Option<u64> {
+        let deadline = self.deadline_ms.map(|ms| ms.saturating_mul(1_000));
+        match (deadline, self.cost_budget_us) {
+            (Some(d), Some(c)) => Some(d.min(c)),
+            (Some(d), None) => Some(d),
+            (None, c) => c,
+        }
+    }
+}
+
+/// The asymptotic shape of a backend's projected cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostClass {
+    /// `base_ns + ns_per_fact × |D|`: the polynomial reductions (the pruned
+    /// product / flow network is linear in the database) and the
+    /// approximations (hypergraph construction plus greedy passes).
+    Linear {
+        /// Fixed per-solve overhead in nanoseconds.
+        base_ns: u64,
+        /// Marginal cost per fact in nanoseconds.
+        ns_per_fact: u64,
+    },
+    /// `base_ns × 2^(facts / facts_per_doubling)`: the exponential exact
+    /// solvers, measured over *endogenous* facts.
+    Exponential {
+        /// Cost of the smallest instance in nanoseconds.
+        base_ns: u64,
+        /// How many additional facts double the projected cost.
+        facts_per_doubling: u64,
+    },
+}
+
+/// A per-plan structural cost estimate: which algorithm family the plan
+/// classified into and how its solve time scales with the database, with
+/// coefficients calibrated against the committed `BENCH_scaling` and
+/// `BENCH_flow_ablation` artifacts (medians on the corpus generators).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// The backend the model projects.
+    pub algorithm: Algorithm,
+    /// The projected growth class and its calibrated coefficients.
+    pub class: CostClass,
+}
+
+impl CostModel {
+    /// The calibrated model for a plan. Coefficients come from the committed
+    /// benchmark artifacts: `BENCH_scaling` puts the Theorem 3.13 local
+    /// reduction at ≈4.2 µs/fact (Dinic), the Proposition 7.6 chain
+    /// reduction at ≈1.3 µs/fact and the Proposition 7.9 rewriting at
+    /// ≈2.1 µs/fact; `BENCH_flow_ablation` shows Edmonds–Karp trailing the
+    /// other MinCut backends by ≈8× on dense instances; the branch and bound
+    /// roughly doubles every 2 facts (101 µs at 10 → 1.06 ms at 18) and the
+    /// subset enumeration every fact.
+    pub fn for_plan(algorithm: Algorithm, flow_backend: FlowAlgorithm) -> CostModel {
+        let flow_mult = match flow_backend {
+            FlowAlgorithm::EdmondsKarp => 8,
+            FlowAlgorithm::Dinic | FlowAlgorithm::PushRelabel | FlowAlgorithm::Auto => 1,
+        };
+        let class = match algorithm {
+            Algorithm::Local => {
+                CostClass::Linear { base_ns: 2_000, ns_per_fact: 4_200 * flow_mult }
+            }
+            Algorithm::BipartiteChain => {
+                CostClass::Linear { base_ns: 2_000, ns_per_fact: 1_300 * flow_mult }
+            }
+            Algorithm::OneDangling => {
+                CostClass::Linear { base_ns: 2_000, ns_per_fact: 2_100 * flow_mult }
+            }
+            Algorithm::ExactBranchAndBound => {
+                CostClass::Exponential { base_ns: 2_000, facts_per_doubling: 2 }
+            }
+            Algorithm::ExactEnumeration => {
+                CostClass::Exponential { base_ns: 200, facts_per_doubling: 1 }
+            }
+            Algorithm::ApproxGreedy => CostClass::Linear { base_ns: 70_000, ns_per_fact: 2_000 },
+            Algorithm::ApproxKDisjoint => CostClass::Linear { base_ns: 70_000, ns_per_fact: 1_500 },
+            Algorithm::TrivialBounds => CostClass::Linear { base_ns: 1_000, ns_per_fact: 200 },
+        };
+        CostModel { algorithm, class }
+    }
+
+    /// The projected solve cost in nanoseconds for an instance with `facts`
+    /// facts (endogenous facts for the exponential solvers). Saturating.
+    pub fn estimate_ns(&self, facts: u64) -> u128 {
+        match self.class {
+            CostClass::Linear { base_ns, ns_per_fact } => {
+                base_ns as u128 + ns_per_fact as u128 * facts as u128
+            }
+            CostClass::Exponential { base_ns, facts_per_doubling } => {
+                let doublings = (facts / facts_per_doubling.max(1)).min(100) as u32;
+                (base_ns as u128).saturating_mul(1u128 << doublings.min(100))
+            }
+        }
+    }
+
+    /// The projected solve cost for `db` in microseconds (saturating to
+    /// `u64::MAX`): the exponential solvers scale over endogenous facts, the
+    /// linear ones over the whole fact table (the flow network includes
+    /// exogenous edges at `+∞` capacity).
+    pub fn estimate_us_for(&self, db: &GraphDb) -> u64 {
+        let facts = match self.class {
+            CostClass::Linear { .. } => db.num_facts() as u64,
+            CostClass::Exponential { .. } => db.endogenous_facts().count() as u64,
+        };
+        u64::try_from(self.estimate_ns(facts) / 1_000).unwrap_or(u64::MAX)
+    }
+
+    /// A stable machine-readable JSON rendering of the model, embedded in
+    /// [`crate::engine::PlanReport::to_json`], e.g.
+    /// `{"algorithm":"local","class":"linear","base_ns":2000,"ns_per_fact":4200}`.
+    pub fn to_json(&self) -> String {
+        match self.class {
+            CostClass::Linear { base_ns, ns_per_fact } => format!(
+                "{{\"algorithm\":\"{}\",\"class\":\"linear\",\"base_ns\":{base_ns},\
+                 \"ns_per_fact\":{ns_per_fact}}}",
+                self.algorithm.name()
+            ),
+            CostClass::Exponential { base_ns, facts_per_doubling } => format!(
+                "{{\"algorithm\":\"{}\",\"class\":\"exponential\",\"base_ns\":{base_ns},\
+                 \"facts_per_doubling\":{facts_per_doubling}}}",
+                self.algorithm.name()
+            ),
+        }
+    }
+}
+
+/// The result of a routed solve: the outcome itself plus the routing
+/// decision — which tier answered, what the plan wanted, whether (and why)
+/// the router degraded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TieredOutcome {
+    /// The answer. When `degraded`, always certified: exact, `+∞`, or
+    /// carrying valid `[lower, upper]` bounds.
+    pub outcome: ResilienceOutcome,
+    /// The tier that answered (`outcome.algorithm.tier()`): `"poly"`,
+    /// `"exact"` or `"approx"`.
+    pub tier: &'static str,
+    /// The backend the plan would have run with an unlimited budget.
+    pub planned: Algorithm,
+    /// Whether the router fell back to a cheaper tier than planned.
+    pub degraded: bool,
+    /// Whether overload shedding tightened the budget this solve ran under
+    /// (set even when the tightened budget still fit the planned backend).
+    pub shed: bool,
+    /// Why this tier answered (budget fit, degradation, overload shed).
+    pub reason: String,
+    /// The projected cost of the *planned* backend in microseconds.
+    pub estimated_cost_us: u64,
+}
+
+/// Dispatch policy shared by every solve entry point: resolves a caller's
+/// [`RouteBudget`] into an effective per-solve limit, optionally tightened
+/// by a server-overload probe. The engine and CLI use
+/// [`Router::default()`]; the server installs a probe reading its
+/// ready-queue depth via [`Router::with_overload_probe`].
+#[derive(Clone, Default)]
+pub struct Router {
+    shed_queue_depth: Option<u64>,
+    shed_cost_budget_us: u64,
+    probe: Option<Arc<dyn Fn() -> u64 + Send + Sync>>,
+}
+
+/// The default ready-queue depth at which an overloaded server starts
+/// shedding to cheaper tiers.
+pub const DEFAULT_SHED_QUEUE_DEPTH: u64 = 32;
+
+/// The default budget (estimated microseconds) imposed on every solve while
+/// the overload probe reports a queue at or beyond the shed threshold.
+pub const DEFAULT_SHED_COST_BUDGET_US: u64 = 10_000;
+
+impl Router {
+    /// A router that never sheds: budgets pass through untightened.
+    pub fn new() -> Router {
+        Router::default()
+    }
+
+    /// Installs an overload probe (e.g. the server's ready-queue depth) with
+    /// the default shed thresholds. While `probe() >=` the shed depth, every
+    /// budget is tightened to at most the shed cost budget.
+    pub fn with_overload_probe(self, probe: Arc<dyn Fn() -> u64 + Send + Sync>) -> Router {
+        Router {
+            shed_queue_depth: Some(self.shed_queue_depth.unwrap_or(DEFAULT_SHED_QUEUE_DEPTH)),
+            shed_cost_budget_us: if self.shed_cost_budget_us == 0 {
+                DEFAULT_SHED_COST_BUDGET_US
+            } else {
+                self.shed_cost_budget_us
+            },
+            probe: Some(probe),
+        }
+    }
+
+    /// Overrides the shed thresholds (see [`Router::with_overload_probe`]).
+    pub fn with_shed_thresholds(self, queue_depth: u64, cost_budget_us: u64) -> Router {
+        Router {
+            shed_queue_depth: Some(queue_depth),
+            shed_cost_budget_us: cost_budget_us.max(1),
+            probe: self.probe,
+        }
+    }
+
+    /// The current reading of the overload probe (`0` without one).
+    pub fn queue_depth(&self) -> u64 {
+        self.probe.as_ref().map_or(0, |p| p())
+    }
+
+    /// Whether the probe currently reports overload.
+    pub fn is_overloaded(&self) -> bool {
+        match (self.probe.as_ref(), self.shed_queue_depth) {
+            (Some(probe), Some(depth)) => probe() >= depth,
+            _ => false,
+        }
+    }
+
+    /// Resolves a budget into the effective per-solve limit (estimated
+    /// microseconds; `None` = unlimited) and whether overload shedding
+    /// tightened it.
+    pub fn effective_limit_us(&self, budget: &RouteBudget) -> (Option<u64>, bool) {
+        let limit = budget.limit_us();
+        if self.is_overloaded() {
+            let shed = self.shed_cost_budget_us.max(1);
+            let tightened = limit.map_or(shed, |l| l.min(shed));
+            (Some(tightened), tightened < limit.unwrap_or(u64::MAX))
+        } else {
+            (limit, false)
+        }
+    }
+}
+
+impl fmt::Debug for Router {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Router")
+            .field("shed_queue_depth", &self.shed_queue_depth)
+            .field("shed_cost_budget_us", &self.shed_cost_budget_us)
+            .field("probe", &self.probe.as_ref().map(|_| "…"))
+            .finish()
+    }
+}
+
+/// The always-applicable certified sandwich of last resort
+/// ([`Algorithm::TrivialBounds`]), in linear time:
+///
+/// * the query does not hold → exactly `0` (bounds `[0, 0]`, the empty set
+///   as witness);
+/// * the query survives deleting every endogenous fact → exactly `+∞`;
+/// * otherwise → `[min endogenous fact cost, cost(all endogenous facts)]`
+///   with the full endogenous fact set as the witness achieving the upper
+///   bound.
+pub(crate) fn trivial_bounds(rpq: &Rpq, db: &GraphDb, want_cut: bool) -> ResilienceOutcome {
+    if !rpq.holds_on(db) {
+        return ResilienceOutcome {
+            value: ResilienceValue::Finite(0),
+            algorithm: Algorithm::TrivialBounds,
+            contingency_set: want_cut.then(Vec::new),
+            bounds: Some((0, 0)),
+        };
+    }
+    let all: BTreeSet<FactId> = db.endogenous_facts().collect();
+    if !rpq.is_contingency_set(db, &all) {
+        // Even the full endogenous deletion leaves a match: no contingency
+        // set exists (matches the exact backends' +∞ convention).
+        return ResilienceOutcome::new(ResilienceValue::Infinite, Algorithm::TrivialBounds, None);
+    }
+    // The query holds, so every contingency set is nonempty and costs at
+    // least the cheapest endogenous fact; deleting everything endogenous
+    // breaks it, so its total cost is an upper bound.
+    let lower =
+        all.iter().map(|&f| rpq.semantics().fact_cost(db, f) as u128).min().unwrap_or(1).max(1);
+    let upper = rpq.cost(db, &all);
+    debug_assert!(lower <= upper);
+    ResilienceOutcome {
+        value: ResilienceValue::Finite(upper),
+        algorithm: Algorithm::TrivialBounds,
+        contingency_set: want_cut.then(|| all.into_iter().collect()),
+        bounds: Some((lower, upper)),
+    }
+}
+
+// Routers are shared across server worker threads and batch workers.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Router>();
+    assert_send_sync::<RouteBudget>();
+    assert_send_sync::<TieredOutcome>();
+    assert_send_sync::<CostModel>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn budget_limits_take_the_tighter_knob() {
+        assert_eq!(RouteBudget::UNLIMITED.limit_us(), None);
+        assert!(RouteBudget::UNLIMITED.is_unlimited());
+        assert_eq!(RouteBudget::with_deadline_ms(5).limit_us(), Some(5_000));
+        assert_eq!(RouteBudget::with_cost_budget_us(700).limit_us(), Some(700));
+        let both = RouteBudget { deadline_ms: Some(5), cost_budget_us: Some(700) };
+        assert_eq!(both.limit_us(), Some(700));
+        let both = RouteBudget { deadline_ms: Some(5), cost_budget_us: Some(9_000) };
+        assert_eq!(both.limit_us(), Some(5_000));
+        // Deadlines near u64::MAX must not overflow the ms → µs conversion.
+        assert_eq!(RouteBudget::with_deadline_ms(u64::MAX).limit_us(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn cost_models_scale_with_the_calibrated_coefficients() {
+        let local = CostModel::for_plan(Algorithm::Local, FlowAlgorithm::Dinic);
+        assert_eq!(local.estimate_ns(1_000), 2_000 + 4_200 * 1_000);
+        // Edmonds–Karp carries the measured ≈8× ablation penalty.
+        let ek = CostModel::for_plan(Algorithm::Local, FlowAlgorithm::EdmondsKarp);
+        assert!(ek.estimate_ns(1_000) > 8 * 4_200 * 1_000 / 2);
+        // The exponential models saturate instead of overflowing.
+        let exact = CostModel::for_plan(Algorithm::ExactBranchAndBound, FlowAlgorithm::Dinic);
+        assert!(exact.estimate_ns(10) < exact.estimate_ns(18));
+        assert!(exact.estimate_ns(10_000) >= exact.estimate_ns(200));
+        // JSON renderings carry the class and its coefficients.
+        assert!(local.to_json().contains("\"class\":\"linear\""));
+        assert!(exact.to_json().contains("\"facts_per_doubling\":2"));
+    }
+
+    #[test]
+    fn overload_probes_tighten_budgets_at_the_shed_threshold() {
+        let depth = Arc::new(AtomicU64::new(0));
+        let probe = Arc::clone(&depth);
+        let router = Router::new()
+            .with_overload_probe(Arc::new(move || probe.load(Ordering::Relaxed)))
+            .with_shed_thresholds(4, 2_500);
+        // Below the threshold: budgets pass through untouched.
+        assert_eq!(router.effective_limit_us(&RouteBudget::UNLIMITED), (None, false));
+        assert_eq!(
+            router.effective_limit_us(&RouteBudget::with_deadline_ms(100)),
+            (Some(100_000), false)
+        );
+        // At the threshold: everything is clamped to the shed budget.
+        depth.store(4, Ordering::Relaxed);
+        assert!(router.is_overloaded());
+        assert_eq!(router.effective_limit_us(&RouteBudget::UNLIMITED), (Some(2_500), true));
+        assert_eq!(
+            router.effective_limit_us(&RouteBudget::with_deadline_ms(100)),
+            (Some(2_500), true)
+        );
+        // Budgets already tighter than the shed budget are not loosened.
+        assert_eq!(
+            router.effective_limit_us(&RouteBudget::with_cost_budget_us(300)),
+            (Some(300), false)
+        );
+        // A router without a probe never sheds.
+        assert!(!Router::new().is_overloaded());
+        assert_eq!(Router::new().queue_depth(), 0);
+    }
+}

@@ -307,6 +307,83 @@ impl MetricsRegistry {
 }
 
 // ---------------------------------------------------------------------------
+// Tier-routing counters
+// ---------------------------------------------------------------------------
+
+/// Counters over the router's dispatch decisions (see
+/// `rpq_resilience::router`): how many solves each tier answered, how many
+/// were degraded below their planned backend, and how many were tightened by
+/// overload shedding. All relaxed-atomic — record from any worker thread
+/// without locks.
+#[derive(Debug, Default)]
+pub struct RouteCounters {
+    poly: AtomicU64,
+    exact: AtomicU64,
+    approx: AtomicU64,
+    degraded: AtomicU64,
+    overload_sheds: AtomicU64,
+}
+
+impl RouteCounters {
+    /// Zeroed counters.
+    pub fn new() -> RouteCounters {
+        RouteCounters::default()
+    }
+
+    /// Records one routed solve: the answering `tier` (`"poly"`, `"exact"`
+    /// or `"approx"`), whether the router `degraded` below the planned
+    /// backend, and whether overload shedding (`shed`) tightened the budget.
+    pub fn record(&self, tier: &str, degraded: bool, shed: bool) {
+        let by_tier = match tier {
+            "poly" => &self.poly,
+            "exact" => &self.exact,
+            _ => &self.approx,
+        };
+        by_tier.fetch_add(1, Ordering::Relaxed);
+        if degraded {
+            self.degraded.fetch_add(1, Ordering::Relaxed);
+        }
+        if shed {
+            self.overload_sheds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> RouteCountersSnapshot {
+        RouteCountersSnapshot {
+            poly: self.poly.load(Ordering::Relaxed),
+            exact: self.exact.load(Ordering::Relaxed),
+            approx: self.approx.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            overload_sheds: self.overload_sheds.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A copy of [`RouteCounters`] (see [`RouteCounters::snapshot`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouteCountersSnapshot {
+    /// Solves answered by the polynomial tier.
+    pub poly: u64,
+    /// Solves answered by an exact exponential backend.
+    pub exact: u64,
+    /// Solves answered by a certified approximation (including the trivial
+    /// sandwich).
+    pub approx: u64,
+    /// Solves degraded below their planned backend.
+    pub degraded: u64,
+    /// Solves whose budget was tightened by overload shedding.
+    pub overload_sheds: u64,
+}
+
+impl RouteCountersSnapshot {
+    /// Total routed solves across all tiers.
+    pub fn total(&self) -> u64 {
+        self.poly + self.exact + self.approx
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Prometheus text exposition
 // ---------------------------------------------------------------------------
 
@@ -495,6 +572,33 @@ mod tests {
         let snapshot = registry.snapshot();
         assert_eq!(snapshot.len(), 1);
         assert_eq!(snapshot[0].1.count(), (threads * per_thread) as u64);
+    }
+
+    #[test]
+    fn route_counters_attribute_tiers_degradations_and_sheds() {
+        let counters = RouteCounters::new();
+        counters.record("poly", false, false);
+        counters.record("poly", false, false);
+        counters.record("exact", false, false);
+        counters.record("approx", true, false);
+        counters.record("approx", true, true);
+        let snap = counters.snapshot();
+        assert_eq!((snap.poly, snap.exact, snap.approx), (2, 1, 2));
+        assert_eq!((snap.degraded, snap.overload_sheds), (2, 1));
+        assert_eq!(snap.total(), 5);
+        // Recording is lock-free: concurrent workers lose nothing.
+        let counters = Arc::new(RouteCounters::new());
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let counters = Arc::clone(&counters);
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        counters.record("poly", false, false);
+                    }
+                });
+            }
+        });
+        assert_eq!(counters.snapshot().total(), 8_000);
     }
 
     #[test]

@@ -39,10 +39,22 @@
 //! set `false` for value-only responses), `jobs` (int, worker threads for
 //! the per-database half of a `solve_batch`; defaults to the server's
 //! `--jobs` setting), `trace` (bool, default `false`: time the solve phases
-//! and attach a `timings` object to the response). All settings except
-//! `want_cut`, `jobs` and `trace` participate in the prepared-query cache
-//! key — cut extraction, batch parallelism and tracing are solve-time
-//! choices, so their variants share one cached plan.
+//! and attach a `timings` object to the response), `deadline_ms` (wall-clock
+//! deadline in milliseconds: the router answers exactly when the projected
+//! cost fits, else falls back to certified `[lower, upper]` bounds),
+//! `cost_budget_us` (structural cost budget in estimated microseconds; the
+//! tighter of the two knobs wins). All settings except `want_cut`, `jobs`,
+//! `trace`, `deadline_ms` and `cost_budget_us` participate in the
+//! prepared-query cache key — cut extraction, batch parallelism, tracing and
+//! budget routing are solve-time choices, so their variants share one cached
+//! plan.
+//!
+//! Every `solve`, `solve_batch` and `db_solve` outcome reports which tier
+//! answered and why: `tier` (`poly`, `exact` or `approx`), `degraded` (the
+//! budget forced a certified fallback below the planned backend) and `route`
+//! (the router's reason). Degraded answers are never uncertified: they carry
+//! `exact: false` with a `bounds` array such that
+//! `lower ≤ resilience ≤ upper`.
 //!
 //! Every `solve`, `solve_batch` and `db_solve` response carries an
 //! `elapsed_us` field (whole-request wall-clock in microseconds, always on).
@@ -58,6 +70,7 @@ use crate::json::Json;
 use rpq_flow::FlowAlgorithm;
 use rpq_graphdb::GraphDb;
 use rpq_resilience::algorithms::{Algorithm, ResilienceOutcome};
+use rpq_resilience::router::TieredOutcome;
 use rpq_resilience::rpq::ResilienceValue;
 
 /// The query half of a request: the regex plus the per-request settings that
@@ -86,6 +99,15 @@ pub struct QuerySpec {
     /// object on the response (`None`/`false` skips the instrumentation
     /// entirely). A solve-time setting: never part of the cache key.
     pub trace: Option<bool>,
+    /// Wall-clock deadline for the solve in milliseconds: the router answers
+    /// exactly when the projected cost fits, and degrades to certified
+    /// `[lower, upper]` bounds otherwise. A solve-time routing knob: never
+    /// part of the cache key.
+    pub deadline_ms: Option<u64>,
+    /// Structural cost budget in estimated microseconds of solver work (the
+    /// finer-grained sibling of `deadline_ms`; the tighter of the two wins).
+    /// A solve-time routing knob: never part of the cache key.
+    pub cost_budget_us: Option<u64>,
 }
 
 impl QuerySpec {
@@ -401,7 +423,28 @@ fn parse_query_spec(json: &Json) -> Result<QuerySpec, String> {
         None => None,
         Some(v) => Some(v.as_bool().ok_or("`trace` must be a boolean")?),
     };
-    Ok(QuerySpec { pattern, bag, flow, enumeration_limit, algorithm, want_cut, jobs, trace })
+    let deadline_ms = match json.get("deadline_ms") {
+        None => None,
+        Some(v) => Some(v.as_usize().ok_or("`deadline_ms` must be a non-negative integer")? as u64),
+    };
+    let cost_budget_us = match json.get("cost_budget_us") {
+        None => None,
+        Some(v) => {
+            Some(v.as_usize().ok_or("`cost_budget_us` must be a non-negative integer")? as u64)
+        }
+    };
+    Ok(QuerySpec {
+        pattern,
+        bag,
+        flow,
+        enumeration_limit,
+        algorithm,
+        want_cut,
+        jobs,
+        trace,
+        deadline_ms,
+        cost_budget_us,
+    })
 }
 
 fn query_spec_json(op: &'static str, query: &QuerySpec, extra: Vec<(&'static str, Json)>) -> Json {
@@ -427,6 +470,12 @@ fn query_spec_json(op: &'static str, query: &QuerySpec, extra: Vec<(&'static str
     }
     if let Some(trace) = query.trace {
         pairs.push(("trace", Json::Bool(trace)));
+    }
+    if let Some(deadline_ms) = query.deadline_ms {
+        pairs.push(("deadline_ms", Json::Int(deadline_ms as i128)));
+    }
+    if let Some(cost_budget_us) = query.cost_budget_us {
+        pairs.push(("cost_budget_us", Json::Int(cost_budget_us as i128)));
     }
     pairs.extend(extra);
     Json::object(pairs)
@@ -485,6 +534,22 @@ pub fn outcome_json(outcome: &ResilienceOutcome, db: &GraphDb) -> Json {
     Json::object(pairs)
 }
 
+/// Renders one routed solve outcome: the [`outcome_json`] fields plus the
+/// routing verdict — `tier` (the complexity tier that answered: `poly`,
+/// `exact` or `approx`), `degraded` (`true` when the budget forced a
+/// certified fallback below the planned backend) and `route` (the
+/// human-readable reason the router picked this tier).
+pub fn tiered_outcome_json(tiered: &TieredOutcome, db: &GraphDb) -> Json {
+    let mut pairs = match outcome_json(&tiered.outcome, db) {
+        Json::Object(pairs) => pairs,
+        other => return other,
+    };
+    pairs.push(("tier".to_string(), Json::Str(tiered.tier.to_string())));
+    pairs.push(("degraded".to_string(), Json::Bool(tiered.degraded)));
+    pairs.push(("route".to_string(), Json::Str(tiered.reason.clone())));
+    Json::Object(pairs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +568,8 @@ mod tests {
                     want_cut: Some(false),
                     jobs: Some(2),
                     trace: Some(true),
+                    deadline_ms: Some(250),
+                    cost_budget_us: Some(4_000),
                 },
             },
             // `auto` is a selectable backend: per-request overrides can ask
@@ -575,6 +642,12 @@ mod tests {
             (r#"{"op":"solve","query":"ab","db":"u a v\n","trace":"yes"}"#, "`trace`"),
             (r#"{"op":"solve_batch","query":"ab","dbs":[],"jobs":-2}"#, "`jobs`"),
             (r#"{"op":"solve_batch","query":"ab","dbs":[],"jobs":true}"#, "`jobs`"),
+            (r#"{"op":"solve","query":"ab","db":"u a v\n","deadline_ms":-1}"#, "`deadline_ms`"),
+            (r#"{"op":"solve","query":"ab","db":"u a v\n","deadline_ms":"1s"}"#, "`deadline_ms`"),
+            (
+                r#"{"op":"solve","query":"ab","db":"u a v\n","cost_budget_us":false}"#,
+                "`cost_budget_us`",
+            ),
             (r#"{"op":"db_put","db":"u a v\n"}"#, "`db_put` requires a string `name`"),
             (r#"{"op":"db_put","name":"g"}"#, "`db_put` requires a string `db`"),
             (r#"{"op":"db_patch","name":"g"}"#, "`db_patch` requires a string `patch`"),

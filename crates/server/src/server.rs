@@ -32,14 +32,18 @@
 use crate::cache::{CacheLookup, CacheStats, QueryCache};
 use crate::json::Json;
 use crate::protocol::{
-    coded_error_response, error_response, outcome_json, QuerySpec, Request, SnapshotSel,
+    coded_error_response, error_response, tiered_outcome_json, QuerySpec, Request, SnapshotSel,
 };
 use rpq_automata::Language;
 use rpq_graphdb::{text, GraphDb};
-use rpq_obs::{prom, MetricsRegistry, Trace};
-use rpq_resilience::engine::{Engine, PreparedQuery, SolveMode, SolveOptions};
+use rpq_obs::{prom, MetricsRegistry, RouteCounters, Trace};
+use rpq_resilience::algorithms::Algorithm;
+use rpq_resilience::engine::{Engine, SolveMode, SolveOptions};
+use rpq_resilience::router::{
+    RouteBudget, Router, DEFAULT_SHED_COST_BUDGET_US, DEFAULT_SHED_QUEUE_DEPTH,
+};
 use rpq_resilience::rpq::Rpq;
-use rpq_store::{SnapshotRef, Store, StoreConfig, StoreError, StoreStats};
+use rpq_store::{SnapshotRef, Store, StoreConfig, StoreError, StoreRoute, StoreStats};
 use std::io::{self, BufRead, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -74,6 +78,15 @@ pub struct ServerConfig {
     /// with it the per-request tracing the breakdown needs, so the default
     /// hot path takes zero clock reads beyond the whole-request stopwatch).
     pub slow_query_log_us: Option<u64>,
+    /// Ready-queue depth at which the router starts shedding: while at least
+    /// this many requests sit extracted-but-unserved, every solve budget is
+    /// tightened to `shed_cost_budget_us` so the backlog drains with
+    /// certified degraded answers instead of growing behind one slow exact
+    /// solve.
+    pub shed_queue_depth: u64,
+    /// The per-solve cost budget (estimated microseconds) imposed while the
+    /// ready queue is over `shed_queue_depth`.
+    pub shed_cost_budget_us: u64,
 }
 
 impl Default for ServerConfig {
@@ -86,6 +99,8 @@ impl Default for ServerConfig {
             options: SolveOptions::default(),
             store: StoreConfig::default(),
             slow_query_log_us: None,
+            shed_queue_depth: DEFAULT_SHED_QUEUE_DEPTH,
+            shed_cost_budget_us: DEFAULT_SHED_COST_BUDGET_US,
         }
     }
 }
@@ -129,7 +144,18 @@ pub struct ServerState {
     started: Instant,
     slow_query_log_us: Option<u64>,
     shutdown: AtomicBool,
-    connections: ConnectionMetrics,
+    /// Shared with the router's overload probe, which reads `queue_depth`.
+    connections: Arc<ConnectionMetrics>,
+    /// The cost-model tier router every solve-family request goes through.
+    /// Its overload probe reads the ready-queue depth: a deep backlog
+    /// tightens every budget to the shed cost budget (see [`ServerConfig`]).
+    router: Router,
+    /// Configured shed thresholds, kept for the `stats` response.
+    shed_queue_depth: u64,
+    shed_cost_budget_us: u64,
+    /// Per-tier routed-solve counters (poly/exact/approx, degradations,
+    /// overload sheds) for `stats` and `metrics`.
+    route_counters: RouteCounters,
     /// The bound address, once known — used to self-connect and wake the
     /// accept loop on shutdown.
     addr: Mutex<Option<SocketAddr>>,
@@ -138,6 +164,11 @@ pub struct ServerState {
 impl ServerState {
     /// Fresh state for a configuration.
     pub fn new(config: ServerConfig) -> ServerState {
+        let connections = Arc::new(ConnectionMetrics::default());
+        let probe = Arc::clone(&connections);
+        let router = Router::new()
+            .with_overload_probe(Arc::new(move || probe.queue_depth.load(Ordering::Relaxed)))
+            .with_shed_thresholds(config.shed_queue_depth, config.shed_cost_budget_us);
         ServerState {
             options: config.options,
             threads: config.threads.max(1),
@@ -151,7 +182,11 @@ impl ServerState {
             started: Instant::now(),
             slow_query_log_us: config.slow_query_log_us,
             shutdown: AtomicBool::new(false),
-            connections: ConnectionMetrics::default(),
+            connections,
+            router,
+            shed_queue_depth: config.shed_queue_depth,
+            shed_cost_budget_us: config.shed_cost_budget_us.max(1),
+            route_counters: RouteCounters::default(),
             addr: Mutex::new(None),
         }
     }
@@ -290,17 +325,27 @@ impl ServerState {
         }
     }
 
+    /// The route budget of a solve-family request: the per-request
+    /// `deadline_ms`/`cost_budget_us` knobs, unlimited when neither is set
+    /// (which makes the routed path bit-identical to the pre-router solve).
+    fn budget_for(spec: &QuerySpec) -> RouteBudget {
+        RouteBudget { deadline_ms: spec.deadline_ms, cost_budget_us: spec.cost_budget_us }
+    }
+
     /// Stamps a finished solve-family request: seals the trace, appends the
     /// always-on `elapsed_us` (and, when the request asked to trace, the
     /// `timings` phase object) to the response fields, records the latency
     /// histogram under `(verb, family, tier, backend)`, and writes the
-    /// slow-query log line if the request was over threshold.
+    /// slow-query log line if the request was over threshold. `algorithm` is
+    /// the backend that *answered* (after any routing degradation) for the
+    /// single-solve verbs, and the planned backend for batch verbs whose
+    /// entries may mix tiers.
     #[allow(clippy::too_many_arguments)]
     fn finish_solve(
         &self,
         verb: &'static str,
         spec: &QuerySpec,
-        prepared: &PreparedQuery,
+        algorithm: Algorithm,
         fingerprint: u64,
         started: Instant,
         mut trace: Trace,
@@ -308,7 +353,6 @@ impl ServerState {
     ) {
         trace.seal();
         let elapsed_us = started.elapsed().as_micros() as u64;
-        let algorithm = prepared.plan().algorithm;
         let family = algorithm.name();
         let tier = algorithm.tier();
         let backend = spec.flow.unwrap_or(self.options.flow_backend).name();
@@ -365,19 +409,27 @@ impl ServerState {
             Err(message) => return with_elapsed(error_response(message), started),
         };
         trace.end(parse_timer, "parse_db");
-        match prepared.solve_with_cut_traced(&db, self.want_cut_for(spec), &mut trace) {
-            Ok(outcome) => {
+        let budget = Self::budget_for(spec);
+        match prepared.route_with_cut_traced(
+            &db,
+            self.want_cut_for(spec),
+            &budget,
+            &self.router,
+            &mut trace,
+        ) {
+            Ok(tiered) => {
+                self.route_counters.record(tiered.tier, tiered.degraded, tiered.shed);
                 let mut fields = vec![
                     ("ok".to_string(), Json::Bool(true)),
                     ("cached".to_string(), Json::Bool(cached)),
                 ];
-                if let Json::Object(rest) = outcome_json(&outcome, &db) {
+                if let Json::Object(rest) = tiered_outcome_json(&tiered, &db) {
                     fields.extend(rest);
                 }
                 self.finish_solve(
                     "solve",
                     spec,
-                    &prepared,
+                    tiered.outcome.algorithm,
                     fingerprint,
                     started,
                     trace,
@@ -416,8 +468,15 @@ impl ServerState {
             })
             .collect();
         trace.end(parse_timer, "parse_db");
-        let outcomes =
-            prepared.solve_batch_parallel_with_cut_traced(&parsed, want_cut, jobs, &mut trace);
+        let budget = Self::budget_for(spec);
+        let outcomes = prepared.route_batch_parallel_with_cut_traced(
+            &parsed,
+            want_cut,
+            jobs,
+            &budget,
+            &self.router,
+            &mut trace,
+        );
         let mut failures: u64 = 0;
         let results: Vec<Json> = slots
             .into_iter()
@@ -428,8 +487,11 @@ impl ServerState {
                 }
                 // lint: allow(panic-freedom, slots index the same vectors they were built from)
                 Ok(i) => match &outcomes[i] {
-                    // lint: allow(panic-freedom, slots index the same vectors they were built from)
-                    Ok(outcome) => outcome_json(outcome, &parsed[i]),
+                    Ok(tiered) => {
+                        self.route_counters.record(tiered.tier, tiered.degraded, tiered.shed);
+                        // lint: allow(panic-freedom, slots index the same vectors they were built from)
+                        tiered_outcome_json(tiered, &parsed[i])
+                    }
                     Err(e) => {
                         failures += 1;
                         error_response(e.to_string())
@@ -447,7 +509,15 @@ impl ServerState {
             ("cached".to_string(), Json::Bool(cached)),
             ("results".to_string(), Json::Array(results)),
         ];
-        self.finish_solve("solve_batch", spec, &prepared, fingerprint, started, trace, &mut fields);
+        self.finish_solve(
+            "solve_batch",
+            spec,
+            prepared.plan().algorithm,
+            fingerprint,
+            started,
+            trace,
+            &mut fields,
+        );
         Json::Object(fields)
     }
 
@@ -511,19 +581,27 @@ impl ServerState {
                 Err(message) => return with_elapsed(error_response(message), started),
             };
         let want_cut = self.want_cut_for(spec);
+        let budget = Self::budget_for(spec);
         let Some(refs) = snapshots else {
             // The inline form: the solve result fields merge into the
             // response envelope, like a plain `solve`.
-            return match self.store.solve_traced(
+            return match self.store.route_traced(
                 name,
                 &snapshot_ref(snapshot),
                 &prepared,
+                fingerprint,
                 want_cut,
+                &budget,
+                &self.router,
                 &mut trace,
             ) {
-                Ok(solve) => {
-                    let entry = db_solve_entry(&solve);
-                    if solve.result.is_err() {
+                Ok(route) => {
+                    let answered = match &route.result {
+                        Ok((tiered, _)) => tiered.outcome.algorithm,
+                        Err(_) => prepared.plan().algorithm,
+                    };
+                    let entry = self.db_route_entry(&route);
+                    if route.result.is_err() {
                         // Already `"ok": false` with the snapshot id.
                         return with_elapsed(entry, started);
                     }
@@ -538,7 +616,7 @@ impl ServerState {
                     self.finish_solve(
                         "db_solve",
                         spec,
-                        &prepared,
+                        answered,
                         fingerprint,
                         started,
                         trace,
@@ -553,18 +631,21 @@ impl ServerState {
         let results: Vec<Json> = refs
             .iter()
             .map(|sel| {
-                match self.store.solve_traced(
+                match self.store.route_traced(
                     name,
                     &snapshot_ref(Some(sel)),
                     &prepared,
+                    fingerprint,
                     want_cut,
+                    &budget,
+                    &self.router,
                     &mut trace,
                 ) {
-                    Ok(solve) => {
-                        if solve.result.is_err() {
+                    Ok(route) => {
+                        if route.result.is_err() {
                             failures += 1;
                         }
-                        db_solve_entry(&solve)
+                        self.db_route_entry(&route)
                     }
                     Err(e) => {
                         failures += 1;
@@ -584,8 +665,42 @@ impl ServerState {
             ("name".to_string(), Json::Str(name.to_string())),
             ("results".to_string(), Json::Array(results)),
         ];
-        self.finish_solve("db_solve", spec, &prepared, fingerprint, started, trace, &mut fields);
+        self.finish_solve(
+            "db_solve",
+            spec,
+            prepared.plan().algorithm,
+            fingerprint,
+            started,
+            trace,
+            &mut fields,
+        );
         Json::Object(fields)
+    }
+
+    /// One per-snapshot `db_solve` result: the resolved snapshot id, the
+    /// `incremental` and `result_cached` markers and the routed outcome
+    /// fields — or, for an engine failure, an `"ok": false` entry that still
+    /// names the offending snapshot. Routed entries feed the tier counters.
+    fn db_route_entry(&self, route: &StoreRoute) -> Json {
+        match &route.result {
+            Ok((tiered, mode)) => {
+                self.route_counters.record(tiered.tier, tiered.degraded, tiered.shed);
+                let mut fields = vec![
+                    ("snapshot".to_string(), Json::Int(route.snapshot as i128)),
+                    ("incremental".to_string(), Json::Bool(*mode == SolveMode::Incremental)),
+                    ("result_cached".to_string(), Json::Bool(route.result_cached)),
+                ];
+                if let Json::Object(rest) = tiered_outcome_json(tiered, &route.graph) {
+                    fields.extend(rest);
+                }
+                Json::Object(fields)
+            }
+            Err(e) => Json::object([
+                ("ok", Json::Bool(false)),
+                ("error", Json::Str(e.to_string())),
+                ("snapshot", Json::Int(route.snapshot as i128)),
+            ]),
+        }
     }
 
     fn handle_db_list(&self) -> Json {
@@ -636,7 +751,10 @@ impl ServerState {
             evictions: store_evictions,
             capacity: store_capacity,
             max_body_bytes,
+            result_hits,
+            result_misses,
         } = self.store.stats();
+        let routed = self.route_counters.snapshot();
         let connections = &self.connections;
         Json::object([
             ("ok", Json::Bool(true)),
@@ -698,6 +816,22 @@ impl ServerState {
                     ("evictions", Json::Int(store_evictions as i128)),
                     ("capacity", Json::Int(store_capacity as i128)),
                     ("max_body_bytes", Json::Int(max_body_bytes as i128)),
+                    ("result_hits", Json::Int(result_hits as i128)),
+                    ("result_misses", Json::Int(result_misses as i128)),
+                ]),
+            ),
+            (
+                "router",
+                Json::object([
+                    ("poly", Json::Int(routed.poly as i128)),
+                    ("exact", Json::Int(routed.exact as i128)),
+                    ("approx", Json::Int(routed.approx as i128)),
+                    ("degraded", Json::Int(routed.degraded as i128)),
+                    ("overload_sheds", Json::Int(routed.overload_sheds as i128)),
+                    ("queue_depth", Json::Int(self.router.queue_depth() as i128)),
+                    ("overloaded", Json::Bool(self.router.is_overloaded())),
+                    ("shed_queue_depth", Json::Int(self.shed_queue_depth as i128)),
+                    ("shed_cost_budget_us", Json::Int(self.shed_cost_budget_us as i128)),
                 ]),
             ),
         ])
@@ -766,6 +900,43 @@ impl ServerState {
                 store.materializations,
             ),
             ("rpq_store_evictions_total", "Materialized snapshots evicted.", store.evictions),
+            (
+                "rpq_store_result_cache_hits_total",
+                "Hosted solves answered from the cross-snapshot result cache.",
+                store.result_hits,
+            ),
+            (
+                "rpq_store_result_cache_misses_total",
+                "Hosted solves that missed the cross-snapshot result cache.",
+                store.result_misses,
+            ),
+        ] {
+            prom::header(&mut out, name, help, "counter");
+            prom::sample(&mut out, name, "", value);
+        }
+        let routed = self.route_counters.snapshot();
+        prom::header(
+            &mut out,
+            "rpq_routed_total",
+            "Routed solves, by the complexity tier that answered.",
+            "counter",
+        );
+        for (tier, count) in
+            [("poly", routed.poly), ("exact", routed.exact), ("approx", routed.approx)]
+        {
+            prom::sample(&mut out, "rpq_routed_total", &format!("tier=\"{tier}\""), count);
+        }
+        for (name, help, value) in [
+            (
+                "rpq_routed_degraded_total",
+                "Routed solves degraded to a certified cheaper tier by their budget.",
+                routed.degraded,
+            ),
+            (
+                "rpq_overload_sheds_total",
+                "Routed solves whose budget was tightened by overload shedding.",
+                routed.overload_sheds,
+            ),
         ] {
             prom::header(&mut out, name, help, "counter");
             prom::sample(&mut out, name, "", value);
@@ -926,29 +1097,6 @@ fn snapshot_ref(sel: Option<&SnapshotSel>) -> SnapshotRef {
 /// [`StoreError::code`]).
 fn store_error(e: &StoreError) -> Json {
     coded_error_response(e.to_string(), e.code())
-}
-
-/// One per-snapshot `db_solve` result: the resolved snapshot id, the
-/// `incremental` marker and the outcome fields — or, for an engine failure,
-/// an `"ok": false` entry that still names the offending snapshot.
-fn db_solve_entry(solve: &rpq_store::StoreSolve) -> Json {
-    match &solve.result {
-        Ok((outcome, mode)) => {
-            let mut fields = vec![
-                ("snapshot".to_string(), Json::Int(solve.snapshot as i128)),
-                ("incremental".to_string(), Json::Bool(*mode == SolveMode::Incremental)),
-            ];
-            if let Json::Object(rest) = outcome_json(outcome, &solve.graph) {
-                fields.extend(rest);
-            }
-            Json::Object(fields)
-        }
-        Err(e) => Json::object([
-            ("ok", Json::Bool(false)),
-            ("error", Json::Str(e.to_string())),
-            ("snapshot", Json::Int(solve.snapshot as i128)),
-        ]),
-    }
 }
 
 /// One accepted TCP connection: the (non-blocking while parked) stream, the
@@ -1361,6 +1509,108 @@ mod tests {
         assert_eq!(response.get("algorithm").and_then(Json::as_str), Some("local"));
         assert_eq!(response.get("exact"), Some(&Json::Bool(true)));
         assert_eq!(response.get("contingency_set").unwrap().as_array().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn solve_responses_report_the_answering_tier() {
+        let state = state();
+        // No budget: the planned backend answers; tier/degraded/route are
+        // reported all the same.
+        let response =
+            request(&state, r#"{"op":"solve","query":"ax*b","db":"s a u\nu x v\nv b t\n"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("tier").and_then(Json::as_str), Some("poly"));
+        assert_eq!(response.get("degraded"), Some(&Json::Bool(false)));
+        assert!(response.get("route").and_then(Json::as_str).is_some(), "{response}");
+        // Batch entries carry the verdict too.
+        let batch = request(
+            &state,
+            r#"{"op":"solve_batch","query":"ab","dbs":["u a v\nv b w\n","u a v\n"]}"#,
+        );
+        for entry in batch.get("results").unwrap().as_array().unwrap() {
+            assert_eq!(entry.get("tier").and_then(Json::as_str), Some("poly"), "{entry}");
+            assert_eq!(entry.get("degraded"), Some(&Json::Bool(false)), "{entry}");
+        }
+        let stats = request(&state, r#"{"op":"stats"}"#);
+        let router = stats.get("router").unwrap();
+        assert_eq!(router.get("poly"), Some(&Json::Int(3)), "{stats}");
+        assert_eq!(router.get("degraded"), Some(&Json::Int(0)), "{stats}");
+    }
+
+    #[test]
+    fn a_tiny_deadline_degrades_to_certified_bounds() {
+        let state = state();
+        // `deadline_ms: 0` can never fit any projected cost: the router must
+        // still answer, with certified bounds and the tier that produced
+        // them — never an uncertified guess, never a refusal.
+        let response = request(
+            &state,
+            r#"{"op":"solve","query":"ax*b","deadline_ms":0,"db":"s a u\nu x v\nv b t\n"}"#,
+        );
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)), "{response}");
+        assert_eq!(response.get("tier").and_then(Json::as_str), Some("approx"));
+        assert_eq!(response.get("degraded"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("exact"), Some(&Json::Bool(false)));
+        let bounds = response.get("bounds").unwrap().as_array().unwrap();
+        // The exact resilience of a x* b on the 3-fact path is 1.
+        let lower = bounds[0].as_int().unwrap();
+        let upper = bounds[1].as_int().unwrap();
+        assert!(lower <= 1 && 1 <= upper, "{response}");
+        // The same request without the deadline is bit-identical to the
+        // pre-router behavior: exact value 1.
+        let exact =
+            request(&state, r#"{"op":"solve","query":"ax*b","db":"s a u\nu x v\nv b t\n"}"#);
+        assert_eq!(exact.get("value"), Some(&Json::Int(1)));
+        assert_eq!(exact.get("exact"), Some(&Json::Bool(true)));
+        let stats = request(&state, r#"{"op":"stats"}"#);
+        let router = stats.get("router").unwrap();
+        assert_eq!(router.get("degraded"), Some(&Json::Int(1)), "{stats}");
+        assert_eq!(router.get("approx"), Some(&Json::Int(1)), "{stats}");
+    }
+
+    #[test]
+    fn db_solve_reports_result_cache_hits() {
+        let state = state();
+        request(&state, r#"{"op":"db_put","name":"g","db":"s a u\nu x v\nv b t\n"}"#);
+        let first = request(&state, r#"{"op":"db_solve","name":"g","query":"ax*b","snapshot":3}"#);
+        assert_eq!(first.get("ok"), Some(&Json::Bool(true)), "{first}");
+        assert_eq!(first.get("result_cached"), Some(&Json::Bool(false)));
+        let second = request(&state, r#"{"op":"db_solve","name":"g","query":"ax*b","snapshot":3}"#);
+        assert_eq!(second.get("result_cached"), Some(&Json::Bool(true)), "{second}");
+        assert_eq!(second.get("value"), first.get("value"));
+        assert_eq!(second.get("tier").and_then(Json::as_str), Some("poly"));
+        let stats = request(&state, r#"{"op":"stats"}"#);
+        let store = stats.get("store").unwrap();
+        assert_eq!(store.get("result_hits"), Some(&Json::Int(1)), "{stats}");
+        assert_eq!(store.get("result_misses"), Some(&Json::Int(1)), "{stats}");
+        let metrics = request(&state, r#"{"op":"metrics"}"#);
+        let text = metrics.get("metrics").and_then(Json::as_str).unwrap();
+        assert!(text.contains("rpq_store_result_cache_hits_total 1"), "{text}");
+    }
+
+    #[test]
+    fn a_deep_ready_queue_sheds_load_through_the_router() {
+        let state = state();
+        // Simulate a backlog: the router's probe reads this gauge.
+        state.connections.queue_depth.store(DEFAULT_SHED_QUEUE_DEPTH + 1, Ordering::Relaxed);
+        assert!(state.router.is_overloaded());
+        // A cheap solve still fits inside the shed budget and answers
+        // exactly — shedding degrades *gracefully*, it does not refuse.
+        let response = request(&state, r#"{"op":"solve","query":"ab","db":"u a v\nv b w\n"}"#);
+        assert_eq!(response.get("ok"), Some(&Json::Bool(true)));
+        assert_eq!(response.get("exact"), Some(&Json::Bool(true)));
+        let stats = request(&state, r#"{"op":"stats"}"#);
+        let router = stats.get("router").unwrap();
+        assert_eq!(router.get("overloaded"), Some(&Json::Bool(true)), "{stats}");
+        assert_eq!(router.get("overload_sheds"), Some(&Json::Int(1)), "{stats}");
+        // Backlog drained: budgets pass through untightened again.
+        state.connections.queue_depth.store(0, Ordering::Relaxed);
+        let stats = request(&state, r#"{"op":"stats"}"#);
+        assert_eq!(stats.get("router").unwrap().get("overloaded"), Some(&Json::Bool(false)));
+        let metrics = request(&state, r#"{"op":"metrics"}"#);
+        let text = metrics.get("metrics").and_then(Json::as_str).unwrap();
+        assert!(text.contains("rpq_overload_sheds_total 1"), "{text}");
+        assert!(text.contains("rpq_routed_total{tier=\"poly\"} 1"), "{text}");
     }
 
     #[test]

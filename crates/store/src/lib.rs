@@ -31,8 +31,11 @@ use rpq_graphdb::delta::{changes_from_db, materialize, parse_patch, FactChange};
 use rpq_graphdb::text::{self, ParseError};
 use rpq_graphdb::GraphDb;
 use rpq_obs::Trace;
-use rpq_resilience::algorithms::{ResilienceError, ResilienceOutcome};
+use rpq_resilience::algorithms::{Algorithm, ResilienceError, ResilienceOutcome};
 use rpq_resilience::engine::{IncrementalSolver, PreparedQuery, SolveMode};
+use rpq_resilience::prelude::FlowAlgorithm;
+use rpq_resilience::router::{RouteBudget, Router, TieredOutcome};
+use rpq_resilience::rpq::Semantics;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -167,6 +170,39 @@ struct Materialization {
     last_used: u64,
 }
 
+/// One entry of the cross-snapshot result cache: a fully solved outcome at a
+/// pinned log offset. Snapshots are immutable (offsets never change meaning
+/// under `db_patch`), so an entry stays valid until `db_put` rewrites the
+/// whole log. Keyed semantically — by the *language fingerprint* rather than
+/// the plan pointer — so a plan evicted and re-prepared by the server's query
+/// cache still hits.
+struct CachedResult {
+    /// [`rpq_automata::Language::language_fingerprint`] of the solved query.
+    fingerprint: u64,
+    /// The query's cost semantics (set vs bag) — same language, different
+    /// resilience values.
+    semantics: Semantics,
+    /// The planned backend; a forced-algorithm override must not reuse
+    /// another backend's answer (their witnesses, bounds and errors differ).
+    algorithm: Algorithm,
+    /// The MinCut backend: optimal cuts (witnesses) can differ across
+    /// backends even when the value agrees.
+    flow: FlowAlgorithm,
+    /// The log offset the solve bound to.
+    offset: usize,
+    /// Whether the outcome carries the contingency-set witness; a cut-less
+    /// entry is upgraded in place when a `want_cut` solve recomputes it.
+    has_cut: bool,
+    /// The cached engine outcome.
+    outcome: ResilienceOutcome,
+    /// The solve mode of the original computation (reported on hits).
+    mode: SolveMode,
+    last_used: u64,
+}
+
+/// Per-database cap on cached results, evicted LRU past this.
+const RESULT_CACHE_CAP: usize = 128;
+
 /// One hosted database: the append-only fact log plus derived state.
 #[derive(Default)]
 struct Database {
@@ -177,6 +213,8 @@ struct Database {
     named: BTreeMap<String, usize>,
     /// Cached materializations, at most one per offset.
     materialized: Vec<Materialization>,
+    /// Cross-snapshot result cache (see [`CachedResult`]).
+    results: Vec<CachedResult>,
     session: Option<SolveSession>,
 }
 
@@ -251,6 +289,21 @@ pub struct StoreSolve {
     pub result: Result<(ResilienceOutcome, SolveMode), ResilienceError>,
 }
 
+/// The result of a [`Store::route`]: [`StoreSolve`] plus the routing
+/// decision and whether the cross-snapshot result cache answered.
+pub struct StoreRoute {
+    /// The resolved snapshot id the solve bound to.
+    pub snapshot: usize,
+    /// The materialized database the solve ran against.
+    pub graph: Arc<GraphDb>,
+    /// The routed outcome (tier, degradation, reason included), or the
+    /// engine error for this snapshot.
+    pub result: Result<(TieredOutcome, SolveMode), ResilienceError>,
+    /// Whether the answer came from the cross-snapshot result cache (O(1),
+    /// no engine work; always a full, non-degraded answer).
+    pub result_cached: bool,
+}
+
 /// Per-database summary returned by [`Store::list`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DatabaseInfo {
@@ -291,6 +344,10 @@ pub struct StoreStats {
     pub materializations: u64,
     /// Materializations evicted to respect the capacity.
     pub evictions: u64,
+    /// `db_solve`s answered by the cross-snapshot result cache.
+    pub result_hits: u64,
+    /// `db_solve`s that had to run the engine (the cache could not answer).
+    pub result_misses: u64,
     /// The configured database / materialization capacity.
     pub capacity: usize,
     /// The configured body-size limit.
@@ -307,6 +364,8 @@ pub struct Store {
     full_solves: AtomicU64,
     materializations: AtomicU64,
     evictions: AtomicU64,
+    result_hits: AtomicU64,
+    result_misses: AtomicU64,
 }
 
 impl Store {
@@ -320,6 +379,8 @@ impl Store {
             full_solves: AtomicU64::new(0),
             materializations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            result_hits: AtomicU64::new(0),
+            result_misses: AtomicU64::new(0),
         }
     }
 
@@ -380,6 +441,9 @@ impl Store {
             db.named.clear();
             db.materialized =
                 vec![Materialization { offset: snapshot, graph: Arc::new(graph), last_used: tick }];
+            // A put rewrites the log, so old offsets no longer mean the same
+            // snapshots: cached results are stale, drop them all.
+            db.results.clear();
             db.session = None;
         }
         self.evict_materializations();
@@ -469,9 +533,80 @@ impl Store {
         want_cut: bool,
         trace: &mut Trace,
     ) -> Result<StoreSolve, StoreError> {
+        let fingerprint = prepared.rpq().language().language_fingerprint();
+        self.route_traced(
+            name,
+            snapshot,
+            prepared,
+            fingerprint,
+            want_cut,
+            &RouteBudget::UNLIMITED,
+            &Router::new(),
+            trace,
+        )
+        .map(|routed| StoreSolve {
+            snapshot: routed.snapshot,
+            graph: routed.graph,
+            result: routed.result.map(|(tiered, mode)| (tiered.outcome, mode)),
+        })
+    }
+
+    /// [`Store::solve`] under a [`RouteBudget`] (see
+    /// [`rpq_resilience::router`]), with the cross-snapshot result cache in
+    /// front of the engine.
+    ///
+    /// `fingerprint` is the query's
+    /// [`language_fingerprint`](rpq_automata::Language::language_fingerprint)
+    /// — callers that already canonicalized the language (the server's query
+    /// cache) pass it in so the store never re-minimizes. Cache entries are
+    /// keyed by `(fingerprint, semantics, algorithm, flow backend, offset)`:
+    /// snapshots are immutable, so a repeated `db_solve` of a pinned snapshot
+    /// answers in O(1) from the cache, whatever the budget (a hit always
+    /// satisfies any deadline and is never degraded). Only full-fidelity
+    /// (non-degraded) outcomes are cached; degraded bounds depend on the
+    /// caller's budget and are recomputed per request.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route(
+        &self,
+        name: &str,
+        snapshot: &SnapshotRef,
+        prepared: &Arc<PreparedQuery>,
+        fingerprint: u64,
+        want_cut: bool,
+        budget: &RouteBudget,
+        router: &Router,
+    ) -> Result<StoreRoute, StoreError> {
+        self.route_traced(
+            name,
+            snapshot,
+            prepared,
+            fingerprint,
+            want_cut,
+            budget,
+            router,
+            &mut Trace::disabled(),
+        )
+    }
+
+    /// [`Store::route`] with phase tracing.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route_traced(
+        &self,
+        name: &str,
+        snapshot: &SnapshotRef,
+        prepared: &Arc<PreparedQuery>,
+        fingerprint: u64,
+        want_cut: bool,
+        budget: &RouteBudget,
+        router: &Router,
+        trace: &mut Trace,
+    ) -> Result<StoreRoute, StoreError> {
         let handle = self.database(name)?;
         let tick = self.next_tick();
-        let (offset, graph, built, result) = {
+        let planned = prepared.plan().algorithm;
+        let flow = prepared.options().flow_backend;
+        let semantics = prepared.rpq().semantics();
+        let (offset, graph, built, result, result_cached) = {
             let materialize_timer = trace.begin();
             let mut db = handle
                 .lock()
@@ -479,20 +614,60 @@ impl Store {
             let offset = db.resolve(name, snapshot)?;
             let (graph, built) = db.materialize_at(offset, tick);
             trace.end(materialize_timer, "materialize");
-            let Database { log, session, .. } = &mut *db;
+            if let Some(entry) = db.results.iter_mut().find(|r| {
+                r.fingerprint == fingerprint
+                    && r.semantics == semantics
+                    && r.algorithm == planned
+                    && r.flow == flow
+                    && r.offset == offset
+                    && (r.has_cut || !want_cut)
+            }) {
+                entry.last_used = tick;
+                let mut outcome = entry.outcome.clone();
+                if !want_cut {
+                    outcome.contingency_set = None;
+                }
+                let tiered = TieredOutcome {
+                    tier: outcome.algorithm.tier(),
+                    outcome,
+                    planned,
+                    degraded: false,
+                    shed: false,
+                    reason: "cross-snapshot result cache hit".to_string(),
+                    estimated_cost_us: 0,
+                };
+                let mode = entry.mode;
+                self.result_hits.fetch_add(1, Ordering::Relaxed);
+                if built {
+                    self.materializations.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(StoreRoute {
+                    snapshot: offset,
+                    graph,
+                    result: Ok((tiered, mode)),
+                    result_cached: true,
+                });
+            }
+            self.result_misses.fetch_add(1, Ordering::Relaxed);
+            let Database { log, session, results, .. } = &mut *db;
             let result = match session {
                 Some(s) if Arc::ptr_eq(&s.plan, prepared) && s.offset <= offset => {
                     // lint: allow(panic-freedom, session offsets never pass the resolve-checked head)
                     let delta = &log[s.offset..offset];
                     // lint: allow(lock-discipline, solves serialize per database under its own lock by design)
-                    let result = prepared.solve_incremental_traced(
+                    let result = prepared.route_incremental_traced(
                         &mut s.solver,
                         &graph,
                         Some(delta),
                         want_cut,
+                        budget,
+                        router,
                         trace,
                     );
-                    if result.is_ok() {
+                    // A degraded answer leaves the retained flow parked at
+                    // its old frontier — do not advance past facts the
+                    // network never saw.
+                    if matches!(&result, Ok((t, _)) if !t.degraded) {
                         s.offset = offset;
                     }
                     result
@@ -502,8 +677,8 @@ impl Store {
                     // snapshot): answer one-shot, keep the retained state
                     // parked at its frontier for the next forward solve.
                     prepared
-                        .solve_with_cut_traced(&graph, want_cut, trace)
-                        .map(|o| (o, SolveMode::Full))
+                        .route_with_cut_traced(&graph, want_cut, budget, router, trace)
+                        .map(|t| (t, SolveMode::Full))
                 }
                 _ => {
                     let mut s = SolveSession {
@@ -512,18 +687,54 @@ impl Store {
                         solver: IncrementalSolver::new(),
                     };
                     // lint: allow(lock-discipline, solves serialize per database under its own lock by design)
-                    let result = prepared.solve_incremental_traced(
+                    let result = prepared.route_incremental_traced(
                         &mut s.solver,
                         &graph,
                         None,
                         want_cut,
+                        budget,
+                        router,
                         trace,
                     );
                     *session = Some(s);
                     result
                 }
             };
-            (offset, graph, built, result)
+            if let Ok((tiered, mode)) = &result {
+                if !tiered.degraded {
+                    // Cache (or upgrade) the full-fidelity answer for this
+                    // immutable snapshot.
+                    results.retain(|r| {
+                        !(r.fingerprint == fingerprint
+                            && r.semantics == semantics
+                            && r.algorithm == planned
+                            && r.flow == flow
+                            && r.offset == offset)
+                    });
+                    if results.len() >= RESULT_CACHE_CAP {
+                        if let Some(oldest) = results
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, r)| r.last_used)
+                            .map(|(i, _)| i)
+                        {
+                            results.swap_remove(oldest);
+                        }
+                    }
+                    results.push(CachedResult {
+                        fingerprint,
+                        semantics,
+                        algorithm: planned,
+                        flow,
+                        offset,
+                        has_cut: want_cut,
+                        outcome: tiered.outcome.clone(),
+                        mode: *mode,
+                        last_used: tick,
+                    });
+                }
+            }
+            (offset, graph, built, result, false)
         };
         if built {
             self.materializations.fetch_add(1, Ordering::Relaxed);
@@ -537,7 +748,7 @@ impl Store {
                 self.full_solves.fetch_add(1, Ordering::Relaxed);
             }
         }
-        Ok(StoreSolve { snapshot: offset, graph, result })
+        Ok(StoreRoute { snapshot: offset, graph, result, result_cached })
     }
 
     /// Summaries of every hosted database, in name order.
@@ -588,6 +799,8 @@ impl Store {
             full_solves: self.full_solves.load(Ordering::Relaxed),
             materializations: self.materializations.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            result_hits: self.result_hits.load(Ordering::Relaxed),
+            result_misses: self.result_misses.load(Ordering::Relaxed),
             capacity: self.config.capacity,
             max_body_bytes: self.config.max_body_bytes,
         }
@@ -700,6 +913,102 @@ mod tests {
         store.patch("g", "+ s a z\n").unwrap();
         let solve = store.solve("g", &SnapshotRef::Head, &other, false).unwrap();
         assert_eq!(solve.result.unwrap().1, SolveMode::Incremental);
+    }
+
+    #[test]
+    fn repeated_solves_of_a_pinned_snapshot_hit_the_result_cache() {
+        let store = Store::new(StoreConfig::default());
+        let plan = prepared("ax*b");
+        store.put("g", "s a u\nu x v\nv b t\n").unwrap();
+        store.snapshot("g", "pin", None).unwrap();
+        let pin = SnapshotRef::Named("pin".into());
+        assert_eq!(value(&store, "g", pin.clone(), &plan), 1);
+        let after_miss = store.stats();
+        assert_eq!((after_miss.result_hits, after_miss.result_misses), (0, 1));
+        // Second solve of the same pinned snapshot: O(1) from the cache,
+        // without running the engine.
+        assert_eq!(value(&store, "g", pin.clone(), &plan), 1);
+        let after_hit = store.stats();
+        assert_eq!(after_hit.result_hits, 1);
+        assert_eq!(
+            after_hit.incremental_solves + after_hit.full_solves,
+            after_miss.incremental_solves + after_miss.full_solves,
+            "a result-cache hit must not run a solve"
+        );
+        // The key is semantic (language fingerprint), not the plan pointer:
+        // a re-prepared plan for the same language still hits.
+        let replanned = prepared("ax*b");
+        assert_eq!(value(&store, "g", pin.clone(), &replanned), 1);
+        assert_eq!(store.stats().result_hits, 2);
+        // A different language is a different key.
+        let other = prepared("ab|ad");
+        let solve = store.solve("g", &pin, &other, false).unwrap();
+        assert!(solve.result.is_ok());
+        assert_eq!(store.stats().result_misses, 2);
+        // `db_put` rewrites the log, so every cached result is dropped.
+        store.put("g", "s a u\nu b t\n").unwrap();
+        let misses_before = store.stats().result_misses;
+        assert_eq!(value(&store, "g", SnapshotRef::Head, &plan), 1);
+        assert_eq!(store.stats().result_misses, misses_before + 1);
+    }
+
+    #[test]
+    fn result_cache_entries_upgrade_to_carry_cuts() {
+        let store = Store::new(StoreConfig::default());
+        let plan = prepared("ax*b");
+        store.put("g", "s a u\nu x v\nv b t\n").unwrap();
+        // Cached without a cut: a want_cut solve must recompute…
+        assert!(store
+            .solve("g", &SnapshotRef::Head, &plan, false)
+            .unwrap()
+            .result
+            .unwrap()
+            .0
+            .contingency_set
+            .is_none());
+        let cut = store.solve("g", &SnapshotRef::Head, &plan, true).unwrap();
+        assert!(cut.result.unwrap().0.contingency_set.is_some());
+        assert_eq!(store.stats().result_misses, 2);
+        // …after which the upgraded entry serves both shapes from the cache.
+        let with_cut = store.solve("g", &SnapshotRef::Head, &plan, true).unwrap();
+        assert!(with_cut.result.unwrap().0.contingency_set.is_some());
+        let without = store.solve("g", &SnapshotRef::Head, &plan, false).unwrap();
+        assert!(without.result.unwrap().0.contingency_set.is_none());
+        assert_eq!(store.stats().result_hits, 2);
+    }
+
+    #[test]
+    fn degraded_routed_solves_are_not_cached_and_report_their_tier() {
+        let store = Store::new(StoreConfig::default());
+        let plan = prepared("ax*b");
+        store.put("g", "s a u\nu x v\nv b t\n").unwrap();
+        let fingerprint = plan.rpq().language().language_fingerprint();
+        // A zero-microsecond budget cannot fit any backend: the store must
+        // still answer, with certified bounds and the degradation reported.
+        let routed = store
+            .route(
+                "g",
+                &SnapshotRef::Head,
+                &plan,
+                fingerprint,
+                false,
+                &RouteBudget::with_cost_budget_us(0),
+                &Router::new(),
+            )
+            .unwrap();
+        let (tiered, _) = routed.result.unwrap();
+        assert!(tiered.degraded);
+        assert_eq!(tiered.tier, "approx");
+        assert!(!routed.result_cached);
+        // Degraded answers are budget-dependent: they must not poison the
+        // cache for an unlimited caller.
+        let full = store.solve("g", &SnapshotRef::Head, &plan, false).unwrap();
+        let (outcome, _) = full.result.unwrap();
+        assert_eq!(outcome.value, ResilienceValue::Finite(1));
+        assert_eq!(store.stats().result_hits, 0);
+        // And the unlimited answer is cached as usual.
+        assert_eq!(value(&store, "g", SnapshotRef::Head, &plan), 1);
+        assert_eq!(store.stats().result_hits, 1);
     }
 
     #[test]

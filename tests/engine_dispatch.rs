@@ -8,10 +8,12 @@ mod common;
 
 use common::FAMILIES;
 use rpq::automata::{Alphabet, Language, Word};
+use rpq::flow::FlowAlgorithm;
 use rpq::graphdb::generate::{random_labeled_graph, word_path};
 use rpq::resilience::algorithms::{solve, solve_with, Algorithm, ResilienceError};
 use rpq::resilience::engine::{Engine, SolveOptions};
-use rpq::resilience::rpq::Rpq;
+use rpq::resilience::router::{RouteBudget, Router};
+use rpq::resilience::rpq::{ResilienceValue, Rpq};
 
 #[test]
 fn solve_routes_each_family_to_its_algorithm_and_matches_exact() {
@@ -105,6 +107,120 @@ fn oversized_enumeration_is_a_typed_error_not_a_panic() {
     assert!(engine.solve_with(Algorithm::ExactEnumeration, &query, &small).is_ok());
     let err = engine.solve_with(Algorithm::ExactEnumeration, &query, &db).unwrap_err();
     assert_eq!(err, ResilienceError::InstanceTooLarge { facts: 30, limit: 10 });
+}
+
+#[test]
+fn certified_bounds_never_cross_for_any_approx_and_flow_backend_combination() {
+    // The crossed-bounds regression: every approximation backend must report
+    // `lower <= exact <= upper` on the whole shared corpus, whatever MinCut
+    // backend the engine is configured with. A crossing sandwich would be a
+    // silently wrong certificate, so it asserts inside
+    // `ResilienceOutcome::from_approximation` too — this drives the assert
+    // across every combination.
+    let approx = [Algorithm::ApproxGreedy, Algorithm::ApproxKDisjoint, Algorithm::TrivialBounds];
+    for &(alphabet, patterns, _) in FAMILIES {
+        let alphabet = Alphabet::from_chars(alphabet);
+        for pattern in patterns {
+            let query = Rpq::new(Language::parse(pattern).unwrap());
+            for flow in FlowAlgorithm::SELECTABLE {
+                let engine =
+                    Engine::with_options(SolveOptions { flow_backend: flow, ..Default::default() });
+                for seed in 0..4 {
+                    let db = random_labeled_graph(4, 8, &alphabet, seed);
+                    let exact =
+                        engine.solve_with(Algorithm::ExactBranchAndBound, &query, &db).unwrap();
+                    for algorithm in approx {
+                        let Ok(outcome) = engine.solve_with(algorithm, &query, &db) else {
+                            continue; // infinite languages refuse greedy/k-approx
+                        };
+                        let (lower, upper) = outcome.bounds.expect("approximations carry bounds");
+                        assert!(lower <= upper, "{pattern}, {algorithm}, {flow}, seed {seed}");
+                        match exact.value {
+                            ResilienceValue::Finite(value) => assert!(
+                                lower <= value && value <= upper,
+                                "{pattern}, {algorithm}, {flow}, seed {seed}: \
+                                 [{lower}, {upper}] does not sandwich {value}"
+                            ),
+                            // An infinite resilience has no finite upper
+                            // bound; the outcome must say so.
+                            ResilienceValue::Infinite => assert!(
+                                outcome.value.is_infinite(),
+                                "{pattern}, {algorithm}, {flow}, seed {seed}"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn routing_with_an_unlimited_budget_agrees_with_exact_enumeration() {
+    // The bit-identical contract: with no deadline set, `route` must answer
+    // exactly what the pre-router `solve` answered — cross-checked here
+    // against the independent subset-enumeration oracle on the whole corpus.
+    let engine = Engine::new();
+    for &(alphabet, patterns, expected) in FAMILIES {
+        let alphabet = Alphabet::from_chars(alphabet);
+        for pattern in patterns {
+            let query = Rpq::new(Language::parse(pattern).unwrap());
+            let prepared = engine.prepare(&query).unwrap();
+            for seed in 0..4 {
+                let db = random_labeled_graph(4, 8, &alphabet, seed);
+                let tiered = prepared.route(&db, &RouteBudget::UNLIMITED).unwrap();
+                assert!(!tiered.degraded, "{pattern}, seed {seed}: {}", tiered.reason);
+                assert_eq!(tiered.tier, expected.tier(), "{pattern}, seed {seed}");
+                assert_eq!(tiered.outcome.algorithm, expected, "{pattern}, seed {seed}");
+                assert_eq!(tiered.outcome, prepared.solve(&db).unwrap(), "{pattern}, seed {seed}");
+                let oracle = solve_with(Algorithm::ExactEnumeration, &query, &db).unwrap().value;
+                assert_eq!(tiered.outcome.value, oracle, "{pattern}, seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn an_impossible_budget_degrades_to_certified_bounds_with_the_tier_reported() {
+    // A zero cost budget can never fit any projected cost: the router must
+    // still answer — with certified bounds that sandwich the true value and
+    // an explicit approx-tier verdict, never a refusal.
+    let engine = Engine::new();
+    let router = Router::new();
+    let budget = RouteBudget::with_cost_budget_us(0);
+    for &(alphabet, patterns, _) in FAMILIES {
+        let alphabet = Alphabet::from_chars(alphabet);
+        for pattern in patterns {
+            let query = Rpq::new(Language::parse(pattern).unwrap());
+            let prepared = engine.prepare(&query).unwrap();
+            for seed in 0..4 {
+                let db = random_labeled_graph(4, 8, &alphabet, seed);
+                let tiered = prepared.route_with_cut(&db, true, &budget, &router).unwrap();
+                assert!(tiered.degraded, "{pattern}, seed {seed}: {}", tiered.reason);
+                assert_eq!(tiered.tier, "approx", "{pattern}, seed {seed}");
+                // Degraded answers stay *certified*: either trivially exact
+                // (resilience 0 or provably infinite) or a bounds sandwich.
+                let truth = prepared.solve(&db).unwrap().value;
+                if tiered.outcome.is_exact() {
+                    assert_eq!(tiered.outcome.value, truth, "{pattern}, seed {seed}");
+                    continue;
+                }
+                match truth {
+                    ResilienceValue::Finite(value) => {
+                        let (lower, upper) =
+                            tiered.outcome.bounds.expect("degraded answers carry bounds");
+                        assert!(
+                            lower <= value && value <= upper,
+                            "{pattern}, seed {seed}: [{lower}, {upper}] does not sandwich {value}"
+                        );
+                    }
+                    ResilienceValue::Infinite => {
+                        assert!(tiered.outcome.value.is_infinite(), "{pattern}, seed {seed}")
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[test]
